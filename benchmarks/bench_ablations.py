@@ -1,0 +1,166 @@
+"""Ablation benchmarks: where does EPACT's advantage come from?
+
+Beyond the paper's figures, these runs isolate the design choices
+DESIGN.md calls out:
+
+* **governor ablation** — give COAT the same per-sample DVFS governor as
+  EPACT: how much of the gap is allocation vs. frequency control?
+* **cadence ablation** — re-run COAT day-ahead (its original protocol)
+  vs. hourly: how much does reallocation dynamism matter?
+* **correlation ablation** — COAT vs. plain FFD: the value of
+  correlation awareness alone.
+* **future nodes** — the paper's closing claim: EPACT's edge grows as
+  static power shrinks on 20nm/12nm FD-SOI projections.
+"""
+
+from repro.baselines import CoatPolicy, FfdPolicy
+from repro.core import EpactPolicy
+from repro.dcsim import run_policies, total_energy_savings_pct
+from repro.technology.scaling import (
+    fdsoi12_scaling,
+    fdsoi20_scaling,
+    scaled_ntc_power_model,
+)
+
+
+def test_bench_governor_ablation(
+    benchmark, bench_dataset, bench_predictor, bench_perf
+):
+    """COAT with EPACT's dynamic governor: allocation still loses."""
+
+    def run():
+        return run_policies(
+            bench_dataset,
+            bench_predictor,
+            [
+                EpactPolicy(),
+                CoatPolicy(),
+                CoatPolicy(
+                    dynamic_governor=True, name="COAT-DVFS"
+                ),
+            ],
+            perf=bench_perf,
+            max_servers=600,
+            n_slots=24,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, result in results.items():
+        print(
+            f"{name:10s} energy={result.total_energy_mj:8.1f} MJ "
+            f"violations={result.total_violations}"
+        )
+    # The governor recovers a large share of COAT's waste...
+    assert (
+        results["COAT-DVFS"].total_energy_mj
+        < results["COAT"].total_energy_mj
+    )
+    # ...but consolidation-with-DVFS still does not beat EPACT by much
+    # anywhere it matters: EPACT stays within a few percent or better.
+    saving = total_energy_savings_pct(
+        results["EPACT"], results["COAT-DVFS"]
+    )
+    assert saving > -10.0
+
+
+def test_bench_cadence_ablation(
+    benchmark, bench_dataset, bench_predictor, bench_perf
+):
+    """Hourly vs day-ahead COAT: dynamism is worth real energy."""
+
+    def run():
+        return run_policies(
+            bench_dataset,
+            bench_predictor,
+            [
+                CoatPolicy(name="COAT-HOURLY", reallocation_period_slots=1),
+                CoatPolicy(name="COAT-DAILY", reallocation_period_slots=24),
+            ],
+            perf=bench_perf,
+            max_servers=600,
+            n_slots=48,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, result in results.items():
+        print(
+            f"{name:12s} energy={result.total_energy_mj:8.1f} MJ "
+            f"servers={result.mean_active_servers:5.1f}"
+        )
+    assert (
+        results["COAT-HOURLY"].total_energy_mj
+        <= results["COAT-DAILY"].total_energy_mj
+    )
+
+
+def test_bench_correlation_ablation(
+    benchmark, bench_dataset, bench_predictor, bench_perf
+):
+    """COAT vs plain FFD at the same cadence: correlation awareness
+    reduces violations at essentially equal energy."""
+
+    def run():
+        return run_policies(
+            bench_dataset,
+            bench_predictor,
+            [CoatPolicy(), FfdPolicy(), EpactPolicy()],
+            perf=bench_perf,
+            max_servers=600,
+            n_slots=48,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, result in results.items():
+        print(
+            f"{name:6s} energy={result.total_energy_mj:8.1f} MJ "
+            f"violations={result.total_violations} "
+            f"servers={result.mean_active_servers:5.1f}"
+        )
+    coat, ffd = results["COAT"], results["FFD"]
+    assert abs(coat.total_energy_mj - ffd.total_energy_mj) / max(
+        ffd.total_energy_mj, 1e-9
+    ) < 0.15
+
+
+def test_bench_future_nodes(
+    benchmark, bench_dataset, bench_predictor, bench_perf
+):
+    """The paper's conclusion: EPACT gains as technology scales down."""
+    nodes = [
+        ("28nm", None),
+        ("20nm", fdsoi20_scaling()),
+        ("12nm", fdsoi12_scaling()),
+    ]
+
+    def run():
+        from repro.power import ntc_server_power_model
+
+        savings = {}
+        for label, scaling in nodes:
+            power = (
+                ntc_server_power_model()
+                if scaling is None
+                else scaled_ntc_power_model(scaling)
+            )
+            results = run_policies(
+                bench_dataset,
+                bench_predictor,
+                [EpactPolicy(), CoatPolicy()],
+                power_model=power,
+                perf=bench_perf,
+                max_servers=600,
+                n_slots=24,
+            )
+            savings[label] = total_energy_savings_pct(
+                results["EPACT"], results["COAT"]
+            )
+        return savings
+
+    savings = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for label, value in savings.items():
+        print(f"EPACT saving vs COAT on {label}: {value:.1f}%")
+    assert savings["12nm"] > savings["28nm"] - 2.0

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 1 (DC power vs frequency, both panels)."""
+
+from repro.experiments.fig1 import render, run_fig1
+
+
+def test_bench_fig1(benchmark):
+    """Times the 2x9-curve sweep and prints the per-utilization optima."""
+    result = benchmark(run_fig1)
+    print()
+    print(render(result))
+    lo, hi = result.ntc_interior_optimum_range()
+    assert 1.7 <= lo <= hi <= 2.0
+    for opt in result.conventional_optima.values():
+        assert abs(opt.freq_ghz - 2.4) < 1e-9

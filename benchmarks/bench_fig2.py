@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 2 (normalized execution time vs frequency)."""
+
+from repro.experiments.fig2 import render, run_fig2
+
+
+def test_bench_fig2(benchmark, bench_perf):
+    """Times the three-class QoS sweep and prints the normalized table."""
+    result = benchmark(run_fig2, bench_perf)
+    print()
+    print(render(result))
+    assert result.qos_floors_ghz["low-mem"] == 1.2
+    assert result.qos_floors_ghz["mid-mem"] == 1.8
+    assert result.qos_floors_ghz["high-mem"] == 1.8

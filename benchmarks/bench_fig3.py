@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 3 (server efficiency vs frequency)."""
+
+from repro.experiments.fig3 import render, run_fig3
+
+
+def test_bench_fig3(benchmark, bench_perf, bench_power):
+    """Times the efficiency sweep and prints the per-class curves."""
+    result = benchmark(run_fig3, bench_perf, bench_power)
+    print()
+    print(render(result))
+    peaks = result.peak_frequencies()
+    assert 1.0 <= peaks["high-mem"] <= 1.4
+    assert 1.4 <= peaks["low-mem"] <= 1.8

@@ -1,0 +1,74 @@
+"""Benchmark: regenerate Figs. 4-6 (the one-week policy comparison).
+
+Runs the three-policy data-center simulation at reduced scale (120 VMs,
+two evaluated days) — the shapes match the paper-scale run recorded in
+EXPERIMENTS.md.  One round: the simulation is deterministic and heavy.
+"""
+
+from repro.baselines import CoatOptPolicy, CoatPolicy
+from repro.core import EpactPolicy
+from repro.dcsim import run_policies
+from repro.experiments.fig456 import Fig456Result, render
+
+
+def test_bench_fig456(benchmark, bench_dataset, bench_predictor, bench_perf):
+    """Times EPACT vs COAT vs COAT-OPT and prints the weekly series."""
+
+    def run():
+        results = run_policies(
+            bench_dataset,
+            bench_predictor,
+            [EpactPolicy(), CoatPolicy(), CoatOptPolicy()],
+            perf=bench_perf,
+            max_servers=600,
+            n_slots=48,
+        )
+        return Fig456Result(results=results)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render(result))
+    assert result.total_saving_vs_coat_pct() > 25.0
+    assert result.violation_ratio_epact_vs_coat() < 0.1
+    assert (
+        result.epact.total_energy_mj
+        < result.coat_opt.total_energy_mj
+        < result.coat.total_energy_mj
+    )
+
+
+def test_bench_fig456_other_caps(
+    benchmark, bench_dataset, bench_predictor, bench_perf
+):
+    """The Fig. 6 'Other Caps' band: fixed-cap policies between the two
+    extremes land between COAT and the optimum."""
+    caps = (70.0, 85.0)
+
+    def run():
+        policies = [
+            CoatPolicy(cap_cpu_pct=cap, name=f"CAP-{cap:.0f}")
+            for cap in caps
+        ]
+        policies.append(CoatPolicy())
+        return run_policies(
+            bench_dataset,
+            bench_predictor,
+            policies,
+            perf=bench_perf,
+            max_servers=600,
+            n_slots=24,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, run_result in results.items():
+        print(
+            f"{name:8s} energy={run_result.total_energy_mj:8.1f} MJ "
+            f"violations={run_result.total_violations}"
+        )
+    # Lower caps (slower fixed frequency) consume less energy.
+    assert (
+        results["CAP-70"].total_energy_mj
+        < results["CAP-85"].total_energy_mj
+        < results["COAT"].total_energy_mj
+    )

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Fig. 7 (EPACT vs COAT under static power sweep)."""
+
+from repro.experiments.fig7 import render, run_fig7
+
+
+def test_bench_fig7(benchmark, bench_dataset):
+    """Times the static-power sweep and prints the savings table."""
+
+    def run():
+        return run_fig7(
+            dataset=bench_dataset,
+            static_sweep_w=(5.0, 15.0, 25.0, 35.0, 45.0),
+            n_slots=24,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render(result))
+    savings = [p.saving_pct for p in result.points]
+    assert savings[0] > savings[-1]
+    assert all(s > 0.0 for s in savings)

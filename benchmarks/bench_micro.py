@@ -1,0 +1,106 @@
+"""Micro-benchmarks of the hot paths inside the simulation."""
+
+import numpy as np
+
+from repro.core.alloc1d import allocate_1d
+from repro.core.alloc2d import allocate_2d
+from repro.core.correlation import pearson_many
+from repro.core.governor import DvfsGovernor
+from repro.dcsim.power_tables import VectorizedServerPower
+from repro.forecast import ArimaModel, ArimaOrder
+from repro.forecast.decomposed import DecomposedArimaForecaster
+from repro.technology.opp import ntc_opp_table
+
+
+def _patterns(n_vms, n_samples=12, seed=0, scale=10.0):
+    gen = np.random.default_rng(seed)
+    base = gen.uniform(0.2, 1.0, size=(n_vms, 1)) * scale
+    phase = gen.uniform(0, 2 * np.pi, size=(n_vms, 1))
+    t = np.linspace(0, 2 * np.pi, n_samples)[None, :]
+    return base * (1.0 + 0.3 * np.sin(t + phase))
+
+
+def test_bench_scalar_power_model(benchmark, bench_power):
+    """One full-server power breakdown (the scalar reference path)."""
+    benchmark(bench_power.power_w, 1.9, 0.8, 0.3, 2.0e9)
+
+
+def test_bench_vectorized_power(benchmark, bench_power):
+    """10k server-sample power evaluations through the table path."""
+    tables = VectorizedServerPower(bench_power)
+    rng = np.random.default_rng(0)
+    idx = rng.integers(0, tables.n_opps, size=10_000)
+    busy = rng.uniform(0, 1, 10_000)
+    stall = rng.uniform(0, 0.7, 10_000)
+    traffic = rng.uniform(0, 5e9, 10_000)
+    benchmark(tables.power_w, idx, busy, stall, traffic)
+
+
+def test_bench_pearson_many(benchmark):
+    """600 pattern correlations (one Algorithm-1 placement step)."""
+    rng = np.random.default_rng(1)
+    candidates = rng.uniform(0, 30, size=(600, 12))
+    target = rng.uniform(0, 30, size=12)
+    benchmark(pearson_many, candidates, target)
+
+
+def test_bench_allocate_1d(benchmark):
+    """Algorithm 1 packing 200 VMs."""
+    cpu = _patterns(200, seed=2)
+    mem = _patterns(200, seed=3, scale=5.0)
+    benchmark(allocate_1d, cpu, mem, 61.3)
+
+
+def test_bench_allocate_2d(benchmark):
+    """Algorithm 2 packing 200 VMs into 40 servers."""
+    cpu = _patterns(200, seed=4, scale=5.0)
+    mem = _patterns(200, seed=5, scale=8.0)
+    benchmark(
+        allocate_2d, cpu, mem, 40, 61.3, 100.0, 600
+    )
+
+
+def test_bench_governor(benchmark):
+    """Per-sample OPP selection for 600 servers x 12 samples."""
+    governor = DvfsGovernor(ntc_opp_table(), 3.1)
+    rng = np.random.default_rng(6)
+    util = rng.uniform(0, 70, size=(600, 12))
+    floors = rng.choice([1.2, 1.8], size=600)
+    benchmark(governor.opp_indices, util, floors)
+
+
+def test_bench_arima_fit(benchmark):
+    """ARMA(2,1) Hannan-Rissanen fit on a week of 5-min samples."""
+    rng = np.random.default_rng(7)
+    series = rng.normal(0, 1, 2016)
+    model = ArimaModel(ArimaOrder(p=2, d=0, q=1))
+    benchmark(model.fit, series)
+
+
+def test_bench_day_ahead_forecast(benchmark):
+    """Fit + 288-sample forecast of the default decomposed model."""
+    rng = np.random.default_rng(8)
+    t = np.arange(7 * 288)
+    series = (
+        10
+        + 5 * np.sin(2 * np.pi * t / 288)
+        + rng.normal(0, 1, t.shape[0])
+    )
+
+    def run():
+        model = DecomposedArimaForecaster()
+        model.fit(series)
+        return model.forecast(288)
+
+    benchmark(run)
+
+
+def test_bench_trace_generation(benchmark):
+    """Generating 100 VMs x 9 days of synthetic traces."""
+    from repro.traces import default_dataset
+
+    benchmark.pedantic(
+        lambda: default_dataset(n_vms=100, n_days=9, seed=1),
+        rounds=2,
+        iterations=1,
+    )

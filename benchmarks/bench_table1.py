@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table I (QoS analysis across platforms)."""
+
+from repro.experiments.table1 import render, run_table1
+
+
+def test_bench_table1(benchmark, bench_perf):
+    """Times the Table I regeneration and prints the paper-vs-model rows."""
+    result = benchmark(run_table1, bench_perf)
+    print()
+    print(render(result))
+    assert result.max_relative_error() < 0.005

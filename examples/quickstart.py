@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: the NTC server model and a small policy comparison.
+
+Touches each layer of the library in under a minute:
+
+1. query the calibrated performance model (Table I numbers),
+2. query the NTC server power model and its energy-optimal frequency,
+3. generate a small synthetic cluster trace,
+4. run EPACT against COAT for two simulated days and compare.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    CoatPolicy,
+    EpactPolicy,
+    MemoryClass,
+    PerformanceSimulator,
+    ntc_server_power_model,
+    run_policies,
+    total_energy_savings_pct,
+)
+from repro.forecast import DayAheadPredictor
+from repro.traces import default_dataset
+
+
+def main() -> None:
+    # --- 1. performance: the gem5 stand-in, calibrated to Table I -----
+    sim = PerformanceSimulator()
+    print("Execution time of mid-mem on the NTC server:")
+    for freq in (2.5, 2.0, 1.8, 1.2):
+        t = sim.execution_time_s(MemoryClass.MID, freq)
+        ok = sim.qos.meets_qos(MemoryClass.MID, freq)
+        print(f"  {freq:.1f} GHz: {t:6.3f} s  QoS {'met' if ok else 'VIOLATED'}")
+
+    # --- 2. power: Section IV model -----------------------------------
+    power = ntc_server_power_model()
+    print("\nNTC server, fully loaded (CPU-bound):")
+    for freq in (3.1, 1.9, 0.5):
+        print(f"  {freq:.1f} GHz: {power.full_load_power_w(freq):6.1f} W")
+    print(
+        f"energy-optimal frequency: {power.optimal_frequency_ghz():.1f} GHz "
+        "(the paper's ~1.9 GHz)"
+    )
+
+    # --- 3 & 4. a small data center, two policies ---------------------
+    print("\nSimulating 100 VMs for two days (EPACT vs COAT)...")
+    dataset = default_dataset(n_vms=100, n_days=9, seed=42)
+    predictor = DayAheadPredictor(dataset)
+    results = run_policies(
+        dataset,
+        predictor,
+        [EpactPolicy(), CoatPolicy()],
+        max_servers=600,
+        n_slots=48,
+    )
+    for name, result in results.items():
+        print(
+            f"  {name:6s}: {result.total_energy_mj:7.1f} MJ, "
+            f"{result.total_violations:4d} violations, "
+            f"{result.mean_active_servers:5.1f} servers on average"
+        )
+    saving = total_energy_savings_pct(results["EPACT"], results["COAT"])
+    print(f"EPACT saves {saving:.1f}% energy vs consolidation (COAT)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Server-level exploration: power breakdowns, QoS and efficiency.
+
+Reproduces the paper's server-level story (Sections IV and VI-B) from the
+public API:
+
+* per-component power breakdown of the NTC server across DVFS points,
+* the worst-case power-per-GHz curve whose minimum defines F_NTC_opt,
+* QoS-compatible frequency floors per workload class (Fig. 2),
+* the efficiency (BUIPS/W) curves and their peaks (Fig. 3).
+
+Run with:  python examples/server_power_exploration.py
+"""
+
+from repro import MemoryClass, PerformanceSimulator, ntc_server_power_model
+from repro.experiments.fig3 import efficiency_point
+from repro.perf.workload import ALL_MEMORY_CLASSES
+
+
+def main() -> None:
+    power = ntc_server_power_model()
+    sim = PerformanceSimulator()
+
+    print("Power breakdown of the fully loaded NTC server (watts):")
+    header = (
+        f"{'f(GHz)':>7} {'V':>5} {'core-dyn':>9} {'core-leak':>10} "
+        f"{'LLC':>6} {'uncore':>7} {'board':>6} {'DRAM':>6} {'total':>7}"
+    )
+    print(header)
+    for freq in (0.3, 0.9, 1.5, 1.9, 2.5, 3.1):
+        b = power.breakdown(freq, busy_fraction=1.0)
+        print(
+            f"{freq:7.1f} {b.voltage_v:5.2f} {b.core_dynamic_w:9.1f} "
+            f"{b.core_leakage_w:10.2f} {b.llc_leakage_w:6.2f} "
+            f"{b.uncore_constant_w + b.uncore_proportional_w:7.1f} "
+            f"{b.motherboard_w:6.1f} "
+            f"{b.dram_background_w + b.dram_access_w:6.2f} {b.total_w:7.1f}"
+        )
+
+    print("\nWorst-case power per unit compute (W/GHz) — minimum = F_opt:")
+    for freq in (1.2, 1.5, 1.8, 1.9, 2.0, 2.4, 3.1):
+        print(f"  {freq:.1f} GHz: {power.power_per_ghz(freq):6.1f} W/GHz")
+    print(f"  => optimal frequency {power.optimal_frequency_ghz():.1f} GHz")
+
+    print("\nQoS frequency floors (2x degradation limit, Fig. 2):")
+    opps = sim.platform("ntc").opps
+    for mc in ALL_MEMORY_CLASSES:
+        floor = sim.qos.min_qos_frequency(mc, opps)
+        deg = sim.qos.degradation(mc, floor)
+        print(f"  {mc.label:9s}: {floor:.1f} GHz (degradation {deg:.2f}x)")
+
+    print("\nEfficiency peaks (Fig. 3):")
+    for mc in ALL_MEMORY_CLASSES:
+        points = [
+            efficiency_point(sim, power, mc, f)
+            for f in opps.frequencies_ghz
+        ]
+        best = max(points, key=lambda p: p.buips_per_watt)
+        print(
+            f"  {mc.label:9s}: peak {best.buips_per_watt:.3f} BUIPS/W "
+            f"at {best.freq_ghz:.1f} GHz"
+        )
+
+
+if __name__ == "__main__":
+    main()

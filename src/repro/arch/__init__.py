@@ -1,0 +1,60 @@
+"""Server architecture substrate: cores, caches, DRAM and platforms.
+
+Models the structural side of the paper's Section III-A: the proposed NTC
+server, the rejected Cavium ThunderX starting point, and the two Intel
+reference platforms.
+"""
+
+from .cache import (
+    CacheHierarchy,
+    CacheLevel,
+    e5_2620_cache_hierarchy,
+    ntc_cache_hierarchy,
+    thunderx_cache_hierarchy,
+    xeon_x5650_cache_hierarchy,
+)
+from .core import (
+    CoreModel,
+    cortex_a53_thunderx,
+    cortex_a57,
+    xeon_sandybridge,
+    xeon_westmere,
+)
+from .dram import (
+    DramModel,
+    ddr3_1333_e5_2620,
+    ddr3_1333_x5650,
+    ddr4_2133_thunderx,
+    ddr4_2400_16gb,
+)
+from .platforms import (
+    cavium_thunderx,
+    intel_e5_2620,
+    intel_xeon_x5650,
+    ntc_server,
+)
+from .server_spec import ServerSpec
+
+__all__ = [
+    "CacheHierarchy",
+    "CacheLevel",
+    "CoreModel",
+    "DramModel",
+    "ServerSpec",
+    "cavium_thunderx",
+    "cortex_a53_thunderx",
+    "cortex_a57",
+    "ddr3_1333_e5_2620",
+    "ddr3_1333_x5650",
+    "ddr4_2133_thunderx",
+    "ddr4_2400_16gb",
+    "e5_2620_cache_hierarchy",
+    "intel_e5_2620",
+    "intel_xeon_x5650",
+    "ntc_cache_hierarchy",
+    "ntc_server",
+    "thunderx_cache_hierarchy",
+    "xeon_sandybridge",
+    "xeon_westmere",
+    "xeon_x5650_cache_hierarchy",
+]

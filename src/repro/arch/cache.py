@@ -1,0 +1,184 @@
+"""Cache hierarchy descriptors.
+
+The proposed NTC server (paper Section III-A) carries a 64KB L1-I and 32KB
+L1-D per core, a per-core L2, and a 16MB shared last-level cache (LLC).
+The timing model consumes the hierarchy through per-workload miss ratios
+(:mod:`repro.perf.workload`); this module provides the structural
+description — sizes, line size, access latencies and access energies —
+used by the power model and for documentation/validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the cache hierarchy.
+
+    Attributes:
+        name: level name, e.g. ``"L1-D"`` or ``"LLC"``.
+        size_kb: capacity in KiB.
+        line_bytes: cache line size in bytes.
+        latency_cycles: load-to-use latency in core cycles.
+        shared: whether the level is shared across all cores.
+        read_energy_pj: energy per read access in picojoules (at the
+            technology's nominal voltage; scaled by V^2 in the power model).
+        write_energy_pj: energy per write access in picojoules.
+    """
+
+    name: str
+    size_kb: float
+    line_bytes: int = 64
+    latency_cycles: int = 4
+    shared: bool = False
+    read_energy_pj: float = 0.0
+    write_energy_pj: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size_kb <= 0.0:
+            raise ConfigurationError(f"{self.name}: size must be positive")
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise ConfigurationError(
+                f"{self.name}: line size must be a positive power of two"
+            )
+        if self.latency_cycles < 1:
+            raise ConfigurationError(
+                f"{self.name}: latency must be at least one cycle"
+            )
+        if self.read_energy_pj < 0.0 or self.write_energy_pj < 0.0:
+            raise ConfigurationError(
+                f"{self.name}: access energies must be non-negative"
+            )
+
+    @property
+    def size_mb(self) -> float:
+        """Capacity in MiB."""
+        return self.size_kb / 1024.0
+
+    @property
+    def lines(self) -> int:
+        """Number of cache lines."""
+        return int(self.size_kb * 1024.0) // self.line_bytes
+
+
+@dataclass(frozen=True)
+class CacheHierarchy:
+    """Ordered cache hierarchy, from the level closest to the core outward.
+
+    Attributes:
+        levels: the cache levels, L1 first.
+    """
+
+    levels: Tuple[CacheLevel, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ConfigurationError("a cache hierarchy needs >= 1 level")
+
+    @property
+    def llc(self) -> CacheLevel:
+        """The last (outermost) level of the hierarchy."""
+        return self.levels[-1]
+
+    @property
+    def total_size_mb(self) -> float:
+        """Aggregate capacity of all levels in MiB."""
+        return sum(level.size_mb for level in self.levels)
+
+    def level_named(self, name: str) -> CacheLevel:
+        """Look a level up by name.
+
+        Raises:
+            KeyError: if no level carries ``name``.
+        """
+        for level in self.levels:
+            if level.name == name:
+                return level
+        raise KeyError(f"no cache level named {name!r}")
+
+
+def ntc_cache_hierarchy() -> CacheHierarchy:
+    """The proposed NTC server's hierarchy (paper Section III-A).
+
+    64KB L1-I + 32KB L1-D per core, 512KB private L2, 16MB shared LLC.
+    LLC access energies follow the paper's Section IV-2 measurement of
+    128-bit-wide accesses on a 28nm UTBB FD-SOI SRAM block: we use
+    20 pJ/read and 24 pJ/write per 128-bit access at nominal voltage.
+    """
+    return CacheHierarchy(
+        levels=(
+            CacheLevel(name="L1-I", size_kb=64, latency_cycles=3),
+            CacheLevel(name="L1-D", size_kb=32, latency_cycles=3),
+            CacheLevel(name="L2", size_kb=512, latency_cycles=12),
+            CacheLevel(
+                name="LLC",
+                size_kb=16 * 1024,
+                latency_cycles=35,
+                shared=True,
+                read_energy_pj=20.0,
+                write_energy_pj=24.0,
+            ),
+        )
+    )
+
+
+def thunderx_cache_hierarchy() -> CacheHierarchy:
+    """Original Cavium ThunderX hierarchy (small L1, 16MB shared L2).
+
+    The paper calls this memory subsystem "inappropriate" for the target
+    applications; the small 32KB L1-I/24KB... ThunderX documentation gives
+    78KB L1-I and 32KB L1-D with a 16MB shared L2 acting as LLC.
+    """
+    return CacheHierarchy(
+        levels=(
+            CacheLevel(name="L1-I", size_kb=78, latency_cycles=3),
+            CacheLevel(name="L1-D", size_kb=32, latency_cycles=3),
+            CacheLevel(
+                name="LLC",
+                size_kb=16 * 1024,
+                latency_cycles=40,
+                shared=True,
+                read_energy_pj=22.0,
+                write_energy_pj=26.0,
+            ),
+        )
+    )
+
+
+def xeon_x5650_cache_hierarchy() -> CacheHierarchy:
+    """Intel Xeon X5650 hierarchy (12MB LLC, paper Section III-C)."""
+    return CacheHierarchy(
+        levels=(
+            CacheLevel(name="L1-I", size_kb=32, latency_cycles=4),
+            CacheLevel(name="L1-D", size_kb=32, latency_cycles=4),
+            CacheLevel(name="L2", size_kb=256, latency_cycles=10),
+            CacheLevel(
+                name="LLC",
+                size_kb=12 * 1024,
+                latency_cycles=40,
+                shared=True,
+            ),
+        )
+    )
+
+
+def e5_2620_cache_hierarchy() -> CacheHierarchy:
+    """Intel E5-2620 hierarchy (15MB LLC), the Fig. 1(b) server."""
+    return CacheHierarchy(
+        levels=(
+            CacheLevel(name="L1-I", size_kb=32, latency_cycles=4),
+            CacheLevel(name="L1-D", size_kb=32, latency_cycles=4),
+            CacheLevel(name="L2", size_kb=256, latency_cycles=10),
+            CacheLevel(
+                name="LLC",
+                size_kb=15 * 1024,
+                latency_cycles=40,
+                shared=True,
+            ),
+        )
+    )

@@ -1,0 +1,127 @@
+"""Core microarchitecture descriptors.
+
+The paper contrasts three core designs:
+
+* the in-order cores of the original Cavium ThunderX (Cortex-A53-class),
+  which it rejects for being 1.35-1.5x slower than x86 on the target
+  applications;
+* the out-of-order ARMv8 Cortex-A57 cores adopted for the proposed NTC
+  server (Section III-A);
+* the out-of-order x86 cores of the Intel reference platforms.
+
+For the analytic timing model (:mod:`repro.perf.timing`) a core is
+summarized by two quantities:
+
+* ``base_cpi`` — cycles per instruction when memory behaves ideally
+  (pipeline, issue width, branch behaviour folded in);
+* ``memory_blocking_factor`` — the fraction of DRAM latency the core
+  actually stalls for.  An in-order core blocks on essentially the full
+  latency (factor ≈ 1.0); an out-of-order core overlaps misses through its
+  instruction window and MLP, exposing only part of it (factor < 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CoreModel:
+    """Analytic descriptor of one CPU core design.
+
+    Attributes:
+        name: microarchitecture name, e.g. ``"ARM Cortex-A57"``.
+        issue_width: maximum instructions issued per cycle (documentation
+            of the design; the timing model consumes ``base_cpi``).
+        out_of_order: whether the core executes out of order.
+        base_cpi: cycles per instruction with an ideal memory system.
+        memory_blocking_factor: fraction of a DRAM access latency the core
+            stalls for on an off-chip miss (1.0 = fully blocking).
+        wfm_power_fraction: relative core power while in the
+            wait-for-memory (WFM) state.  The paper measured WFM at 24%
+            *below* active power (Section IV-1), i.e. a fraction of 0.76.
+    """
+
+    name: str
+    issue_width: int
+    out_of_order: bool
+    base_cpi: float
+    memory_blocking_factor: float
+    wfm_power_fraction: float = 0.76
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1:
+            raise ConfigurationError(f"{self.name}: issue_width must be >= 1")
+        if self.base_cpi <= 0.0:
+            raise ConfigurationError(f"{self.name}: base_cpi must be positive")
+        if not (0.0 < self.memory_blocking_factor <= 1.0):
+            raise ConfigurationError(
+                f"{self.name}: memory_blocking_factor must be in (0, 1]"
+            )
+        if not (0.0 <= self.wfm_power_fraction <= 1.0):
+            raise ConfigurationError(
+                f"{self.name}: wfm_power_fraction must be in [0, 1]"
+            )
+
+    @property
+    def peak_ipc(self) -> float:
+        """Peak instructions per cycle with an ideal memory system."""
+        return 1.0 / self.base_cpi
+
+
+def cortex_a57() -> CoreModel:
+    """Out-of-order ARMv8 Cortex-A57, the NTC server's core.
+
+    The base CPI is calibrated jointly with the workload instruction counts
+    (see :mod:`repro.perf.calibration`); 1.85 reproduces both Table I
+    execution times and the magnitude of the Fig. 3 efficiency curves.
+    A 40-entry-ish OoO window overlaps roughly half the DRAM latency on the
+    banking workloads, hence the 0.55 blocking factor.
+    """
+    return CoreModel(
+        name="ARM Cortex-A57",
+        issue_width=3,
+        out_of_order=True,
+        base_cpi=1.85,
+        memory_blocking_factor=0.55,
+    )
+
+
+def cortex_a53_thunderx() -> CoreModel:
+    """In-order ThunderX custom core (Cortex-A53 class).
+
+    In-order issue blocks on the full memory latency and pays a higher base
+    CPI on the branchy banking workloads — the reason the paper replaces it
+    (Section III-A: ThunderX was 1.35-1.5x slower than x86).
+    """
+    return CoreModel(
+        name="Cavium ThunderX (in-order ARMv8)",
+        issue_width=2,
+        out_of_order=False,
+        base_cpi=2.35,
+        memory_blocking_factor=1.0,
+    )
+
+
+def xeon_westmere() -> CoreModel:
+    """Out-of-order x86 core of the Intel Xeon X5650 QoS-reference server."""
+    return CoreModel(
+        name="Intel Xeon X5650 (Westmere)",
+        issue_width=4,
+        out_of_order=True,
+        base_cpi=1.45,
+        memory_blocking_factor=0.45,
+    )
+
+
+def xeon_sandybridge() -> CoreModel:
+    """Out-of-order x86 core of the Intel E5-2620 non-NTC server."""
+    return CoreModel(
+        name="Intel E5-2620 (Sandy Bridge)",
+        issue_width=4,
+        out_of_order=True,
+        base_cpi=1.40,
+        memory_blocking_factor=0.45,
+    )

@@ -1,0 +1,135 @@
+"""DRAM device and channel models.
+
+The NTC server uses DDR4-2400 with a 19.2 GB/s peak channel bandwidth and
+16GB of capacity (paper Section III-A, Micron DDR4 datasheet reference
+[20]).  The QoS-reference Xeon X5650 uses DDR3-1333 with 128GB.
+
+The timing model needs the effective access latency seen by a core and the
+bandwidth ceiling; the power model needs capacity and the per-byte access
+energy (Section IV-4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DramModel:
+    """One DRAM configuration (device generation + channel + capacity).
+
+    Attributes:
+        name: label, e.g. ``"DDR4-2400"``.
+        capacity_gb: total DRAM capacity in GiB.
+        data_rate_mtps: data rate in mega-transfers per second.
+        channels: number of memory channels.
+        bus_bytes: channel width in bytes (8 for a 64-bit channel).
+        access_latency_ns: average closed-page access latency seen by a
+            core on an LLC miss, including controller queueing.
+        idle_power_mw_per_gb: background power per GiB with banks in
+            power-down (paper: 15.5 mW/GB).
+        active_power_mw_per_gb: background power per GiB with banks
+            activated (paper: 155 mW/GB).
+        access_energy_pj_per_byte: energy per byte transferred
+            (paper: 800 pJ/B).
+    """
+
+    name: str
+    capacity_gb: float
+    data_rate_mtps: float
+    channels: int = 1
+    bus_bytes: int = 8
+    access_latency_ns: float = 80.0
+    idle_power_mw_per_gb: float = 15.5
+    active_power_mw_per_gb: float = 155.0
+    access_energy_pj_per_byte: float = 800.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_gb <= 0.0:
+            raise ConfigurationError(f"{self.name}: capacity must be positive")
+        if self.data_rate_mtps <= 0.0:
+            raise ConfigurationError(
+                f"{self.name}: data rate must be positive"
+            )
+        if self.channels < 1 or self.bus_bytes < 1:
+            raise ConfigurationError(
+                f"{self.name}: channels and bus width must be >= 1"
+            )
+        if self.access_latency_ns <= 0.0:
+            raise ConfigurationError(
+                f"{self.name}: access latency must be positive"
+            )
+        for field_name in (
+            "idle_power_mw_per_gb",
+            "active_power_mw_per_gb",
+            "access_energy_pj_per_byte",
+        ):
+            if getattr(self, field_name) < 0.0:
+                raise ConfigurationError(
+                    f"{self.name}: {field_name} must be non-negative"
+                )
+
+    @property
+    def peak_bandwidth_gbps(self) -> float:
+        """Peak channel bandwidth in GB/s (paper: 19.2 GB/s for DDR4-2400)."""
+        return self.data_rate_mtps * self.bus_bytes * self.channels / 1000.0
+
+    def utilization_of_bandwidth(self, bytes_per_second: float) -> float:
+        """Fraction of peak bandwidth consumed by a given traffic level."""
+        if bytes_per_second < 0.0:
+            raise ConfigurationError("traffic must be non-negative")
+        return bytes_per_second / (self.peak_bandwidth_gbps * 1e9)
+
+
+def ddr4_2400_16gb() -> DramModel:
+    """The NTC server's memory: 16GB DDR4-2400, 19.2 GB/s peak."""
+    return DramModel(
+        name="DDR4-2400 (16GB)",
+        capacity_gb=16.0,
+        data_rate_mtps=2400.0,
+        channels=1,
+        bus_bytes=8,
+        access_latency_ns=75.0,
+    )
+
+
+def ddr4_2133_thunderx() -> DramModel:
+    """Cavium ThunderX memory configuration (DDR4-2133).
+
+    The higher effective latency models the paper's observation of an
+    "inappropriate memory subsystem design" on the original platform.
+    """
+    return DramModel(
+        name="DDR4-2133 (ThunderX, 16GB)",
+        capacity_gb=16.0,
+        data_rate_mtps=2133.0,
+        channels=1,
+        bus_bytes=8,
+        access_latency_ns=110.0,
+    )
+
+
+def ddr3_1333_x5650() -> DramModel:
+    """Xeon X5650 reference memory: 128GB DDR3-1333 (paper Section III-C)."""
+    return DramModel(
+        name="DDR3-1333 (128GB)",
+        capacity_gb=128.0,
+        data_rate_mtps=1333.0,
+        channels=3,
+        bus_bytes=8,
+        access_latency_ns=90.0,
+    )
+
+
+def ddr3_1333_e5_2620() -> DramModel:
+    """E5-2620 conventional-server memory (32GB DDR3-1333)."""
+    return DramModel(
+        name="DDR3-1333 (32GB)",
+        capacity_gb=32.0,
+        data_rate_mtps=1333.0,
+        channels=4,
+        bus_bytes=8,
+        access_latency_ns=85.0,
+    )

@@ -1,0 +1,104 @@
+"""Whole-server specifications.
+
+A :class:`ServerSpec` assembles a core model, a cache hierarchy, a DRAM
+configuration, a DVFS table and the platform-level constants into the one
+object the performance and power layers consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, DomainError
+from ..technology.opp import OppTable
+from ..technology.voltage import VoltageFrequencyModel
+from .cache import CacheHierarchy
+from .core import CoreModel
+from .dram import DramModel
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """Structural description of one server platform.
+
+    Attributes:
+        name: platform name, e.g. ``"NTC server (16x A57, FD-SOI)"``.
+        core: the core microarchitecture model.
+        n_cores: number of cores on the chip.
+        caches: the cache hierarchy.
+        dram: the DRAM configuration.
+        vf_model: the process voltage/frequency curve.
+        opps: the DVFS table exposed to software.
+        nominal_freq_ghz: the frequency the platform is quoted at (used for
+            Table I comparisons, e.g. 2.0 GHz for ThunderX and NTC).
+    """
+
+    name: str
+    core: CoreModel
+    n_cores: int
+    caches: CacheHierarchy
+    dram: DramModel
+    vf_model: VoltageFrequencyModel
+    opps: OppTable
+    nominal_freq_ghz: float
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ConfigurationError(f"{self.name}: n_cores must be >= 1")
+        if not (
+            self.opps.f_min_ghz
+            <= self.nominal_freq_ghz
+            <= self.opps.f_max_ghz
+        ):
+            raise ConfigurationError(
+                f"{self.name}: nominal frequency {self.nominal_freq_ghz} GHz "
+                f"outside the DVFS table range "
+                f"[{self.opps.f_min_ghz}, {self.opps.f_max_ghz}] GHz"
+            )
+
+    @property
+    def f_max_ghz(self) -> float:
+        """Maximum DVFS frequency (the paper's ``Fmax``)."""
+        return self.opps.f_max_ghz
+
+    @property
+    def f_min_ghz(self) -> float:
+        """Minimum DVFS frequency."""
+        return self.opps.f_min_ghz
+
+    @property
+    def memory_capacity_gb(self) -> float:
+        """Server DRAM capacity in GiB."""
+        return self.dram.capacity_gb
+
+    def voltage_at(self, freq_ghz: float) -> float:
+        """Supply voltage at an arbitrary in-range frequency."""
+        return self.vf_model.voltage_for_frequency(freq_ghz)
+
+    def capacity_points_at(self, freq_ghz: float) -> float:
+        """Server CPU capacity, in utilization points, at ``freq_ghz``.
+
+        Utilization is defined relative to the server at ``Fmax`` (100
+        points); a server clocked at ``f`` offers ``100 * f / Fmax`` points
+        — the paper's ``Cap_cpu`` for a frequency cap ``f``.
+
+        Raises:
+            DomainError: if the frequency is outside the DVFS range.
+        """
+        if not (self.f_min_ghz <= freq_ghz <= self.f_max_ghz + 1e-12):
+            raise DomainError(
+                f"{self.name}: {freq_ghz} GHz outside DVFS range"
+            )
+        return 100.0 * freq_ghz / self.f_max_ghz
+
+    def frequency_for_capacity(self, capacity_points: float) -> float:
+        """Inverse of :meth:`capacity_points_at` (unquantized).
+
+        Raises:
+            DomainError: if the capacity is outside ``(0, 100]``.
+        """
+        if not (0.0 < capacity_points <= 100.0 + 1e-12):
+            raise DomainError(
+                f"capacity must be in (0, 100], got {capacity_points}"
+            )
+        return capacity_points * self.f_max_ghz / 100.0

@@ -1,0 +1,18 @@
+"""Baseline allocation policies the paper compares EPACT against.
+
+COAT and COAT-OPT are the paper's Section VI-C baselines; FFD and
+LOAD-BALANCE bound the design space (pure consolidation without
+correlation awareness, and pure spreading).
+"""
+
+from .coat import CoatPolicy
+from .coat_opt import CoatOptPolicy
+from .ffd import FfdPolicy
+from .loadbalance import LoadBalancePolicy
+
+__all__ = [
+    "CoatOptPolicy",
+    "CoatPolicy",
+    "FfdPolicy",
+    "LoadBalancePolicy",
+]

@@ -1,0 +1,27 @@
+"""Plain first-fit-decreasing consolidation (non-correlation-aware).
+
+The classic consolidation baseline ([7], [12] in the paper's related
+work): VMs sorted by decreasing peak demand, each placed on the first
+server with room, servers run at ``Fmax``.  Differs from COAT only in
+ignoring CPU-load correlation — the delta between the two isolates the
+value of correlation awareness.
+"""
+
+from __future__ import annotations
+
+from .coat import CoatPolicy
+
+
+class FfdPolicy(CoatPolicy):
+    """First-fit-decreasing consolidation at the ``Fmax`` cap."""
+
+    name = "FFD"
+
+    def __init__(self, cap_cpu_pct: float = 100.0, cap_mem_pct: float = 100.0):
+        super().__init__(
+            cap_cpu_pct=cap_cpu_pct,
+            cap_mem_pct=cap_mem_pct,
+            correlation_aware=False,
+            dynamic_governor=False,
+            name=self.name,
+        )

@@ -1,0 +1,69 @@
+"""Load-balancing strawman: spread VMs evenly at a target utilization.
+
+The paper's Section V-A observes that "neither VM consolidation nor load
+balancing are the best options".  This policy represents the load-
+balancing end of that spectrum: it turns on enough servers to keep every
+server near a target utilization and greedily places each VM on the
+currently least-loaded server, letting the per-sample governor pick
+frequencies.
+
+With a low target utilization it wastes static power on many servers;
+with a high target it degenerates into consolidation — EPACT's sizing is
+precisely the principled choice between these extremes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from ..core.alloc1d import ffd_order
+from ..core.sizing import peak_aggregate_pct
+from ..core.types import (
+    Allocation,
+    AllocationContext,
+    AllocationPolicy,
+    ServerPlan,
+)
+
+
+class LoadBalancePolicy(AllocationPolicy):
+    """Greedy least-loaded spreading across a fixed server count.
+
+    Args:
+        target_util_pct: desired per-server peak utilization; the server
+            count is the aggregate peak divided by this target.
+    """
+
+    name = "LOAD-BALANCE"
+
+    def __init__(self, target_util_pct: float = 50.0):
+        if not (0.0 < target_util_pct <= 100.0):
+            raise ValueError("target_util_pct must be in (0, 100]")
+        self._target = target_util_pct
+
+    def allocate(self, ctx: AllocationContext) -> Allocation:
+        """Spread VMs (FFD order) onto the least-loaded of N servers."""
+        peak = peak_aggregate_pct(ctx.pred_cpu)
+        n_servers = max(1, math.ceil(peak / self._target))
+        n_servers = min(n_servers, ctx.max_servers)
+        plans: List[ServerPlan] = [
+            ServerPlan(cap_cpu_pct=100.0, cap_mem_pct=100.0)
+            for _ in range(n_servers)
+        ]
+        loads = np.zeros(n_servers)
+        mem_loads = np.zeros(n_servers)
+        for vm_id in (int(v) for v in ffd_order(ctx.pred_cpu)):
+            target = int(np.argmin(loads))
+            plans[target].vm_ids.append(vm_id)
+            loads[target] += float(ctx.pred_cpu[vm_id].max())
+            mem_loads[target] += float(ctx.pred_mem[vm_id].max())
+        return Allocation(
+            policy_name=self.name,
+            plans=plans,
+            dynamic_governor=True,
+            violation_cap_pct=100.0,
+            forced_placements=0,
+        )

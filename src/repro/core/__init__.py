@@ -1,0 +1,54 @@
+"""The paper's primary contribution: the EPACT allocation framework.
+
+Contains the shared policy types, the correlation machinery, the Eq. 1
+sizing step, Algorithms 1 and 2, the per-sample DVFS governor, and the
+:class:`EpactPolicy` that ties them together.
+"""
+
+from .alloc1d import allocate_1d, ffd_order
+from .alloc2d import allocate_2d, merit_scores
+from .correlation import (
+    complementary_pattern,
+    euclidean_distance_many,
+    pearson,
+    pearson_many,
+)
+from .epact import EpactPolicy
+from .governor import DvfsGovernor
+from .sizing import (
+    SizingResult,
+    n_servers_cpu,
+    n_servers_mem,
+    peak_aggregate_pct,
+    size_slot,
+)
+from .types import (
+    Allocation,
+    AllocationContext,
+    AllocationPolicy,
+    ServerPlan,
+    force_place_remaining,
+)
+
+__all__ = [
+    "Allocation",
+    "AllocationContext",
+    "AllocationPolicy",
+    "DvfsGovernor",
+    "EpactPolicy",
+    "ServerPlan",
+    "SizingResult",
+    "allocate_1d",
+    "allocate_2d",
+    "complementary_pattern",
+    "euclidean_distance_many",
+    "ffd_order",
+    "force_place_remaining",
+    "merit_scores",
+    "n_servers_cpu",
+    "n_servers_mem",
+    "pearson",
+    "pearson_many",
+    "peak_aggregate_pct",
+    "size_slot",
+]

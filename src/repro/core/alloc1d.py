@@ -1,0 +1,127 @@
+"""EPACT's Algorithm 1: 1D correlation-aware first-fit-decreasing.
+
+Used in the CPU-dominant case (Section V-B-1).  Servers are filled one at
+a time:
+
+* an empty server receives the first unallocated VM (FFD order: VMs
+  sorted by decreasing peak predicted CPU);
+* a non-empty server computes its complementary pattern
+  ``PattCom = max(Patt) - Patt`` and receives, among the unallocated VMs
+  that still fit under the frequency cap
+  (``max(Patt + U) * Fmax / 100 <= F_opt``), the one whose CPU pattern has
+  maximum Pearson correlation with ``PattCom`` — the VM that best fills
+  the server's valleys;
+* when no VM fits, the next server is opened.
+
+Memory feasibility (aggregate <= 100% of DRAM) is enforced alongside the
+CPU cap: physical memory cannot be oversubscribed regardless of policy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DomainError
+from .correlation import complementary_pattern, pearson_many
+from .types import ServerPlan, force_place_remaining
+
+_EPS = 1.0e-9
+
+
+def ffd_order(pred_cpu: np.ndarray) -> np.ndarray:
+    """First-fit-decreasing order: by decreasing peak predicted CPU."""
+    if pred_cpu.ndim != 2:
+        raise DomainError("pred_cpu must be 2-D")
+    peaks = pred_cpu.max(axis=1)
+    # Stable sort keeps ties in VM-id order for reproducibility.
+    return np.argsort(-peaks, kind="stable")
+
+
+def allocate_1d(
+    pred_cpu: np.ndarray,
+    pred_mem: np.ndarray,
+    cap_cpu_pct: float,
+    cap_mem_pct: float = 100.0,
+    max_servers: Optional[int] = None,
+    order: Optional[Sequence[int]] = None,
+) -> Tuple[List[ServerPlan], int]:
+    """Run Algorithm 1; returns the server plans and forced-placement count.
+
+    Args:
+        pred_cpu: predicted CPU patterns ``(n_vms, n_samples)``, percent.
+        pred_mem: predicted memory patterns, same shape.
+        cap_cpu_pct: the slot cap ``100 * F_opt / Fmax``.
+        cap_mem_pct: memory cap (100% = physical capacity).
+        max_servers: optional fleet-size bound; exhausted capacity falls
+            back to least-loaded force placement.
+        order: explicit allocation order (defaults to FFD).
+    """
+    if not (0.0 < cap_cpu_pct <= 100.0 + _EPS):
+        raise DomainError(f"cap_cpu_pct must be in (0, 100], got {cap_cpu_pct}")
+    if not (0.0 < cap_mem_pct <= 100.0 + _EPS):
+        raise DomainError(f"cap_mem_pct must be in (0, 100], got {cap_mem_pct}")
+
+    n_vms, n_samples = pred_cpu.shape
+    sequence = (
+        np.asarray(list(order), dtype=int)
+        if order is not None
+        else ffd_order(pred_cpu)
+    )
+    if sorted(sequence.tolist()) != list(range(n_vms)):
+        raise DomainError("order must be a permutation of all VM ids")
+
+    remaining: List[int] = list(int(v) for v in sequence)
+    plans: List[ServerPlan] = []
+    patt_cpu: List[np.ndarray] = []
+    patt_mem: List[np.ndarray] = []
+    forced = 0
+
+    def open_server() -> int:
+        plans.append(
+            ServerPlan(cap_cpu_pct=cap_cpu_pct, cap_mem_pct=cap_mem_pct)
+        )
+        patt_cpu.append(np.zeros(n_samples))
+        patt_mem.append(np.zeros(n_samples))
+        return len(plans) - 1
+
+    current = open_server()
+    while remaining:
+        if max_servers is not None and len(plans) > max_servers:
+            # The over-opened empty server is retracted; force-place rest.
+            plans.pop()
+            patt_cpu.pop()
+            patt_mem.pop()
+            forced += force_place_remaining(plans, remaining, pred_cpu)
+            break
+        if not plans[current].vm_ids:
+            # Lines 4-6: empty server takes the first unallocated VM, even
+            # when that VM alone exceeds the cap (it has to live somewhere).
+            vm_id = remaining.pop(0)
+            plans[current].vm_ids.append(vm_id)
+            patt_cpu[current] = patt_cpu[current] + pred_cpu[vm_id]
+            patt_mem[current] = patt_mem[current] + pred_mem[vm_id]
+            continue
+        # Lines 8-12: correlation-guided pick under the caps.
+        candidates = np.asarray(remaining, dtype=int)
+        agg_cpu = patt_cpu[current][None, :] + pred_cpu[candidates]
+        agg_mem = patt_mem[current][None, :] + pred_mem[candidates]
+        fits = (agg_cpu.max(axis=1) <= cap_cpu_pct + _EPS) & (
+            agg_mem.max(axis=1) <= cap_mem_pct + _EPS
+        )
+        if not np.any(fits):
+            current = open_server()
+            continue
+        patt_com = complementary_pattern(patt_cpu[current])
+        phi = pearson_many(pred_cpu[candidates[fits]], patt_com)
+        winner = candidates[fits][int(np.argmax(phi))]
+        remaining.remove(int(winner))
+        plans[current].vm_ids.append(int(winner))
+        patt_cpu[current] = patt_cpu[current] + pred_cpu[winner]
+        patt_mem[current] = patt_mem[current] + pred_mem[winner]
+
+    # Drop a trailing empty server if the loop ended right after opening.
+    if plans and not plans[-1].vm_ids:
+        plans.pop()
+    return plans, forced

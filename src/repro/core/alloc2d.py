@@ -1,0 +1,172 @@
+"""EPACT's Algorithm 2: 2D merit-function allocation (paper Eq. 2).
+
+Used in the memory-dominant case (Section V-B-2).  The server count is
+fixed at ``N_mem``; for each VM the best server maximizes the merit::
+
+    M_i_j = w_cpu * phi_cpu / Dist_cpu + w_mem * phi_mem / Dist_mem
+
+where, per resource,
+
+* ``phi`` is the Pearson correlation between the VM's pattern and the
+  server's complementary pattern (``max(S) - S``): shape fit;
+* ``Dist`` is the Euclidean distance between the VM's pattern and the
+  server's *remaining capacity* pattern (``Cap - S``): closeness to
+  filling the server exactly;
+* the weights ``w = Cap / (Cap_cpu + Cap_mem)`` balance the two resources
+  by their configured caps.
+
+A VM only considers servers with room at every sample of the slot
+(``max(U + S) <= Cap`` for both resources).  When no server fits, the VM is
+force-placed on the least-loaded server (physical data centers cannot
+refuse admitted VMs) and reported.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DomainError
+from .correlation import euclidean_distance_many, pearson_many
+from .types import ServerPlan, force_place_remaining
+
+_EPS = 1.0e-9
+_DIST_FLOOR = 1.0e-6
+
+
+def merit_scores(
+    vm_cpu: np.ndarray,
+    vm_mem: np.ndarray,
+    served_cpu: np.ndarray,
+    served_mem: np.ndarray,
+    cap_cpu_pct: float,
+    cap_mem_pct: float,
+) -> np.ndarray:
+    """Eq. 2 merit of one VM against each candidate server.
+
+    Args:
+        vm_cpu: the VM's CPU pattern (``n_samples``).
+        vm_mem: the VM's memory pattern.
+        served_cpu: candidate servers' aggregate CPU patterns
+            ``(n_servers, n_samples)``.
+        served_mem: candidate servers' aggregate memory patterns.
+        cap_cpu_pct: CPU cap per server.
+        cap_mem_pct: memory cap per server.
+
+    Returns:
+        Merit ``M`` per candidate server (higher is better).
+    """
+    w_cpu = cap_cpu_pct / (cap_cpu_pct + cap_mem_pct)
+    w_mem = cap_mem_pct / (cap_cpu_pct + cap_mem_pct)
+
+    patt_com_cpu = served_cpu.max(axis=1, keepdims=True) - served_cpu
+    patt_com_mem = served_mem.max(axis=1, keepdims=True) - served_mem
+    phi_cpu = _rowwise_pearson(patt_com_cpu, vm_cpu)
+    phi_mem = _rowwise_pearson(patt_com_mem, vm_mem)
+
+    rem_cpu = cap_cpu_pct - served_cpu
+    rem_mem = cap_mem_pct - served_mem
+    dist_cpu = np.maximum(
+        euclidean_distance_many(rem_cpu, vm_cpu), _DIST_FLOOR
+    )
+    dist_mem = np.maximum(
+        euclidean_distance_many(rem_mem, vm_mem), _DIST_FLOOR
+    )
+    return w_cpu * phi_cpu / dist_cpu + w_mem * phi_mem / dist_mem
+
+
+def _rowwise_pearson(rows: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Pearson of each row against the target (rows vary, target fixed)."""
+    return pearson_many(rows, target)
+
+
+def allocate_2d(
+    pred_cpu: np.ndarray,
+    pred_mem: np.ndarray,
+    n_servers: int,
+    cap_cpu_pct: float,
+    cap_mem_pct: float = 100.0,
+    max_servers: Optional[int] = None,
+    order: Optional[Sequence[int]] = None,
+) -> Tuple[List[ServerPlan], int]:
+    """Run Algorithm 2; returns server plans and forced-placement count.
+
+    Args:
+        pred_cpu: predicted CPU patterns ``(n_vms, n_samples)``, percent.
+        pred_mem: predicted memory patterns, same shape.
+        n_servers: initial number of turned-on servers (``N_mem``).
+        cap_cpu_pct: per-server CPU cap (``100 * F_opt / Fmax``).
+        cap_mem_pct: per-server memory cap.
+        max_servers: fleet-size bound.  ``N_mem`` assumes perfect packing;
+            real bin packing fragments, so additional servers are opened
+            (up to this bound) when a VM fits nowhere — force placement
+            only happens once the fleet is exhausted.
+        order: VM visiting order; the paper visits ``i = 1..N_VM``
+            (natural order), which is the default.
+    """
+    if n_servers < 1:
+        raise DomainError("n_servers must be >= 1")
+    if not (0.0 < cap_cpu_pct <= 100.0 + _EPS):
+        raise DomainError(f"cap_cpu_pct must be in (0, 100], got {cap_cpu_pct}")
+    if not (0.0 < cap_mem_pct <= 100.0 + _EPS):
+        raise DomainError(f"cap_mem_pct must be in (0, 100], got {cap_mem_pct}")
+
+    n_vms, n_samples = pred_cpu.shape
+    sequence = (
+        np.asarray(list(order), dtype=int)
+        if order is not None
+        else np.arange(n_vms)
+    )
+    if sorted(sequence.tolist()) != list(range(n_vms)):
+        raise DomainError("order must be a permutation of all VM ids")
+
+    plans = [
+        ServerPlan(cap_cpu_pct=cap_cpu_pct, cap_mem_pct=cap_mem_pct)
+        for _ in range(n_servers)
+    ]
+    served_cpu = np.zeros((n_servers, n_samples))
+    served_mem = np.zeros((n_servers, n_samples))
+    fleet_bound = max_servers if max_servers is not None else n_servers
+    fleet_bound = max(fleet_bound, n_servers)
+    unplaced: List[int] = []
+
+    for vm_id in (int(v) for v in sequence):
+        agg_cpu = served_cpu + pred_cpu[vm_id][None, :]
+        agg_mem = served_mem + pred_mem[vm_id][None, :]
+        fits = (agg_cpu.max(axis=1) <= cap_cpu_pct + _EPS) & (
+            agg_mem.max(axis=1) <= cap_mem_pct + _EPS
+        )
+        if not np.any(fits):
+            if len(plans) < fleet_bound:
+                plans.append(
+                    ServerPlan(
+                        cap_cpu_pct=cap_cpu_pct, cap_mem_pct=cap_mem_pct
+                    )
+                )
+                served_cpu = np.vstack([served_cpu, np.zeros(n_samples)])
+                served_mem = np.vstack([served_mem, np.zeros(n_samples)])
+                plans[-1].vm_ids.append(vm_id)
+                served_cpu[-1] += pred_cpu[vm_id]
+                served_mem[-1] += pred_mem[vm_id]
+            else:
+                unplaced.append(vm_id)
+            continue
+        candidate_ids = np.flatnonzero(fits)
+        scores = merit_scores(
+            pred_cpu[vm_id],
+            pred_mem[vm_id],
+            served_cpu[candidate_ids],
+            served_mem[candidate_ids],
+            cap_cpu_pct,
+            cap_mem_pct,
+        )
+        winner = int(candidate_ids[int(np.argmax(scores))])
+        plans[winner].vm_ids.append(vm_id)
+        served_cpu[winner] += pred_cpu[vm_id]
+        served_mem[winner] += pred_mem[vm_id]
+
+    forced = force_place_remaining(plans, unplaced, pred_cpu)
+    # Servers that received no VM stay off; drop their empty plans.
+    plans = [plan for plan in plans if plan.vm_ids]
+    return plans, forced

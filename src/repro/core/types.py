@@ -1,0 +1,200 @@
+"""Shared allocation types: request context, server plans, policy ABC.
+
+Every allocation policy (EPACT and the baselines) consumes an
+:class:`AllocationContext` — the predicted per-VM utilization patterns for
+the upcoming slot plus the platform models — and produces an
+:class:`Allocation`: which VMs go on which servers, under which capacity
+cap, and how frequency is driven during the slot (fixed vs. per-sample
+governor).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..power.server_power import ServerPowerModel
+from ..technology.opp import OppTable
+
+
+@dataclass(frozen=True)
+class AllocationContext:
+    """Inputs a policy sees at the beginning of a slot.
+
+    Attributes:
+        pred_cpu: predicted CPU utilization, shape ``(n_vms, n_samples)``,
+            percent of one server's ``Fmax`` capacity.
+        pred_mem: predicted memory utilization, same shape, percent of one
+            server's DRAM capacity.
+        power_model: the per-server power model (provides the spec, OPPs
+            and the worst-case power evaluations EPACT's sizing needs).
+        max_servers: number of physical servers available.
+        qos_floor_ghz: per-VM minimum frequency meeting QoS (from the VM's
+            workload class), length ``n_vms``.
+    """
+
+    pred_cpu: np.ndarray
+    pred_mem: np.ndarray
+    power_model: ServerPowerModel
+    max_servers: int
+    qos_floor_ghz: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.pred_cpu.ndim != 2 or self.pred_cpu.shape != self.pred_mem.shape:
+            raise ConfigurationError(
+                "pred_cpu and pred_mem must be equal-shape 2-D arrays"
+            )
+        if self.qos_floor_ghz.shape != (self.pred_cpu.shape[0],):
+            raise ConfigurationError(
+                "qos_floor_ghz must have one entry per VM"
+            )
+        if self.max_servers < 1:
+            raise ConfigurationError("max_servers must be >= 1")
+
+    @property
+    def n_vms(self) -> int:
+        """Number of VMs to place."""
+        return self.pred_cpu.shape[0]
+
+    @property
+    def n_samples(self) -> int:
+        """Samples per slot (the paper uses 12: one hour of 5-min samples)."""
+        return self.pred_cpu.shape[1]
+
+    @property
+    def opps(self) -> OppTable:
+        """The platform's DVFS table."""
+        return self.power_model.spec.opps
+
+    @property
+    def f_max_ghz(self) -> float:
+        """The platform's maximum frequency."""
+        return self.power_model.spec.f_max_ghz
+
+
+@dataclass
+class ServerPlan:
+    """One server's share of an allocation.
+
+    Attributes:
+        vm_ids: indices of the VMs placed on this server.
+        cap_cpu_pct: CPU capacity cap used while packing (percent).
+        cap_mem_pct: memory capacity cap used while packing (percent).
+        planned_freq_ghz: the frequency a fixed-frequency policy runs this
+            server at (ignored by dynamic-governor policies).
+    """
+
+    vm_ids: List[int] = field(default_factory=list)
+    cap_cpu_pct: float = 100.0
+    cap_mem_pct: float = 100.0
+    planned_freq_ghz: float = 0.0
+
+
+@dataclass
+class Allocation:
+    """A policy's decision for one slot.
+
+    Attributes:
+        policy_name: who produced this allocation.
+        plans: per-active-server placement plans.
+        dynamic_governor: ``True`` if frequency follows the per-sample
+            governor (EPACT); ``False`` if servers run at their plan's
+            fixed frequency while hosting VMs.
+        violation_cap_pct: CPU utilization above which a server counts as
+            overutilized for SLA accounting (the policy's effective cap:
+            100 for policies that can compensate up to ``Fmax``, the fixed
+            cap for fixed-frequency policies).
+        case: EPACT's branch for the slot (``"cpu"`` or ``"mem"``), empty
+            for other policies.
+        f_opt_ghz: the slot-optimal frequency chosen by the policy, if any.
+        forced_placements: VMs that did not fit under the policy's caps and
+            were force-placed on the least-loaded server.
+    """
+
+    policy_name: str
+    plans: List[ServerPlan]
+    dynamic_governor: bool
+    violation_cap_pct: float
+    case: str = ""
+    f_opt_ghz: Optional[float] = None
+    forced_placements: int = 0
+
+    @property
+    def n_servers(self) -> int:
+        """Number of active (non-empty) servers."""
+        return sum(1 for plan in self.plans if plan.vm_ids)
+
+    def vm_to_server(self, n_vms: int) -> np.ndarray:
+        """Dense VM -> server index map.
+
+        Raises:
+            ConfigurationError: if any VM is unplaced or placed twice.
+        """
+        mapping = np.full(n_vms, -1, dtype=int)
+        for server_id, plan in enumerate(self.plans):
+            for vm_id in plan.vm_ids:
+                if mapping[vm_id] != -1:
+                    raise ConfigurationError(
+                        f"VM {vm_id} placed on two servers"
+                    )
+                mapping[vm_id] = server_id
+        if np.any(mapping < 0):
+            missing = int(np.sum(mapping < 0))
+            raise ConfigurationError(f"{missing} VMs were not placed")
+        return mapping
+
+
+class AllocationPolicy(ABC):
+    """Interface of a periodic VM allocation policy."""
+
+    #: Human-readable policy name used in reports and figures.
+    name: str = "policy"
+
+    #: How often the policy re-allocates, in 1-hour slots.  EPACT is
+    #: *dynamic* (every slot, the paper's T); the consolidation baselines
+    #: follow their original papers' day-ahead protocol (24 slots) —
+    #: consolidation implies migration, which is not an hourly operation.
+    reallocation_period_slots: int = 1
+
+    @abstractmethod
+    def allocate(self, ctx: AllocationContext) -> Allocation:
+        """Place all VMs for the upcoming allocation window.
+
+        ``ctx`` carries the predicted patterns for the whole window (12
+        samples for per-slot policies, 288 for day-ahead policies).
+        Implementations must place *every* VM (force-placing when their
+        caps run out, recorded in ``forced_placements``) so the simulation
+        can always account power and violations.
+        """
+
+
+def force_place_remaining(
+    plans: Sequence[ServerPlan],
+    vm_ids: Sequence[int],
+    pred_cpu: np.ndarray,
+) -> int:
+    """Place leftover VMs on the currently least-loaded servers.
+
+    A safety valve for exhausted capacity: real data centers cannot refuse
+    VMs, so policies fall back to the least-loaded server and report the
+    count.  Returns the number of forced placements.
+    """
+    if not vm_ids:
+        return 0
+    if not plans:
+        raise ConfigurationError("cannot force-place without servers")
+    loads: Dict[int, float] = {
+        idx: float(pred_cpu[plan.vm_ids].sum(axis=0).max())
+        if plan.vm_ids
+        else 0.0
+        for idx, plan in enumerate(plans)
+    }
+    for vm_id in vm_ids:
+        target = min(loads, key=lambda idx: loads[idx])
+        plans[target].vm_ids.append(vm_id)
+        loads[target] += float(pred_cpu[vm_id].max())
+    return len(vm_ids)

@@ -1,0 +1,40 @@
+"""Data-center simulation: slot/sample engine, metrics, reporting.
+
+Implements the paper's Section VI-C evaluation protocol over the trace,
+forecast, policy and power substrates.
+"""
+
+from .engine import DataCenterSimulation, count_migrations, run_policies
+from .inspect import SlotDetail, inspect_slot
+from .metrics import (
+    SimulationResult,
+    SlotRecord,
+    active_server_reduction_pct,
+    energy_savings_pct,
+    total_energy_savings_pct,
+)
+from .power_tables import VectorizedServerPower
+from .reporting import (
+    comparison_table,
+    format_table,
+    series_block,
+    sparkline,
+)
+
+__all__ = [
+    "DataCenterSimulation",
+    "SimulationResult",
+    "SlotDetail",
+    "SlotRecord",
+    "VectorizedServerPower",
+    "inspect_slot",
+    "active_server_reduction_pct",
+    "comparison_table",
+    "count_migrations",
+    "energy_savings_pct",
+    "format_table",
+    "run_policies",
+    "series_block",
+    "sparkline",
+    "total_energy_savings_pct",
+]

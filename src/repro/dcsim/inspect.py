@@ -1,0 +1,163 @@
+"""Per-slot inspection: the detail behind one simulated hour.
+
+The engine's :class:`~repro.dcsim.metrics.SlotRecord` aggregates each slot
+to a handful of numbers.  When debugging a policy (why did *this* server
+violate? which class mix drove that frequency?) you want the full
+(server, sample) matrices.  :func:`inspect_slot` runs exactly the engine's
+accounting for one slot and returns them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core.types import Allocation
+from ..units import SAMPLE_PERIOD_S
+from .engine import DataCenterSimulation
+
+
+@dataclass(frozen=True)
+class SlotDetail:
+    """Full per-server, per-sample view of one simulated slot.
+
+    All matrices have shape ``(n_servers, n_samples)`` and are aligned
+    with ``allocation.plans``.
+
+    Attributes:
+        slot_index: the inspected slot.
+        allocation: the policy's decision for the slot.
+        cpu_util_pct: real aggregate CPU utilization per server-sample.
+        mem_util_pct: real aggregate memory utilization per server-sample.
+        freq_ghz: operating frequency per server-sample.
+        power_w: server power per server-sample (0 for off servers).
+        violated: boolean violation mask per server-sample.
+    """
+
+    slot_index: int
+    allocation: Allocation
+    cpu_util_pct: np.ndarray
+    mem_util_pct: np.ndarray
+    freq_ghz: np.ndarray
+    power_w: np.ndarray
+    violated: np.ndarray
+
+    @property
+    def n_servers(self) -> int:
+        """Number of planned servers (including empty/off ones)."""
+        return self.cpu_util_pct.shape[0]
+
+    @property
+    def energy_j(self) -> float:
+        """Slot energy implied by the power matrix."""
+        return float(self.power_w.sum() * SAMPLE_PERIOD_S)
+
+    @property
+    def total_violations(self) -> int:
+        """Violating server-samples in the slot."""
+        return int(self.violated.sum())
+
+    def hottest_servers(self, k: int = 5) -> List[int]:
+        """Server indices with the highest peak CPU utilization."""
+        peaks = self.cpu_util_pct.max(axis=1)
+        order = np.argsort(-peaks, kind="stable")
+        return [int(i) for i in order[:k]]
+
+    def server_summary(self, server_id: int) -> dict:
+        """One server's slot in plain numbers (for printing/logging)."""
+        plan = self.allocation.plans[server_id]
+        return {
+            "server": server_id,
+            "n_vms": len(plan.vm_ids),
+            "peak_cpu_pct": float(self.cpu_util_pct[server_id].max()),
+            "peak_mem_pct": float(self.mem_util_pct[server_id].max()),
+            "mean_freq_ghz": float(self.freq_ghz[server_id].mean()),
+            "mean_power_w": float(self.power_w[server_id].mean()),
+            "violations": int(self.violated[server_id].sum()),
+        }
+
+
+def inspect_slot(
+    simulation: DataCenterSimulation, slot_index: int
+) -> SlotDetail:
+    """Run one slot through the engine's accounting and keep the detail.
+
+    Uses the same predictor, policy and power tables as
+    :meth:`DataCenterSimulation.run`, so the returned matrices aggregate
+    to exactly the record the full run would produce for this slot (when
+    the policy reallocates at this slot; for day-ahead policies the
+    allocation is recomputed for the window starting here).
+    """
+    period = max(1, int(simulation._policy.reallocation_period_slots))
+    allocation = simulation._allocate_window(slot_index, period)
+
+    n_vms = simulation._dataset.n_vms
+    vm2srv = allocation.vm_to_server(n_vms)
+    n_srv = len(allocation.plans)
+    real_cpu, real_mem = simulation._dataset.slot_slice(slot_index)
+    n_samples = real_cpu.shape[1]
+
+    util = np.zeros((n_srv, n_samples))
+    np.add.at(util, vm2srv, real_cpu)
+    mem_util = np.zeros((n_srv, n_samples))
+    np.add.at(mem_util, vm2srv, real_mem)
+
+    util_by_class = np.zeros(
+        (len(simulation._class_masks), n_srv, n_samples)
+    )
+    for ci, mask in enumerate(simulation._class_masks):
+        if mask.any():
+            np.add.at(util_by_class[ci], vm2srv[mask], real_cpu[mask])
+
+    active = np.array(
+        [bool(plan.vm_ids) for plan in allocation.plans], dtype=bool
+    )
+    floors = np.full(n_srv, simulation._power.spec.opps.f_min_ghz)
+    np.maximum.at(floors, vm2srv, simulation._vm_floor_ghz)
+
+    if allocation.dynamic_governor:
+        opp_idx = simulation._governor.opp_indices(util, floors)
+    else:
+        planned = np.array(
+            [plan.planned_freq_ghz for plan in allocation.plans]
+        )
+        idx = np.searchsorted(
+            simulation._governor.frequencies_ghz, planned - 1e-9,
+            side="left",
+        )
+        idx = np.clip(
+            idx, 0, len(simulation._governor.frequencies_ghz) - 1
+        )
+        opp_idx = np.repeat(idx[:, None], n_samples, axis=1)
+
+    freqs = simulation._tables.freqs_ghz[opp_idx]
+    busy = util * simulation._f_max / (100.0 * freqs)
+    stall_num = np.zeros_like(util)
+    for ci in range(util_by_class.shape[0]):
+        stall_num += util_by_class[ci] * simulation._stall_tab[ci][opp_idx]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        stall = np.where(
+            util > 1e-9, stall_num / np.maximum(util, 1e-9), 0.0
+        )
+    traffic = np.tensordot(
+        simulation._traffic_coeff, util_by_class, axes=([0], [0])
+    )
+    power = simulation._tables.power_w(opp_idx, busy, stall, traffic)
+    power = power * active[:, None]
+
+    cap = allocation.violation_cap_pct
+    violated = (
+        (util > cap + 1e-9) | (mem_util > 100.0 + 1e-9)
+    ) & active[:, None]
+
+    return SlotDetail(
+        slot_index=slot_index,
+        allocation=allocation,
+        cpu_util_pct=util,
+        mem_util_pct=mem_util,
+        freq_ghz=freqs,
+        power_w=power,
+        violated=violated,
+    )

@@ -1,0 +1,107 @@
+"""Plain-text rendering of tables and series for experiment output.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output readable in a terminal
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    str_rows: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        str_rows.append([_fmt(cell) for cell in row])
+    widths = [
+        max(len(r[col]) for r in str_rows)
+        for col in range(len(str_rows[0]))
+    ]
+    lines = []
+    for i, row in enumerate(str_rows):
+        line = "  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Downsample a series into a character sparkline of ``width``.
+
+    Uses block-average downsampling and a 10-level character ramp; good
+    enough to eyeball the weekly shape of Figs. 4-6 in a terminal.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    if arr.size > width:
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array(
+            [arr[lo:hi].mean() for lo, hi in zip(edges[:-1], edges[1:])]
+        )
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi - lo < 1.0e-12:
+        return _SPARK_LEVELS[1] * arr.size
+    scaled = (arr - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1)
+    return "".join(_SPARK_LEVELS[int(round(s))] for s in scaled)
+
+
+def series_block(
+    name: str, values: Sequence[float], width: int = 60, unit: str = ""
+) -> str:
+    """A labelled sparkline with min/mean/max annotations."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return f"{name}: (empty)"
+    stats = (
+        f"min={arr.min():.1f} mean={arr.mean():.1f} max={arr.max():.1f}"
+        f"{(' ' + unit) if unit else ''}"
+    )
+    return f"{name:<12} |{sparkline(arr, width)}| {stats}"
+
+
+def comparison_table(results) -> str:
+    """Summary table over a ``{name: SimulationResult}`` mapping.
+
+    One row per policy: total energy, violations, mean active servers,
+    migrations and mean operating frequency — the at-a-glance comparison
+    behind Figs. 4-6.
+    """
+    headers = [
+        "policy",
+        "energy (MJ)",
+        "violations",
+        "servers (mean)",
+        "migrations",
+        "mean f (GHz)",
+    ]
+    rows = []
+    for name, result in results.items():
+        freqs = [r.mean_freq_ghz for r in result.records]
+        mean_freq = sum(freqs) / len(freqs) if freqs else 0.0
+        rows.append(
+            [
+                name,
+                f"{result.total_energy_mj:.1f}",
+                result.total_violations,
+                f"{result.mean_active_servers:.1f}",
+                result.total_migrations,
+                f"{mean_freq:.2f}",
+            ]
+        )
+    return format_table(headers, rows)

@@ -1,0 +1,195 @@
+"""CSV export of every experiment's rows/series.
+
+The benchmark harness prints human-readable tables; downstream users
+(plotting scripts, regression dashboards) want machine-readable output.
+Each ``export_*`` function writes one or more CSV files and returns the
+paths written.  ``export_all`` regenerates everything into a directory —
+wired to ``repro-experiments --csv DIR``.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List
+
+from .fig1 import Fig1Result
+from .fig2 import Fig2Result
+from .fig3 import Fig3Result
+from .fig456 import Fig456Result
+from .fig7 import Fig7Result
+from .table1 import Table1Result
+
+
+def _write_rows(path: Path, header: List[str], rows) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def export_table1(result: Table1Result, directory: Path) -> List[Path]:
+    """Table I: model and paper values side by side."""
+    rows = []
+    for label, row in result.rows.items():
+        paper = result.published[label]
+        for key in row:
+            rows.append([label, key, row[key], paper[key]])
+    return [
+        _write_rows(
+            directory / "table1.csv",
+            ["class", "cell", "model_s", "paper_s"],
+            rows,
+        )
+    ]
+
+
+def export_fig1(result: Fig1Result, directory: Path) -> List[Path]:
+    """Fig. 1: both panels' power curves, long format."""
+    rows = []
+    for panel, curves in (
+        ("ntc", result.ntc_curves),
+        ("conventional", result.conventional_curves),
+    ):
+        for util, curve in curves.items():
+            for point in curve:
+                rows.append(
+                    [
+                        panel,
+                        util,
+                        point.freq_ghz,
+                        point.power_kw,
+                        point.n_active_servers,
+                    ]
+                )
+    return [
+        _write_rows(
+            directory / "fig1.csv",
+            ["panel", "utilization_pct", "freq_ghz", "power_kw", "servers"],
+            rows,
+        )
+    ]
+
+
+def export_fig2(result: Fig2Result, directory: Path) -> List[Path]:
+    """Fig. 2: normalized execution time per class and frequency."""
+    rows = []
+    for label, points in result.sweeps.items():
+        for point in points:
+            rows.append(
+                [
+                    label,
+                    point.freq_ghz,
+                    point.execution_time_s,
+                    point.normalized_to_qos_limit,
+                    int(point.meets_qos),
+                ]
+            )
+    return [
+        _write_rows(
+            directory / "fig2.csv",
+            ["class", "freq_ghz", "exec_time_s", "normalized", "meets_qos"],
+            rows,
+        )
+    ]
+
+
+def export_fig3(result: Fig3Result, directory: Path) -> List[Path]:
+    """Fig. 3: efficiency curves per class."""
+    rows = []
+    for label, points in result.curves.items():
+        for point in points:
+            rows.append(
+                [label, point.freq_ghz, point.buips_per_watt, point.power_w]
+            )
+    return [
+        _write_rows(
+            directory / "fig3.csv",
+            ["class", "freq_ghz", "buips_per_watt", "power_w"],
+            rows,
+        )
+    ]
+
+
+def export_fig456(result: Fig456Result, directory: Path) -> List[Path]:
+    """Figs. 4-6: the three weekly series for every policy."""
+    rows = []
+    for name, run in result.results.items():
+        for record in run.records:
+            rows.append(
+                [
+                    name,
+                    record.slot_index,
+                    record.violations,
+                    record.n_active_servers,
+                    record.energy_mj,
+                    record.mean_freq_ghz,
+                    record.migrations,
+                    record.case,
+                ]
+            )
+    return [
+        _write_rows(
+            directory / "fig456.csv",
+            [
+                "policy",
+                "slot",
+                "violations",
+                "active_servers",
+                "energy_mj",
+                "mean_freq_ghz",
+                "migrations",
+                "case",
+            ],
+            rows,
+        )
+    ]
+
+
+def export_fig7(result: Fig7Result, directory: Path) -> List[Path]:
+    """Fig. 7: the static-power sweep."""
+    rows = [
+        [
+            p.static_w,
+            p.epact_energy_mj,
+            p.coat_energy_mj,
+            p.saving_pct,
+            p.epact_optimal_freq_ghz,
+        ]
+        for p in result.points
+    ]
+    return [
+        _write_rows(
+            directory / "fig7.csv",
+            [
+                "static_w",
+                "epact_mj",
+                "coat_mj",
+                "saving_pct",
+                "opt_freq_ghz",
+            ],
+            rows,
+        )
+    ]
+
+
+def export_all(directory: str | Path, quick: bool = True) -> List[Path]:
+    """Run every experiment and export all CSVs into ``directory``."""
+    from .fig1 import run_fig1
+    from .fig2 import run_fig2
+    from .fig3 import run_fig3
+    from .fig456 import run_fig456
+    from .fig7 import run_fig7
+    from .table1 import run_table1
+
+    out = Path(directory)
+    paths: List[Path] = []
+    paths += export_table1(run_table1(), out)
+    paths += export_fig1(run_fig1(), out)
+    paths += export_fig2(run_fig2(), out)
+    paths += export_fig3(run_fig3(), out)
+    paths += export_fig456(run_fig456(quick=quick), out)
+    paths += export_fig7(run_fig7(quick=quick), out)
+    return paths

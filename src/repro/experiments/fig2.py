@@ -1,0 +1,82 @@
+"""Experiment: Fig. 2 — normalized execution time vs. core frequency.
+
+Regenerates the paper's Fig. 2: per-class execution time on the NTC
+server, normalized to the 2x QoS limit, over the 0.1-2.5 GHz sweep, plus
+the QoS crossover frequencies (1.2 GHz for low-mem, 1.8 GHz for mid/high).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..anchors import FIG2_FREQ_SWEEP_GHZ, QOS_MIN_FREQ_GHZ
+from ..dcsim.reporting import format_table
+from ..perf.simulator import PerformanceSimulator, SweepPoint
+from ..perf.workload import ALL_MEMORY_CLASSES, MemoryClass
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Per-class sweeps and QoS floors."""
+
+    sweeps: Dict[str, List[SweepPoint]]
+    qos_floors_ghz: Dict[str, float]
+
+    def normalized_at(self, label: str, freq_ghz: float) -> float:
+        """Normalized execution time of a class at a grid frequency."""
+        for point in self.sweeps[label]:
+            if abs(point.freq_ghz - freq_ghz) < 1.0e-9:
+                return point.normalized_to_qos_limit
+        raise KeyError(f"{freq_ghz} GHz not on the sweep grid")
+
+
+def run_fig2(
+    sim: PerformanceSimulator | None = None,
+    freqs_ghz: Tuple[float, ...] = FIG2_FREQ_SWEEP_GHZ,
+) -> Fig2Result:
+    """Sweep all classes over the paper's frequency grid."""
+    simulator = sim if sim is not None else PerformanceSimulator()
+    sweeps = {
+        mc.label: simulator.qos_sweep(mc, freqs_ghz)
+        for mc in ALL_MEMORY_CLASSES
+    }
+    opps = simulator.platform("ntc").opps
+    floors = {
+        mc.label: simulator.qos.min_qos_frequency(mc, opps)
+        for mc in ALL_MEMORY_CLASSES
+    }
+    return Fig2Result(sweeps=sweeps, qos_floors_ghz=floors)
+
+
+def render(result: Fig2Result) -> str:
+    """Normalized-execution-time table (values <= 1.0 meet QoS)."""
+    freqs = [p.freq_ghz for p in next(iter(result.sweeps.values()))]
+    headers = ["f (GHz)"] + [label for label in result.sweeps]
+    body = []
+    for i, freq in enumerate(freqs):
+        row: List[object] = [f"{freq:.1f}"]
+        for label in result.sweeps:
+            point = result.sweeps[label][i]
+            marker = "" if point.meets_qos else " *"
+            row.append(f"{point.normalized_to_qos_limit:.3f}{marker}")
+        body.append(row)
+    floors = ", ".join(
+        f"{label}: {f:.1f} GHz (paper {QOS_MIN_FREQ_GHZ[label]:.1f})"
+        for label, f in result.qos_floors_ghz.items()
+    )
+    return (
+        "Fig. 2 — execution time normalized to the QoS limit "
+        "(* = violates QoS)\n"
+        f"{format_table(headers, body)}\n"
+        f"QoS frequency floors: {floors}"
+    )
+
+
+def main() -> None:
+    """Run and print the experiment."""
+    print(render(run_fig2()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""Experiment: Fig. 3 — server efficiency (BUIPS/W) vs. core frequency.
+
+Regenerates the paper's Fig. 3: chip-level useful instructions per second
+divided by total server power, per workload class, over the NTC DVFS
+range.  The operating condition is the paper's: one job per core, all
+cores busy, with class-appropriate wait-for-memory residency and DRAM
+traffic feeding the power model.
+
+Expected shape: interior efficiency peaks (high-mem lowest and earliest at
+~1.2 GHz), efficiency decreasing with memory intensity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..dcsim.reporting import format_table
+from ..perf.simulator import PerformanceSimulator
+from ..perf.workload import ALL_MEMORY_CLASSES, MemoryClass
+from ..power.server_power import ServerPowerModel, ntc_server_power_model
+
+
+@dataclass(frozen=True)
+class EfficiencyPoint:
+    """One point of an efficiency curve."""
+
+    freq_ghz: float
+    chip_uips: float
+    power_w: float
+
+    @property
+    def buips_per_watt(self) -> float:
+        """Efficiency in billions of UIPS per watt (the Fig. 3 y-axis)."""
+        return self.chip_uips / 1.0e9 / self.power_w
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """Per-class efficiency curves and their peaks."""
+
+    curves: Dict[str, List[EfficiencyPoint]]
+
+    def peak(self, label: str) -> EfficiencyPoint:
+        """The maximum-efficiency point of a class."""
+        return max(self.curves[label], key=lambda p: p.buips_per_watt)
+
+    def peak_frequencies(self) -> Dict[str, float]:
+        """Peak frequency per class."""
+        return {label: self.peak(label).freq_ghz for label in self.curves}
+
+
+def efficiency_point(
+    sim: PerformanceSimulator,
+    power: ServerPowerModel,
+    mem_class: MemoryClass,
+    freq_ghz: float,
+) -> EfficiencyPoint:
+    """Efficiency of a fully loaded server running one class at ``freq``."""
+    uips = sim.chip_uips(mem_class, freq_ghz, "ntc")
+    stall = sim.stall_fraction(mem_class, freq_ghz, "ntc")
+    traffic = sim.dram_bytes_per_second(mem_class, freq_ghz, "ntc")
+    power_w = power.power_w(
+        freq_ghz,
+        busy_fraction=1.0,
+        stall_fraction=stall,
+        dram_bytes_per_s=traffic,
+        dram_active_fraction=1.0,
+    )
+    return EfficiencyPoint(freq_ghz=freq_ghz, chip_uips=uips, power_w=power_w)
+
+
+def run_fig3(
+    sim: PerformanceSimulator | None = None,
+    power: ServerPowerModel | None = None,
+    freqs_ghz: Tuple[float, ...] | None = None,
+) -> Fig3Result:
+    """Sweep the efficiency curves for all three classes."""
+    simulator = sim if sim is not None else PerformanceSimulator()
+    power_model = power if power is not None else ntc_server_power_model()
+    grid = (
+        freqs_ghz
+        if freqs_ghz is not None
+        else power_model.spec.opps.frequencies_ghz
+    )
+    curves: Dict[str, List[EfficiencyPoint]] = {}
+    for mc in ALL_MEMORY_CLASSES:
+        curves[mc.label] = [
+            efficiency_point(simulator, power_model, mc, f) for f in grid
+        ]
+    return Fig3Result(curves=curves)
+
+
+def render(result: Fig3Result) -> str:
+    """Efficiency table over a subsampled grid plus the peaks."""
+    labels = list(result.curves)
+    grid = [p.freq_ghz for p in result.curves[labels[0]]]
+    shown = [f for f in grid if abs(f * 10 - round(f * 10)) < 1e-9][::3]
+    headers = ["f (GHz)"] + labels
+    body = []
+    for freq in shown:
+        row: List[object] = [f"{freq:.1f}"]
+        for label in labels:
+            point = next(
+                p for p in result.curves[label] if p.freq_ghz == freq
+            )
+            row.append(f"{point.buips_per_watt:.3f}")
+        body.append(row)
+    peaks = ", ".join(
+        f"{label}: {result.peak(label).freq_ghz:.1f} GHz "
+        f"({result.peak(label).buips_per_watt:.3f} BUIPS/W)"
+        for label in labels
+    )
+    return (
+        "Fig. 3 — server efficiency (BUIPS/W) vs core frequency\n"
+        f"{format_table(headers, body)}\n"
+        f"efficiency peaks: {peaks}\n"
+        "paper peaks: low/mid ~1.5 GHz, high ~1.2 GHz; efficiency "
+        "decreases with memory intensity"
+    )
+
+
+def main() -> None:
+    """Run and print the experiment."""
+    print(render(run_fig3()))
+
+
+if __name__ == "__main__":
+    main()

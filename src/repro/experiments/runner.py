@@ -1,0 +1,108 @@
+"""Run-everything CLI: regenerates every table and figure of the paper.
+
+Usage (installed as the ``repro-experiments`` console script)::
+
+    repro-experiments                # all experiments, quick scale
+    repro-experiments --full         # paper scale (minutes)
+    repro-experiments table1 fig2    # a subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from . import fig1, fig2, fig3, fig456, fig7, table1
+
+
+def _run_table1(full: bool) -> str:
+    return table1.render(table1.run_table1())
+
+
+def _run_fig1(full: bool) -> str:
+    return fig1.render(fig1.run_fig1())
+
+
+def _run_fig2(full: bool) -> str:
+    return fig2.render(fig2.run_fig2())
+
+
+def _run_fig3(full: bool) -> str:
+    return fig3.render(fig3.run_fig3())
+
+
+def _run_fig456(full: bool) -> str:
+    return fig456.render(fig456.run_fig456(quick=not full))
+
+
+def _run_fig7(full: bool) -> str:
+    return fig7.render(fig7.run_fig7(quick=not full))
+
+
+def _run_thunderx(full: bool) -> str:
+    from . import thunderx
+
+    return thunderx.render(thunderx.run_thunderx())
+
+
+def _run_validate(full: bool) -> str:
+    from ..validation import validate_reproduction
+
+    return validate_reproduction().summary()
+
+
+EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
+    "table1": _run_table1,
+    "fig1": _run_fig1,
+    "fig2": _run_fig2,
+    "fig3": _run_fig3,
+    "fig456": _run_fig456,
+    "fig7": _run_fig7,
+    "thunderx": _run_thunderx,
+    "validate": _run_validate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        description=(
+            "Regenerate the tables and figures of 'Energy Proportionality "
+            "in Near-Threshold Computing Servers and Cloud Data Centers' "
+            "(DATE 2018)"
+        )
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=[*EXPERIMENTS, []],
+        help="subset to run (default: all)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale configurations (600 VMs, one-week horizon)",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also export every experiment's rows/series as CSV files",
+    )
+    args = parser.parse_args(argv)
+    names = args.experiments or list(EXPERIMENTS)
+    for name in names:
+        print("=" * 72)
+        print(EXPERIMENTS[name](args.full))
+        print()
+    if args.csv is not None:
+        from .export import export_all
+
+        paths = export_all(args.csv, quick=not args.full)
+        print(f"wrote {len(paths)} CSV files to {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""Experiment: Table I — QoS analysis across the three platforms.
+
+Regenerates the paper's Table I from the calibrated performance model:
+execution times of the three workload classes on the Intel x86 reference
+(2.66 GHz), the 2x QoS limit, Cavium ThunderX (2 GHz) and the proposed NTC
+server (2 GHz), plus the NTC-over-ThunderX speedups the paper quotes
+(1.25x-1.76x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..anchors import TABLE_I
+from ..dcsim.reporting import format_table
+from ..perf.simulator import PerformanceSimulator
+from ..perf.workload import ALL_MEMORY_CLASSES
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """Model-produced Table I plus deviations from the published values."""
+
+    rows: Dict[str, Dict[str, float]]
+    published: Dict[str, Dict[str, float]]
+    speedups_vs_thunderx: Dict[str, float]
+
+    def max_relative_error(self) -> float:
+        """Largest |model - paper| / paper over all table cells."""
+        worst = 0.0
+        for label, row in self.rows.items():
+            for key, value in row.items():
+                paper = self.published[label][key]
+                worst = max(worst, abs(value - paper) / paper)
+        return worst
+
+
+def run_table1(sim: PerformanceSimulator | None = None) -> Table1Result:
+    """Compute the model's Table I."""
+    simulator = sim if sim is not None else PerformanceSimulator()
+    rows = simulator.table1()
+    speedups = {
+        mc.label: simulator.speedup_ntc_over_thunderx(mc)
+        for mc in ALL_MEMORY_CLASSES
+    }
+    published = {k: dict(v) for k, v in TABLE_I.items()}
+    return Table1Result(
+        rows=rows, published=published, speedups_vs_thunderx=speedups
+    )
+
+
+def render(result: Table1Result) -> str:
+    """Human-readable Table I with paper-vs-model columns."""
+    headers = [
+        "class",
+        "x86@2.66 (model/paper)",
+        "QoS limit",
+        "ThunderX@2 (model/paper)",
+        "NTC@2 (model/paper)",
+        "NTC speedup vs TX",
+    ]
+    body = []
+    for label, row in result.rows.items():
+        paper = result.published[label]
+        body.append(
+            [
+                label,
+                f"{row['x86_2_66ghz_s']:.3f}/{paper['x86_2_66ghz_s']:.3f}",
+                f"{row['qos_limit_s']:.3f}",
+                f"{row['thunderx_2ghz_s']:.3f}/{paper['thunderx_2ghz_s']:.3f}",
+                f"{row['ntc_2ghz_s']:.3f}/{paper['ntc_2ghz_s']:.3f}",
+                f"{result.speedups_vs_thunderx[label]:.2f}x",
+            ]
+        )
+    table = format_table(headers, body)
+    return (
+        "Table I — QoS analysis (execution times in seconds)\n"
+        f"{table}\n"
+        f"max relative error vs paper: "
+        f"{result.max_relative_error() * 100:.2f}%"
+    )
+
+
+def main() -> None:
+    """Run and print the experiment."""
+    print(render(run_table1()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Forecasting substrate: from-scratch ARIMA and day-ahead prediction.
+
+Implements the paper's Section V-B prediction step: seasonal ARIMA models
+fitted per VM on the trailing week, forecasting the next day's CPU and
+memory utilization.
+"""
+
+from .arima import ArimaFit, ArimaModel, ArimaOrder
+from .decomposed import DecomposedArimaForecaster
+from .holtwinters import HoltWintersForecaster
+from .differencing import (
+    difference,
+    integrate,
+    seasonal_difference,
+    seasonal_integrate,
+)
+from .metrics import bias, mae, mape, rmse, smape
+from .predictor import (
+    DayAheadPredictor,
+    PerfectPredictor,
+    default_forecaster_factory,
+)
+from .seasonal import SeasonalArimaForecaster, SeasonalNaiveForecaster
+
+__all__ = [
+    "ArimaFit",
+    "ArimaModel",
+    "ArimaOrder",
+    "DayAheadPredictor",
+    "DecomposedArimaForecaster",
+    "HoltWintersForecaster",
+    "PerfectPredictor",
+    "SeasonalArimaForecaster",
+    "SeasonalNaiveForecaster",
+    "bias",
+    "default_forecaster_factory",
+    "difference",
+    "integrate",
+    "mae",
+    "mape",
+    "rmse",
+    "seasonal_difference",
+    "seasonal_integrate",
+    "smape",
+]

@@ -1,0 +1,222 @@
+"""ARIMA(p, d, q) estimation and forecasting, from scratch.
+
+The paper forecasts per-VM CPU/memory utilization with ARIMA (its Ref.
+[24], Box & Jenkins).  statsmodels is unavailable offline, so this module
+implements the subset needed: ARMA estimation by the two-stage
+Hannan-Rissanen procedure with optional ordinary differencing.
+
+Hannan-Rissanen in brief:
+
+1. fit a long autoregression AR(m) by ordinary least squares and take its
+   residuals as estimates of the innovations ``e_t``;
+2. regress ``w_t`` on ``w_{t-1..p}`` and ``e_{t-1..q}`` by OLS to obtain
+   the ARMA coefficients.
+
+The procedure is consistent, fast (two linear solves) and robust enough
+for the thousands of per-VM fits the data-center simulation performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ForecastError
+from .differencing import difference, integrate
+
+
+@dataclass(frozen=True)
+class ArimaOrder:
+    """Model order ``(p, d, q)``.
+
+    Attributes:
+        p: autoregressive order.
+        d: ordinary differencing order.
+        q: moving-average order.
+    """
+
+    p: int
+    d: int = 0
+    q: int = 0
+
+    def __post_init__(self) -> None:
+        if self.p < 0 or self.d < 0 or self.q < 0:
+            raise ForecastError("ARIMA orders must be non-negative")
+        if self.p == 0 and self.q == 0:
+            raise ForecastError("need p > 0 or q > 0")
+
+
+@dataclass(frozen=True)
+class ArimaFit:
+    """Fitted ARIMA parameters and the state needed for forecasting."""
+
+    order: ArimaOrder
+    const: float
+    ar: np.ndarray
+    ma: np.ndarray
+    sigma2: float
+    w_tail: np.ndarray
+    e_tail: np.ndarray
+    history: np.ndarray
+
+
+def _lagged_design(
+    w: np.ndarray, e: Optional[np.ndarray], p: int, q: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Build the OLS design for regressing w_t on its lags and e lags."""
+    start = max(p, q)
+    n = w.shape[0]
+    if n - start < p + q + 2:
+        raise ForecastError(
+            f"series too short ({n}) for ARMA({p},{q}) estimation"
+        )
+    columns = [np.ones(n - start)]
+    for lag in range(1, p + 1):
+        columns.append(w[start - lag : n - lag])
+    for lag in range(1, q + 1):
+        assert e is not None
+        columns.append(e[start - lag : n - lag])
+    design = np.column_stack(columns)
+    target = w[start:]
+    return design, target
+
+
+def _long_ar_residuals(w: np.ndarray, m: int) -> np.ndarray:
+    """Residuals of a long AR(m) fit (stage 1 of Hannan-Rissanen)."""
+    n = w.shape[0]
+    if n <= m + 2:
+        raise ForecastError("series too short for the long-AR stage")
+    columns = [np.ones(n - m)]
+    for lag in range(1, m + 1):
+        columns.append(w[m - lag : n - lag])
+    design = np.column_stack(columns)
+    target = w[m:]
+    coef, *_ = np.linalg.lstsq(design, target, rcond=None)
+    residuals = np.zeros(n)
+    residuals[m:] = target - design @ coef
+    return residuals
+
+
+class ArimaModel:
+    """ARIMA(p, d, q) model: fit once, forecast any horizon.
+
+    Example:
+        >>> model = ArimaModel(ArimaOrder(p=2, d=0, q=1))
+        >>> fit = model.fit(series)
+        >>> prediction = model.forecast(24)
+    """
+
+    def __init__(self, order: ArimaOrder):
+        self._order = order
+        self._fit: Optional[ArimaFit] = None
+
+    @property
+    def order(self) -> ArimaOrder:
+        """The model order."""
+        return self._order
+
+    @property
+    def fitted(self) -> ArimaFit:
+        """The fit result.
+
+        Raises:
+            ForecastError: if :meth:`fit` has not been called.
+        """
+        if self._fit is None:
+            raise ForecastError("model has not been fitted")
+        return self._fit
+
+    def fit(self, series: np.ndarray) -> ArimaFit:
+        """Estimate parameters from a series via Hannan-Rissanen.
+
+        Returns the fit (also stored on the model for forecasting).
+
+        Raises:
+            ForecastError: if the series is too short or degenerate.
+        """
+        y = np.asarray(series, dtype=float)
+        if not np.all(np.isfinite(y)):
+            raise ForecastError("series contains non-finite values")
+        order = self._order
+        w = difference(y, order.d)
+        if np.allclose(w, w[0] if w.size else 0.0):
+            # Degenerate (constant) series: model collapses to the constant.
+            fit = ArimaFit(
+                order=order,
+                const=float(w[0]) if w.size else 0.0,
+                ar=np.zeros(order.p),
+                ma=np.zeros(order.q),
+                sigma2=0.0,
+                w_tail=w[-max(order.p, 1):].copy(),
+                e_tail=np.zeros(max(order.q, 1)),
+                history=y.copy(),
+            )
+            self._fit = fit
+            return fit
+
+        residuals: Optional[np.ndarray] = None
+        if order.q > 0:
+            m = max(10, 2 * (order.p + order.q))
+            residuals = _long_ar_residuals(w, m)
+
+        design, target = _lagged_design(w, residuals, order.p, order.q)
+        coef, *_ = np.linalg.lstsq(design, target, rcond=None)
+        const = float(coef[0])
+        ar = np.asarray(coef[1 : 1 + order.p], dtype=float)
+        ma = np.asarray(coef[1 + order.p :], dtype=float)
+
+        fitted_values = design @ coef
+        sigma2 = float(np.mean((target - fitted_values) ** 2))
+
+        # Final in-sample residuals for the MA recursion's initial state.
+        e_full = np.zeros(w.shape[0])
+        start = max(order.p, order.q)
+        e_full[start:] = target - fitted_values
+
+        fit = ArimaFit(
+            order=order,
+            const=const,
+            ar=ar,
+            ma=ma,
+            sigma2=sigma2,
+            w_tail=w[-max(order.p, 1):].copy(),
+            e_tail=e_full[-max(order.q, 1):].copy()
+            if order.q > 0
+            else np.zeros(1),
+            history=y.copy(),
+        )
+        self._fit = fit
+        return fit
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        """Mean forecast for the next ``horizon`` steps (original scale).
+
+        Future innovations are set to their mean (zero); differencing is
+        inverted against the fit history.
+
+        Raises:
+            ForecastError: if not fitted or the horizon is not positive.
+        """
+        if horizon < 1:
+            raise ForecastError("forecast horizon must be >= 1")
+        fit = self.fitted
+        order = fit.order
+        p, q = order.p, order.q
+
+        w_state = list(fit.w_tail[-p:]) if p > 0 else []
+        e_state = list(fit.e_tail[-q:]) if q > 0 else []
+        out = np.empty(horizon)
+        for step in range(horizon):
+            value = fit.const
+            for lag in range(1, p + 1):
+                value += fit.ar[lag - 1] * w_state[-lag]
+            for lag in range(1, q + 1):
+                value += fit.ma[lag - 1] * e_state[-lag]
+            out[step] = value
+            if p > 0:
+                w_state.append(value)
+            if q > 0:
+                e_state.append(0.0)
+        return integrate(out, fit.history, order.d)

@@ -1,0 +1,121 @@
+"""Ordinary and seasonal differencing with exact inversion.
+
+ARIMA handles trends by differencing the series ``d`` times and daily
+periodicity by differencing at the seasonal lag (period 288 for 5-minute
+samples).  Forecasts are produced on the differenced scale and must be
+*integrated* back; the inversion helpers here are exact (they reconstruct
+the original series when fed its own differences).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ForecastError
+
+
+def difference(series: np.ndarray, d: int = 1) -> np.ndarray:
+    """Apply ``d`` rounds of first differencing.
+
+    Raises:
+        ForecastError: if the series is too short to difference.
+    """
+    if d < 0:
+        raise ForecastError("differencing order must be >= 0")
+    out = np.asarray(series, dtype=float)
+    for _ in range(d):
+        if out.shape[0] < 2:
+            raise ForecastError("series too short to difference")
+        out = np.diff(out)
+    return out
+
+
+def integrate(
+    forecasts: np.ndarray, history: np.ndarray, d: int = 1
+) -> np.ndarray:
+    """Invert ``d`` rounds of first differencing for a forecast block.
+
+    Args:
+        forecasts: forecasts on the ``d``-times-differenced scale.
+        history: the *original* (undifferenced) series the model was fit
+            on; its tail supplies the integration constants.
+        d: differencing order used at fit time.
+
+    Returns:
+        Forecasts on the original scale.
+    """
+    if d < 0:
+        raise ForecastError("differencing order must be >= 0")
+    if d == 0:
+        return np.asarray(forecasts, dtype=float).copy()
+    hist = np.asarray(history, dtype=float)
+    if hist.shape[0] < d:
+        raise ForecastError("history too short to integrate forecasts")
+    # Tails of each differencing level: level 0 is the original series.
+    tails = [hist]
+    for _ in range(d - 1):
+        tails.append(np.diff(tails[-1]))
+    out = np.asarray(forecasts, dtype=float).copy()
+    for level in reversed(range(d)):
+        out = np.cumsum(out) + tails[level][-1]
+    return out
+
+
+def seasonal_difference(
+    series: np.ndarray, period: int, big_d: int = 1
+) -> np.ndarray:
+    """Apply ``big_d`` rounds of seasonal differencing at lag ``period``.
+
+    Raises:
+        ForecastError: if the series is shorter than the seasonal lag.
+    """
+    if period < 1:
+        raise ForecastError("seasonal period must be >= 1")
+    if big_d < 0:
+        raise ForecastError("seasonal differencing order must be >= 0")
+    out = np.asarray(series, dtype=float)
+    for _ in range(big_d):
+        if out.shape[0] <= period:
+            raise ForecastError(
+                f"series of length {out.shape[0]} too short for seasonal "
+                f"differencing at period {period}"
+            )
+        out = out[period:] - out[:-period]
+    return out
+
+
+def seasonal_integrate(
+    forecasts: np.ndarray,
+    history: np.ndarray,
+    period: int,
+    big_d: int = 1,
+) -> np.ndarray:
+    """Invert seasonal differencing for a forecast block.
+
+    Args:
+        forecasts: forecasts on the seasonally differenced scale.
+        history: original series (its last ``big_d * period`` values feed
+            the inversion).
+        period: seasonal lag.
+        big_d: seasonal differencing order used at fit time.
+    """
+    if big_d < 0:
+        raise ForecastError("seasonal differencing order must be >= 0")
+    if big_d == 0:
+        return np.asarray(forecasts, dtype=float).copy()
+    hist = np.asarray(history, dtype=float)
+    if hist.shape[0] < big_d * period:
+        raise ForecastError("history too short for seasonal integration")
+    # Tails at each seasonal-differencing level.
+    tails = [hist]
+    for _ in range(big_d - 1):
+        tails.append(tails[-1][period:] - tails[-1][:-period])
+    out = np.asarray(forecasts, dtype=float).copy()
+    for level in reversed(range(big_d)):
+        tail = tails[level][-period:]
+        restored = np.empty_like(out)
+        for i in range(out.shape[0]):
+            base = tail[i] if i < period else restored[i - period]
+            restored[i] = out[i] + base
+        out = restored
+    return out

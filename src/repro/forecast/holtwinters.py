@@ -1,0 +1,175 @@
+"""Holt-Winters (triple exponential smoothing) forecaster.
+
+The classic alternative to ARIMA for seasonal utilization series, included
+so forecast-model choice can be studied as an ablation (the paper fixes
+ARIMA; `examples/forecast_accuracy.py` and the tests compare all three
+families: seasonal-naive, decomposed ARIMA, Holt-Winters).
+
+Additive formulation with level ``l``, trend ``b`` and seasonal indices
+``s`` of period ``m``::
+
+    l_t = alpha (y_t - s_{t-m}) + (1 - alpha)(l_{t-1} + b_{t-1})
+    b_t = beta  (l_t - l_{t-1}) + (1 - beta) b_{t-1}
+    s_t = gamma (y_t - l_t)     + (1 - gamma) s_{t-m}
+
+    yhat_{t+h} = l_t + h b_t + s_{t-m+((h-1) mod m)+1}
+
+Smoothing parameters default to values that suit slowly drifting
+diurnal utilization (strong seasonality, weak trend); they can also be
+grid-searched with :meth:`HoltWintersForecaster.fit_optimized`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ForecastError
+from ..units import SAMPLES_PER_DAY
+
+
+class HoltWintersForecaster:
+    """Additive Holt-Winters smoothing with a daily season.
+
+    Args:
+        period: seasonal period in samples.
+        alpha: level smoothing in (0, 1].
+        beta: trend smoothing in [0, 1].
+        gamma: seasonal smoothing in [0, 1].
+        damping: trend damping factor in (0, 1]; values below 1 flatten
+            the trend over long horizons (recommended for day-ahead use).
+    """
+
+    def __init__(
+        self,
+        period: int = SAMPLES_PER_DAY,
+        alpha: float = 0.05,
+        beta: float = 0.01,
+        gamma: float = 0.40,
+        damping: float = 0.90,
+    ):
+        if period < 1:
+            raise ForecastError("period must be >= 1")
+        if not (0.0 < alpha <= 1.0):
+            raise ForecastError("alpha must be in (0, 1]")
+        if not (0.0 <= beta <= 1.0) or not (0.0 <= gamma <= 1.0):
+            raise ForecastError("beta and gamma must be in [0, 1]")
+        if not (0.0 < damping <= 1.0):
+            raise ForecastError("damping must be in (0, 1]")
+        self._period = period
+        self._alpha = alpha
+        self._beta = beta
+        self._gamma = gamma
+        self._damping = damping
+        self._level: Optional[float] = None
+        self._trend: Optional[float] = None
+        self._season: Optional[np.ndarray] = None
+        self._phase: int = 0
+        self._sse: float = 0.0
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def period(self) -> int:
+        """Seasonal period in samples."""
+        return self._period
+
+    @property
+    def params(self) -> Tuple[float, float, float]:
+        """The (alpha, beta, gamma) smoothing parameters."""
+        return (self._alpha, self._beta, self._gamma)
+
+    @property
+    def sse(self) -> float:
+        """In-sample one-step sum of squared errors from the last fit."""
+        return self._sse
+
+    # -- fitting --------------------------------------------------------------
+
+    def fit(self, series: np.ndarray) -> "HoltWintersForecaster":
+        """Run the smoothing recursions over >= 2 full seasons."""
+        y = np.asarray(series, dtype=float)
+        m = self._period
+        if y.shape[0] < 2 * m:
+            raise ForecastError(
+                f"need at least two seasons ({2 * m} samples), "
+                f"got {y.shape[0]}"
+            )
+        # Initialization: first-season mean as level, season-over-season
+        # drift as trend, first-season deviations as seasonal indices.
+        level = float(y[:m].mean())
+        trend = float((y[m : 2 * m].mean() - y[:m].mean()) / m)
+        season = (y[:m] - level).astype(float)
+
+        sse = 0.0
+        for t in range(y.shape[0]):
+            s_idx = t % m
+            forecast = level + trend + season[s_idx]
+            error = y[t] - forecast
+            sse += error * error
+            new_level = self._alpha * (y[t] - season[s_idx]) + (
+                1.0 - self._alpha
+            ) * (level + trend)
+            trend = (
+                self._beta * (new_level - level)
+                + (1.0 - self._beta) * trend
+            )
+            season[s_idx] = (
+                self._gamma * (y[t] - new_level)
+                + (1.0 - self._gamma) * season[s_idx]
+            )
+            level = new_level
+        self._level = level
+        self._trend = trend
+        self._season = season
+        self._phase = y.shape[0] % m
+        self._sse = sse
+        return self
+
+    def fit_optimized(
+        self,
+        series: np.ndarray,
+        alphas: Tuple[float, ...] = (0.02, 0.05, 0.15),
+        gammas: Tuple[float, ...] = (0.2, 0.4, 0.6),
+    ) -> "HoltWintersForecaster":
+        """Grid-search (alpha, gamma) by in-sample one-step SSE."""
+        best: Optional[Tuple[float, float, float]] = None
+        for alpha in alphas:
+            for gamma in gammas:
+                candidate = HoltWintersForecaster(
+                    period=self._period,
+                    alpha=alpha,
+                    beta=self._beta,
+                    gamma=gamma,
+                    damping=self._damping,
+                )
+                candidate.fit(series)
+                if best is None or candidate.sse < best[0]:
+                    best = (candidate.sse, alpha, gamma)
+        assert best is not None
+        self._alpha, self._gamma = best[1], best[2]
+        return self.fit(series)
+
+    # -- forecasting ------------------------------------------------------------
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        """Mean forecast for the next ``horizon`` samples."""
+        if self._level is None or self._season is None:
+            raise ForecastError("forecaster has not been fitted")
+        if horizon < 1:
+            raise ForecastError("forecast horizon must be >= 1")
+        m = self._period
+        out = np.empty(horizon)
+        damp = self._damping
+        trend_sum = 0.0
+        damp_power = 1.0
+        for h in range(1, horizon + 1):
+            damp_power *= damp
+            trend_sum += damp_power
+            out[h - 1] = (
+                self._level
+                + trend_sum * (self._trend or 0.0)
+                + self._season[(self._phase + h - 1) % m]
+            )
+        return out

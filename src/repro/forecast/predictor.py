@@ -1,0 +1,204 @@
+"""Day-ahead per-VM utilization prediction (paper Section V-B).
+
+EPACT "requires predicting, at the beginning of T, the per-VM CPU and
+memory utilization patterns"; the paper fits ARIMA on the previous week
+and forecasts the next day for every VM, refreshed daily.  All policies
+consume the *same* predictions, so forecast quality is a shared input, not
+a policy differentiator — exactly the paper's setup.
+
+:class:`DayAheadPredictor` implements this protocol over a
+:class:`~repro.traces.dataset.TraceDataset`; :class:`PerfectPredictor`
+is the oracle variant used in ablations and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import DomainError, ForecastError
+from ..traces.dataset import TraceDataset
+from ..units import SAMPLES_PER_DAY, SAMPLES_PER_SLOT, SLOTS_PER_DAY
+from .arima import ArimaOrder
+from .decomposed import DecomposedArimaForecaster
+from .seasonal import SeasonalNaiveForecaster
+
+ForecasterFactory = Callable[[], object]
+
+
+def default_forecaster_factory() -> DecomposedArimaForecaster:
+    """The evaluation's default model: seasonal profile + ARMA(2,1).
+
+    See :mod:`repro.forecast.decomposed` for why decomposition beats plain
+    seasonal differencing at day-ahead horizons.
+    """
+    return DecomposedArimaForecaster(
+        order=ArimaOrder(p=2, d=0, q=1), period=SAMPLES_PER_DAY
+    )
+
+
+class DayAheadPredictor:
+    """Per-VM day-ahead forecasts over a trace dataset.
+
+    Args:
+        dataset: the utilization traces.
+        history_days: trailing window the models are fitted on (the paper
+            uses the previous week).
+        factory: builds a fresh forecaster per (VM, resource, day); must
+            expose ``fit(series)`` and ``forecast(horizon)``.
+        clip_range: forecasts are clipped into this range (utilization
+            percentages cannot leave [0, 100]).
+    """
+
+    def __init__(
+        self,
+        dataset: TraceDataset,
+        history_days: int = 7,
+        factory: Optional[ForecasterFactory] = None,
+        clip_range: Tuple[float, float] = (0.0, 100.0),
+    ):
+        if history_days < 2:
+            raise DomainError("history_days must be >= 2 (seasonal fit)")
+        self._dataset = dataset
+        self._history_days = history_days
+        self._factory = (
+            factory if factory is not None else default_forecaster_factory
+        )
+        self._clip = clip_range
+        self._cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._fallback_count = 0
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def history_days(self) -> int:
+        """Trailing training-window length in days."""
+        return self._history_days
+
+    @property
+    def first_predictable_day(self) -> int:
+        """First day index with a full training window behind it."""
+        return self._history_days
+
+    @property
+    def fallback_count(self) -> int:
+        """Number of per-series fits that fell back to seasonal-naive."""
+        return self._fallback_count
+
+    # -- forecasting ----------------------------------------------------------
+
+    def forecast_day(self, day_index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Predicted CPU/memory for a day, shape ``(n_vms, 288)`` each.
+
+        Models are fitted on the ``history_days`` days before
+        ``day_index``; results are cached.
+
+        Raises:
+            DomainError: if the day lacks a full training window or is
+                outside the dataset.
+        """
+        if day_index in self._cache:
+            return self._cache[day_index]
+        if day_index < self._history_days:
+            raise DomainError(
+                f"day {day_index} has no full {self._history_days}-day "
+                f"training window"
+            )
+        if day_index >= self._dataset.n_days:
+            raise DomainError(f"day {day_index} outside the dataset")
+
+        lo = (day_index - self._history_days) * SAMPLES_PER_DAY
+        hi = day_index * SAMPLES_PER_DAY
+        # Day-type labels (weekday = 0 / weekend = 1) so week-aware
+        # forecasters build the profile from comparable days only.
+        window_days = range(day_index - self._history_days, day_index)
+        season_types = np.array(
+            [1 if day % 7 >= 5 else 0 for day in window_days], dtype=int
+        )
+        target_type = 1 if day_index % 7 >= 5 else 0
+        cpu_pred = np.empty((self._dataset.n_vms, SAMPLES_PER_DAY))
+        mem_pred = np.empty((self._dataset.n_vms, SAMPLES_PER_DAY))
+        for vm_id in range(self._dataset.n_vms):
+            cpu_pred[vm_id] = self._forecast_series(
+                self._dataset.cpu_pct[vm_id, lo:hi], season_types, target_type
+            )
+            mem_pred[vm_id] = self._forecast_series(
+                self._dataset.mem_pct[vm_id, lo:hi], season_types, target_type
+            )
+        np.clip(cpu_pred, *self._clip, out=cpu_pred)
+        np.clip(mem_pred, *self._clip, out=mem_pred)
+        self._cache[day_index] = (cpu_pred, mem_pred)
+        return self._cache[day_index]
+
+    def predicted_slot(
+        self, slot_index: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Predicted CPU/memory for one 1-hour slot, ``(n_vms, 12)`` each."""
+        day_index = slot_index // SLOTS_PER_DAY
+        cpu_day, mem_day = self.forecast_day(day_index)
+        offset = (slot_index % SLOTS_PER_DAY) * SAMPLES_PER_SLOT
+        return (
+            cpu_day[:, offset : offset + SAMPLES_PER_SLOT],
+            mem_day[:, offset : offset + SAMPLES_PER_SLOT],
+        )
+
+    # -- internals --------------------------------------------------------
+
+    def _forecast_series(
+        self,
+        series: np.ndarray,
+        season_types: np.ndarray,
+        target_type: int,
+    ) -> np.ndarray:
+        try:
+            model = self._factory()
+            if isinstance(model, DecomposedArimaForecaster):
+                model.fit(
+                    series,
+                    season_types=season_types,
+                    target_type=target_type,
+                )
+            else:
+                model.fit(series)
+            prediction = np.asarray(model.forecast(SAMPLES_PER_DAY))
+            if not np.all(np.isfinite(prediction)):
+                raise ForecastError("non-finite forecast")
+            return prediction
+        except ForecastError:
+            self._fallback_count += 1
+            fallback = SeasonalNaiveForecaster(period=SAMPLES_PER_DAY)
+            fallback.fit(series)
+            return fallback.forecast(SAMPLES_PER_DAY)
+
+
+class PerfectPredictor:
+    """Oracle predictor returning the actual future utilization.
+
+    Shares :class:`DayAheadPredictor`'s interface; used to separate
+    allocation quality from forecast quality in ablations, and in tests
+    (with perfect prediction, a policy's violations must vanish).
+    """
+
+    def __init__(self, dataset: TraceDataset):
+        self._dataset = dataset
+
+    @property
+    def first_predictable_day(self) -> int:
+        """The oracle can 'predict' from day zero."""
+        return 0
+
+    @property
+    def fallback_count(self) -> int:
+        """The oracle never falls back."""
+        return 0
+
+    def forecast_day(self, day_index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The actual traces of the requested day."""
+        return self._dataset.day_slice(day_index)
+
+    def predicted_slot(
+        self, slot_index: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The actual traces of the requested slot."""
+        return self._dataset.slot_slice(slot_index)

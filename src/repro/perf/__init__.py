@@ -1,0 +1,42 @@
+"""Performance substrate: the analytic gem5 stand-in.
+
+Implements the execution-time model ``T(f) = a/f + b``, its calibration
+against the paper's Table I and Fig. 2 anchors, the QoS degradation model,
+and the :class:`PerformanceSimulator` facade used by experiments.
+"""
+
+from .calibration import (
+    CalibratedWorkload,
+    calibrate_all,
+    calibrate_class,
+    x86_reference_times,
+)
+from .qos import QosModel
+from .simulator import (
+    PerformanceSimulator,
+    SweepPoint,
+    traffic_coefficients,
+)
+from .timing import (
+    MicroarchDecomposition,
+    TimingParameters,
+    instructions_per_second,
+)
+from .workload import ALL_MEMORY_CLASSES, MemoryClass, WorkloadProfile
+
+__all__ = [
+    "ALL_MEMORY_CLASSES",
+    "CalibratedWorkload",
+    "MemoryClass",
+    "MicroarchDecomposition",
+    "PerformanceSimulator",
+    "QosModel",
+    "SweepPoint",
+    "TimingParameters",
+    "WorkloadProfile",
+    "calibrate_all",
+    "calibrate_class",
+    "instructions_per_second",
+    "traffic_coefficients",
+    "x86_reference_times",
+]

@@ -1,0 +1,117 @@
+"""QoS degradation model (paper Section III-C).
+
+The virtualized banking jobs are batch workloads; their QoS constraint is a
+maximum allowed *degradation* — execution time no more than 2x the baseline
+on the 16-core Intel Xeon X5650 at 2.66 GHz.
+
+This module computes, per workload class:
+
+* the degradation factor at any frequency on any calibrated platform,
+* whether a frequency meets the QoS limit,
+* the minimum DVFS frequency meeting QoS — the per-class frequency floor
+  the online governor enforces (paper Section VI-B-3: 1.2 GHz for low-mem,
+  1.8 GHz for mid/high-mem on the NTC server).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..anchors import QOS_DEGRADATION_LIMIT, TABLE_I
+from ..errors import InfeasibleError
+from ..technology.opp import OppTable
+from .calibration import CalibratedWorkload
+from .timing import TimingParameters
+from .workload import MemoryClass
+
+
+@dataclass(frozen=True)
+class QosModel:
+    """QoS evaluation for one set of calibrated workloads.
+
+    Attributes:
+        calibrations: per-class calibration results.
+        degradation_limit: maximum allowed slowdown (the paper's 2x).
+    """
+
+    calibrations: Mapping[MemoryClass, CalibratedWorkload]
+    degradation_limit: float = QOS_DEGRADATION_LIMIT
+
+    # -- reference ----------------------------------------------------------
+
+    def reference_time_s(self, mem_class: MemoryClass) -> float:
+        """x86 baseline execution time for a class (Table I)."""
+        return TABLE_I[mem_class.label]["x86_2_66ghz_s"]
+
+    def qos_limit_s(self, mem_class: MemoryClass) -> float:
+        """Absolute execution-time limit (2x the x86 baseline)."""
+        return self.reference_time_s(mem_class) * self.degradation_limit
+
+    # -- evaluation ---------------------------------------------------------
+
+    def degradation(
+        self,
+        mem_class: MemoryClass,
+        freq_ghz: float,
+        timing: TimingParameters | None = None,
+    ) -> float:
+        """Execution-time degradation factor w.r.t. the x86 baseline.
+
+        ``timing`` defaults to the NTC-server curve for the class; pass the
+        ThunderX curve (etc.) to evaluate other platforms.
+        """
+        curve = timing if timing is not None else self.calibrations[mem_class].ntc
+        return curve.execution_time_s(freq_ghz) / self.reference_time_s(
+            mem_class
+        )
+
+    def normalized_to_limit(
+        self,
+        mem_class: MemoryClass,
+        freq_ghz: float,
+        timing: TimingParameters | None = None,
+    ) -> float:
+        """Execution time normalized to the QoS limit (the paper's Fig. 2).
+
+        Values at or below 1.0 meet QoS.
+        """
+        return self.degradation(mem_class, freq_ghz, timing) / (
+            self.degradation_limit
+        )
+
+    def meets_qos(
+        self,
+        mem_class: MemoryClass,
+        freq_ghz: float,
+        timing: TimingParameters | None = None,
+        tolerance: float = 1.0e-9,
+    ) -> bool:
+        """Whether running at ``freq_ghz`` satisfies the 2x constraint."""
+        return (
+            self.degradation(mem_class, freq_ghz, timing)
+            <= self.degradation_limit + tolerance
+        )
+
+    def min_qos_frequency(
+        self, mem_class: MemoryClass, opps: OppTable
+    ) -> float:
+        """Lowest OPP frequency meeting QoS for the class (the DVFS floor).
+
+        Raises:
+            InfeasibleError: if no OPP in the table meets QoS.
+        """
+        for freq in opps.frequencies_ghz:
+            if self.meets_qos(mem_class, freq):
+                return freq
+        raise InfeasibleError(
+            f"{mem_class.label}: no OPP up to {opps.f_max_ghz} GHz meets "
+            f"the {self.degradation_limit}x QoS limit"
+        )
+
+    def qos_floors(self, opps: OppTable) -> Dict[MemoryClass, float]:
+        """Per-class DVFS frequency floors on a given OPP table."""
+        return {
+            mem_class: self.min_qos_frequency(mem_class, opps)
+            for mem_class in self.calibrations
+        }

@@ -1,0 +1,214 @@
+"""Performance simulator facade (the repository's gem5 stand-in).
+
+Wraps calibration + timing into the operations the experiments need:
+
+* execution time of any class on any of the three platforms (Table I),
+* frequency sweeps of normalized execution time (Fig. 2),
+* chip-level UIPS and DRAM traffic at any operating point (feeding the
+  efficiency analysis of Fig. 3 and the DRAM power model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..arch.platforms import cavium_thunderx, intel_xeon_x5650, ntc_server
+from ..arch.server_spec import ServerSpec
+from ..errors import ConfigurationError
+from .calibration import CalibratedWorkload, calibrate_all
+from .qos import QosModel
+from .timing import TimingParameters
+from .workload import ALL_MEMORY_CLASSES, MemoryClass
+
+_PLATFORM_KEYS = ("ntc", "thunderx", "x86")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of an execution-time/QoS frequency sweep."""
+
+    freq_ghz: float
+    execution_time_s: float
+    degradation: float
+    normalized_to_qos_limit: float
+    meets_qos: bool
+
+
+class PerformanceSimulator:
+    """Execution-time and throughput queries over calibrated workloads.
+
+    Args:
+        calibrations: per-class calibration results; defaults to
+            :func:`repro.perf.calibration.calibrate_all`.
+    """
+
+    def __init__(
+        self,
+        calibrations: Mapping[MemoryClass, CalibratedWorkload] | None = None,
+    ):
+        self._calibrations = (
+            dict(calibrations) if calibrations is not None else calibrate_all()
+        )
+        self._qos = QosModel(calibrations=self._calibrations)
+        self._platforms: Dict[str, ServerSpec] = {
+            "ntc": ntc_server(),
+            "thunderx": cavium_thunderx(),
+            "x86": intel_xeon_x5650(),
+        }
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def qos(self) -> QosModel:
+        """The QoS model bound to these calibrations."""
+        return self._qos
+
+    @property
+    def calibrations(self) -> Mapping[MemoryClass, CalibratedWorkload]:
+        """Per-class calibration results."""
+        return self._calibrations
+
+    def platform(self, key: str) -> ServerSpec:
+        """Platform spec by canonical key (``ntc``/``thunderx``/``x86``)."""
+        if key not in self._platforms:
+            raise ConfigurationError(
+                f"unknown platform {key!r}; expected one of {_PLATFORM_KEYS}"
+            )
+        return self._platforms[key]
+
+    def timing(
+        self, mem_class: MemoryClass, platform: str = "ntc"
+    ) -> TimingParameters:
+        """Timing curve for a class on a platform."""
+        return self._calibrations[mem_class].timing_for(platform)
+
+    # -- single-point queries -------------------------------------------------
+
+    def execution_time_s(
+        self, mem_class: MemoryClass, freq_ghz: float, platform: str = "ntc"
+    ) -> float:
+        """Job execution time at a frequency on a platform."""
+        return self.timing(mem_class, platform).execution_time_s(freq_ghz)
+
+    def stall_fraction(
+        self, mem_class: MemoryClass, freq_ghz: float, platform: str = "ntc"
+    ) -> float:
+        """Wait-for-memory residency at an operating point."""
+        return self.timing(mem_class, platform).stall_fraction(freq_ghz)
+
+    def chip_uips(
+        self, mem_class: MemoryClass, freq_ghz: float, platform: str = "ntc"
+    ) -> float:
+        """Chip-level useful instructions per second (all cores busy).
+
+        The paper's Fig. 3 metric numerator: one job per core, so chip UIPS
+        is ``n_cores * N_instr / T(f)``.
+        """
+        spec = self.platform(platform)
+        cal = self._calibrations[mem_class]
+        t = cal.timing_for(platform).execution_time_s(freq_ghz)
+        return spec.n_cores * cal.profile.instructions / t
+
+    def dram_bytes_per_second(
+        self, mem_class: MemoryClass, freq_ghz: float, platform: str = "ntc"
+    ) -> float:
+        """Chip-level DRAM traffic at an operating point (all cores busy)."""
+        cal = self._calibrations[mem_class]
+        uips = self.chip_uips(mem_class, freq_ghz, platform)
+        return uips * cal.profile.dram_bytes_per_instr
+
+    # -- sweeps -------------------------------------------------------------
+
+    def qos_sweep(
+        self,
+        mem_class: MemoryClass,
+        freqs_ghz: Sequence[float],
+        platform: str = "ntc",
+    ) -> List[SweepPoint]:
+        """Execution time, degradation and QoS verdict over a frequency grid.
+
+        This regenerates one series of the paper's Fig. 2.
+        """
+        timing = self.timing(mem_class, platform)
+        points: List[SweepPoint] = []
+        for freq in freqs_ghz:
+            t = timing.execution_time_s(freq)
+            degradation = self._qos.degradation(mem_class, freq, timing)
+            points.append(
+                SweepPoint(
+                    freq_ghz=freq,
+                    execution_time_s=t,
+                    degradation=degradation,
+                    normalized_to_qos_limit=degradation
+                    / self._qos.degradation_limit,
+                    meets_qos=self._qos.meets_qos(mem_class, freq, timing),
+                )
+            )
+        return points
+
+    def table1(self) -> Dict[str, Dict[str, float]]:
+        """Regenerate the structure of the paper's Table I from the model.
+
+        Returns per-class execution times on x86 @2.66 GHz, the 2x QoS
+        limit, ThunderX @2 GHz and the NTC server @2 GHz.
+        """
+        rows: Dict[str, Dict[str, float]] = {}
+        for mem_class in ALL_MEMORY_CLASSES:
+            t_x86 = self.execution_time_s(mem_class, 2.66, "x86")
+            rows[mem_class.label] = {
+                "x86_2_66ghz_s": t_x86,
+                "qos_limit_s": t_x86 * self._qos.degradation_limit,
+                "thunderx_2ghz_s": self.execution_time_s(
+                    mem_class, 2.0, "thunderx"
+                ),
+                "ntc_2ghz_s": self.execution_time_s(mem_class, 2.0, "ntc"),
+            }
+        return rows
+
+    def speedup_ntc_over_thunderx(
+        self, mem_class: MemoryClass, freq_ghz: float = 2.0
+    ) -> float:
+        """NTC-vs-ThunderX speedup at a frequency (paper: 1.25x-1.76x)."""
+        t_tx = self.execution_time_s(mem_class, freq_ghz, "thunderx")
+        t_ntc = self.execution_time_s(mem_class, freq_ghz, "ntc")
+        return t_tx / t_ntc
+
+
+@dataclass(frozen=True)
+class ClassMixTraffic:
+    """DRAM traffic and stall coefficients for a mix of workload classes.
+
+    Used by the data-center power accounting: a server hosting VMs of
+    several classes sees DRAM traffic proportional to each VM's CPU
+    utilization, with per-class coefficients precomputed at ``Fmax``.
+
+    Attributes:
+        bytes_per_util_point: per-class DRAM bytes/s generated by one
+            utilization point (1% of a server's Fmax capacity).
+        stall_fraction_at: callable-free per-class stall tables are not
+            stored here; the engine queries the simulator directly.
+    """
+
+    bytes_per_util_point: Mapping[MemoryClass, float] = field(
+        default_factory=dict
+    )
+
+
+def traffic_coefficients(
+    sim: PerformanceSimulator, platform: str = "ntc"
+) -> Dict[MemoryClass, float]:
+    """Per-class DRAM bytes/s per utilization point at ``Fmax``.
+
+    A VM with CPU utilization ``u`` (percent of the server's Fmax capacity)
+    contributes ``u * coefficient`` bytes/s of DRAM traffic.  The
+    coefficient is the full-chip traffic at ``Fmax`` divided by 100.
+    """
+    spec = sim.platform(platform)
+    coeffs: Dict[MemoryClass, float] = {}
+    for mem_class in ALL_MEMORY_CLASSES:
+        full = sim.dram_bytes_per_second(
+            mem_class, spec.f_max_ghz, platform
+        )
+        coeffs[mem_class] = full / 100.0
+    return coeffs

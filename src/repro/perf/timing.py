@@ -1,0 +1,154 @@
+"""Analytic execution-time model (the gem5 substitute).
+
+The paper characterizes each (platform, workload-class) pair through gem5
+simulations reduced to execution-time-versus-frequency curves.  Those
+curves have a universal two-component structure that our model makes
+explicit::
+
+    T(f) = a / f + b
+
+* ``a`` (seconds x GHz) is the *compute* component: instruction count times
+  base CPI; it scales inversely with clock frequency.
+* ``b`` (seconds) is the *memory* component: time spent waiting on DRAM,
+  which does not scale with core frequency.  ``b`` is the physical origin
+  of every NTC trend in the paper — it is why execution time degrades
+  sub-linearly when frequency drops (Fig. 2) and why stall (wait-for-
+  memory) cycles grow with frequency (Fig. 3's efficiency roll-off).
+
+The decomposition in terms of microarchitecture is::
+
+    a = N_instr * CPI_base / 1e9
+    b = N_instr * APIns * t_dram * B
+
+with ``APIns`` the DRAM accesses per instruction, ``t_dram`` the average
+access latency and ``B`` the core's memory blocking factor (1.0 for
+in-order cores, <1 for out-of-order cores that overlap misses).
+:mod:`repro.perf.calibration` solves these against the paper's Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, DomainError
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """Two-parameter execution-time curve for one (platform, class) pair.
+
+    Attributes:
+        compute_seconds_ghz: the ``a`` coefficient in seconds x GHz.
+        memory_seconds: the ``b`` coefficient in seconds.
+    """
+
+    compute_seconds_ghz: float
+    memory_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.compute_seconds_ghz <= 0.0:
+            raise ConfigurationError("compute component must be positive")
+        if self.memory_seconds < 0.0:
+            raise ConfigurationError("memory component must be >= 0")
+
+    # -- core curve ---------------------------------------------------------
+
+    def execution_time_s(self, freq_ghz: float) -> float:
+        """Job execution time in seconds at clock frequency ``freq_ghz``.
+
+        Raises:
+            DomainError: if the frequency is not positive.
+        """
+        if freq_ghz <= 0.0:
+            raise DomainError(f"frequency must be positive, got {freq_ghz}")
+        return self.compute_seconds_ghz / freq_ghz + self.memory_seconds
+
+    def stall_fraction(self, freq_ghz: float) -> float:
+        """Fraction of wall time spent waiting on memory at ``freq_ghz``.
+
+        This is the wait-for-memory (WFM) residency used by the power model
+        (the paper's 24% WFM power discount applies to this fraction).
+        Grows with frequency: the compute part shrinks while the memory
+        part stays constant.
+        """
+        total = self.execution_time_s(freq_ghz)
+        if total == 0.0:
+            return 0.0
+        return self.memory_seconds / total
+
+    def speedup(self, from_freq_ghz: float, to_freq_ghz: float) -> float:
+        """Execution-time ratio ``T(from) / T(to)``.
+
+        For a memory-bound workload this is well below the naive
+        ``to/from`` frequency ratio.
+        """
+        return self.execution_time_s(from_freq_ghz) / self.execution_time_s(
+            to_freq_ghz
+        )
+
+    # -- derived quantities ---------------------------------------------------
+
+    def frequency_for_time(self, target_time_s: float) -> float:
+        """Clock frequency (GHz) at which the job takes ``target_time_s``.
+
+        Inverts ``T(f) = a/f + b``.  Used to find QoS crossover
+        frequencies.
+
+        Raises:
+            DomainError: if the target time is not achievable (at or below
+                the memory floor ``b``).
+        """
+        if target_time_s <= self.memory_seconds:
+            raise DomainError(
+                f"target time {target_time_s}s is at or below the memory "
+                f"floor {self.memory_seconds}s; no frequency achieves it"
+            )
+        return self.compute_seconds_ghz / (target_time_s - self.memory_seconds)
+
+    @property
+    def memory_floor_s(self) -> float:
+        """Asymptotic execution time at infinite frequency (= ``b``)."""
+        return self.memory_seconds
+
+
+@dataclass(frozen=True)
+class MicroarchDecomposition:
+    """Microarchitectural decomposition of a :class:`TimingParameters`.
+
+    Produced by calibration; documents how the fitted ``(a, b)`` curve maps
+    onto instruction count, base CPI, DRAM access rate, latency and the
+    core's blocking factor.
+    """
+
+    instructions: float
+    base_cpi: float
+    dram_accesses_per_instr: float
+    dram_latency_ns: float
+    blocking_factor: float
+
+    def to_timing(self) -> TimingParameters:
+        """Recompose the analytic curve from the microarchitecture terms."""
+        compute = self.instructions * self.base_cpi / 1.0e9
+        memory = (
+            self.instructions
+            * self.dram_accesses_per_instr
+            * self.dram_latency_ns
+            * 1.0e-9
+            * self.blocking_factor
+        )
+        return TimingParameters(
+            compute_seconds_ghz=compute, memory_seconds=memory
+        )
+
+
+def instructions_per_second(
+    timing: TimingParameters, instructions: float, freq_ghz: float
+) -> float:
+    """Useful instructions per second (UIPS) of one core running a job.
+
+    ``UIPS = N_instr / T(f)``; the chip-level UIPS of the paper's Fig. 3 is
+    this multiplied by the core count (all cores running one job each).
+    """
+    if instructions <= 0.0:
+        raise DomainError("instruction count must be positive")
+    return instructions / timing.execution_time_s(freq_ghz)

@@ -1,0 +1,119 @@
+"""Workload classes and profiles (paper Section III-B).
+
+The paper's applications are virtualized banking-style batch jobs split
+into three categories by per-VM memory usage:
+
+* ``low-mem``  — ~70 MB average footprint (CPU-bounded),
+* ``mid-mem``  — ~255 MB,
+* ``high-mem`` — ~435 MB (memory-bounded).
+
+A :class:`WorkloadProfile` carries the microarchitecture-independent
+description of one class: how many instructions a job executes and how much
+DRAM traffic it generates per instruction.  Per-platform execution times
+come from combining a profile with a platform's
+:class:`~repro.perf.timing.TimingParameters` (see
+:mod:`repro.perf.calibration`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..anchors import MEMORY_FOOTPRINT_MB, MEMORY_FOOTPRINT_PCT
+from ..errors import ConfigurationError
+
+
+class MemoryClass(Enum):
+    """The paper's three memory-footprint workload categories."""
+
+    LOW = "low-mem"
+    MID = "mid-mem"
+    HIGH = "high-mem"
+
+    @property
+    def label(self) -> str:
+        """The paper's name for the class, e.g. ``"low-mem"``."""
+        return self.value
+
+    @classmethod
+    def from_label(cls, label: str) -> "MemoryClass":
+        """Parse a class from its paper label.
+
+        Raises:
+            ConfigurationError: if the label is not one of the three classes.
+        """
+        for member in cls:
+            if member.value == label:
+                return member
+        raise ConfigurationError(
+            f"unknown memory class {label!r}; expected one of "
+            f"{[m.value for m in cls]}"
+        )
+
+    @property
+    def footprint_mb(self) -> float:
+        """Average per-VM memory footprint in MB (paper Section III-B)."""
+        return MEMORY_FOOTPRINT_MB[self.value]
+
+    @property
+    def footprint_pct(self) -> float:
+        """Footprint as the paper's percentage of a 1GB VM allocation."""
+        return MEMORY_FOOTPRINT_PCT[self.value]
+
+
+ALL_MEMORY_CLASSES = (MemoryClass.LOW, MemoryClass.MID, MemoryClass.HIGH)
+"""The three classes in the paper's presentation order."""
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Platform-independent characterization of one workload class.
+
+    Attributes:
+        mem_class: which of the paper's three categories this is.
+        instructions: dynamic instruction count of one job on one core.
+        dram_accesses_per_instr: off-chip (post-LLC) accesses per
+            instruction; multiplied by the line size this gives the DRAM
+            traffic used by the memory power model.
+        line_bytes: bytes moved per DRAM access (one cache line).
+    """
+
+    mem_class: MemoryClass
+    instructions: float
+    dram_accesses_per_instr: float
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0.0:
+            raise ConfigurationError(
+                f"{self.mem_class.label}: instruction count must be positive"
+            )
+        if self.dram_accesses_per_instr < 0.0:
+            raise ConfigurationError(
+                f"{self.mem_class.label}: DRAM access rate must be >= 0"
+            )
+        if self.line_bytes <= 0:
+            raise ConfigurationError(
+                f"{self.mem_class.label}: line size must be positive"
+            )
+
+    @property
+    def label(self) -> str:
+        """The paper's name for the class."""
+        return self.mem_class.label
+
+    @property
+    def dram_bytes_per_instr(self) -> float:
+        """Average DRAM bytes moved per executed instruction."""
+        return self.dram_accesses_per_instr * self.line_bytes
+
+    @property
+    def dram_apki(self) -> float:
+        """DRAM accesses per kilo-instruction (the usual reporting unit)."""
+        return self.dram_accesses_per_instr * 1000.0
+
+    @property
+    def footprint_mb(self) -> float:
+        """Average per-VM memory footprint in MB."""
+        return self.mem_class.footprint_mb

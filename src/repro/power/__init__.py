@@ -1,0 +1,43 @@
+"""Power substrate: component, server and data-center power models.
+
+Implements the paper's Section IV power characterization (core region,
+LLC, uncore/motherboard, DRAM) and the Section V-A data-center worst-case
+analysis behind Fig. 1.
+"""
+
+from .core_power import CoreRegionPowerModel, ntc_core_power_model
+from .datacenter import DataCenterPowerAnalysis, DcOperatingPoint
+from .dram_power import DramPowerModel
+from .llc import LlcPowerModel, ntc_llc_power_model
+from .psu import PsuModel, conventional_psu, ntc_psu
+from .server_power import (
+    PowerBreakdown,
+    ServerPowerModel,
+    conventional_server_power_model,
+    ntc_server_power_model,
+)
+from .uncore import (
+    UncorePowerModel,
+    conventional_uncore_power_model,
+    ntc_uncore_power_model,
+)
+
+__all__ = [
+    "CoreRegionPowerModel",
+    "DataCenterPowerAnalysis",
+    "DcOperatingPoint",
+    "DramPowerModel",
+    "LlcPowerModel",
+    "PowerBreakdown",
+    "PsuModel",
+    "ServerPowerModel",
+    "UncorePowerModel",
+    "conventional_psu",
+    "conventional_server_power_model",
+    "ntc_psu",
+    "conventional_uncore_power_model",
+    "ntc_core_power_model",
+    "ntc_llc_power_model",
+    "ntc_server_power_model",
+    "ntc_uncore_power_model",
+]

@@ -1,0 +1,123 @@
+"""Core-region power model (paper Section IV-1).
+
+The core region covers the cores' logic plus their L1/L2 caches.  Its
+power has two parts:
+
+* **dynamic**: ``P = Ceff * V^2 * f`` scaled by the fraction of time the
+  cores are busy.  While a busy core waits for memory (WFM state) it
+  consumes 24% less than when actively executing — the paper measured this
+  on an Intel Xeon v3 and applies it to the A57 core region;
+* **leakage**: an exponential-in-voltage static component
+  (:class:`~repro.technology.leakage.LeakageModel`), which collapses in the
+  near-threshold region — the property that makes NTC servers energy
+  proportional.
+
+Idle cores are assumed clock-gated: they stop switching but keep leaking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..anchors import WFM_POWER_REDUCTION
+from ..errors import ConfigurationError, DomainError
+from ..technology.leakage import LeakageModel, fdsoi28_core_leakage
+
+
+@dataclass(frozen=True)
+class CoreRegionPowerModel:
+    """Dynamic + leakage power of the whole core region.
+
+    Attributes:
+        ceff_nf: total effective switching capacitance of all cores in
+            nanofarads (so that ``nF * V^2 * GHz`` yields watts).
+        leakage: leakage model for the core region.
+        wfm_reduction: relative power reduction in the wait-for-memory
+            state (the paper's 24%).
+    """
+
+    ceff_nf: float
+    leakage: LeakageModel
+    wfm_reduction: float = WFM_POWER_REDUCTION
+
+    def __post_init__(self) -> None:
+        if self.ceff_nf <= 0.0:
+            raise ConfigurationError("effective capacitance must be positive")
+        if not (0.0 <= self.wfm_reduction < 1.0):
+            raise ConfigurationError(
+                f"WFM reduction must be in [0, 1), got {self.wfm_reduction}"
+            )
+
+    def dynamic_w(
+        self,
+        voltage_v: float,
+        freq_ghz: float,
+        busy_fraction: float = 1.0,
+        stall_fraction: float = 0.0,
+    ) -> float:
+        """Dynamic power of the core region in watts.
+
+        Args:
+            voltage_v: supply voltage.
+            freq_ghz: clock frequency.
+            busy_fraction: fraction of core-time the cores are occupied by
+                jobs (0 = fully idle/clock-gated, 1 = fully busy).
+            stall_fraction: within busy time, the fraction spent in the
+                WFM state (consumes ``1 - wfm_reduction`` of active power).
+
+        Raises:
+            DomainError: on out-of-range fractions or non-positive
+                operating points.
+        """
+        if voltage_v <= 0.0 or freq_ghz <= 0.0:
+            raise DomainError("voltage and frequency must be positive")
+        if not (0.0 <= busy_fraction <= 1.0):
+            raise DomainError(
+                f"busy_fraction must be in [0, 1], got {busy_fraction}"
+            )
+        if not (0.0 <= stall_fraction <= 1.0):
+            raise DomainError(
+                f"stall_fraction must be in [0, 1], got {stall_fraction}"
+            )
+        wfm_factor = 1.0 - self.wfm_reduction * stall_fraction
+        return (
+            self.ceff_nf
+            * voltage_v**2
+            * freq_ghz
+            * busy_fraction
+            * wfm_factor
+        )
+
+    def leakage_w(self, voltage_v: float) -> float:
+        """Core-region leakage power in watts at ``voltage_v``."""
+        return self.leakage.power_w(voltage_v)
+
+    def power_w(
+        self,
+        voltage_v: float,
+        freq_ghz: float,
+        busy_fraction: float = 1.0,
+        stall_fraction: float = 0.0,
+    ) -> float:
+        """Total core-region power (dynamic + leakage) in watts."""
+        return self.dynamic_w(
+            voltage_v, freq_ghz, busy_fraction, stall_fraction
+        ) + self.leakage_w(voltage_v)
+
+
+def ntc_core_power_model(n_cores: int = 16) -> CoreRegionPowerModel:
+    """Core-region power model of the proposed NTC server.
+
+    The per-core effective capacitance (1.0 nF) is the single calibrated
+    constant of the power model: it is chosen so that the *emergent*
+    energy-optimal frequency of the Fig. 1(a) data-center analysis lands at
+    the paper's ≈1.9 GHz, and it puts the fully loaded 16-core chip at
+    ≈84 W of dynamic power at the 1.30 V / 3.1 GHz corner — consistent with
+    the ≈11 kW the paper's 80-server worst case reaches.
+    """
+    if n_cores < 1:
+        raise ConfigurationError("n_cores must be >= 1")
+    return CoreRegionPowerModel(
+        ceff_nf=1.0 * n_cores,
+        leakage=fdsoi28_core_leakage(cores=n_cores),
+    )

@@ -1,0 +1,175 @@
+"""Data-center-level power analysis (paper Section V-A, Fig. 1).
+
+Models the paper's worst-case thought experiment: a data center of ``N``
+servers must serve a given *CPU utilization rate* — the ratio of required
+CPU resources (MHz) to total CPU resources (``N x Fmax``).  At a chosen
+uniform frequency ``f``, servers are filled one by one to capacity; the
+number of active servers and the total power follow.
+
+The headline result reproduced here: for the NTC server the power-vs-
+frequency curve at fixed utilization has an interior minimum near 1.9 GHz
+(energy proportionality beats consolidation), while for the conventional
+server it decreases monotonically toward ``Fmax`` (consolidation wins).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import DomainError, InfeasibleError
+from .server_power import ServerPowerModel
+
+_EPSILON = 1.0e-9
+
+
+@dataclass(frozen=True)
+class DcOperatingPoint:
+    """One point of a data-center power curve.
+
+    Attributes:
+        freq_ghz: the uniform server frequency.
+        utilization_pct: the data-center CPU utilization rate.
+        n_active_servers: servers that must be on to serve the demand.
+        power_kw: total data-center power in kilowatts.
+    """
+
+    freq_ghz: float
+    utilization_pct: float
+    n_active_servers: int
+    power_kw: float
+
+
+class DataCenterPowerAnalysis:
+    """Worst-case data-center power vs. frequency (the Fig. 1 analysis).
+
+    Args:
+        server_power: the per-server power model (NTC or conventional).
+        n_servers: data-center size (the paper uses 80 for Fig. 1).
+    """
+
+    def __init__(self, server_power: ServerPowerModel, n_servers: int = 80):
+        if n_servers < 1:
+            raise DomainError("n_servers must be >= 1")
+        self._power = server_power
+        self._n_servers = n_servers
+
+    @property
+    def n_servers(self) -> int:
+        """Total number of servers in the data center."""
+        return self._n_servers
+
+    @property
+    def server_power(self) -> ServerPowerModel:
+        """The per-server power model."""
+        return self._power
+
+    # -- demand bookkeeping ---------------------------------------------------
+
+    def demand_ghz(self, utilization_pct: float) -> float:
+        """Aggregate compute demand in GHz for a utilization rate.
+
+        ``demand = N x Fmax x utilization``; the utilization rate is the
+        paper's definition (required MHz over total MHz).
+        """
+        if not (0.0 <= utilization_pct <= 100.0):
+            raise DomainError(
+                f"utilization must be in [0, 100], got {utilization_pct}"
+            )
+        f_max = self._power.spec.f_max_ghz
+        return self._n_servers * f_max * utilization_pct / 100.0
+
+    def min_feasible_frequency_ghz(self, utilization_pct: float) -> float:
+        """Lowest OPP at which the demand fits on the available servers."""
+        demand = self.demand_ghz(utilization_pct)
+        for freq in self._power.spec.opps.frequencies_ghz:
+            if self._n_servers * freq + _EPSILON >= demand:
+                return freq
+        raise InfeasibleError(
+            f"utilization {utilization_pct}% cannot be served even at Fmax"
+        )
+
+    # -- power ---------------------------------------------------------------
+
+    def operating_point(
+        self, freq_ghz: float, utilization_pct: float
+    ) -> DcOperatingPoint:
+        """Power and active-server count at a uniform frequency.
+
+        Servers are packed to capacity at ``freq_ghz`` (worst-case,
+        CPU-bound: fully busy, no dynamic memory power); the last server
+        runs partially busy.
+
+        Raises:
+            InfeasibleError: if the demand does not fit on ``n_servers``
+                at this frequency.
+        """
+        demand = self.demand_ghz(utilization_pct)
+        if demand <= _EPSILON:
+            return DcOperatingPoint(
+                freq_ghz=freq_ghz,
+                utilization_pct=utilization_pct,
+                n_active_servers=0,
+                power_kw=0.0,
+            )
+        n_active = math.ceil(demand / freq_ghz - _EPSILON)
+        if n_active > self._n_servers:
+            raise InfeasibleError(
+                f"{utilization_pct}% utilization needs {n_active} servers at "
+                f"{freq_ghz} GHz but only {self._n_servers} exist"
+            )
+        n_full = int(demand / freq_ghz + _EPSILON)
+        remainder_ghz = demand - n_full * freq_ghz
+        power_w = n_full * self._power.full_load_power_w(freq_ghz)
+        if remainder_ghz > _EPSILON:
+            power_w += self._power.power_w(
+                freq_ghz, busy_fraction=remainder_ghz / freq_ghz
+            )
+        return DcOperatingPoint(
+            freq_ghz=freq_ghz,
+            utilization_pct=utilization_pct,
+            n_active_servers=n_active,
+            power_kw=power_w / 1000.0,
+        )
+
+    def power_curve(
+        self,
+        utilization_pct: float,
+        freqs_ghz: Optional[Sequence[float]] = None,
+    ) -> List[DcOperatingPoint]:
+        """Feasible portion of the power-vs-frequency curve (one Fig. 1 line).
+
+        Infeasible frequencies (demand would need more than ``n_servers``)
+        are skipped, which is why high-utilization curves only span the
+        upper frequency range.
+        """
+        grid = (
+            freqs_ghz
+            if freqs_ghz is not None
+            else self._power.spec.opps.frequencies_ghz
+        )
+        points: List[DcOperatingPoint] = []
+        for freq in grid:
+            try:
+                points.append(self.operating_point(freq, utilization_pct))
+            except InfeasibleError:
+                continue
+        return points
+
+    def optimal_point(
+        self,
+        utilization_pct: float,
+        freqs_ghz: Optional[Sequence[float]] = None,
+    ) -> DcOperatingPoint:
+        """Minimum-power operating point for a utilization rate.
+
+        Raises:
+            InfeasibleError: if no frequency on the grid is feasible.
+        """
+        curve = self.power_curve(utilization_pct, freqs_ghz)
+        if not curve:
+            raise InfeasibleError(
+                f"no feasible frequency for {utilization_pct}% utilization"
+            )
+        return min(curve, key=lambda p: p.power_kw)

@@ -1,0 +1,86 @@
+"""DRAM power model (paper Section IV-4).
+
+Measured on a real Xeon-v3-based server and interpolated linearly:
+
+* idle (banks powered down): **15.5 mW per GB**,
+* active (banks activated):  **155 mW per GB**,
+* plus **800 pJ per byte** read/written.
+
+A server whose banks are active a fraction ``rho`` of the time pays the
+idle power plus ``rho`` times the idle-to-active delta, plus the traffic
+term — which is the linear-in-accesses behaviour the paper's Section V-A
+argument relies on ("memory power consumption is a linear function of the
+number of memory accesses per second").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.dram import DramModel
+from ..errors import ConfigurationError, DomainError
+
+
+@dataclass(frozen=True)
+class DramPowerModel:
+    """Background + access power of a server's DRAM.
+
+    Attributes:
+        capacity_gb: DRAM capacity in GiB.
+        idle_mw_per_gb: background power per GiB with banks powered down.
+        active_mw_per_gb: background power per GiB with banks activated.
+        access_pj_per_byte: energy per byte transferred.
+    """
+
+    capacity_gb: float
+    idle_mw_per_gb: float = 15.5
+    active_mw_per_gb: float = 155.0
+    access_pj_per_byte: float = 800.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_gb <= 0.0:
+            raise ConfigurationError("DRAM capacity must be positive")
+        if not (0.0 <= self.idle_mw_per_gb <= self.active_mw_per_gb):
+            raise ConfigurationError(
+                "DRAM background powers must satisfy 0 <= idle <= active"
+            )
+        if self.access_pj_per_byte < 0.0:
+            raise ConfigurationError("access energy must be non-negative")
+
+    @classmethod
+    def from_dram_model(cls, dram: DramModel) -> "DramPowerModel":
+        """Build the power model from an architecture DRAM descriptor."""
+        return cls(
+            capacity_gb=dram.capacity_gb,
+            idle_mw_per_gb=dram.idle_power_mw_per_gb,
+            active_mw_per_gb=dram.active_power_mw_per_gb,
+            access_pj_per_byte=dram.access_energy_pj_per_byte,
+        )
+
+    def background_w(self, active_fraction: float) -> float:
+        """Background (bank state) power in watts.
+
+        Args:
+            active_fraction: fraction of time the banks are activated
+                (0 = fully powered down, 1 = always active).
+        """
+        if not (0.0 <= active_fraction <= 1.0):
+            raise DomainError(
+                f"active_fraction must be in [0, 1], got {active_fraction}"
+            )
+        per_gb_mw = self.idle_mw_per_gb + active_fraction * (
+            self.active_mw_per_gb - self.idle_mw_per_gb
+        )
+        return per_gb_mw * self.capacity_gb / 1000.0
+
+    def access_w(self, bytes_per_s: float) -> float:
+        """Traffic-proportional power in watts."""
+        if bytes_per_s < 0.0:
+            raise DomainError("traffic must be non-negative")
+        return bytes_per_s * self.access_pj_per_byte * 1.0e-12
+
+    def power_w(
+        self, active_fraction: float, bytes_per_s: float = 0.0
+    ) -> float:
+        """Total DRAM power: background plus access."""
+        return self.background_w(active_fraction) + self.access_w(bytes_per_s)

@@ -1,0 +1,102 @@
+"""Last-level-cache power model (paper Section IV-2).
+
+The paper's LLC model was extracted from measurements of a 256KB SRAM
+block in 28nm UTBB FD-SOI: leakage power per block, plus read and write
+energies per 128-bit access, at several voltage levels.  We reproduce that
+structure:
+
+* leakage scales with capacity (number of 256KB blocks) and follows the
+  exponential-in-voltage law;
+* access energies are quoted at a nominal voltage and scale with ``V^2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, DomainError
+from ..technology.leakage import LeakageModel, fdsoi28_sram_leakage
+
+ACCESS_BITS = 128
+"""Width of one LLC access in the paper's measurement (bits)."""
+
+ACCESS_BYTES = ACCESS_BITS // 8
+"""Bytes moved per 128-bit LLC access."""
+
+
+@dataclass(frozen=True)
+class LlcPowerModel:
+    """Leakage + access power of the shared last-level cache.
+
+    Attributes:
+        size_mb: LLC capacity in MiB.
+        leakage: leakage model for the whole array.
+        read_energy_pj: energy per 128-bit read at the nominal voltage.
+        write_energy_pj: energy per 128-bit write at the nominal voltage.
+        nominal_voltage_v: voltage at which the access energies are quoted.
+        write_fraction: fraction of accesses that are writes.
+    """
+
+    size_mb: float
+    leakage: LeakageModel
+    read_energy_pj: float = 20.0
+    write_energy_pj: float = 24.0
+    nominal_voltage_v: float = 1.0
+    write_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.size_mb <= 0.0:
+            raise ConfigurationError("LLC size must be positive")
+        if self.read_energy_pj < 0.0 or self.write_energy_pj < 0.0:
+            raise ConfigurationError("access energies must be non-negative")
+        if self.nominal_voltage_v <= 0.0:
+            raise ConfigurationError("nominal voltage must be positive")
+        if not (0.0 <= self.write_fraction <= 1.0):
+            raise ConfigurationError("write fraction must be in [0, 1]")
+
+    def leakage_w(self, voltage_v: float) -> float:
+        """Array leakage power in watts at ``voltage_v``."""
+        return self.leakage.power_w(voltage_v)
+
+    def energy_per_access_j(self, voltage_v: float) -> float:
+        """Average energy of one 128-bit access at ``voltage_v``.
+
+        Mixes read and write energies by ``write_fraction`` and scales the
+        nominal-voltage numbers by ``(V / V_nominal)^2``.
+        """
+        if voltage_v <= 0.0:
+            raise DomainError("voltage must be positive")
+        nominal_pj = (
+            self.read_energy_pj * (1.0 - self.write_fraction)
+            + self.write_energy_pj * self.write_fraction
+        )
+        scale = (voltage_v / self.nominal_voltage_v) ** 2
+        return nominal_pj * scale * 1.0e-12
+
+    def access_w(self, voltage_v: float, accesses_per_s: float) -> float:
+        """Access (dynamic) power in watts for a given access rate."""
+        if accesses_per_s < 0.0:
+            raise DomainError("access rate must be non-negative")
+        return self.energy_per_access_j(voltage_v) * accesses_per_s
+
+    def access_w_from_bytes(
+        self, voltage_v: float, bytes_per_s: float
+    ) -> float:
+        """Access power from a byte-traffic figure (128-bit granules)."""
+        if bytes_per_s < 0.0:
+            raise DomainError("traffic must be non-negative")
+        return self.access_w(voltage_v, bytes_per_s / ACCESS_BYTES)
+
+    def power_w(self, voltage_v: float, accesses_per_s: float = 0.0) -> float:
+        """Total LLC power: leakage plus access energy."""
+        return self.leakage_w(voltage_v) + self.access_w(
+            voltage_v, accesses_per_s
+        )
+
+
+def ntc_llc_power_model(size_mb: float = 16.0) -> LlcPowerModel:
+    """LLC power model of the NTC server's 16MB cache."""
+    return LlcPowerModel(
+        size_mb=size_mb,
+        leakage=fdsoi28_sram_leakage(size_mb=size_mb),
+    )

@@ -1,0 +1,121 @@
+"""Power-supply-unit efficiency model.
+
+The paper's data center gives "each NTC server ... its dedicated power
+supply" (Section III-A) but folds conversion losses into its measurements.
+This module makes the PSU explicit so wall-plug energy can be studied:
+server DC power divided by a load-dependent efficiency curve.
+
+Real PSUs (80 PLUS-style) are inefficient at light load, peak around half
+load, and sag slightly toward full load.  We model efficiency with the
+standard loss decomposition::
+
+    loss(P) = loss_fixed + k_prop * P + k_sq * P^2
+    eta(P)  = P / (P + loss(P))
+
+which produces exactly that shape.  Because NTC servers often idle far
+below their PSU's rating, right-sizing the PSU matters more for them than
+for conventional servers — an effect invisible in the paper but easy to
+explore here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, DomainError
+
+
+@dataclass(frozen=True)
+class PsuModel:
+    """Load-dependent PSU efficiency via a quadratic loss model.
+
+    Attributes:
+        rated_w: the PSU's rated output power.
+        loss_fixed_w: constant conversion loss (fans, control, standby).
+        loss_prop: proportional loss coefficient (dimensionless).
+        loss_sq_per_w: quadratic loss coefficient (1/W), modeling ohmic
+            losses that grow with current squared.
+    """
+
+    rated_w: float
+    loss_fixed_w: float = 4.0
+    loss_prop: float = 0.03
+    loss_sq_per_w: float = 0.0002
+
+    def __post_init__(self) -> None:
+        if self.rated_w <= 0.0:
+            raise ConfigurationError("PSU rating must be positive")
+        if (
+            self.loss_fixed_w < 0.0
+            or self.loss_prop < 0.0
+            or self.loss_sq_per_w < 0.0
+        ):
+            raise ConfigurationError("loss coefficients must be >= 0")
+
+    def loss_w(self, dc_power_w: float) -> float:
+        """Conversion loss at a DC-side load."""
+        if dc_power_w < 0.0:
+            raise DomainError("load must be non-negative")
+        return (
+            self.loss_fixed_w
+            + self.loss_prop * dc_power_w
+            + self.loss_sq_per_w * dc_power_w**2
+        )
+
+    def efficiency(self, dc_power_w: float) -> float:
+        """Efficiency ``P / (P + loss(P))`` at a DC-side load.
+
+        Zero load returns 0 (the PSU burns its fixed loss for nothing).
+        """
+        if dc_power_w < 0.0:
+            raise DomainError("load must be non-negative")
+        if dc_power_w == 0.0:
+            return 0.0
+        return dc_power_w / (dc_power_w + self.loss_w(dc_power_w))
+
+    def wall_power_w(self, dc_power_w: float) -> float:
+        """AC (wall-plug) power drawn for a DC-side load.
+
+        A powered PSU with zero load still draws its fixed loss.
+        """
+        if dc_power_w < 0.0:
+            raise DomainError("load must be non-negative")
+        return dc_power_w + self.loss_w(dc_power_w)
+
+    def load_fraction(self, dc_power_w: float) -> float:
+        """Load as a fraction of the rating (can exceed 1 if overloaded)."""
+        return dc_power_w / self.rated_w
+
+    def peak_efficiency_load_w(self) -> float:
+        """DC load at which efficiency peaks (``sqrt(fixed / k_sq)``).
+
+        With no quadratic term the efficiency is monotone increasing and
+        the rated power is returned.
+        """
+        if self.loss_sq_per_w == 0.0:
+            return self.rated_w
+        return (self.loss_fixed_w / self.loss_sq_per_w) ** 0.5
+
+
+def ntc_psu(rated_w: float = 200.0) -> PsuModel:
+    """A right-sized PSU for the NTC server (~139 W peak DC load).
+
+    Peak efficiency lands near mid-load (~140 W), i.e. around the server's
+    busy operating region, with ~94% efficiency there.
+    """
+    return PsuModel(rated_w=rated_w)
+
+
+def conventional_psu(rated_w: float = 450.0) -> PsuModel:
+    """An enterprise-class PSU for the conventional server.
+
+    Oversized relative to the ~140 W server (typical of legacy platforms),
+    with a higher fixed loss — the server therefore sits on the
+    inefficient left side of the efficiency curve most of the time.
+    """
+    return PsuModel(
+        rated_w=rated_w,
+        loss_fixed_w=9.0,
+        loss_prop=0.035,
+        loss_sq_per_w=0.00012,
+    )

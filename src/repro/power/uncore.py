@@ -1,0 +1,127 @@
+"""Uncore and platform power (paper Section IV-3).
+
+The paper measured the memory controller, peripherals and IO subsystem of
+an Intel Xeon v3 and split the overhead into:
+
+* a **constant** component of 11.84 W present at every operating point,
+* a component **proportional to the operating condition**, ranging from
+  1.6 W at the lowest operating point to 9 W at the highest,
+
+plus 15 W of motherboard power (low fan speed, one SSD disk), taken from
+the Cavium ThunderX server.
+
+We model the proportional part as scaling with switching activity
+``V^2 * f`` normalized to the maximum operating point, which reproduces
+both published endpoints by construction.  The motherboard term is the
+"static power" knob the paper sweeps in Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..anchors import (
+    MOTHERBOARD_W,
+    UNCORE_CONSTANT_W,
+    UNCORE_PROPORTIONAL_RANGE_W,
+)
+from ..errors import ConfigurationError, DomainError
+
+
+@dataclass(frozen=True)
+class UncorePowerModel:
+    """Memory controller / peripherals / IO / motherboard power.
+
+    Attributes:
+        constant_w: always-on uncore component (paper: 11.84 W).
+        proportional_min_w: proportional component at the lowest operating
+            point (paper: 1.6 W).
+        proportional_max_w: proportional component at the highest operating
+            point (paper: 9 W).
+        motherboard_w: motherboard + fan + disk power (paper: 15 W); the
+            Fig. 7 static-power sweep varies this field.
+        v_max: voltage of the highest operating point (normalization).
+        f_max_ghz: frequency of the highest operating point (normalization).
+    """
+
+    constant_w: float = UNCORE_CONSTANT_W
+    proportional_min_w: float = UNCORE_PROPORTIONAL_RANGE_W[0]
+    proportional_max_w: float = UNCORE_PROPORTIONAL_RANGE_W[1]
+    motherboard_w: float = MOTHERBOARD_W
+    v_max: float = 1.30
+    f_max_ghz: float = 3.1
+
+    def __post_init__(self) -> None:
+        if self.constant_w < 0.0 or self.motherboard_w < 0.0:
+            raise ConfigurationError(
+                "constant and motherboard power must be non-negative"
+            )
+        if not (0.0 <= self.proportional_min_w <= self.proportional_max_w):
+            raise ConfigurationError(
+                "proportional range must satisfy 0 <= min <= max"
+            )
+        if self.v_max <= 0.0 or self.f_max_ghz <= 0.0:
+            raise ConfigurationError(
+                "normalization operating point must be positive"
+            )
+
+    def activity(self, voltage_v: float, freq_ghz: float) -> float:
+        """Switching-activity factor ``V^2 f`` normalized to the max OPP."""
+        if voltage_v <= 0.0 or freq_ghz <= 0.0:
+            raise DomainError("voltage and frequency must be positive")
+        return (voltage_v**2 * freq_ghz) / (self.v_max**2 * self.f_max_ghz)
+
+    def proportional_w(self, voltage_v: float, freq_ghz: float) -> float:
+        """Operating-condition-proportional component in watts.
+
+        Equals ``proportional_max_w`` at the maximum operating point and
+        approaches ``proportional_min_w`` at the lowest.
+        """
+        act = min(1.0, self.activity(voltage_v, freq_ghz))
+        return self.proportional_min_w + (
+            self.proportional_max_w - self.proportional_min_w
+        ) * act
+
+    def static_w(self) -> float:
+        """Operating-point-independent platform power (constant + board)."""
+        return self.constant_w + self.motherboard_w
+
+    def power_w(self, voltage_v: float, freq_ghz: float) -> float:
+        """Total uncore + platform power at an operating point."""
+        return self.static_w() + self.proportional_w(voltage_v, freq_ghz)
+
+    def with_motherboard(self, motherboard_w: float) -> "UncorePowerModel":
+        """Copy of this model with a different motherboard/static power.
+
+        This is the knob the Fig. 7 sweep turns (5-45 W).
+        """
+        return UncorePowerModel(
+            constant_w=self.constant_w,
+            proportional_min_w=self.proportional_min_w,
+            proportional_max_w=self.proportional_max_w,
+            motherboard_w=motherboard_w,
+            v_max=self.v_max,
+            f_max_ghz=self.f_max_ghz,
+        )
+
+
+def ntc_uncore_power_model() -> UncorePowerModel:
+    """The NTC server's uncore model with the paper's published constants."""
+    return UncorePowerModel()
+
+
+def conventional_uncore_power_model() -> UncorePowerModel:
+    """Uncore/platform model for the conventional E5-2620 server.
+
+    Enterprise platforms carry heavier chipsets, more fans and redundant
+    power delivery: 25 W constant uncore, a 4-16 W proportional window, and
+    a 30 W board, normalized to the 1.35 V / 2.4 GHz top operating point.
+    """
+    return UncorePowerModel(
+        constant_w=25.0,
+        proportional_min_w=4.0,
+        proportional_max_w=16.0,
+        motherboard_w=30.0,
+        v_max=1.35,
+        f_max_ghz=2.4,
+    )

@@ -1,0 +1,48 @@
+"""Process-technology substrate: voltage/frequency curves, leakage, OPPs.
+
+This subpackage models the technology layer of the paper's Section IV: the
+28nm UTBB FD-SOI process that enables near-threshold operation, and a
+conventional bulk process for the non-NTC comparison server.
+"""
+
+from .leakage import (
+    LeakageModel,
+    bulk_core_leakage,
+    fdsoi28_core_leakage,
+    fdsoi28_sram_leakage,
+)
+from .opp import (
+    OperatingPoint,
+    OppTable,
+    build_opp_table,
+    conventional_opp_table,
+    ntc_opp_table,
+    uniform_opp_grid,
+)
+from .scaling import (
+    NodeScaling,
+    fdsoi12_scaling,
+    fdsoi20_scaling,
+    scaled_ntc_power_model,
+)
+from .voltage import VoltageFrequencyModel, bulk_planar, fdsoi28
+
+__all__ = [
+    "LeakageModel",
+    "NodeScaling",
+    "OperatingPoint",
+    "OppTable",
+    "VoltageFrequencyModel",
+    "build_opp_table",
+    "bulk_core_leakage",
+    "bulk_planar",
+    "conventional_opp_table",
+    "fdsoi12_scaling",
+    "fdsoi20_scaling",
+    "fdsoi28",
+    "fdsoi28_core_leakage",
+    "fdsoi28_sram_leakage",
+    "ntc_opp_table",
+    "scaled_ntc_power_model",
+    "uniform_opp_grid",
+]

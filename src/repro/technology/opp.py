@@ -1,0 +1,225 @@
+"""Operating performance points (OPPs) and DVFS tables.
+
+An OPP is a ``(frequency, voltage)`` pair a chip can run at.  A DVFS table
+is the ordered list of OPPs exposed to the operating system — the paper's
+policies pick frequencies from such a table (e.g. the online governor that
+"sets the best frequency level for each server per sample").
+
+The tables here are derived from a :class:`~repro.technology.voltage.
+VoltageFrequencyModel`: given a grid of target frequencies, each point gets
+the minimum voltage that sustains it.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from ..errors import ConfigurationError, InfeasibleError
+from .voltage import VoltageFrequencyModel
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One DVFS operating point.
+
+    Attributes:
+        freq_ghz: clock frequency in GHz.
+        voltage_v: minimum supply voltage sustaining that frequency, in V.
+    """
+
+    freq_ghz: float
+    voltage_v: float
+
+
+class OppTable:
+    """Ordered, immutable table of operating performance points.
+
+    The table is sorted by ascending frequency.  Lookup helpers implement
+    the quantization the allocation policies need: *ceil* quantization for
+    "slowest frequency that still covers this demand" and *floor*
+    quantization for "fastest frequency not exceeding this cap".
+    """
+
+    def __init__(self, points: Iterable[OperatingPoint]):
+        pts = sorted(points, key=lambda p: p.freq_ghz)
+        if not pts:
+            raise ConfigurationError("an OPP table needs at least one point")
+        freqs = [p.freq_ghz for p in pts]
+        if len(set(freqs)) != len(freqs):
+            raise ConfigurationError("OPP table has duplicate frequencies")
+        self._points: Tuple[OperatingPoint, ...] = tuple(pts)
+        self._freqs: Tuple[float, ...] = tuple(freqs)
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self._points)
+
+    def __getitem__(self, index: int) -> OperatingPoint:
+        return self._points[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lo, hi = self.f_min_ghz, self.f_max_ghz
+        return f"OppTable({len(self)} points, {lo:.2f}-{hi:.2f} GHz)"
+
+    # -- bounds ---------------------------------------------------------------
+
+    @property
+    def f_min_ghz(self) -> float:
+        """Lowest frequency in the table."""
+        return self._freqs[0]
+
+    @property
+    def f_max_ghz(self) -> float:
+        """Highest frequency in the table."""
+        return self._freqs[-1]
+
+    @property
+    def frequencies_ghz(self) -> Tuple[float, ...]:
+        """All frequencies in ascending order."""
+        return self._freqs
+
+    # -- quantization -----------------------------------------------------
+
+    def ceil(self, freq_ghz: float) -> OperatingPoint:
+        """Slowest OPP whose frequency is >= ``freq_ghz``.
+
+        This is the quantization used when a frequency must *cover* a
+        demand (e.g. the per-sample governor).  Demands at or below the
+        table minimum return the minimum OPP.
+
+        Raises:
+            InfeasibleError: if ``freq_ghz`` exceeds the table maximum.
+        """
+        if freq_ghz > self.f_max_ghz:
+            raise InfeasibleError(
+                f"demand {freq_ghz:.4f} GHz exceeds the maximum OPP "
+                f"({self.f_max_ghz:.4f} GHz)"
+            )
+        idx = bisect_left(self._freqs, freq_ghz)
+        return self._points[idx]
+
+    def floor(self, freq_ghz: float) -> OperatingPoint:
+        """Fastest OPP whose frequency is <= ``freq_ghz``.
+
+        This is the quantization used when a frequency acts as a *cap*.
+        Caps at or above the table maximum return the maximum OPP.
+
+        Raises:
+            InfeasibleError: if ``freq_ghz`` is below the table minimum.
+        """
+        if freq_ghz < self.f_min_ghz:
+            raise InfeasibleError(
+                f"cap {freq_ghz:.4f} GHz is below the minimum OPP "
+                f"({self.f_min_ghz:.4f} GHz)"
+            )
+        idx = bisect_left(self._freqs, freq_ghz)
+        if idx < len(self._freqs) and self._freqs[idx] == freq_ghz:
+            return self._points[idx]
+        return self._points[idx - 1]
+
+    def nearest(self, freq_ghz: float) -> OperatingPoint:
+        """OPP whose frequency is closest to ``freq_ghz`` (ties go up)."""
+        idx = bisect_left(self._freqs, freq_ghz)
+        if idx == 0:
+            return self._points[0]
+        if idx == len(self._freqs):
+            return self._points[-1]
+        below, above = self._points[idx - 1], self._points[idx]
+        if freq_ghz - below.freq_ghz < above.freq_ghz - freq_ghz:
+            return below
+        return above
+
+    def index_of(self, freq_ghz: float) -> int:
+        """Index of an exact frequency in the table.
+
+        Raises:
+            InfeasibleError: if the frequency is not an exact table entry.
+        """
+        idx = bisect_left(self._freqs, freq_ghz)
+        if idx < len(self._freqs) and self._freqs[idx] == freq_ghz:
+            return idx
+        raise InfeasibleError(f"{freq_ghz} GHz is not an OPP of this table")
+
+
+def build_opp_table(
+    vf_model: VoltageFrequencyModel,
+    frequencies_ghz: Sequence[float],
+) -> OppTable:
+    """Build an :class:`OppTable` from explicit target frequencies.
+
+    Each frequency is paired with the minimum voltage sustaining it under
+    ``vf_model``.  Frequencies outside the model's achievable range raise.
+    """
+    points: List[OperatingPoint] = []
+    for freq in frequencies_ghz:
+        voltage = vf_model.voltage_for_frequency(freq)
+        points.append(OperatingPoint(freq_ghz=freq, voltage_v=voltage))
+    return OppTable(points)
+
+
+def uniform_opp_grid(
+    vf_model: VoltageFrequencyModel,
+    f_min_ghz: float,
+    f_max_ghz: float,
+    step_ghz: float = 0.1,
+) -> OppTable:
+    """Build a uniformly spaced OPP grid, inclusive of both endpoints.
+
+    Grid points are generated at ``f_min, f_min+step, ...`` and ``f_max`` is
+    appended if the grid does not land on it exactly.  Frequencies are
+    rounded to a 1 MHz resolution to keep table entries exactly
+    representable and comparable.
+    """
+    if f_min_ghz >= f_max_ghz:
+        raise ConfigurationError("f_min must be below f_max")
+    if step_ghz <= 0.0:
+        raise ConfigurationError("step must be positive")
+    freqs: List[float] = []
+    n_steps = int(round((f_max_ghz - f_min_ghz) / step_ghz))
+    for i in range(n_steps + 1):
+        freq = round(f_min_ghz + i * step_ghz, 3)
+        if freq <= f_max_ghz + 1e-9:
+            freqs.append(min(freq, f_max_ghz))
+    if freqs[-1] != f_max_ghz:
+        freqs.append(f_max_ghz)
+    # Deduplicate while preserving order (rounding may collide).
+    unique: List[float] = []
+    for freq in freqs:
+        if not unique or freq > unique[-1]:
+            unique.append(freq)
+    return build_opp_table(vf_model, unique)
+
+
+def ntc_opp_table(vf_model: VoltageFrequencyModel | None = None) -> OppTable:
+    """The NTC server's DVFS table: 100 MHz steps from 0.3 to 3.1 GHz.
+
+    The range matches the x-axis of the paper's Fig. 1(a) (300-3100 MHz),
+    extended downward with the 100 MHz and 200 MHz near-threshold points
+    that Fig. 2 sweeps.
+    """
+    from .voltage import fdsoi28
+
+    model = vf_model if vf_model is not None else fdsoi28()
+    freqs = [0.1, 0.2] + [round(0.3 + 0.1 * i, 1) for i in range(29)]
+    return build_opp_table(model, freqs)
+
+
+def conventional_opp_table(
+    vf_model: VoltageFrequencyModel | None = None,
+) -> OppTable:
+    """The conventional server's DVFS table: 1.2-2.4 GHz in 100 MHz steps.
+
+    Matches the x-axis of the paper's Fig. 1(b) (1200-2400 MHz), the DVFS
+    window of the Intel E5-2620.
+    """
+    from .voltage import bulk_planar
+
+    model = vf_model if vf_model is not None else bulk_planar()
+    freqs = [round(1.2 + 0.1 * i, 1) for i in range(13)]
+    return build_opp_table(model, freqs)

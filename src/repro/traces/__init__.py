@@ -1,0 +1,33 @@
+"""Workload-trace substrate: synthetic Google-cluster-like traces.
+
+Provides the VM descriptors, temporal pattern primitives, the trace
+generator and the :class:`TraceDataset` container the data-center
+simulation consumes.
+"""
+
+from .dataset import TraceDataset
+from .generator import (
+    ClusterTraceGenerator,
+    GeneratorConfig,
+    default_dataset,
+    memory_heavy_dataset,
+)
+from .io import load_dataset, save_dataset
+from .patterns import ar1_noise, burst_events, diurnal_profile, weekly_modulation
+from .vm import VmSpec, VmTrace
+
+__all__ = [
+    "ClusterTraceGenerator",
+    "GeneratorConfig",
+    "TraceDataset",
+    "VmSpec",
+    "VmTrace",
+    "ar1_noise",
+    "burst_events",
+    "default_dataset",
+    "diurnal_profile",
+    "load_dataset",
+    "memory_heavy_dataset",
+    "save_dataset",
+    "weekly_modulation",
+]

@@ -1,0 +1,83 @@
+"""Trace dataset persistence (NumPy ``.npz`` container).
+
+Generating the paper-scale dataset takes under a second, but experiments
+that must share *identical* traces across processes or machines (or pin
+them in version control) want a file format.  One ``.npz`` holds the two
+utilization matrices plus the per-VM spec columns; round-tripping is
+exact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..perf.workload import MemoryClass
+from .dataset import TraceDataset
+from .vm import VmSpec
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: TraceDataset, path: Union[str, Path]) -> Path:
+    """Write a dataset to ``path`` (``.npz`` appended if missing).
+
+    Returns the path actually written.
+    """
+    target = Path(path)
+    if target.suffix != ".npz":
+        target = target.with_suffix(target.suffix + ".npz")
+    target.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        target,
+        format_version=np.array([_FORMAT_VERSION]),
+        cpu_pct=dataset.cpu_pct,
+        mem_pct=dataset.mem_pct,
+        mem_class=np.array(
+            [spec.mem_class.label for spec in dataset.specs]
+        ),
+        cpu_base_pct=np.array(
+            [spec.cpu_base_pct for spec in dataset.specs]
+        ),
+        mem_base_pct=np.array(
+            [spec.mem_base_pct for spec in dataset.specs]
+        ),
+        group=np.array([spec.group for spec in dataset.specs]),
+    )
+    return target
+
+
+def load_dataset(path: Union[str, Path]) -> TraceDataset:
+    """Read a dataset previously written by :func:`save_dataset`.
+
+    Raises:
+        ConfigurationError: for missing files or unknown format versions.
+    """
+    target = Path(path)
+    if not target.exists():
+        raise ConfigurationError(f"no trace file at {target}")
+    with np.load(target, allow_pickle=False) as data:
+        version = int(data["format_version"][0])
+        if version != _FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported trace format version {version}"
+            )
+        labels = [str(label) for label in data["mem_class"]]
+        specs = tuple(
+            VmSpec(
+                vm_id=i,
+                mem_class=MemoryClass.from_label(labels[i]),
+                cpu_base_pct=float(data["cpu_base_pct"][i]),
+                mem_base_pct=float(data["mem_base_pct"][i]),
+                group=int(data["group"][i]),
+            )
+            for i in range(len(labels))
+        )
+        return TraceDataset(
+            specs=specs,
+            cpu_pct=np.array(data["cpu_pct"]),
+            mem_pct=np.array(data["mem_pct"]),
+        )

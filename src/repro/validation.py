@@ -1,0 +1,189 @@
+"""Built-in reproduction self-check.
+
+Runs the fast anchored validations (everything except the data-center
+week) and returns a structured report — a one-call answer to "is this
+install still reproducing the paper?".  Wired to
+``repro-experiments validate`` and usable programmatically::
+
+    from repro.validation import validate_reproduction
+    report = validate_reproduction()
+    assert report.all_passed, report.summary()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from .anchors import (
+    NTC_OPTIMAL_FREQ_GHZ,
+    NTC_SPEEDUP_OVER_THUNDERX_RANGE,
+    QOS_MIN_FREQ_GHZ,
+)
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one validation check."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass
+class ValidationReport:
+    """All check outcomes plus aggregates."""
+
+    checks: List[CheckResult] = field(default_factory=list)
+
+    @property
+    def all_passed(self) -> bool:
+        """Whether every check passed."""
+        return all(check.passed for check in self.checks)
+
+    @property
+    def n_failed(self) -> int:
+        """Number of failed checks."""
+        return sum(1 for check in self.checks if not check.passed)
+
+    def summary(self) -> str:
+        """Human-readable PASS/FAIL listing."""
+        lines = []
+        for check in self.checks:
+            status = "PASS" if check.passed else "FAIL"
+            lines.append(f"[{status}] {check.name}: {check.detail}")
+        verdict = (
+            "all checks passed"
+            if self.all_passed
+            else f"{self.n_failed} check(s) FAILED"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def _check(
+    report: ValidationReport, name: str, fn: Callable[[], tuple]
+) -> None:
+    try:
+        passed, detail = fn()
+    except Exception as exc:  # noqa: BLE001 - report, don't crash
+        passed, detail = False, f"raised {type(exc).__name__}: {exc}"
+    report.checks.append(
+        CheckResult(name=name, passed=bool(passed), detail=detail)
+    )
+
+
+def validate_reproduction() -> ValidationReport:
+    """Run the fast anchored checks and return the report."""
+    from .experiments.fig3 import run_fig3
+    from .experiments.table1 import run_table1
+    from .perf import ALL_MEMORY_CLASSES, PerformanceSimulator
+    from .power import (
+        conventional_server_power_model,
+        ntc_server_power_model,
+    )
+    from .power.datacenter import DataCenterPowerAnalysis
+
+    report = ValidationReport()
+    sim = PerformanceSimulator()
+    ntc_power = ntc_server_power_model()
+
+    def table1_check():
+        err = run_table1(sim).max_relative_error()
+        return err < 0.005, f"max relative error {err * 100:.2f}% (< 0.5%)"
+
+    _check(report, "Table I reproduction", table1_check)
+
+    def speedup_check():
+        lo, hi = NTC_SPEEDUP_OVER_THUNDERX_RANGE
+        speedups = [
+            sim.speedup_ntc_over_thunderx(mc) for mc in ALL_MEMORY_CLASSES
+        ]
+        ok = all(lo - 0.05 <= s <= hi + 0.05 for s in speedups)
+        pretty = ", ".join(f"{s:.2f}x" for s in speedups)
+        return ok, f"{pretty} (paper {lo}-{hi}x)"
+
+    _check(report, "NTC-over-ThunderX speedups", speedup_check)
+
+    def floors_check():
+        opps = sim.platform("ntc").opps
+        floors = {
+            mc.label: sim.qos.min_qos_frequency(mc, opps)
+            for mc in ALL_MEMORY_CLASSES
+        }
+        ok = all(
+            abs(floors[label] - QOS_MIN_FREQ_GHZ[label]) < 1e-9
+            for label in floors
+        )
+        return ok, f"{floors} (paper {dict(QOS_MIN_FREQ_GHZ)})"
+
+    _check(report, "Fig. 2 QoS frequency floors", floors_check)
+
+    def ntc_optimum_check():
+        f_opt = ntc_power.optimal_frequency_ghz()
+        return (
+            abs(f_opt - NTC_OPTIMAL_FREQ_GHZ) < 0.11,
+            f"{f_opt:.1f} GHz (paper ~{NTC_OPTIMAL_FREQ_GHZ} GHz)",
+        )
+
+    _check(report, "NTC energy-optimal frequency", ntc_optimum_check)
+
+    def conventional_check():
+        conv = conventional_server_power_model()
+        f_opt = conv.optimal_frequency_ghz()
+        return (
+            abs(f_opt - conv.spec.f_max_ghz) < 1e-9,
+            f"{f_opt:.1f} GHz == Fmax (consolidation wins)",
+        )
+
+    _check(report, "Conventional server optimum", conventional_check)
+
+    def fig1_knee_check():
+        dc = DataCenterPowerAnalysis(ntc_power, n_servers=80)
+        below = [dc.optimal_point(u).freq_ghz for u in (10, 30, 50)]
+        above_ok = all(
+            abs(
+                dc.optimal_point(u).freq_ghz
+                - dc.min_feasible_frequency_ghz(u)
+            )
+            < 1e-9
+            for u in (70, 90)
+        )
+        below_ok = all(1.7 <= f <= 2.0 for f in below)
+        return (
+            below_ok and above_ok,
+            f"below-knee optima {below}, above-knee = min feasible",
+        )
+
+    _check(report, "Fig. 1(a) utilization knee", fig1_knee_check)
+
+    def fig3_check():
+        result = run_fig3(sim, ntc_power)
+        peaks = result.peak_frequencies()
+        ordered = all(
+            a.buips_per_watt > b.buips_per_watt
+            for a, b in zip(
+                result.curves["low-mem"], result.curves["high-mem"]
+            )
+        )
+        high_ok = 1.0 <= peaks["high-mem"] <= 1.4
+        return (
+            ordered and high_ok,
+            f"peaks {peaks}, low>high efficiency everywhere",
+        )
+
+    _check(report, "Fig. 3 efficiency structure", fig3_check)
+
+    return report
+
+
+def main() -> int:
+    """CLI entry: print the report, exit non-zero on failure."""
+    report = validate_reproduction()
+    print(report.summary())
+    return 0 if report.all_passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,95 @@
+"""Shared fixtures for the test suite.
+
+Heavy objects (calibrated simulator, power models, synthetic datasets) are
+session-scoped: they are deterministic and read-only, so sharing them
+keeps the suite fast without coupling tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.forecast import DayAheadPredictor, PerfectPredictor
+from repro.perf import PerformanceSimulator
+from repro.power import (
+    conventional_server_power_model,
+    ntc_server_power_model,
+)
+from repro.traces import default_dataset, memory_heavy_dataset
+
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def perf_sim() -> PerformanceSimulator:
+    """Calibrated performance simulator (Table I anchored)."""
+    return PerformanceSimulator()
+
+
+@pytest.fixture(scope="session")
+def ntc_power():
+    """The NTC server power model."""
+    return ntc_server_power_model()
+
+
+@pytest.fixture(scope="session")
+def conv_power():
+    """The conventional (E5-2620) server power model."""
+    return conventional_server_power_model()
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """40 VMs x 9 days of synthetic traces (deterministic)."""
+    return default_dataset(n_vms=40, n_days=9, seed=3)
+
+
+@pytest.fixture(scope="session")
+def mem_heavy_dataset():
+    """A memory-dominated fleet exercising EPACT's case 2."""
+    return memory_heavy_dataset(n_vms=60, n_days=9, seed=5)
+
+
+@pytest.fixture(scope="session")
+def oracle_predictor(small_dataset):
+    """Perfect (oracle) predictor over the small dataset."""
+    return PerfectPredictor(small_dataset)
+
+
+@pytest.fixture(scope="session")
+def arima_predictor(small_dataset):
+    """Shared day-ahead ARIMA predictor (forecasts cached per day)."""
+    return DayAheadPredictor(small_dataset)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(12345)
+
+
+def _make_patterns(
+    n_vms: int, n_samples: int = 12, seed: int = 0, scale: float = 10.0
+):
+    """Deterministic positive utilization patterns for allocation tests."""
+    gen = np.random.default_rng(seed)
+    base = gen.uniform(0.2, 1.0, size=(n_vms, 1)) * scale
+    wiggle = 1.0 + 0.3 * np.sin(
+        np.linspace(0, 2 * np.pi, n_samples)[None, :]
+        + gen.uniform(0, 2 * np.pi, size=(n_vms, 1))
+    )
+    return base * wiggle
+
+
+@pytest.fixture(scope="session")
+def make_patterns():
+    """Factory fixture for deterministic utilization patterns."""
+    return _make_patterns

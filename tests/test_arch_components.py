@@ -1,0 +1,155 @@
+"""Tests for the architecture descriptors: cores, caches, DRAM."""
+
+import pytest
+
+from repro.arch.cache import (
+    CacheHierarchy,
+    CacheLevel,
+    ntc_cache_hierarchy,
+    thunderx_cache_hierarchy,
+    xeon_x5650_cache_hierarchy,
+)
+from repro.arch.core import (
+    CoreModel,
+    cortex_a53_thunderx,
+    cortex_a57,
+    xeon_sandybridge,
+    xeon_westmere,
+)
+from repro.arch.dram import (
+    DramModel,
+    ddr3_1333_x5650,
+    ddr4_2400_16gb,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCoreModel:
+    def test_a57_is_out_of_order(self):
+        core = cortex_a57()
+        assert core.out_of_order
+        assert core.memory_blocking_factor < 1.0
+
+    def test_thunderx_is_in_order_and_fully_blocking(self):
+        core = cortex_a53_thunderx()
+        assert not core.out_of_order
+        assert core.memory_blocking_factor == pytest.approx(1.0)
+
+    def test_in_order_core_has_higher_cpi(self):
+        """The Section III-A reason for replacing the ThunderX core."""
+        assert cortex_a53_thunderx().base_cpi > cortex_a57().base_cpi
+
+    def test_x86_cores_have_lowest_cpi(self):
+        assert xeon_westmere().base_cpi < cortex_a57().base_cpi
+        assert xeon_sandybridge().base_cpi < cortex_a57().base_cpi
+
+    def test_wfm_fraction_is_papers_24_percent(self):
+        assert cortex_a57().wfm_power_fraction == pytest.approx(0.76)
+
+    def test_peak_ipc(self):
+        core = CoreModel(
+            name="t", issue_width=2, out_of_order=True, base_cpi=0.5,
+            memory_blocking_factor=0.5,
+        )
+        assert core.peak_ipc == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CoreModel(
+                name="t", issue_width=0, out_of_order=True, base_cpi=1.0,
+                memory_blocking_factor=0.5,
+            )
+        with pytest.raises(ConfigurationError):
+            CoreModel(
+                name="t", issue_width=1, out_of_order=True, base_cpi=0.0,
+                memory_blocking_factor=0.5,
+            )
+        with pytest.raises(ConfigurationError):
+            CoreModel(
+                name="t", issue_width=1, out_of_order=True, base_cpi=1.0,
+                memory_blocking_factor=1.5,
+            )
+
+
+class TestCacheHierarchy:
+    def test_ntc_hierarchy_matches_paper(self):
+        """Section III-A: 64KB L1-I, 32KB L1-D, 16MB LLC."""
+        caches = ntc_cache_hierarchy()
+        assert caches.level_named("L1-I").size_kb == 64
+        assert caches.level_named("L1-D").size_kb == 32
+        assert caches.llc.size_mb == pytest.approx(16.0)
+        assert caches.llc.shared
+
+    def test_x5650_has_12mb_llc(self):
+        """Section III-C: the QoS reference has a 12MB LLC."""
+        assert xeon_x5650_cache_hierarchy().llc.size_mb == pytest.approx(
+            12.0
+        )
+
+    def test_llc_access_energies_configured(self):
+        llc = ntc_cache_hierarchy().llc
+        assert llc.read_energy_pj > 0
+        assert llc.write_energy_pj > llc.read_energy_pj
+
+    def test_lines_count(self):
+        level = CacheLevel(name="t", size_kb=64, line_bytes=64)
+        assert level.lines == 64 * 1024 // 64
+
+    def test_unknown_level_name_raises(self):
+        with pytest.raises(KeyError):
+            ntc_cache_hierarchy().level_named("L9")
+
+    def test_total_size(self):
+        caches = thunderx_cache_hierarchy()
+        assert caches.total_size_mb > 16.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CacheLevel(name="t", size_kb=0)
+        with pytest.raises(ConfigurationError):
+            CacheLevel(name="t", size_kb=32, line_bytes=48)
+        with pytest.raises(ConfigurationError):
+            CacheLevel(name="t", size_kb=32, latency_cycles=0)
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy(levels=())
+
+
+class TestDram:
+    def test_ddr4_2400_peak_bandwidth_is_papers(self):
+        """Section III-A: DDR4-2400 at 19.2 GB/s peak."""
+        dram = ddr4_2400_16gb()
+        assert dram.peak_bandwidth_gbps == pytest.approx(19.2)
+        assert dram.capacity_gb == pytest.approx(16.0)
+
+    def test_power_constants_are_papers(self):
+        """Section IV-4: 15.5/155 mW/GB and 800 pJ/B."""
+        dram = ddr4_2400_16gb()
+        assert dram.idle_power_mw_per_gb == pytest.approx(15.5)
+        assert dram.active_power_mw_per_gb == pytest.approx(155.0)
+        assert dram.access_energy_pj_per_byte == pytest.approx(800.0)
+
+    def test_x5650_memory_is_128gb_ddr3_1333(self):
+        dram = ddr3_1333_x5650()
+        assert dram.capacity_gb == pytest.approx(128.0)
+        assert dram.data_rate_mtps == pytest.approx(1333.0)
+
+    def test_bandwidth_utilization(self):
+        dram = ddr4_2400_16gb()
+        half = dram.peak_bandwidth_gbps * 1e9 / 2
+        assert dram.utilization_of_bandwidth(half) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DramModel(name="t", capacity_gb=0.0, data_rate_mtps=2400)
+        with pytest.raises(ConfigurationError):
+            DramModel(name="t", capacity_gb=16.0, data_rate_mtps=0.0)
+        with pytest.raises(ConfigurationError):
+            DramModel(
+                name="t",
+                capacity_gb=16.0,
+                data_rate_mtps=2400,
+                access_latency_ns=0.0,
+            )
+        dram = ddr4_2400_16gb()
+        with pytest.raises(ConfigurationError):
+            dram.utilization_of_bandwidth(-1.0)

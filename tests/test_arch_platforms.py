@@ -1,0 +1,101 @@
+"""Tests for the platform catalog and server specifications."""
+
+import pytest
+
+from repro.arch.platforms import (
+    cavium_thunderx,
+    intel_e5_2620,
+    intel_xeon_x5650,
+    ntc_server,
+)
+from repro.errors import ConfigurationError, DomainError
+
+
+class TestNtcServer:
+    def test_sixteen_a57_cores(self):
+        spec = ntc_server()
+        assert spec.n_cores == 16
+        assert "A57" in spec.core.name
+        assert spec.core.out_of_order
+
+    def test_fmax_is_3_1ghz(self):
+        assert ntc_server().f_max_ghz == pytest.approx(3.1)
+
+    def test_memory_is_16gb(self):
+        assert ntc_server().memory_capacity_gb == pytest.approx(16.0)
+
+    def test_capacity_points(self):
+        spec = ntc_server()
+        assert spec.capacity_points_at(3.1) == pytest.approx(100.0)
+        assert spec.capacity_points_at(1.55) == pytest.approx(50.0)
+
+    def test_capacity_roundtrip(self):
+        spec = ntc_server()
+        assert spec.frequency_for_capacity(
+            spec.capacity_points_at(1.9)
+        ) == pytest.approx(1.9)
+
+    def test_capacity_out_of_range(self):
+        spec = ntc_server()
+        with pytest.raises(DomainError):
+            spec.capacity_points_at(5.0)
+        with pytest.raises(DomainError):
+            spec.frequency_for_capacity(0.0)
+        with pytest.raises(DomainError):
+            spec.frequency_for_capacity(150.0)
+
+
+class TestOtherPlatforms:
+    def test_thunderx_nominal_2ghz(self):
+        spec = cavium_thunderx()
+        assert spec.nominal_freq_ghz == pytest.approx(2.0)
+        assert not spec.core.out_of_order
+
+    def test_x5650_nominal_2_66ghz(self):
+        spec = intel_xeon_x5650()
+        assert spec.nominal_freq_ghz == pytest.approx(2.66)
+        assert spec.n_cores == 16
+        assert spec.memory_capacity_gb == pytest.approx(128.0)
+
+    def test_e5_2620_six_cores_narrow_dvfs(self):
+        spec = intel_e5_2620()
+        assert spec.n_cores == 6
+        assert spec.f_min_ghz == pytest.approx(1.2)
+        assert spec.f_max_ghz == pytest.approx(2.4)
+
+    def test_all_platforms_constructible_and_consistent(self):
+        for factory in (
+            ntc_server,
+            cavium_thunderx,
+            intel_xeon_x5650,
+            intel_e5_2620,
+        ):
+            spec = factory()
+            assert spec.f_min_ghz < spec.nominal_freq_ghz <= spec.f_max_ghz
+            # Every OPP voltage must be achievable on the V/f model.
+            for point in spec.opps:
+                assert (
+                    spec.vf_model.v_min
+                    <= point.voltage_v
+                    <= spec.vf_model.v_max + 1e-9
+                )
+
+    def test_voltage_at_queries_vf_model(self):
+        spec = ntc_server()
+        assert spec.voltage_at(3.1) == pytest.approx(1.30, abs=1e-6)
+
+
+class TestSpecValidation:
+    def test_nominal_outside_dvfs_rejected(self):
+        from dataclasses import replace
+
+        spec = ntc_server()
+        with pytest.raises(ConfigurationError):
+            replace(spec, nominal_freq_ghz=5.0)
+
+    def test_zero_cores_rejected(self):
+        from dataclasses import replace
+
+        spec = ntc_server()
+        with pytest.raises(ConfigurationError):
+            replace(spec, n_cores=0)

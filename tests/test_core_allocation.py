@@ -1,0 +1,258 @@
+"""Tests for EPACT's Algorithm 1 and Algorithm 2."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.alloc1d import allocate_1d, ffd_order
+from repro.core.alloc2d import allocate_2d, merit_scores
+from repro.errors import DomainError
+
+import numpy as _np
+
+
+def make_patterns(n_vms, n_samples=12, seed=0, scale=10.0):
+    """Deterministic positive utilization patterns (local test helper)."""
+    gen = _np.random.default_rng(seed)
+    base = gen.uniform(0.2, 1.0, size=(n_vms, 1)) * scale
+    wiggle = 1.0 + 0.3 * _np.sin(
+        _np.linspace(0, 2 * _np.pi, n_samples)[None, :]
+        + gen.uniform(0, 2 * _np.pi, size=(n_vms, 1))
+    )
+    return base * wiggle
+
+
+def assert_all_placed(plans, n_vms):
+    placed = sorted(vm for plan in plans for vm in plan.vm_ids)
+    assert placed == list(range(n_vms))
+
+
+class TestFfdOrder:
+    def test_descending_peaks(self):
+        pred = np.array([[1.0, 2.0], [5.0, 1.0], [3.0, 3.0]])
+        order = ffd_order(pred)
+        assert list(order) == [1, 2, 0]
+
+    def test_stable_on_ties(self):
+        pred = np.array([[2.0], [2.0], [2.0]])
+        assert list(ffd_order(pred)) == [0, 1, 2]
+
+
+class TestAllocate1d:
+    def test_all_vms_placed(self):
+        cpu = make_patterns(30, seed=1)
+        mem = make_patterns(30, seed=2, scale=5.0)
+        plans, forced = allocate_1d(cpu, mem, cap_cpu_pct=60.0)
+        assert_all_placed(plans, 30)
+        assert forced == 0
+
+    def test_respects_cpu_cap(self):
+        cpu = make_patterns(30, seed=1)
+        mem = make_patterns(30, seed=2, scale=1.0)
+        cap = 60.0
+        plans, _ = allocate_1d(cpu, mem, cap_cpu_pct=cap)
+        for plan in plans:
+            if len(plan.vm_ids) > 1:
+                agg = cpu[plan.vm_ids].sum(axis=0)
+                assert agg.max() <= cap + 1e-9
+
+    def test_respects_memory_cap(self):
+        cpu = make_patterns(20, seed=3, scale=2.0)
+        mem = make_patterns(20, seed=4, scale=40.0)
+        plans, _ = allocate_1d(cpu, mem, cap_cpu_pct=100.0, cap_mem_pct=90.0)
+        for plan in plans:
+            if len(plan.vm_ids) > 1:
+                agg = mem[plan.vm_ids].sum(axis=0)
+                assert agg.max() <= 90.0 + 1e-9
+
+    def test_oversized_vm_gets_own_server(self):
+        """A VM larger than the cap still gets placed (alone)."""
+        cpu = np.vstack([np.full((1, 12), 80.0), make_patterns(5, seed=5)])
+        mem = np.full((6, 12), 1.0)
+        plans, forced = allocate_1d(cpu, mem, cap_cpu_pct=50.0)
+        assert_all_placed(plans, 6)
+        big_server = next(p for p in plans if 0 in p.vm_ids)
+        assert big_server.vm_ids == [0]
+
+    def test_correlation_packing_beats_capacity_only_on_server_count(self):
+        """Anti-correlated VMs share servers: two complementary groups
+        interleave into fewer servers than their peak sum suggests."""
+        n = 12
+        t = np.linspace(0, 2 * np.pi, 12)
+        morning = 20.0 + 15.0 * np.sin(t)
+        evening = 20.0 - 15.0 * np.sin(t)
+        cpu = np.vstack([morning] * n + [evening] * n)
+        mem = np.full((2 * n, 12), 1.0)
+        plans, _ = allocate_1d(cpu, mem, cap_cpu_pct=80.0)
+        # Naive peak-based packing: peak 35 each, 2 per server = 12 servers.
+        # Complementary packing: pairs sum to a flat 40, 2 pairs = 80 cap,
+        # so ~6 servers suffice.
+        assert len(plans) <= 8
+
+    def test_max_servers_forces_placement(self):
+        cpu = make_patterns(20, seed=6, scale=30.0)
+        mem = np.full((20, 12), 1.0)
+        plans, forced = allocate_1d(
+            cpu, mem, cap_cpu_pct=50.0, max_servers=2
+        )
+        assert len(plans) <= 2
+        assert forced > 0
+        assert_all_placed(plans, 20)
+
+    def test_explicit_order_respected_for_seed(self):
+        cpu = make_patterns(6, seed=7)
+        mem = np.full((6, 12), 1.0)
+        order = [5, 4, 3, 2, 1, 0]
+        plans, _ = allocate_1d(
+            cpu, mem, cap_cpu_pct=100.0, order=order
+        )
+        assert plans[0].vm_ids[0] == 5
+
+    def test_invalid_order_rejected(self):
+        cpu = make_patterns(4, seed=8)
+        mem = np.full((4, 12), 1.0)
+        with pytest.raises(DomainError):
+            allocate_1d(cpu, mem, cap_cpu_pct=50.0, order=[0, 1])
+
+    def test_invalid_caps_rejected(self):
+        cpu = make_patterns(4, seed=9)
+        mem = np.full((4, 12), 1.0)
+        with pytest.raises(DomainError):
+            allocate_1d(cpu, mem, cap_cpu_pct=0.0)
+        with pytest.raises(DomainError):
+            allocate_1d(cpu, mem, cap_cpu_pct=50.0, cap_mem_pct=150.0)
+
+    @given(st.integers(min_value=1, max_value=40), st.integers(0, 10_000))
+    def test_property_every_vm_placed_once(self, n_vms, seed):
+        cpu = make_patterns(n_vms, seed=seed)
+        mem = make_patterns(n_vms, seed=seed + 1, scale=3.0)
+        plans, _ = allocate_1d(cpu, mem, cap_cpu_pct=55.0)
+        assert_all_placed(plans, n_vms)
+
+    def test_plans_carry_caps(self):
+        cpu = make_patterns(5, seed=10)
+        mem = np.full((5, 12), 1.0)
+        plans, _ = allocate_1d(cpu, mem, cap_cpu_pct=61.3)
+        assert all(p.cap_cpu_pct == pytest.approx(61.3) for p in plans)
+
+
+class TestMeritScores:
+    def test_prefers_complementary_server(self):
+        t = np.linspace(0, 2 * np.pi, 12)
+        vm = 10.0 + 8.0 * np.sin(t)
+        anti = 30.0 - 20.0 * np.sin(t)   # complements the VM
+        aligned = 30.0 + 20.0 * np.sin(t)  # correlates with the VM
+        served_cpu = np.vstack([anti, aligned])
+        served_mem = np.full((2, 12), 10.0)
+        scores = merit_scores(
+            vm, np.full(12, 5.0), served_cpu, served_mem, 80.0, 100.0
+        )
+        assert scores[0] > scores[1]
+
+    def test_distance_term_prefers_tight_fit(self):
+        vm = np.full(12, 30.0)
+        nearly_full = np.full((1, 12), 50.0)  # remaining 30 == vm: dist 0
+        emptyish = np.full((1, 12), 5.0)      # remaining 75: far from 30
+        served_mem = np.full((1, 12), 10.0)
+        tight = merit_scores(
+            vm, np.full(12, 5.0), nearly_full, served_mem, 80.0, 100.0
+        )
+        loose = merit_scores(
+            vm, np.full(12, 5.0), emptyish, served_mem, 80.0, 100.0
+        )
+        # Both patterns are constant so phi = 0 -> merit ties at 0; the
+        # distance term matters once shape exists.
+        t = np.linspace(0, 2 * np.pi, 12)
+        vm_shaped = 30.0 + 5.0 * np.sin(t)
+        tight = merit_scores(
+            vm_shaped,
+            np.full(12, 5.0),
+            50.0 - 5.0 * np.sin(t)[None, :],
+            served_mem,
+            80.0,
+            100.0,
+        )
+        loose = merit_scores(
+            vm_shaped,
+            np.full(12, 5.0),
+            5.0 - 5.0 * np.sin(t)[None, :],
+            served_mem,
+            80.0,
+            100.0,
+        )
+        assert tight[0] > loose[0]
+
+
+class TestAllocate2d:
+    def test_all_vms_placed_within_fixed_servers(self):
+        cpu = make_patterns(30, seed=11, scale=5.0)
+        mem = make_patterns(30, seed=12, scale=8.0)
+        plans, forced = allocate_2d(
+            cpu, mem, n_servers=6, cap_cpu_pct=60.0
+        )
+        assert_all_placed(plans, 30)
+        assert forced == 0
+        assert len(plans) <= 6
+
+    def test_caps_respected(self):
+        cpu = make_patterns(30, seed=13, scale=5.0)
+        mem = make_patterns(30, seed=14, scale=8.0)
+        plans, forced = allocate_2d(
+            cpu, mem, n_servers=8, cap_cpu_pct=50.0, cap_mem_pct=90.0
+        )
+        assert forced == 0
+        for plan in plans:
+            assert cpu[plan.vm_ids].sum(axis=0).max() <= 50.0 + 1e-9
+            assert mem[plan.vm_ids].sum(axis=0).max() <= 90.0 + 1e-9
+
+    def test_opens_extra_servers_when_fragmented(self):
+        """N_mem assumes perfect packing; overflow opens extra servers."""
+        cpu = np.full((10, 12), 5.0)
+        mem = np.full((10, 12), 30.0)  # 3 fit per 100% -> needs 4 servers
+        plans, forced = allocate_2d(
+            cpu, mem, n_servers=3, cap_cpu_pct=100.0, max_servers=10
+        )
+        assert forced == 0
+        assert len(plans) == 4
+        assert_all_placed(plans, 10)
+
+    def test_fleet_exhaustion_forces(self):
+        cpu = np.full((10, 12), 5.0)
+        mem = np.full((10, 12), 35.0)
+        plans, forced = allocate_2d(
+            cpu, mem, n_servers=2, cap_cpu_pct=100.0, max_servers=2
+        )
+        assert forced > 0
+        assert_all_placed(plans, 10)
+
+    def test_natural_order_default(self):
+        cpu = make_patterns(5, seed=15)
+        mem = np.full((5, 12), 1.0)
+        plans, _ = allocate_2d(cpu, mem, n_servers=5, cap_cpu_pct=100.0)
+        assert 0 in plans[0].vm_ids
+
+    def test_validation(self):
+        cpu = make_patterns(4, seed=16)
+        mem = np.full((4, 12), 1.0)
+        with pytest.raises(DomainError):
+            allocate_2d(cpu, mem, n_servers=0, cap_cpu_pct=50.0)
+        with pytest.raises(DomainError):
+            allocate_2d(cpu, mem, n_servers=2, cap_cpu_pct=0.0)
+        with pytest.raises(DomainError):
+            allocate_2d(
+                cpu, mem, n_servers=2, cap_cpu_pct=50.0, order=[1, 0]
+            )
+
+    @given(st.integers(min_value=1, max_value=30), st.integers(0, 10_000))
+    def test_property_every_vm_placed_once(self, n_vms, seed):
+        cpu = make_patterns(n_vms, seed=seed, scale=6.0)
+        mem = make_patterns(n_vms, seed=seed + 1, scale=6.0)
+        plans, _ = allocate_2d(
+            cpu,
+            mem,
+            n_servers=max(1, n_vms // 4),
+            cap_cpu_pct=70.0,
+            max_servers=n_vms,
+        )
+        assert_all_placed(plans, n_vms)

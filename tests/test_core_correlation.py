@@ -1,0 +1,134 @@
+"""Tests for Pearson correlation and complementary patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.correlation import (
+    complementary_pattern,
+    euclidean_distance_many,
+    pearson,
+    pearson_many,
+)
+from repro.errors import DomainError
+
+vectors = arrays(
+    float,
+    st.integers(min_value=2, max_value=24),
+    elements=st.floats(min_value=-50, max_value=50),
+)
+
+
+class TestComplementaryPattern:
+    def test_definition(self):
+        pattern = np.array([1.0, 4.0, 2.0])
+        np.testing.assert_allclose(
+            complementary_pattern(pattern), [3.0, 0.0, 2.0]
+        )
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(0)
+        pattern = rng.uniform(0, 100, 12)
+        assert complementary_pattern(pattern).min() >= 0.0
+
+    def test_peak_maps_to_zero(self):
+        pattern = np.array([5.0, 9.0, 1.0])
+        assert complementary_pattern(pattern)[1] == 0.0
+
+    def test_idempotent_shape(self):
+        pattern = np.arange(12.0)
+        assert complementary_pattern(pattern).shape == (12,)
+
+    def test_invalid_input(self):
+        with pytest.raises(DomainError):
+            complementary_pattern(np.array([]))
+        with pytest.raises(DomainError):
+            complementary_pattern(np.ones((2, 2)))
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert pearson(x, 2 * x + 5) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_vector_yields_zero(self):
+        assert pearson(np.ones(5), np.arange(5.0)) == 0.0
+        assert pearson(np.arange(5.0), np.ones(5)) == 0.0
+
+    @given(vectors)
+    def test_self_correlation(self, x):
+        centered_norm = np.linalg.norm(x - x.mean())
+        if centered_norm**2 < 1.0e-10:
+            # Degenerate (near-constant) vectors are defined to be 0.
+            assert pearson(x, x) in (0.0, pytest.approx(1.0))
+        else:
+            assert pearson(x, x) == pytest.approx(1.0)
+
+    @given(vectors)
+    def test_bounded(self, x):
+        rng = np.random.default_rng(0)
+        y = rng.normal(size=x.shape)
+        assert -1.0 - 1e-9 <= pearson(x, y) <= 1.0 + 1e-9
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        x, y = rng.normal(size=8), rng.normal(size=8)
+        assert pearson(x, y) == pytest.approx(pearson(y, x))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(DomainError):
+            pearson(np.ones(3), np.ones(4))
+
+    def test_complementary_anticorrelation(self):
+        """A pattern is perfectly anti-correlated with its complement."""
+        rng = np.random.default_rng(2)
+        pattern = rng.uniform(0, 10, 12)
+        assert pearson(
+            pattern, complementary_pattern(pattern)
+        ) == pytest.approx(-1.0)
+
+
+class TestVectorized:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        rows = rng.normal(size=(6, 12))
+        target = rng.normal(size=12)
+        expected = [pearson(row, target) for row in rows]
+        np.testing.assert_allclose(
+            pearson_many(rows, target), expected, atol=1e-12
+        )
+
+    def test_constant_rows_are_zero(self):
+        rows = np.vstack([np.ones(6), np.arange(6.0)])
+        target = np.arange(6.0)
+        result = pearson_many(rows, target)
+        assert result[0] == 0.0
+        assert result[1] == pytest.approx(1.0)
+
+    def test_constant_target_all_zero(self):
+        rng = np.random.default_rng(4)
+        rows = rng.normal(size=(3, 6))
+        np.testing.assert_array_equal(
+            pearson_many(rows, np.full(6, 2.0)), np.zeros(3)
+        )
+
+    def test_distance_matches_norm(self):
+        rng = np.random.default_rng(5)
+        rows = rng.normal(size=(4, 6))
+        target = rng.normal(size=6)
+        expected = [np.linalg.norm(row - target) for row in rows]
+        np.testing.assert_allclose(
+            euclidean_distance_many(rows, target), expected
+        )
+
+    def test_shape_validation(self):
+        with pytest.raises(DomainError):
+            pearson_many(np.ones((2, 3)), np.ones(4))
+        with pytest.raises(DomainError):
+            euclidean_distance_many(np.ones(3), np.ones(3))

@@ -1,0 +1,208 @@
+"""Tests for the DVFS governor, allocation types, and the EPACT policy."""
+
+import numpy as np
+import pytest
+
+from repro.core.epact import EpactPolicy
+from repro.core.governor import DvfsGovernor
+from repro.core.types import (
+    Allocation,
+    AllocationContext,
+    ServerPlan,
+    force_place_remaining,
+)
+from repro.errors import ConfigurationError, DomainError
+from repro.technology.opp import ntc_opp_table
+
+import numpy as _np
+
+
+def make_patterns(n_vms, n_samples=12, seed=0, scale=10.0):
+    """Deterministic positive utilization patterns (local test helper)."""
+    gen = _np.random.default_rng(seed)
+    base = gen.uniform(0.2, 1.0, size=(n_vms, 1)) * scale
+    wiggle = 1.0 + 0.3 * _np.sin(
+        _np.linspace(0, 2 * _np.pi, n_samples)[None, :]
+        + gen.uniform(0, 2 * _np.pi, size=(n_vms, 1))
+    )
+    return base * wiggle
+
+
+@pytest.fixture(scope="module")
+def governor():
+    return DvfsGovernor(ntc_opp_table(), f_max_ghz=3.1)
+
+
+def make_ctx(ntc_power, cpu, mem, max_servers=600, floors=None):
+    n_vms = cpu.shape[0]
+    qos = (
+        floors
+        if floors is not None
+        else np.full(n_vms, 1.2, dtype=float)
+    )
+    return AllocationContext(
+        pred_cpu=cpu,
+        pred_mem=mem,
+        power_model=ntc_power,
+        max_servers=max_servers,
+        qos_floor_ghz=qos,
+    )
+
+
+class TestGovernor:
+    def test_covers_demand(self, governor):
+        util = np.array([[50.0, 10.0]])
+        floors = np.array([0.1])
+        idx = governor.opp_indices(util, floors)
+        freqs = governor.frequencies_ghz[idx]
+        # 50% of 3.1 GHz = 1.55 -> 1.6; 10% -> 0.31 -> 0.4.
+        assert freqs[0, 0] == pytest.approx(1.6)
+        assert freqs[0, 1] == pytest.approx(0.4)
+
+    def test_qos_floor_enforced(self, governor):
+        util = np.array([[5.0]])
+        idx = governor.opp_indices(util, np.array([1.8]))
+        assert governor.frequencies_ghz[idx][0, 0] >= 1.8
+
+    def test_saturates_at_fmax(self, governor):
+        util = np.array([[150.0]])
+        idx = governor.opp_indices(util, np.array([0.1]))
+        assert governor.frequencies_ghz[idx][0, 0] == pytest.approx(3.1)
+
+    def test_exact_opp_demand_not_rounded_up(self, governor):
+        util = np.array([[100.0 * 1.9 / 3.1]])
+        idx = governor.opp_indices(util, np.array([0.1]))
+        assert governor.frequencies_ghz[idx][0, 0] == pytest.approx(1.9)
+
+    def test_fixed_indices(self, governor):
+        idx = governor.fixed_indices(1.9, (2, 3))
+        assert idx.shape == (2, 3)
+        assert np.all(governor.frequencies_ghz[idx] == 1.9)
+
+    def test_validation(self, governor):
+        with pytest.raises(DomainError):
+            governor.opp_indices(np.ones(3), np.ones(3))
+        with pytest.raises(DomainError):
+            governor.opp_indices(np.ones((2, 3)), np.ones(3))
+        with pytest.raises(DomainError):
+            DvfsGovernor(ntc_opp_table(), f_max_ghz=0.0)
+
+
+class TestAllocationTypes:
+    def test_vm_to_server_roundtrip(self):
+        plans = [ServerPlan(vm_ids=[0, 2]), ServerPlan(vm_ids=[1])]
+        allocation = Allocation(
+            policy_name="t",
+            plans=plans,
+            dynamic_governor=True,
+            violation_cap_pct=100.0,
+        )
+        mapping = allocation.vm_to_server(3)
+        assert list(mapping) == [0, 1, 0]
+        assert allocation.n_servers == 2
+
+    def test_unplaced_vm_detected(self):
+        allocation = Allocation(
+            policy_name="t",
+            plans=[ServerPlan(vm_ids=[0])],
+            dynamic_governor=True,
+            violation_cap_pct=100.0,
+        )
+        with pytest.raises(ConfigurationError):
+            allocation.vm_to_server(2)
+
+    def test_double_placement_detected(self):
+        allocation = Allocation(
+            policy_name="t",
+            plans=[ServerPlan(vm_ids=[0]), ServerPlan(vm_ids=[0])],
+            dynamic_governor=True,
+            violation_cap_pct=100.0,
+        )
+        with pytest.raises(ConfigurationError):
+            allocation.vm_to_server(1)
+
+    def test_force_place_targets_least_loaded(self):
+        cpu = np.vstack([np.full(12, 40.0), np.full(12, 5.0),
+                         np.full(12, 7.0)])
+        plans = [ServerPlan(vm_ids=[0]), ServerPlan(vm_ids=[1])]
+        forced = force_place_remaining(plans, [2], cpu)
+        assert forced == 1
+        assert 2 in plans[1].vm_ids
+
+    def test_force_place_without_servers_raises(self):
+        with pytest.raises(ConfigurationError):
+            force_place_remaining([], [0], np.ones((1, 12)))
+
+    def test_context_validation(self, ntc_power):
+        with pytest.raises(ConfigurationError):
+            AllocationContext(
+                pred_cpu=np.ones((2, 12)),
+                pred_mem=np.ones((3, 12)),
+                power_model=ntc_power,
+                max_servers=10,
+                qos_floor_ghz=np.ones(2),
+            )
+        with pytest.raises(ConfigurationError):
+            AllocationContext(
+                pred_cpu=np.ones((2, 12)),
+                pred_mem=np.ones((2, 12)),
+                power_model=ntc_power,
+                max_servers=0,
+                qos_floor_ghz=np.ones(2),
+            )
+
+
+class TestEpactPolicy:
+    def test_cpu_dominant_uses_algorithm1(self, ntc_power):
+        cpu = make_patterns(40, seed=20, scale=12.0)
+        mem = make_patterns(40, seed=21, scale=1.0)
+        allocation = EpactPolicy().allocate(make_ctx(ntc_power, cpu, mem))
+        assert allocation.case == "cpu"
+        assert allocation.dynamic_governor
+        assert allocation.violation_cap_pct == 100.0
+
+    def test_mem_dominant_uses_algorithm2(self, ntc_power):
+        cpu = make_patterns(40, seed=22, scale=2.0)
+        mem = make_patterns(40, seed=23, scale=20.0)
+        allocation = EpactPolicy().allocate(make_ctx(ntc_power, cpu, mem))
+        assert allocation.case == "mem"
+
+    def test_all_vms_placed(self, ntc_power):
+        cpu = make_patterns(50, seed=24, scale=10.0)
+        mem = make_patterns(50, seed=25, scale=6.0)
+        allocation = EpactPolicy().allocate(make_ctx(ntc_power, cpu, mem))
+        allocation.vm_to_server(50)  # raises if not a partition
+
+    def test_f_opt_near_platform_optimum_when_cpu_bound(self, ntc_power):
+        cpu = make_patterns(60, seed=26, scale=12.0)
+        mem = make_patterns(60, seed=27, scale=1.0)
+        allocation = EpactPolicy().allocate(make_ctx(ntc_power, cpu, mem))
+        assert 1.7 <= allocation.f_opt_ghz <= 2.2
+
+    def test_packing_respects_slot_cap(self, ntc_power):
+        cpu = make_patterns(60, seed=28, scale=10.0)
+        mem = make_patterns(60, seed=29, scale=1.0)
+        allocation = EpactPolicy().allocate(make_ctx(ntc_power, cpu, mem))
+        cap = allocation.plans[0].cap_cpu_pct
+        for plan in allocation.plans:
+            if len(plan.vm_ids) > 1:
+                agg = cpu[plan.vm_ids].sum(axis=0)
+                assert agg.max() <= cap + 1e-9
+
+    def test_mem_headroom_configurable(self, ntc_power):
+        cpu = make_patterns(40, seed=30, scale=2.0)
+        mem = make_patterns(40, seed=31, scale=20.0)
+        tight = EpactPolicy(mem_headroom_pct=0.0).allocate(
+            make_ctx(ntc_power, cpu, mem)
+        )
+        slack = EpactPolicy(mem_headroom_pct=20.0).allocate(
+            make_ctx(ntc_power, cpu, mem)
+        )
+        assert slack.n_servers >= tight.n_servers
+
+    def test_invalid_headroom_rejected(self):
+        with pytest.raises(ValueError):
+            EpactPolicy(mem_headroom_pct=100.0)
+
+    def test_reallocates_every_slot(self):
+        assert EpactPolicy().reallocation_period_slots == 1

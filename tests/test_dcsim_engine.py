@@ -1,0 +1,194 @@
+"""Tests for the data-center simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CoatOptPolicy, CoatPolicy
+from repro.core import EpactPolicy
+from repro.dcsim import DataCenterSimulation, run_policies
+from repro.errors import ConfigurationError
+from repro.forecast import PerfectPredictor
+
+
+@pytest.fixture(scope="module")
+def oracle_run(small_dataset_module, perf_sim_module):
+    predictor = PerfectPredictor(small_dataset_module)
+    sim = DataCenterSimulation(
+        small_dataset_module,
+        predictor,
+        EpactPolicy(),
+        perf=perf_sim_module,
+        max_servers=600,
+        start_slot=24,
+        n_slots=24,
+    )
+    return sim.run()
+
+
+@pytest.fixture(scope="module")
+def small_dataset_module():
+    from repro.traces import default_dataset
+
+    return default_dataset(n_vms=40, n_days=9, seed=3)
+
+
+@pytest.fixture(scope="module")
+def perf_sim_module():
+    from repro.perf import PerformanceSimulator
+
+    return PerformanceSimulator()
+
+
+class TestEngineBasics:
+    def test_record_count(self, oracle_run):
+        assert oracle_run.n_slots == 24
+        assert oracle_run.records[0].slot_index == 24
+
+    def test_perfect_prediction_no_violations(self, oracle_run):
+        """With an oracle, EPACT's slack guarantees zero violations."""
+        assert oracle_run.total_violations == 0
+
+    def test_energy_positive_and_sane(self, oracle_run):
+        energy = oracle_run.energy_mj_per_slot
+        assert np.all(energy > 0)
+        # 40 VMs -> a handful of servers; < 5 MJ per hour-slot.
+        assert energy.max() < 5.0
+
+    def test_active_servers_positive(self, oracle_run):
+        assert np.all(oracle_run.active_servers_per_slot >= 1)
+
+    def test_mean_frequency_within_dvfs_range(self, oracle_run):
+        for record in oracle_run.records:
+            assert 0.1 <= record.mean_freq_ghz <= 3.1
+
+    def test_epact_case_recorded(self, oracle_run):
+        assert all(r.case in ("cpu", "mem") for r in oracle_run.records)
+
+
+class TestEngineValidation:
+    def test_start_before_predictable_raises(
+        self, small_dataset_module, perf_sim_module
+    ):
+        from repro.forecast import DayAheadPredictor
+
+        predictor = DayAheadPredictor(small_dataset_module)
+        with pytest.raises(ConfigurationError):
+            DataCenterSimulation(
+                small_dataset_module,
+                predictor,
+                EpactPolicy(),
+                perf=perf_sim_module,
+                start_slot=0,
+            )
+
+    def test_too_many_slots_raises(
+        self, small_dataset_module, perf_sim_module
+    ):
+        predictor = PerfectPredictor(small_dataset_module)
+        with pytest.raises(ConfigurationError):
+            DataCenterSimulation(
+                small_dataset_module,
+                predictor,
+                EpactPolicy(),
+                perf=perf_sim_module,
+                n_slots=10_000,
+            )
+
+
+class TestPolicyComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self, small_dataset_module, perf_sim_module):
+        predictor = PerfectPredictor(small_dataset_module)
+        return run_policies(
+            small_dataset_module,
+            predictor,
+            [EpactPolicy(), CoatPolicy(), CoatOptPolicy()],
+            perf=perf_sim_module,
+            max_servers=600,
+            start_slot=24,
+            n_slots=24,
+        )
+
+    def test_all_policies_ran(self, comparison):
+        assert set(comparison) == {"EPACT", "COAT", "COAT-OPT"}
+
+    def test_epact_beats_coat_on_energy(self, comparison):
+        """The headline Fig. 6 ordering, here under oracle forecasts."""
+        assert (
+            comparison["EPACT"].total_energy_mj
+            < comparison["COAT"].total_energy_mj
+        )
+
+    def test_coat_uses_fewest_servers(self, comparison):
+        """Fig. 5 ordering: consolidation minimizes active servers."""
+        assert (
+            comparison["COAT"].mean_active_servers
+            <= comparison["EPACT"].mean_active_servers
+        )
+
+    def test_oracle_epact_zero_coat_zero_violations(self, comparison):
+        """With perfect forecasts nobody overruns their own cap."""
+        assert comparison["EPACT"].total_violations == 0
+        assert comparison["COAT"].total_violations == 0
+
+    def test_coat_runs_at_fmax(self, comparison):
+        for record in comparison["COAT"].records:
+            assert record.mean_freq_ghz == pytest.approx(3.1)
+
+    def test_coat_opt_runs_at_optimal_frequency(self, comparison):
+        for record in comparison["COAT-OPT"].records:
+            assert record.mean_freq_ghz == pytest.approx(1.9)
+
+    def test_epact_frequency_tracks_load(self, comparison):
+        freqs = np.array(
+            [r.mean_freq_ghz for r in comparison["EPACT"].records]
+        )
+        assert freqs.std() > 0.01  # actually moves with the diurnal
+
+
+class TestDayAheadCadence:
+    def test_daily_policy_allocates_once_per_day(
+        self, small_dataset_module, perf_sim_module
+    ):
+        calls = []
+
+        class CountingCoat(CoatPolicy):
+            def allocate(self, ctx):
+                calls.append(ctx.n_samples)
+                return super().allocate(ctx)
+
+        policy = CountingCoat(reallocation_period_slots=24)
+        predictor = PerfectPredictor(small_dataset_module)
+        DataCenterSimulation(
+            small_dataset_module,
+            predictor,
+            policy,
+            perf=perf_sim_module,
+            start_slot=24,
+            n_slots=48,
+        ).run()
+        assert len(calls) == 2  # two days
+        assert calls[0] == 24 * 12  # packed against the full day
+
+    def test_hourly_policy_allocates_every_slot(
+        self, small_dataset_module, perf_sim_module
+    ):
+        calls = []
+
+        class CountingCoat(CoatPolicy):
+            def allocate(self, ctx):
+                calls.append(ctx.n_samples)
+                return super().allocate(ctx)
+
+        policy = CountingCoat(reallocation_period_slots=1)
+        predictor = PerfectPredictor(small_dataset_module)
+        DataCenterSimulation(
+            small_dataset_module,
+            predictor,
+            policy,
+            perf=perf_sim_module,
+            start_slot=24,
+            n_slots=6,
+        ).run()
+        assert len(calls) == 6
+        assert all(n == 12 for n in calls)

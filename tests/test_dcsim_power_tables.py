@@ -1,0 +1,181 @@
+"""Tests for the vectorized power tables and simulation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.dcsim.metrics import (
+    SimulationResult,
+    SlotRecord,
+    active_server_reduction_pct,
+    energy_savings_pct,
+    total_energy_savings_pct,
+)
+from repro.dcsim.power_tables import VectorizedServerPower
+from repro.errors import DomainError
+
+
+@pytest.fixture(scope="module")
+def tables():
+    from repro.power import ntc_server_power_model
+
+    return VectorizedServerPower(ntc_server_power_model())
+
+
+class TestVectorizedPower:
+    def test_matches_scalar_model_full_load(self, tables, ntc_power):
+        for i, freq in enumerate(tables.freqs_ghz):
+            scalar = ntc_power.power_w(
+                float(freq), busy_fraction=1.0, dram_active_fraction=1.0
+            )
+            vector = tables.power_w(
+                np.array([i]), np.array([1.0]), np.array([0.0]),
+                np.array([0.0]),
+            )[0]
+            assert vector == pytest.approx(scalar, rel=1e-9)
+
+    def test_matches_scalar_model_partial_load(self, tables, ntc_power):
+        idx = 20
+        freq = float(tables.freqs_ghz[idx])
+        scalar = ntc_power.power_w(
+            freq,
+            busy_fraction=0.4,
+            stall_fraction=0.3,
+            dram_bytes_per_s=2.0e9,
+            dram_active_fraction=0.4,
+        )
+        vector = tables.power_w(
+            np.array([idx]), np.array([0.4]), np.array([0.3]),
+            np.array([2.0e9]),
+        )[0]
+        assert vector == pytest.approx(scalar, rel=1e-9)
+
+    def test_work_conserving_beyond_capacity(self, tables):
+        """Work beyond 1.0 keeps charging dynamic energy."""
+        idx = np.array([10])
+        base = tables.power_w(idx, np.array([1.0]), np.zeros(1), np.zeros(1))
+        over = tables.power_w(idx, np.array([1.5]), np.zeros(1), np.zeros(1))
+        assert over[0] > base[0]
+        # But the DRAM bank term saturates at 1.
+        delta_dyn = tables.dyn_w[10] * 0.5
+        assert over[0] - base[0] == pytest.approx(delta_dyn)
+
+    def test_wfm_discount_applied(self, tables):
+        idx = np.array([15])
+        active = tables.power_w(idx, np.ones(1), np.zeros(1), np.zeros(1))
+        stalled = tables.power_w(idx, np.ones(1), np.ones(1), np.zeros(1))
+        assert stalled[0] == pytest.approx(
+            active[0] - 0.24 * tables.dyn_w[15]
+        )
+
+    def test_invalid_index_raises(self, tables):
+        with pytest.raises(DomainError):
+            tables.power_w(
+                np.array([999]), np.ones(1), np.zeros(1), np.zeros(1)
+            )
+
+    def test_broadcasting(self, tables):
+        idx = np.zeros((3, 4), dtype=int)
+        out = tables.power_w(
+            idx, np.full((3, 4), 0.5), np.zeros((3, 4)), np.zeros((3, 4))
+        )
+        assert out.shape == (3, 4)
+
+
+def make_result(name, energies_mj, violations=None, servers=None):
+    n = len(energies_mj)
+    violations = violations or [0] * n
+    servers = servers or [10] * n
+    records = [
+        SlotRecord(
+            slot_index=i,
+            case="",
+            n_active_servers=servers[i],
+            violations=violations[i],
+            forced_placements=0,
+            energy_j=energies_mj[i] * 1e6,
+            mean_freq_ghz=2.0,
+            f_opt_ghz=1.9,
+        )
+        for i in range(n)
+    ]
+    return SimulationResult(policy_name=name, records=records)
+
+
+class TestMetrics:
+    def test_series_extraction(self):
+        result = make_result("A", [1.0, 2.0], violations=[3, 4])
+        np.testing.assert_allclose(result.energy_mj_per_slot, [1.0, 2.0])
+        assert result.total_energy_mj == pytest.approx(3.0)
+        assert result.total_violations == 7
+        assert result.n_slots == 2
+
+    def test_energy_savings_per_slot(self):
+        ours = make_result("A", [1.0, 3.0])
+        base = make_result("B", [2.0, 3.0])
+        np.testing.assert_allclose(
+            energy_savings_pct(ours, base), [50.0, 0.0]
+        )
+
+    def test_total_savings(self):
+        ours = make_result("A", [1.0, 1.0])
+        base = make_result("B", [2.0, 2.0])
+        assert total_energy_savings_pct(ours, base) == pytest.approx(50.0)
+
+    def test_server_reduction(self):
+        few = make_result("A", [1.0], servers=[6])
+        many = make_result("B", [1.0], servers=[10])
+        assert active_server_reduction_pct(few, many) == pytest.approx(
+            40.0
+        )
+
+    def test_slot_mismatch_raises(self):
+        with pytest.raises(DomainError):
+            energy_savings_pct(make_result("A", [1.0]), make_result("B", [1.0, 2.0]))
+
+    def test_case_counts(self):
+        result = make_result("A", [1.0, 2.0, 3.0])
+        object.__setattr__(result.records[0], "case", "cpu")
+        object.__setattr__(result.records[1], "case", "mem")
+        object.__setattr__(result.records[2], "case", "cpu")
+        assert result.case_counts() == {"cpu": 2, "mem": 1}
+
+    def test_energy_mj_conversion(self):
+        record = SlotRecord(
+            slot_index=0,
+            case="",
+            n_active_servers=1,
+            violations=0,
+            forced_placements=0,
+            energy_j=3.6e6,
+            mean_freq_ghz=2.0,
+            f_opt_ghz=1.9,
+        )
+        assert record.energy_mj == pytest.approx(3.6)
+
+
+class TestReporting:
+    def test_format_table(self):
+        from repro.dcsim.reporting import format_table
+
+        out = format_table(["a", "b"], [[1, 2.5], ["x", "y"]])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "2.500" in lines[2]
+
+    def test_sparkline_length_and_range(self):
+        from repro.dcsim.reporting import sparkline
+
+        line = sparkline(list(range(100)), width=20)
+        assert len(line) == 20
+
+    def test_sparkline_constant(self):
+        from repro.dcsim.reporting import sparkline
+
+        assert len(set(sparkline([5.0] * 10))) == 1
+
+    def test_series_block_contains_stats(self):
+        from repro.dcsim.reporting import series_block
+
+        block = series_block("X", [1.0, 2.0, 3.0])
+        assert "min=1.0" in block
+        assert "max=3.0" in block

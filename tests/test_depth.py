@@ -1,0 +1,177 @@
+"""Depth tests: statistical properties, saturation paths, odd corners."""
+
+import numpy as np
+import pytest
+
+from repro.perf.workload import ALL_MEMORY_CLASSES, MemoryClass
+from repro.traces import ClusterTraceGenerator, GeneratorConfig
+
+
+class TestGeneratorStatistics:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return ClusterTraceGenerator(
+            GeneratorConfig(n_vms=200, n_days=7, seed=99)
+        ).generate()
+
+    def test_class_weights_approximately_respected(self, dataset):
+        counts = {mc: 0 for mc in ALL_MEMORY_CLASSES}
+        for spec in dataset.specs:
+            counts[spec.mem_class] += 1
+        total = dataset.n_vms
+        assert counts[MemoryClass.LOW] / total == pytest.approx(
+            0.40, abs=0.12
+        )
+        assert counts[MemoryClass.HIGH] / total == pytest.approx(
+            0.25, abs=0.12
+        )
+
+    def test_weekend_load_lower_than_weekday(self, dataset):
+        agg = dataset.aggregate_cpu_pct()
+        per_day = agg.reshape(7, -1).mean(axis=1)
+        weekday_mean = per_day[:5].mean()
+        weekend_mean = per_day[5:].mean()
+        assert weekend_mean < weekday_mean
+
+    def test_memory_class_orders_memory_level(self, dataset):
+        means = {mc: [] for mc in ALL_MEMORY_CLASSES}
+        for spec in dataset.specs:
+            means[spec.mem_class].append(spec.mem_base_pct)
+        assert np.mean(means[MemoryClass.LOW]) < np.mean(
+            means[MemoryClass.MID]
+        ) < np.mean(means[MemoryClass.HIGH])
+
+    def test_bursts_make_heavy_right_tail(self, dataset):
+        """Per-VM max is well above the 95th percentile (burst spikes)."""
+        cpu = dataset.cpu_pct
+        p95 = np.percentile(cpu, 95, axis=1)
+        peaks = cpu.max(axis=1)
+        assert np.median(peaks / np.maximum(p95, 1e-9)) > 1.1
+
+    def test_cpu_floor_respected(self, dataset):
+        assert dataset.cpu_pct.min() >= 0.3 - 1e-12
+
+
+class TestSizingSaturation:
+    def test_demand_beyond_fleet_saturates_at_fmax(self, ntc_power):
+        from repro.core.sizing import size_slot
+
+        # Demand requiring more than max_servers even at Fmax.
+        pred_cpu = np.full((100, 12), 50.0)  # 50 server-equivalents
+        pred_mem = np.full((100, 12), 0.5)
+        sizing = size_slot(pred_cpu, pred_mem, ntc_power, max_servers=10)
+        assert sizing.n_servers <= 10
+        assert sizing.f_opt_ghz == pytest.approx(3.1)
+
+    def test_tiny_demand_single_server_min_opp(self, ntc_power):
+        from repro.core.sizing import size_slot
+
+        pred_cpu = np.full((2, 12), 0.01)
+        pred_mem = np.full((2, 12), 0.01)
+        sizing = size_slot(pred_cpu, pred_mem, ntc_power, max_servers=600)
+        assert sizing.n_servers == 1
+
+
+class TestLlcDetails:
+    def test_write_fraction_shifts_energy(self):
+        from repro.power.llc import LlcPowerModel
+        from repro.technology.leakage import fdsoi28_sram_leakage
+
+        read_only = LlcPowerModel(
+            size_mb=16.0,
+            leakage=fdsoi28_sram_leakage(16.0),
+            write_fraction=0.0,
+        )
+        write_only = LlcPowerModel(
+            size_mb=16.0,
+            leakage=fdsoi28_sram_leakage(16.0),
+            write_fraction=1.0,
+        )
+        assert write_only.energy_per_access_j(1.0) > (
+            read_only.energy_per_access_j(1.0)
+        )
+        assert read_only.energy_per_access_j(1.0) == pytest.approx(
+            read_only.read_energy_pj * 1e-12
+        )
+
+
+class TestUncoreClamp:
+    def test_proportional_clamped_at_max_activity(self):
+        from repro.power.uncore import ntc_uncore_power_model
+
+        model = ntc_uncore_power_model()
+        # Hypothetical beyond-max operating point clamps at 9 W.
+        assert model.proportional_w(1.4, 3.5) == pytest.approx(9.0)
+
+
+class TestEpactFoptOverride:
+    def test_explicit_override_changes_sizing(self, ntc_power):
+        from repro.core.epact import EpactPolicy
+        from repro.core.types import AllocationContext
+
+        cpu = np.random.default_rng(0).uniform(2, 15, size=(60, 12))
+        mem = np.random.default_rng(1).uniform(0.5, 2, size=(60, 12))
+        ctx = AllocationContext(
+            pred_cpu=cpu,
+            pred_mem=mem,
+            power_model=ntc_power,
+            max_servers=600,
+            qos_floor_ghz=np.full(60, 1.2),
+        )
+        slow = EpactPolicy(f_ntc_opt_ghz=1.2).allocate(ctx)
+        fast = EpactPolicy(f_ntc_opt_ghz=3.1).allocate(ctx)
+        # A slower target frequency means more, lighter servers.
+        assert slow.n_servers >= fast.n_servers
+
+
+class TestReportingEdge:
+    def test_sparkline_short_series_not_padded(self):
+        from repro.dcsim.reporting import sparkline
+
+        assert len(sparkline([1.0, 2.0, 3.0], width=60)) == 3
+
+    def test_series_block_empty(self):
+        from repro.dcsim.reporting import series_block
+
+        assert "(empty)" in series_block("x", [])
+
+
+class TestOppGridEdge:
+    def test_grid_handles_non_aligned_endpoint(self):
+        from repro.technology.opp import uniform_opp_grid
+        from repro.technology.voltage import fdsoi28
+
+        grid = uniform_opp_grid(fdsoi28(), 0.5, 1.23, step_ghz=0.25)
+        freqs = grid.frequencies_ghz
+        assert freqs[0] == pytest.approx(0.5)
+        assert freqs[-1] == pytest.approx(1.23)
+
+
+class TestAnchorsImmutability:
+    def test_mapping_proxies_are_read_only(self):
+        from repro import anchors
+
+        with pytest.raises(TypeError):
+            anchors.TABLE_I["low-mem"] = {}
+        with pytest.raises(TypeError):
+            anchors.QOS_MIN_FREQ_GHZ["low-mem"] = 0.5
+
+
+class TestComparisonTable:
+    def test_one_row_per_policy(self, small_dataset, oracle_predictor):
+        from repro.core import EpactPolicy
+        from repro.baselines import CoatPolicy
+        from repro.dcsim import comparison_table, run_policies
+
+        results = run_policies(
+            small_dataset,
+            oracle_predictor,
+            [EpactPolicy(), CoatPolicy()],
+            start_slot=24,
+            n_slots=2,
+        )
+        table = comparison_table(results)
+        lines = table.splitlines()
+        assert "EPACT" in table and "COAT" in table
+        assert len(lines) == 2 + len(results)  # header + rule + rows
+        assert "energy (MJ)" in lines[0]

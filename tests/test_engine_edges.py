@@ -1,0 +1,116 @@
+"""Edge-case tests for the engine and experiment harness plumbing."""
+
+import numpy as np
+import pytest
+
+from repro import LoadBalancePolicy
+from repro.core import EpactPolicy
+from repro.dcsim import DataCenterSimulation
+from repro.forecast import PerfectPredictor
+
+
+class TestEmptyServerHandling:
+    def test_load_balance_with_more_servers_than_vms(self, perf_sim_mod):
+        """Empty plans draw no power and are not counted active."""
+        from repro.traces import default_dataset
+
+        ds = default_dataset(n_vms=3, n_days=8, seed=33)
+        predictor = PerfectPredictor(ds)
+        sim = DataCenterSimulation(
+            ds,
+            predictor,
+            LoadBalancePolicy(target_util_pct=1.0),
+            perf=perf_sim_mod,
+            start_slot=24,
+            n_slots=2,
+        )
+        result = sim.run()
+        for record in result.records:
+            assert record.n_active_servers <= 3
+            assert record.energy_j > 0
+
+
+@pytest.fixture(scope="module")
+def perf_sim_mod():
+    from repro.perf import PerformanceSimulator
+
+    return PerformanceSimulator()
+
+
+class TestSingleVm:
+    def test_one_vm_cluster(self, perf_sim_mod):
+        from repro.traces import default_dataset
+
+        ds = default_dataset(n_vms=1, n_days=8, seed=34)
+        predictor = PerfectPredictor(ds)
+        result = DataCenterSimulation(
+            ds,
+            predictor,
+            EpactPolicy(),
+            perf=perf_sim_mod,
+            start_slot=24,
+            n_slots=4,
+        ).run()
+        assert all(r.n_active_servers == 1 for r in result.records)
+        assert result.total_violations == 0
+
+
+class TestFig456Extras:
+    def test_extra_policies_are_run(self):
+        from repro.baselines import FfdPolicy
+        from repro.experiments.fig456 import run_fig456
+
+        result = run_fig456(
+            n_vms=30,
+            n_days=8,
+            seed=35,
+            n_slots=4,
+            extra_policies=[FfdPolicy()],
+        )
+        assert "FFD" in result.results
+        assert result.results["FFD"].n_slots == 4
+
+
+class TestQosFloorsInEngine:
+    def test_server_frequency_respects_hosted_class_floor(
+        self, perf_sim_mod
+    ):
+        """A server hosting any mid/high-mem VM never dips below 1.8."""
+        from repro.traces import default_dataset
+        from repro.perf.workload import MemoryClass
+
+        ds = default_dataset(n_vms=20, n_days=8, seed=36)
+        predictor = PerfectPredictor(ds)
+        sim = DataCenterSimulation(
+            ds,
+            predictor,
+            EpactPolicy(),
+            perf=perf_sim_mod,
+            start_slot=24,
+            n_slots=4,
+        )
+        result = sim.run()
+        classes = ds.mem_classes()
+        has_memory_class = any(
+            c in (MemoryClass.MID, MemoryClass.HIGH) for c in classes
+        )
+        if has_memory_class:
+            # Mean frequency can never fall below the lowest floor (1.2),
+            # and with mid/high present the aggregate stays above it.
+            for record in result.records:
+                assert record.mean_freq_ghz >= 1.2
+
+
+class TestRunnerCli:
+    def test_unknown_experiment_rejected(self):
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_thunderx_subcommand(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["thunderx"]) == 0
+        out = capsys.readouterr().out
+        assert "ThunderX" in out

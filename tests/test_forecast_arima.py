@@ -1,0 +1,179 @@
+"""Tests for differencing and the from-scratch ARIMA implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ForecastError
+from repro.forecast.arima import ArimaModel, ArimaOrder
+from repro.forecast.differencing import (
+    difference,
+    integrate,
+    seasonal_difference,
+    seasonal_integrate,
+)
+
+
+class TestDifferencing:
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100),
+            min_size=5,
+            max_size=60,
+        ),
+        st.integers(min_value=0, max_value=2),
+    )
+    def test_integrate_inverts_difference(self, values, d):
+        series = np.array(values)
+        if series.shape[0] <= d:
+            return
+        diffed = difference(series, d)
+        if diffed.shape[0] == 0:
+            return
+        # Re-integrating the tail of the differenced series reproduces
+        # the original tail exactly.
+        restored = integrate(diffed, series[: series.shape[0] - diffed.shape[0] + d], d) if d else diffed
+        if d == 0:
+            np.testing.assert_allclose(restored, series)
+
+    def test_integrate_roundtrip_order1(self):
+        series = np.array([1.0, 3.0, 6.0, 10.0, 15.0])
+        diffed = difference(series, 1)
+        restored = integrate(diffed, series[:1], 1)
+        np.testing.assert_allclose(restored, series[1:])
+
+    def test_integrate_roundtrip_order2(self):
+        series = np.cumsum(np.cumsum(np.arange(10.0)))
+        diffed = difference(series, 2)
+        restored = integrate(diffed, series[:2], 2)
+        np.testing.assert_allclose(restored, series[2:])
+
+    def test_difference_shortens(self):
+        assert difference(np.arange(5.0), 2).shape == (3,)
+
+    def test_difference_of_linear_is_constant(self):
+        out = difference(np.arange(10.0) * 3.0, 1)
+        np.testing.assert_allclose(out, 3.0)
+
+    def test_too_short_raises(self):
+        with pytest.raises(ForecastError):
+            difference(np.array([1.0]), 1)
+
+    def test_seasonal_roundtrip(self):
+        rng = np.random.default_rng(0)
+        series = rng.normal(size=40)
+        diffed = seasonal_difference(series, period=7, big_d=1)
+        restored = seasonal_integrate(diffed, series[:7], period=7, big_d=1)
+        np.testing.assert_allclose(restored, series[7:])
+
+    def test_seasonal_difference_removes_pure_season(self):
+        season = np.tile(np.array([1.0, 5.0, 2.0]), 6)
+        out = seasonal_difference(season, period=3)
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_seasonal_too_short_raises(self):
+        with pytest.raises(ForecastError):
+            seasonal_difference(np.arange(5.0), period=10)
+
+
+class TestArimaOrder:
+    def test_rejects_all_zero(self):
+        with pytest.raises(ForecastError):
+            ArimaOrder(p=0, d=0, q=0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ForecastError):
+            ArimaOrder(p=-1)
+
+
+class TestArimaFit:
+    def test_recovers_strong_ar1(self):
+        rng = np.random.default_rng(42)
+        phi = 0.8
+        n = 5000
+        e = rng.normal(0, 1, n)
+        x = np.zeros(n)
+        for t in range(1, n):
+            x[t] = phi * x[t - 1] + e[t]
+        model = ArimaModel(ArimaOrder(p=1))
+        fit = model.fit(x)
+        assert fit.ar[0] == pytest.approx(phi, abs=0.05)
+
+    def test_recovers_mean_through_const(self):
+        rng = np.random.default_rng(1)
+        x = 5.0 + rng.normal(0, 0.1, 2000)
+        model = ArimaModel(ArimaOrder(p=1))
+        model.fit(x)
+        forecast = model.forecast(50)
+        assert forecast.mean() == pytest.approx(5.0, abs=0.2)
+
+    def test_constant_series_degenerates_gracefully(self):
+        model = ArimaModel(ArimaOrder(p=2, q=1))
+        model.fit(np.full(100, 3.25))
+        np.testing.assert_allclose(model.forecast(10), 3.25)
+
+    def test_ar1_forecast_decays_geometrically(self):
+        # Pure AR(1) with known coefficients: forecast is analytic.
+        model = ArimaModel(ArimaOrder(p=1))
+        rng = np.random.default_rng(3)
+        phi = 0.6
+        n = 8000
+        x = np.zeros(n)
+        e = rng.normal(0, 1, n)
+        for t in range(1, n):
+            x[t] = phi * x[t - 1] + e[t]
+        fit = model.fit(x)
+        fc = model.forecast(5)
+        expected = x[-1]
+        for step in range(5):
+            expected = fit.const + fit.ar[0] * expected
+            assert fc[step] == pytest.approx(expected)
+
+    def test_d1_tracks_linear_trend(self):
+        series = 2.0 * np.arange(300.0) + 1.0
+        model = ArimaModel(ArimaOrder(p=1, d=1))
+        model.fit(series)
+        forecast = model.forecast(3)
+        np.testing.assert_allclose(
+            forecast, [601.0, 603.0, 605.0], atol=1.0
+        )
+
+    def test_ma_component_estimated(self):
+        rng = np.random.default_rng(9)
+        n = 8000
+        e = rng.normal(0, 1, n)
+        theta = 0.5
+        x = e.copy()
+        x[1:] += theta * e[:-1]
+        model = ArimaModel(ArimaOrder(p=1, q=1))
+        fit = model.fit(x)
+        assert fit.ma[0] == pytest.approx(theta, abs=0.15)
+
+    def test_short_series_raises(self):
+        model = ArimaModel(ArimaOrder(p=3, q=2))
+        with pytest.raises(ForecastError):
+            model.fit(np.arange(8.0))
+
+    def test_nonfinite_series_raises(self):
+        model = ArimaModel(ArimaOrder(p=1))
+        with pytest.raises(ForecastError):
+            model.fit(np.array([1.0, np.nan, 2.0]))
+
+    def test_forecast_before_fit_raises(self):
+        model = ArimaModel(ArimaOrder(p=1))
+        with pytest.raises(ForecastError):
+            model.forecast(5)
+
+    def test_zero_horizon_raises(self):
+        model = ArimaModel(ArimaOrder(p=1))
+        model.fit(np.random.default_rng(0).normal(size=100))
+        with pytest.raises(ForecastError):
+            model.forecast(0)
+
+    def test_sigma2_reported(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(0, 2.0, 5000)
+        model = ArimaModel(ArimaOrder(p=1))
+        fit = model.fit(x)
+        assert fit.sigma2 == pytest.approx(4.0, rel=0.1)

@@ -1,0 +1,145 @@
+"""Tests for slot inspection, trace I/O and the self-validation module."""
+
+import numpy as np
+import pytest
+
+from repro.core import EpactPolicy
+from repro.dcsim import DataCenterSimulation, inspect_slot
+from repro.errors import ConfigurationError
+from repro.forecast import PerfectPredictor
+from repro.traces import default_dataset, load_dataset, save_dataset
+from repro.units import SAMPLE_PERIOD_S
+
+
+@pytest.fixture(scope="module")
+def sim_pair():
+    dataset = default_dataset(n_vms=30, n_days=8, seed=44)
+    predictor = PerfectPredictor(dataset)
+    sim = DataCenterSimulation(
+        dataset, predictor, EpactPolicy(), start_slot=24, n_slots=6
+    )
+    return sim, sim.run()
+
+
+class TestInspectSlot:
+    def test_detail_matches_record(self, sim_pair):
+        """The detail matrices aggregate to the engine's own record."""
+        sim, result = sim_pair
+        record = result.records[0]
+        detail = inspect_slot(sim, record.slot_index)
+        assert detail.energy_j == pytest.approx(record.energy_j)
+        assert detail.total_violations == record.violations
+        active = sum(
+            1 for plan in detail.allocation.plans if plan.vm_ids
+        )
+        assert active == record.n_active_servers
+
+    def test_shapes_aligned(self, sim_pair):
+        sim, result = sim_pair
+        detail = inspect_slot(sim, result.records[0].slot_index)
+        n = detail.n_servers
+        for matrix in (
+            detail.cpu_util_pct,
+            detail.mem_util_pct,
+            detail.freq_ghz,
+            detail.power_w,
+            detail.violated,
+        ):
+            assert matrix.shape == (n, 12)
+
+    def test_hottest_servers_sorted(self, sim_pair):
+        sim, result = sim_pair
+        detail = inspect_slot(sim, result.records[0].slot_index)
+        hottest = detail.hottest_servers(k=3)
+        peaks = detail.cpu_util_pct.max(axis=1)
+        assert list(peaks[hottest]) == sorted(peaks, reverse=True)[:3]
+
+    def test_server_summary_fields(self, sim_pair):
+        sim, result = sim_pair
+        detail = inspect_slot(sim, result.records[0].slot_index)
+        summary = detail.server_summary(0)
+        assert summary["n_vms"] == len(detail.allocation.plans[0].vm_ids)
+        assert summary["peak_cpu_pct"] == pytest.approx(
+            detail.cpu_util_pct[0].max()
+        )
+
+    def test_frequencies_on_opp_grid(self, sim_pair):
+        sim, result = sim_pair
+        detail = inspect_slot(sim, result.records[0].slot_index)
+        grid = set(
+            float(f) for f in sim._power.spec.opps.frequencies_ghz
+        )
+        assert set(np.unique(detail.freq_ghz)).issubset(grid)
+
+    def test_power_consistent_with_energy_rate(self, sim_pair):
+        sim, result = sim_pair
+        detail = inspect_slot(sim, result.records[0].slot_index)
+        assert detail.energy_j == pytest.approx(
+            detail.power_w.sum() * SAMPLE_PERIOD_S
+        )
+
+
+class TestTraceIo:
+    def test_roundtrip_exact(self, tmp_path):
+        original = default_dataset(n_vms=12, n_days=2, seed=9)
+        path = save_dataset(original, tmp_path / "traces")
+        assert path.suffix == ".npz"
+        restored = load_dataset(path)
+        np.testing.assert_array_equal(restored.cpu_pct, original.cpu_pct)
+        np.testing.assert_array_equal(restored.mem_pct, original.mem_pct)
+        for a, b in zip(restored.specs, original.specs):
+            assert a.vm_id == b.vm_id
+            assert a.mem_class is b.mem_class
+            assert a.group == b.group
+            assert a.cpu_base_pct == pytest.approx(b.cpu_base_pct)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_dataset(tmp_path / "nope.npz")
+
+    def test_roundtripped_dataset_usable(self, tmp_path):
+        original = default_dataset(n_vms=8, n_days=8, seed=10)
+        path = save_dataset(original, tmp_path / "t.npz")
+        restored = load_dataset(path)
+        predictor = PerfectPredictor(restored)
+        result = DataCenterSimulation(
+            restored, predictor, EpactPolicy(), start_slot=24, n_slots=2
+        ).run()
+        assert result.n_slots == 2
+
+
+class TestValidation:
+    def test_all_checks_pass(self):
+        from repro.validation import validate_reproduction
+
+        report = validate_reproduction()
+        assert report.all_passed, report.summary()
+        assert report.n_failed == 0
+        assert len(report.checks) >= 6
+
+    def test_summary_mentions_every_check(self):
+        from repro.validation import validate_reproduction
+
+        report = validate_reproduction()
+        text = report.summary()
+        assert text.count("[PASS]") == len(report.checks)
+        assert "all checks passed" in text
+
+    def test_cli_subcommand(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["validate"]) == 0
+        assert "[PASS]" in capsys.readouterr().out
+
+    def test_report_detects_failures(self):
+        from repro.validation import CheckResult, ValidationReport
+
+        report = ValidationReport(
+            checks=[
+                CheckResult(name="a", passed=True, detail="ok"),
+                CheckResult(name="b", passed=False, detail="bad"),
+            ]
+        )
+        assert not report.all_passed
+        assert report.n_failed == 1
+        assert "[FAIL] b" in report.summary()

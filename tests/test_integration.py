@@ -1,0 +1,188 @@
+"""Cross-module integration tests.
+
+These exercise whole pipelines end to end at small scale and check
+system-level invariants that no unit test can see: energy accounting
+consistency, policy/engine/forecast interplay, and the memory-dominated
+regime.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CoatPolicy,
+    EpactPolicy,
+    LoadBalancePolicy,
+    run_policies,
+)
+from repro.dcsim import DataCenterSimulation
+from repro.forecast import DayAheadPredictor, PerfectPredictor
+from repro.perf import PerformanceSimulator
+from repro.units import SAMPLE_PERIOD_S, SAMPLES_PER_SLOT
+
+
+@pytest.fixture(scope="module")
+def perf():
+    return PerformanceSimulator()
+
+
+class TestEndToEndEnergy:
+    def test_energy_bounded_by_fleet_envelope(
+        self, small_dataset, oracle_predictor, perf, ntc_power
+    ):
+        """Slot energy can never exceed all-active-servers-at-Fmax."""
+        sim = DataCenterSimulation(
+            small_dataset,
+            oracle_predictor,
+            EpactPolicy(),
+            perf=perf,
+            start_slot=24,
+            n_slots=12,
+        )
+        result = sim.run()
+        # Generous envelope: every active server flat out at Fmax with
+        # high memory traffic.
+        p_ceiling = ntc_power.full_load_power_w(3.1) * 2.0
+        for record in result.records:
+            ceiling = (
+                record.n_active_servers
+                * p_ceiling
+                * SAMPLES_PER_SLOT
+                * SAMPLE_PERIOD_S
+            )
+            assert record.energy_j < ceiling
+
+    def test_energy_scales_with_fleet(self, perf):
+        """Twice the VMs should cost roughly twice the energy."""
+        from repro.traces import default_dataset
+
+        small = default_dataset(n_vms=30, n_days=8, seed=21)
+        large = default_dataset(n_vms=60, n_days=8, seed=21)
+        runs = {}
+        for name, ds in (("small", small), ("large", large)):
+            sim = DataCenterSimulation(
+                ds,
+                PerfectPredictor(ds),
+                EpactPolicy(),
+                perf=perf,
+                start_slot=24,
+                n_slots=12,
+            )
+            runs[name] = sim.run().total_energy_mj
+        ratio = runs["large"] / runs["small"]
+        assert 1.4 <= ratio <= 2.8
+
+    def test_static_power_sweep_monotone_energy(self, perf):
+        """Raising per-server static power cannot reduce total energy."""
+        from repro.power import ntc_server_power_model
+        from repro.traces import default_dataset
+
+        ds = default_dataset(n_vms=30, n_days=8, seed=22)
+        predictor = PerfectPredictor(ds)
+        totals = []
+        for static in (5.0, 25.0, 45.0):
+            power = ntc_server_power_model().with_motherboard(static)
+            sim = DataCenterSimulation(
+                ds,
+                predictor,
+                EpactPolicy(),
+                power_model=power,
+                perf=perf,
+                start_slot=24,
+                n_slots=6,
+            )
+            totals.append(sim.run().total_energy_mj)
+        assert totals[0] < totals[1] < totals[2]
+
+
+class TestForecastPolicyInterplay:
+    def test_violations_come_from_misprediction(
+        self, small_dataset, perf
+    ):
+        """Same traces, same policy: oracle forecasts -> zero violations;
+        real forecasts -> some violations for the zero-slack baseline."""
+        oracle = PerfectPredictor(small_dataset)
+        arima = DayAheadPredictor(small_dataset)
+        coat_oracle = DataCenterSimulation(
+            small_dataset, oracle, CoatPolicy(), perf=perf,
+            start_slot=168, n_slots=24,
+        ).run()
+        coat_arima = DataCenterSimulation(
+            small_dataset, arima, CoatPolicy(), perf=perf,
+            start_slot=168, n_slots=24,
+        ).run()
+        assert coat_oracle.total_violations == 0
+        assert coat_arima.total_violations > 0
+
+    def test_epact_absorbs_same_mispredictions(self, small_dataset, perf):
+        arima = DayAheadPredictor(small_dataset)
+        epact = DataCenterSimulation(
+            small_dataset, arima, EpactPolicy(), perf=perf,
+            start_slot=168, n_slots=24,
+        ).run()
+        coat = DataCenterSimulation(
+            small_dataset, arima, CoatPolicy(), perf=perf,
+            start_slot=168, n_slots=24,
+        ).run()
+        assert epact.total_violations < coat.total_violations / 5.0
+
+
+class TestMemoryDominatedRegime:
+    def test_case2_pipeline(self, mem_heavy_dataset, perf):
+        predictor = PerfectPredictor(mem_heavy_dataset)
+        result = DataCenterSimulation(
+            mem_heavy_dataset,
+            predictor,
+            EpactPolicy(),
+            perf=perf,
+            start_slot=24,
+            n_slots=24,
+        ).run()
+        cases = result.case_counts()
+        assert cases.get("mem", 0) > 0
+        assert result.total_violations == 0
+
+    def test_memory_never_oversubscribed_with_oracle(
+        self, mem_heavy_dataset, perf
+    ):
+        predictor = PerfectPredictor(mem_heavy_dataset)
+        policy = EpactPolicy()
+        sim = DataCenterSimulation(
+            mem_heavy_dataset, predictor, policy, perf=perf,
+            start_slot=24, n_slots=6,
+        )
+        from repro.core.types import AllocationContext
+
+        for slot in range(24, 30):
+            cpu, mem = predictor.predicted_slot(slot)
+            ctx = AllocationContext(
+                pred_cpu=cpu,
+                pred_mem=mem,
+                power_model=sim._power,
+                max_servers=600,
+                qos_floor_ghz=sim._vm_floor_ghz,
+            )
+            allocation = policy.allocate(ctx)
+            for plan in allocation.plans:
+                agg = mem[plan.vm_ids].sum(axis=0)
+                assert agg.max() <= 100.0 + 1e-9
+
+
+class TestLoadBalanceStrawman:
+    def test_spreading_wastes_energy_at_low_target(
+        self, small_dataset, perf
+    ):
+        """Section V-A: naive spreading is not optimal either."""
+        predictor = PerfectPredictor(small_dataset)
+        results = run_policies(
+            small_dataset,
+            predictor,
+            [EpactPolicy(), LoadBalancePolicy(target_util_pct=15.0)],
+            perf=perf,
+            start_slot=24,
+            n_slots=12,
+        )
+        assert (
+            results["EPACT"].total_energy_mj
+            < results["LOAD-BALANCE"].total_energy_mj
+        )

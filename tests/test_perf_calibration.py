@@ -1,0 +1,130 @@
+"""Tests for the Table I / Fig. 2 calibration."""
+
+import pytest
+
+from repro.anchors import (
+    NTC_SPEEDUP_OVER_THUNDERX_RANGE,
+    QOS_MIN_FREQ_GHZ,
+    TABLE_I,
+    THUNDERX_SLOWDOWN_VS_X86_RANGE,
+)
+from repro.perf.calibration import (
+    calibrate_all,
+    calibrate_class,
+    x86_reference_times,
+)
+from repro.perf.workload import ALL_MEMORY_CLASSES, MemoryClass
+
+
+@pytest.fixture(scope="module")
+def calibrations():
+    return calibrate_all()
+
+
+class TestTableIReproduction:
+    @pytest.mark.parametrize("mem_class", ALL_MEMORY_CLASSES)
+    def test_ntc_anchor_exact(self, calibrations, mem_class):
+        cal = calibrations[mem_class]
+        paper = TABLE_I[mem_class.label]["ntc_2ghz_s"]
+        assert cal.ntc.execution_time_s(2.0) == pytest.approx(
+            paper, rel=1e-9
+        )
+
+    @pytest.mark.parametrize("mem_class", ALL_MEMORY_CLASSES)
+    def test_thunderx_anchor_exact(self, calibrations, mem_class):
+        cal = calibrations[mem_class]
+        paper = TABLE_I[mem_class.label]["thunderx_2ghz_s"]
+        assert cal.thunderx.execution_time_s(2.0) == pytest.approx(
+            paper, rel=1e-9
+        )
+
+    @pytest.mark.parametrize("mem_class", ALL_MEMORY_CLASSES)
+    def test_x86_anchor_exact(self, calibrations, mem_class):
+        cal = calibrations[mem_class]
+        paper = TABLE_I[mem_class.label]["x86_2_66ghz_s"]
+        assert cal.x86.execution_time_s(2.66) == pytest.approx(
+            paper, rel=1e-9
+        )
+
+    @pytest.mark.parametrize("mem_class", ALL_MEMORY_CLASSES)
+    def test_qos_crossover_anchor_exact(self, calibrations, mem_class):
+        """T_ntc(f_qos) equals the 2x limit by construction."""
+        cal = calibrations[mem_class]
+        f_qos = QOS_MIN_FREQ_GHZ[mem_class.label]
+        limit = TABLE_I[mem_class.label]["qos_limit_s"]
+        assert cal.ntc.execution_time_s(f_qos) == pytest.approx(
+            limit, rel=1e-9
+        )
+
+
+class TestEmergentSpeedups:
+    def test_ntc_speedup_over_thunderx_in_paper_range(self, calibrations):
+        """Section VI-A: NTC outperforms ThunderX by 1.25x-1.76x."""
+        lo, hi = NTC_SPEEDUP_OVER_THUNDERX_RANGE
+        for mem_class in ALL_MEMORY_CLASSES:
+            cal = calibrations[mem_class]
+            speedup = cal.thunderx.execution_time_s(
+                2.0
+            ) / cal.ntc.execution_time_s(2.0)
+            assert lo - 0.05 <= speedup <= hi + 0.05
+
+    def test_thunderx_slower_than_x86(self, calibrations):
+        """Section III-A: ThunderX 1.35-1.5x slower than x86 (and worse
+        for memory-heavy classes, which drove the redesign)."""
+        lo, _hi = THUNDERX_SLOWDOWN_VS_X86_RANGE
+        for mem_class in ALL_MEMORY_CLASSES:
+            cal = calibrations[mem_class]
+            slowdown = cal.thunderx.execution_time_s(
+                2.0
+            ) / cal.x86.execution_time_s(2.66)
+            assert slowdown > lo
+
+
+class TestPhysicalConsistency:
+    def test_instruction_counts_positive_and_shared(self, calibrations):
+        for cal in calibrations.values():
+            assert cal.profile.instructions > 0
+            assert cal.decomposition.instructions == pytest.approx(
+                cal.profile.instructions
+            )
+
+    def test_memory_intensity_ordering(self, calibrations):
+        """DRAM access rate must grow with the memory class."""
+        apki = [
+            calibrations[mc].profile.dram_apki for mc in ALL_MEMORY_CLASSES
+        ]
+        assert apki[0] < apki[1] < apki[2]
+
+    def test_memory_seconds_ordering_on_ntc(self, calibrations):
+        b = [
+            calibrations[mc].ntc.memory_seconds for mc in ALL_MEMORY_CLASSES
+        ]
+        assert b[0] < b[1] < b[2]
+
+    def test_decomposition_recomposes_ntc_curve(self, calibrations):
+        for cal in calibrations.values():
+            recomposed = cal.decomposition.to_timing()
+            assert recomposed.compute_seconds_ghz == pytest.approx(
+                cal.ntc.compute_seconds_ghz, rel=1e-9
+            )
+            assert recomposed.memory_seconds == pytest.approx(
+                cal.ntc.memory_seconds, rel=1e-9
+            )
+
+    def test_timing_for_unknown_platform_raises(self, calibrations):
+        with pytest.raises(KeyError):
+            calibrations[MemoryClass.LOW].timing_for("sparc")
+
+
+class TestHelpers:
+    def test_x86_reference_times_match_anchors(self):
+        refs = x86_reference_times()
+        for label, value in refs.items():
+            assert value == TABLE_I[label]["x86_2_66ghz_s"]
+
+    def test_single_class_calibration_matches_bulk(self, calibrations):
+        single = calibrate_class(MemoryClass.MID)
+        bulk = calibrations[MemoryClass.MID]
+        assert single.ntc.compute_seconds_ghz == pytest.approx(
+            bulk.ntc.compute_seconds_ghz
+        )

@@ -1,0 +1,140 @@
+"""Tests for the QoS model and the performance-simulator facade."""
+
+import pytest
+
+from repro.anchors import QOS_MIN_FREQ_GHZ, TABLE_I
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.perf.simulator import traffic_coefficients
+from repro.perf.workload import ALL_MEMORY_CLASSES, MemoryClass
+from repro.technology.opp import build_opp_table
+from repro.technology.voltage import fdsoi28
+
+
+class TestQosModel:
+    @pytest.mark.parametrize("mem_class", ALL_MEMORY_CLASSES)
+    def test_min_qos_frequency_matches_paper(self, perf_sim, mem_class):
+        """Fig. 2 floors: 1.2 GHz low-mem, 1.8 GHz mid/high-mem."""
+        opps = perf_sim.platform("ntc").opps
+        floor = perf_sim.qos.min_qos_frequency(mem_class, opps)
+        assert floor == pytest.approx(QOS_MIN_FREQ_GHZ[mem_class.label])
+
+    def test_degradation_at_floor_at_most_limit(self, perf_sim):
+        opps = perf_sim.platform("ntc").opps
+        for mem_class in ALL_MEMORY_CLASSES:
+            floor = perf_sim.qos.min_qos_frequency(mem_class, opps)
+            assert perf_sim.qos.degradation(mem_class, floor) <= 2.0 + 1e-9
+
+    def test_one_step_below_floor_violates(self, perf_sim):
+        opps = perf_sim.platform("ntc").opps
+        freqs = opps.frequencies_ghz
+        for mem_class in ALL_MEMORY_CLASSES:
+            floor = perf_sim.qos.min_qos_frequency(mem_class, opps)
+            idx = freqs.index(floor)
+            if idx > 0:
+                assert not perf_sim.qos.meets_qos(mem_class, freqs[idx - 1])
+
+    def test_normalized_to_limit_is_half_degradation(self, perf_sim):
+        value = perf_sim.qos.normalized_to_limit(MemoryClass.LOW, 2.0)
+        degradation = perf_sim.qos.degradation(MemoryClass.LOW, 2.0)
+        assert value == pytest.approx(degradation / 2.0)
+
+    def test_infeasible_table_raises(self, perf_sim):
+        tiny = build_opp_table(fdsoi28(), [0.1, 0.2])
+        with pytest.raises(InfeasibleError):
+            perf_sim.qos.min_qos_frequency(MemoryClass.HIGH, tiny)
+
+    def test_qos_floors_returns_all_classes(self, perf_sim):
+        floors = perf_sim.qos.qos_floors(perf_sim.platform("ntc").opps)
+        assert set(floors) == set(ALL_MEMORY_CLASSES)
+
+
+class TestSimulatorFacade:
+    def test_table1_matches_anchors(self, perf_sim):
+        rows = perf_sim.table1()
+        for label, row in rows.items():
+            for key in ("x86_2_66ghz_s", "thunderx_2ghz_s", "ntc_2ghz_s"):
+                assert row[key] == pytest.approx(
+                    TABLE_I[label][key], rel=1e-9
+                )
+
+    def test_unknown_platform_rejected(self, perf_sim):
+        with pytest.raises(ConfigurationError):
+            perf_sim.platform("power9")
+
+    def test_qos_sweep_flags_violations(self, perf_sim):
+        points = perf_sim.qos_sweep(MemoryClass.MID, [0.5, 2.0])
+        assert not points[0].meets_qos
+        assert points[1].meets_qos
+        assert points[0].normalized_to_qos_limit > 1.0
+
+    def test_chip_uips_scales_with_cores(self, perf_sim):
+        """Chip UIPS = n_cores x per-core UIPS (one job per core)."""
+        uips = perf_sim.chip_uips(MemoryClass.LOW, 2.0)
+        cal = perf_sim.calibrations[MemoryClass.LOW]
+        per_core = cal.profile.instructions / cal.ntc.execution_time_s(2.0)
+        assert uips == pytest.approx(16 * per_core)
+
+    def test_dram_traffic_ordering(self, perf_sim):
+        """Memory-heavier classes generate more DRAM traffic."""
+        t = [
+            perf_sim.dram_bytes_per_second(mc, 2.0)
+            for mc in ALL_MEMORY_CLASSES
+        ]
+        assert t[0] < t[1] < t[2]
+
+    def test_stall_fraction_ordering(self, perf_sim):
+        s = [
+            perf_sim.stall_fraction(mc, 2.0) for mc in ALL_MEMORY_CLASSES
+        ]
+        assert s[0] < s[1] < s[2]
+
+    def test_traffic_coefficients_per_util_point(self, perf_sim):
+        coeffs = traffic_coefficients(perf_sim)
+        full = perf_sim.dram_bytes_per_second(MemoryClass.HIGH, 3.1)
+        assert coeffs[MemoryClass.HIGH] == pytest.approx(full / 100.0)
+
+    def test_speedup_uses_execution_times(self, perf_sim):
+        speedup = perf_sim.speedup_ntc_over_thunderx(MemoryClass.MID)
+        expected = perf_sim.execution_time_s(
+            MemoryClass.MID, 2.0, "thunderx"
+        ) / perf_sim.execution_time_s(MemoryClass.MID, 2.0, "ntc")
+        assert speedup == pytest.approx(expected)
+
+
+class TestWorkloadProfile:
+    def test_labels_and_lookup(self):
+        assert MemoryClass.LOW.label == "low-mem"
+        assert MemoryClass.from_label("high-mem") is MemoryClass.HIGH
+        with pytest.raises(ConfigurationError):
+            MemoryClass.from_label("huge-mem")
+
+    def test_footprints_match_paper(self):
+        """Section III-B: 70/255/435 MB."""
+        assert MemoryClass.LOW.footprint_mb == pytest.approx(70.0)
+        assert MemoryClass.MID.footprint_mb == pytest.approx(255.0)
+        assert MemoryClass.HIGH.footprint_mb == pytest.approx(435.0)
+
+    def test_profile_validation(self):
+        from repro.perf.workload import WorkloadProfile
+
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile(
+                mem_class=MemoryClass.LOW,
+                instructions=0.0,
+                dram_accesses_per_instr=0.01,
+            )
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile(
+                mem_class=MemoryClass.LOW,
+                instructions=1e9,
+                dram_accesses_per_instr=-0.01,
+            )
+
+    def test_derived_quantities(self, perf_sim):
+        profile = perf_sim.calibrations[MemoryClass.MID].profile
+        assert profile.dram_bytes_per_instr == pytest.approx(
+            profile.dram_accesses_per_instr * 64
+        )
+        assert profile.dram_apki == pytest.approx(
+            profile.dram_accesses_per_instr * 1000
+        )

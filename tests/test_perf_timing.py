@@ -1,0 +1,128 @@
+"""Tests for the two-parameter execution-time model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, DomainError
+from repro.perf.timing import (
+    MicroarchDecomposition,
+    TimingParameters,
+    instructions_per_second,
+)
+
+positive = st.floats(min_value=0.01, max_value=100.0)
+freqs = st.floats(min_value=0.05, max_value=3.1)
+
+
+class TestExecutionTime:
+    def test_explicit_value(self):
+        timing = TimingParameters(
+            compute_seconds_ghz=2.0, memory_seconds=0.5
+        )
+        assert timing.execution_time_s(2.0) == pytest.approx(1.5)
+
+    @given(positive, positive, freqs)
+    def test_time_exceeds_memory_floor(self, a, b, f):
+        timing = TimingParameters(compute_seconds_ghz=a, memory_seconds=b)
+        assert timing.execution_time_s(f) > timing.memory_floor_s
+
+    @given(positive, positive, freqs)
+    def test_monotone_decreasing_in_frequency(self, a, b, f):
+        timing = TimingParameters(compute_seconds_ghz=a, memory_seconds=b)
+        assert timing.execution_time_s(f) > timing.execution_time_s(
+            f * 1.01
+        )
+
+    @given(positive, freqs)
+    def test_cpu_bound_scales_inversely(self, a, f):
+        timing = TimingParameters(compute_seconds_ghz=a, memory_seconds=0.0)
+        assert timing.execution_time_s(2 * f) == pytest.approx(
+            timing.execution_time_s(f) / 2
+        )
+
+    def test_nonpositive_frequency_raises(self):
+        timing = TimingParameters(compute_seconds_ghz=1.0, memory_seconds=0.0)
+        with pytest.raises(DomainError):
+            timing.execution_time_s(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TimingParameters(compute_seconds_ghz=0.0, memory_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            TimingParameters(compute_seconds_ghz=1.0, memory_seconds=-0.1)
+
+
+class TestStallFraction:
+    @given(positive, positive, freqs)
+    def test_bounded(self, a, b, f):
+        timing = TimingParameters(compute_seconds_ghz=a, memory_seconds=b)
+        assert 0.0 <= timing.stall_fraction(f) < 1.0
+
+    @given(positive, positive, freqs)
+    def test_grows_with_frequency(self, a, b, f):
+        """Memory wall: stalls dominate as the core speeds up."""
+        timing = TimingParameters(compute_seconds_ghz=a, memory_seconds=b)
+        assert timing.stall_fraction(f * 1.1) > timing.stall_fraction(f)
+
+    def test_zero_for_cpu_bound(self):
+        timing = TimingParameters(compute_seconds_ghz=1.0, memory_seconds=0.0)
+        assert timing.stall_fraction(1.0) == 0.0
+
+
+class TestSpeedupAndInverse:
+    def test_speedup_below_frequency_ratio_when_memory_bound(self):
+        timing = TimingParameters(compute_seconds_ghz=1.0, memory_seconds=1.0)
+        assert timing.speedup(1.0, 2.0) < 2.0
+
+    def test_speedup_equals_ratio_when_cpu_bound(self):
+        timing = TimingParameters(compute_seconds_ghz=1.0, memory_seconds=0.0)
+        assert timing.speedup(1.0, 2.0) == pytest.approx(2.0)
+
+    @given(positive, positive, freqs)
+    def test_frequency_for_time_roundtrip(self, a, b, f):
+        timing = TimingParameters(compute_seconds_ghz=a, memory_seconds=b)
+        t = timing.execution_time_s(f)
+        assert timing.frequency_for_time(t) == pytest.approx(f, rel=1e-9)
+
+    def test_frequency_for_unachievable_time_raises(self):
+        timing = TimingParameters(compute_seconds_ghz=1.0, memory_seconds=1.0)
+        with pytest.raises(DomainError):
+            timing.frequency_for_time(0.5)
+
+
+class TestDecomposition:
+    def test_recompose_matches(self):
+        decomp = MicroarchDecomposition(
+            instructions=1.0e9,
+            base_cpi=2.0,
+            dram_accesses_per_instr=0.01,
+            dram_latency_ns=80.0,
+            blocking_factor=0.5,
+        )
+        timing = decomp.to_timing()
+        assert timing.compute_seconds_ghz == pytest.approx(2.0)
+        assert timing.memory_seconds == pytest.approx(
+            1.0e9 * 0.01 * 80e-9 * 0.5
+        )
+
+
+class TestUips:
+    def test_uips_definition(self):
+        timing = TimingParameters(compute_seconds_ghz=2.0, memory_seconds=0.0)
+        # T(2 GHz) = 1 s; 1e9 instructions -> 1e9 UIPS.
+        assert instructions_per_second(timing, 1.0e9, 2.0) == pytest.approx(
+            1.0e9
+        )
+
+    def test_uips_rejects_nonpositive_instructions(self):
+        timing = TimingParameters(compute_seconds_ghz=2.0, memory_seconds=0.0)
+        with pytest.raises(DomainError):
+            instructions_per_second(timing, 0.0, 2.0)
+
+    @given(positive, positive, freqs)
+    def test_uips_saturates_at_memory_bound(self, a, b, f):
+        timing = TimingParameters(compute_seconds_ghz=a, memory_seconds=b)
+        uips = instructions_per_second(timing, 1e9, f)
+        ceiling = 1e9 / timing.memory_floor_s if b > 0 else float("inf")
+        assert uips < ceiling

@@ -1,0 +1,191 @@
+"""Tests for the component power models (core, LLC, uncore, DRAM)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.anchors import (
+    DRAM_ACCESS_PJ_PER_BYTE,
+    MOTHERBOARD_W,
+    UNCORE_CONSTANT_W,
+    UNCORE_PROPORTIONAL_RANGE_W,
+)
+from repro.errors import ConfigurationError, DomainError
+from repro.power.core_power import CoreRegionPowerModel, ntc_core_power_model
+from repro.power.dram_power import DramPowerModel
+from repro.power.llc import LlcPowerModel, ntc_llc_power_model
+from repro.power.uncore import (
+    UncorePowerModel,
+    ntc_uncore_power_model,
+)
+from repro.technology.leakage import LeakageModel
+
+fractions = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestCorePower:
+    def test_dynamic_follows_cv2f(self):
+        model = ntc_core_power_model()
+        assert model.dynamic_w(1.0, 2.0) == pytest.approx(
+            model.ceff_nf * 1.0 * 2.0
+        )
+
+    def test_wfm_discount_is_24_percent(self):
+        """Section IV-1: WFM state consumes 24% less than active."""
+        model = ntc_core_power_model()
+        active = model.dynamic_w(1.0, 2.0, 1.0, stall_fraction=0.0)
+        all_wfm = model.dynamic_w(1.0, 2.0, 1.0, stall_fraction=1.0)
+        assert all_wfm == pytest.approx(active * 0.76)
+
+    @given(fractions, fractions)
+    def test_dynamic_bounded_by_full_activity(self, busy, stall):
+        model = ntc_core_power_model()
+        p = model.dynamic_w(1.0, 2.0, busy, stall)
+        assert 0.0 <= p <= model.dynamic_w(1.0, 2.0, 1.0, 0.0) + 1e-12
+
+    def test_idle_cores_only_leak(self):
+        model = ntc_core_power_model()
+        assert model.power_w(0.8, 1.9, busy_fraction=0.0) == pytest.approx(
+            model.leakage_w(0.8)
+        )
+
+    def test_out_of_range_inputs_raise(self):
+        model = ntc_core_power_model()
+        with pytest.raises(DomainError):
+            model.dynamic_w(1.0, 2.0, busy_fraction=1.5)
+        with pytest.raises(DomainError):
+            model.dynamic_w(1.0, 2.0, stall_fraction=-0.1)
+        with pytest.raises(DomainError):
+            model.dynamic_w(0.0, 2.0)
+
+    def test_validation(self):
+        leak = LeakageModel(name="t", p_ref_w=1.0, v_ref=1.0, v_slope=0.5)
+        with pytest.raises(ConfigurationError):
+            CoreRegionPowerModel(ceff_nf=0.0, leakage=leak)
+        with pytest.raises(ConfigurationError):
+            CoreRegionPowerModel(ceff_nf=1.0, leakage=leak, wfm_reduction=1.0)
+        with pytest.raises(ConfigurationError):
+            ntc_core_power_model(n_cores=0)
+
+
+class TestLlcPower:
+    def test_access_energy_scales_with_v_squared(self):
+        llc = ntc_llc_power_model()
+        assert llc.energy_per_access_j(2.0) == pytest.approx(
+            4.0 * llc.energy_per_access_j(1.0)
+        )
+
+    def test_access_power_linear_in_rate(self):
+        llc = ntc_llc_power_model()
+        assert llc.access_w(1.0, 2.0e9) == pytest.approx(
+            2.0 * llc.access_w(1.0, 1.0e9)
+        )
+
+    def test_bytes_conversion_uses_128bit_granule(self):
+        llc = ntc_llc_power_model()
+        assert llc.access_w_from_bytes(1.0, 16.0) == pytest.approx(
+            llc.access_w(1.0, 1.0)
+        )
+
+    def test_mixed_read_write_energy_between_extremes(self):
+        llc = ntc_llc_power_model()
+        e = llc.energy_per_access_j(1.0) * 1e12
+        assert llc.read_energy_pj <= e <= llc.write_energy_pj
+
+    def test_negative_rate_rejected(self):
+        llc = ntc_llc_power_model()
+        with pytest.raises(DomainError):
+            llc.access_w(1.0, -1.0)
+
+    def test_validation(self):
+        from repro.technology.leakage import fdsoi28_sram_leakage
+
+        with pytest.raises(ConfigurationError):
+            LlcPowerModel(size_mb=0.0, leakage=fdsoi28_sram_leakage(16))
+        with pytest.raises(ConfigurationError):
+            LlcPowerModel(
+                size_mb=16.0,
+                leakage=fdsoi28_sram_leakage(16),
+                write_fraction=1.5,
+            )
+
+
+class TestUncorePower:
+    def test_paper_constants(self):
+        model = ntc_uncore_power_model()
+        assert model.constant_w == pytest.approx(UNCORE_CONSTANT_W)
+        assert model.motherboard_w == pytest.approx(MOTHERBOARD_W)
+
+    def test_proportional_endpoints_match_paper(self):
+        """Section IV-3: proportional component spans 1.6-9 W."""
+        model = ntc_uncore_power_model()
+        lo, hi = UNCORE_PROPORTIONAL_RANGE_W
+        assert model.proportional_w(1.30, 3.1) == pytest.approx(hi)
+        assert model.proportional_w(0.28, 0.1) == pytest.approx(
+            lo, abs=0.05
+        )
+
+    def test_proportional_monotone_in_activity(self):
+        model = ntc_uncore_power_model()
+        assert model.proportional_w(0.9, 2.5) > model.proportional_w(
+            0.7, 1.9
+        )
+
+    def test_with_motherboard_sweeps_static(self):
+        model = ntc_uncore_power_model()
+        swept = model.with_motherboard(45.0)
+        assert swept.motherboard_w == pytest.approx(45.0)
+        assert swept.constant_w == pytest.approx(model.constant_w)
+        assert swept.static_w() == pytest.approx(45.0 + UNCORE_CONSTANT_W)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UncorePowerModel(constant_w=-1.0)
+        with pytest.raises(ConfigurationError):
+            UncorePowerModel(
+                proportional_min_w=5.0, proportional_max_w=1.0
+            )
+        model = ntc_uncore_power_model()
+        with pytest.raises(DomainError):
+            model.activity(0.0, 1.0)
+
+
+class TestDramPower:
+    def test_paper_background_endpoints(self):
+        """Section IV-4: 15.5 mW/GB idle, 155 mW/GB active, 16GB."""
+        dram = DramPowerModel(capacity_gb=16.0)
+        assert dram.background_w(0.0) == pytest.approx(0.248)
+        assert dram.background_w(1.0) == pytest.approx(2.48)
+
+    def test_access_energy_is_800pj_per_byte(self):
+        dram = DramPowerModel(capacity_gb=16.0)
+        assert dram.access_w(1.0e9) == pytest.approx(
+            1.0e9 * DRAM_ACCESS_PJ_PER_BYTE * 1e-12
+        )
+
+    @given(fractions)
+    def test_background_interpolates_linearly(self, frac):
+        dram = DramPowerModel(capacity_gb=16.0)
+        expected = 0.248 + frac * (2.48 - 0.248)
+        assert dram.background_w(frac) == pytest.approx(expected)
+
+    def test_total_power(self):
+        dram = DramPowerModel(capacity_gb=16.0)
+        assert dram.power_w(0.5, 1e9) == pytest.approx(
+            dram.background_w(0.5) + dram.access_w(1e9)
+        )
+
+    def test_from_dram_model(self):
+        from repro.arch.dram import ddr4_2400_16gb
+
+        dram = DramPowerModel.from_dram_model(ddr4_2400_16gb())
+        assert dram.capacity_gb == pytest.approx(16.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DramPowerModel(capacity_gb=0.0)
+        dram = DramPowerModel(capacity_gb=16.0)
+        with pytest.raises(DomainError):
+            dram.background_w(1.5)
+        with pytest.raises(DomainError):
+            dram.access_w(-1.0)

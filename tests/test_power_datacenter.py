@@ -1,0 +1,121 @@
+"""Tests for the Fig. 1 data-center power analysis."""
+
+import pytest
+
+from repro.errors import DomainError, InfeasibleError
+from repro.power.datacenter import DataCenterPowerAnalysis
+
+
+@pytest.fixture(scope="module")
+def ntc_dc(ntc_power_module):
+    return DataCenterPowerAnalysis(ntc_power_module, n_servers=80)
+
+
+@pytest.fixture(scope="module")
+def ntc_power_module():
+    from repro.power import ntc_server_power_model
+
+    return ntc_server_power_model()
+
+
+@pytest.fixture(scope="module")
+def conv_dc():
+    from repro.power import conventional_server_power_model
+
+    return DataCenterPowerAnalysis(
+        conventional_server_power_model(), n_servers=80
+    )
+
+
+class TestDemand:
+    def test_demand_definition(self, ntc_dc):
+        # 80 servers x 3.1 GHz x 50% = 124 GHz.
+        assert ntc_dc.demand_ghz(50.0) == pytest.approx(124.0)
+
+    def test_zero_utilization_is_free(self, ntc_dc):
+        point = ntc_dc.operating_point(1.9, 0.0)
+        assert point.n_active_servers == 0
+        assert point.power_kw == 0.0
+
+    def test_invalid_utilization_raises(self, ntc_dc):
+        with pytest.raises(DomainError):
+            ntc_dc.demand_ghz(120.0)
+
+    def test_min_feasible_frequency(self, ntc_dc):
+        # 90% of Fmax demand requires at least 0.9 * 3.1 = 2.79 GHz.
+        assert ntc_dc.min_feasible_frequency_ghz(90.0) == pytest.approx(2.8)
+
+    def test_nserver_validation(self, ntc_power_module):
+        with pytest.raises(DomainError):
+            DataCenterPowerAnalysis(ntc_power_module, n_servers=0)
+
+
+class TestOperatingPoints:
+    def test_server_count_is_ceiling_of_demand(self, ntc_dc):
+        point = ntc_dc.operating_point(1.9, 30.0)
+        import math
+
+        assert point.n_active_servers == math.ceil(
+            ntc_dc.demand_ghz(30.0) / 1.9
+        )
+
+    def test_infeasible_point_raises(self, ntc_dc):
+        with pytest.raises(InfeasibleError):
+            ntc_dc.operating_point(0.3, 90.0)
+
+    def test_partial_server_cheaper_than_full(self, ntc_dc):
+        """The last server runs partially busy, not fully."""
+        full_only = (
+            ntc_dc.operating_point(1.9, 30.0).n_active_servers
+            * ntc_dc.server_power.full_load_power_w(1.9)
+            / 1000.0
+        )
+        actual = ntc_dc.operating_point(1.9, 30.0).power_kw
+        assert actual <= full_only + 1e-9
+
+    def test_power_scales_with_utilization(self, ntc_dc):
+        p30 = ntc_dc.operating_point(2.0, 30.0).power_kw
+        p60 = ntc_dc.operating_point(2.0, 60.0).power_kw
+        assert 1.8 < p60 / p30 < 2.2
+
+
+class TestFig1Shapes:
+    def test_ntc_interior_optimum_near_1_9(self, ntc_dc):
+        """Fig. 1(a): optimum around 1.9 GHz below the 50% knee."""
+        for util in (10, 30, 50):
+            opt = ntc_dc.optimal_point(util)
+            assert 1.7 <= opt.freq_ghz <= 2.0
+
+    def test_ntc_min_feasible_above_knee(self, ntc_dc):
+        """Fig. 1(a): above ~50% the optimum is the minimum feasible."""
+        for util in (70, 80, 90):
+            opt = ntc_dc.optimal_point(util)
+            assert opt.freq_ghz == pytest.approx(
+                ntc_dc.min_feasible_frequency_ghz(util)
+            )
+
+    def test_conventional_optimum_is_fmax(self, conv_dc):
+        """Fig. 1(b): consolidation (Fmax) wins at every utilization."""
+        for util in (10, 30, 50, 70, 90):
+            assert conv_dc.optimal_point(util).freq_ghz == pytest.approx(
+                2.4
+            )
+
+    def test_high_utilization_curves_truncated(self, ntc_dc):
+        """Fig. 1(a): the 90% curve only exists at high frequencies."""
+        curve = ntc_dc.power_curve(90.0)
+        assert min(p.freq_ghz for p in curve) >= 2.7
+
+    def test_power_magnitudes_match_figure(self, ntc_dc):
+        """Fig. 1(a) tops out around 11-12 kW at 90% and Fmax."""
+        top = ntc_dc.operating_point(3.1, 90.0)
+        assert 8.0 < top.power_kw < 13.0
+
+    def test_curve_skips_infeasible(self, ntc_dc):
+        curve = ntc_dc.power_curve(50.0)
+        freqs = [p.freq_ghz for p in curve]
+        assert min(freqs) >= 1.55 - 1e-9
+
+    def test_optimal_point_raises_when_nothing_feasible(self, ntc_dc):
+        with pytest.raises(InfeasibleError):
+            ntc_dc.optimal_point(90.0, freqs_ghz=[0.5, 1.0])

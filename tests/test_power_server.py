@@ -1,0 +1,133 @@
+"""Tests for the whole-server power model (NTC and conventional)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.anchors import NTC_OPTIMAL_FREQ_GHZ
+from repro.errors import DomainError
+
+fractions = st.floats(min_value=0.0, max_value=1.0)
+ntc_freqs = st.floats(min_value=0.1, max_value=3.1)
+
+
+class TestBreakdown:
+    def test_total_is_sum_of_components(self, ntc_power):
+        b = ntc_power.breakdown(1.9, busy_fraction=0.7, stall_fraction=0.2)
+        parts = (
+            b.core_dynamic_w
+            + b.core_leakage_w
+            + b.llc_leakage_w
+            + b.llc_access_w
+            + b.uncore_constant_w
+            + b.uncore_proportional_w
+            + b.motherboard_w
+            + b.dram_background_w
+            + b.dram_access_w
+        )
+        assert b.total_w == pytest.approx(parts)
+
+    def test_records_operating_point(self, ntc_power):
+        b = ntc_power.breakdown(2.0)
+        assert b.freq_ghz == pytest.approx(2.0)
+        assert b.voltage_v == pytest.approx(
+            ntc_power.spec.voltage_at(2.0), abs=1e-9
+        )
+
+    @given(ntc_freqs, fractions)
+    def test_power_monotone_in_load(self, ntc_power, freq, busy):
+        lighter = ntc_power.power_w(freq, busy_fraction=busy * 0.5)
+        heavier = ntc_power.power_w(freq, busy_fraction=busy)
+        assert heavier >= lighter - 1e-12
+
+    @given(ntc_freqs)
+    def test_idle_power_below_full_load(self, ntc_power, freq):
+        assert ntc_power.idle_power_w(freq) < ntc_power.full_load_power_w(
+            freq
+        )
+
+    def test_wfm_reduces_power(self, ntc_power):
+        stalled = ntc_power.power_w(2.5, 1.0, stall_fraction=0.5)
+        active = ntc_power.power_w(2.5, 1.0, stall_fraction=0.0)
+        assert stalled < active
+
+    def test_dram_traffic_adds_power(self, ntc_power):
+        quiet = ntc_power.power_w(2.0, 1.0)
+        busy_mem = ntc_power.power_w(2.0, 1.0, dram_bytes_per_s=5e9)
+        # 5 GB/s at 800 pJ/B = 4 W of DRAM access power plus LLC energy.
+        assert busy_mem - quiet > 4.0
+
+    def test_invalid_busy_fraction_raises(self, ntc_power):
+        with pytest.raises(DomainError):
+            ntc_power.power_w(2.0, busy_fraction=1.5)
+
+
+class TestNtcCharacteristics:
+    def test_optimal_frequency_is_papers_1_9ghz(self, ntc_power):
+        """The headline emergent property: F_NTC_opt ~ 1.9 GHz."""
+        assert ntc_power.optimal_frequency_ghz() == pytest.approx(
+            NTC_OPTIMAL_FREQ_GHZ
+        )
+
+    def test_full_load_power_magnitudes(self, ntc_power):
+        """80 servers at Fmax ~ 11 kW (Fig. 1(a) scale)."""
+        p_max = ntc_power.full_load_power_w(3.1)
+        assert 120.0 < p_max < 160.0
+        p_opt = ntc_power.full_load_power_w(1.9)
+        assert 40.0 < p_opt < 60.0
+
+    def test_energy_proportionality(self, ntc_power):
+        """Static share at the NTC optimum is well under half."""
+        b = ntc_power.breakdown(1.9, busy_fraction=1.0)
+        assert b.static_w / b.total_w < 0.75
+
+    def test_power_per_ghz_convex_around_optimum(self, ntc_power):
+        s_15 = ntc_power.power_per_ghz(1.5)
+        s_19 = ntc_power.power_per_ghz(1.9)
+        s_31 = ntc_power.power_per_ghz(3.1)
+        assert s_19 < s_15
+        assert s_19 < s_31
+
+    def test_with_motherboard_changes_only_static(self, ntc_power):
+        swept = ntc_power.with_motherboard(45.0)
+        delta = swept.full_load_power_w(2.0) - ntc_power.full_load_power_w(
+            2.0
+        )
+        assert delta == pytest.approx(30.0)
+
+    def test_higher_static_power_raises_optimal_frequency(self, ntc_power):
+        """Fig. 7 narrative: static-heavy platforms prefer consolidation."""
+        low_static = ntc_power.with_motherboard(2.0)
+        high_static = ntc_power.with_motherboard(60.0)
+        assert (
+            high_static.optimal_frequency_ghz()
+            >= low_static.optimal_frequency_ghz()
+        )
+
+
+class TestConventionalCharacteristics:
+    def test_consolidation_is_optimal(self, conv_power):
+        """Fig. 1(b): the conventional server's optimum is Fmax."""
+        assert conv_power.optimal_frequency_ghz() == pytest.approx(2.4)
+
+    def test_power_per_ghz_monotone_decreasing(self, conv_power):
+        freqs = conv_power.spec.opps.frequencies_ghz
+        values = [conv_power.power_per_ghz(f) for f in freqs]
+        assert all(b <= a + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_energy_proportionality_contrast(self, conv_power, ntc_power):
+        """The NTC server spans a far wider power range across its
+        DVFS/load space than the conventional server — the paper's
+        energy-proportionality premise."""
+        ntc_floor = ntc_power.idle_power_w(ntc_power.spec.f_min_ghz)
+        ntc_peak = ntc_power.full_load_power_w(ntc_power.spec.f_max_ghz)
+        conv_floor = conv_power.idle_power_w(conv_power.spec.f_min_ghz)
+        conv_peak = conv_power.full_load_power_w(conv_power.spec.f_max_ghz)
+        assert ntc_floor / ntc_peak < 0.30
+        assert conv_floor / conv_peak > 0.40
+        assert ntc_floor / ntc_peak < conv_floor / conv_peak
+
+    def test_no_llc_component(self, conv_power):
+        b = conv_power.breakdown(2.0)
+        assert b.llc_leakage_w == 0.0
+        assert b.llc_access_w == 0.0

@@ -1,0 +1,199 @@
+"""Cross-module property-based tests (hypothesis).
+
+System-level invariants that hold for arbitrary inputs, not just the
+paper's operating points.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alloc1d import allocate_1d
+from repro.core.governor import DvfsGovernor
+from repro.dcsim.engine import count_migrations
+from repro.perf.workload import ALL_MEMORY_CLASSES
+from repro.power.datacenter import DataCenterPowerAnalysis
+from repro.technology.opp import ntc_opp_table
+
+freq_strategy = st.floats(min_value=0.1, max_value=3.1)
+util_strategy = st.floats(min_value=0.0, max_value=100.0)
+fraction_strategy = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestPowerInvariants:
+    @given(freq_strategy, fraction_strategy, fraction_strategy)
+    def test_breakdown_components_non_negative(
+        self, ntc_power, freq, busy, stall
+    ):
+        b = ntc_power.breakdown(
+            freq, busy_fraction=busy, stall_fraction=stall
+        )
+        for field in (
+            b.core_dynamic_w,
+            b.core_leakage_w,
+            b.llc_leakage_w,
+            b.llc_access_w,
+            b.uncore_constant_w,
+            b.uncore_proportional_w,
+            b.motherboard_w,
+            b.dram_background_w,
+            b.dram_access_w,
+        ):
+            assert field >= 0.0
+
+    @given(freq_strategy, fraction_strategy)
+    def test_stalling_never_increases_power(self, ntc_power, freq, stall):
+        stalled = ntc_power.power_w(freq, 1.0, stall_fraction=stall)
+        active = ntc_power.power_w(freq, 1.0, stall_fraction=0.0)
+        assert stalled <= active + 1e-12
+
+    @given(freq_strategy)
+    def test_static_floor_below_full_load(self, ntc_power, freq):
+        assert ntc_power.idle_power_w(freq) <= ntc_power.full_load_power_w(
+            freq
+        )
+
+    @given(st.floats(min_value=1.0, max_value=99.0), freq_strategy)
+    def test_dc_power_monotone_in_utilization(self, ntc_power, util, freq):
+        from repro.errors import InfeasibleError
+
+        dc = DataCenterPowerAnalysis(ntc_power, n_servers=80)
+        try:
+            low = dc.operating_point(freq, util * 0.5).power_kw
+            high = dc.operating_point(freq, util).power_kw
+        except InfeasibleError:
+            return
+        assert high >= low - 1e-9
+
+
+class TestGovernorInvariants:
+    @given(
+        st.lists(util_strategy, min_size=1, max_size=8),
+        st.sampled_from([0.1, 1.2, 1.8]),
+    )
+    def test_choice_covers_demand_and_floor(self, utils, floor):
+        governor = DvfsGovernor(ntc_opp_table(), 3.1)
+        util = np.array([utils])
+        idx = governor.opp_indices(util, np.array([floor]))
+        freqs = governor.frequencies_ghz[idx][0]
+        for u, f in zip(utils, freqs):
+            demand = min(u, 100.0) * 3.1 / 100.0
+            assert f >= min(demand, 3.1) - 0.1 - 1e-9  # one OPP step max
+            assert f >= floor - 1e-9
+
+    @given(st.lists(util_strategy, min_size=1, max_size=8))
+    def test_choice_is_minimal_covering_opp(self, utils):
+        """No lower OPP would cover demand and floor."""
+        governor = DvfsGovernor(ntc_opp_table(), 3.1)
+        util = np.array([utils])
+        floor = 0.1
+        idx = governor.opp_indices(util, np.array([floor]))[0]
+        freqs = governor.frequencies_ghz
+        for u, i in zip(utils, idx):
+            demand = u * 3.1 / 100.0
+            if i > 0:
+                below = freqs[i - 1]
+                assert below < demand - 1e-9 or below < floor - 1e-9 or (
+                    demand > 3.1
+                )
+
+
+class TestAllocationInvariants:
+    @given(st.integers(2, 25), st.integers(0, 1000))
+    @settings(max_examples=15)
+    def test_alloc1d_partition_and_caps(self, n_vms, seed):
+        rng = np.random.default_rng(seed)
+        cpu = rng.uniform(1.0, 25.0, size=(n_vms, 12))
+        mem = rng.uniform(1.0, 10.0, size=(n_vms, 12))
+        plans, forced = allocate_1d(cpu, mem, cap_cpu_pct=61.3)
+        placed = sorted(v for p in plans for v in p.vm_ids)
+        assert placed == list(range(n_vms))
+        assert forced == 0
+        for plan in plans:
+            if len(plan.vm_ids) > 1:
+                assert cpu[plan.vm_ids].sum(axis=0).max() <= 61.3 + 1e-9
+
+    @given(st.integers(2, 25), st.integers(0, 1000))
+    @settings(max_examples=15)
+    def test_alloc1d_server_count_lower_bound(self, n_vms, seed):
+        """Cannot beat the aggregate-demand lower bound."""
+        rng = np.random.default_rng(seed)
+        cpu = rng.uniform(1.0, 25.0, size=(n_vms, 12))
+        mem = rng.uniform(0.5, 3.0, size=(n_vms, 12))
+        cap = 61.3
+        plans, _ = allocate_1d(cpu, mem, cap_cpu_pct=cap)
+        import math
+
+        lower = math.ceil(cpu.sum(axis=0).max() / cap - 1e-9)
+        assert len(plans) >= lower
+
+
+class TestMigrationInvariants:
+    assignments = st.lists(
+        st.integers(min_value=0, max_value=5), min_size=1, max_size=30
+    )
+
+    @given(assignments)
+    def test_self_migration_zero(self, mapping):
+        arr = np.array(mapping)
+        assert count_migrations(arr, arr) == 0
+
+    @given(assignments, assignments)
+    def test_bounded_by_vm_count(self, old, new):
+        n = min(len(old), len(new))
+        old_arr = np.array(old[:n])
+        new_arr = np.array(new[:n])
+        m = count_migrations(old_arr, new_arr)
+        assert 0 <= m <= n
+
+    @given(assignments, st.permutations(list(range(6))))
+    def test_relabel_invariance(self, mapping, perm):
+        arr = np.array(mapping)
+        relabeled = np.array([perm[s] for s in mapping])
+        assert count_migrations(arr, relabeled) == 0
+
+
+class TestTimingInvariants:
+    @given(
+        st.sampled_from(ALL_MEMORY_CLASSES),
+        freq_strategy,
+        freq_strategy,
+    )
+    def test_speedup_bounded_by_frequency_ratio(
+        self, perf_sim, mem_class, f1, f2
+    ):
+        """Amdahl-style bound: memory time limits any DVFS speedup."""
+        lo, hi = sorted((f1, f2))
+        timing = perf_sim.timing(mem_class)
+        speedup = timing.speedup(lo, hi)
+        assert 1.0 - 1e-9 <= speedup <= hi / lo + 1e-9
+
+    @given(st.sampled_from(ALL_MEMORY_CLASSES), freq_strategy)
+    def test_uips_consistent_with_time(self, perf_sim, mem_class, freq):
+        uips = perf_sim.chip_uips(mem_class, freq)
+        cal = perf_sim.calibrations[mem_class]
+        t = cal.ntc.execution_time_s(freq)
+        assert uips * t == pytest.approx(16 * cal.profile.instructions)
+
+
+class TestPsuEngineIntegration:
+    def test_wall_energy_exceeds_dc_energy(
+        self, small_dataset, oracle_predictor
+    ):
+        from repro.core import EpactPolicy
+        from repro.dcsim import DataCenterSimulation
+        from repro.power.psu import ntc_psu
+
+        dc_side = DataCenterSimulation(
+            small_dataset, oracle_predictor, EpactPolicy(),
+            start_slot=24, n_slots=6,
+        ).run()
+        wall_side = DataCenterSimulation(
+            small_dataset, oracle_predictor, EpactPolicy(),
+            start_slot=24, n_slots=6, psu=ntc_psu(),
+        ).run()
+        assert wall_side.total_energy_mj > dc_side.total_energy_mj
+        # Conversion overhead should be modest (a few to ~20 percent).
+        ratio = wall_side.total_energy_mj / dc_side.total_energy_mj
+        assert 1.02 < ratio < 1.35

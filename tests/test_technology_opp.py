@@ -1,0 +1,139 @@
+"""Tests for OPP tables and DVFS quantization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.technology.opp import (
+    OperatingPoint,
+    OppTable,
+    build_opp_table,
+    conventional_opp_table,
+    ntc_opp_table,
+    uniform_opp_grid,
+)
+from repro.technology.voltage import fdsoi28
+
+
+@pytest.fixture(scope="module")
+def ntc_table() -> OppTable:
+    return ntc_opp_table()
+
+
+class TestNtcTable:
+    def test_covers_paper_range(self, ntc_table):
+        assert ntc_table.f_min_ghz == pytest.approx(0.1)
+        assert ntc_table.f_max_ghz == pytest.approx(3.1)
+
+    def test_contains_fig1_grid(self, ntc_table):
+        freqs = set(ntc_table.frequencies_ghz)
+        for f in (0.3, 1.0, 1.9, 2.4, 3.1):
+            assert f in freqs
+
+    def test_voltages_monotone(self, ntc_table):
+        volts = [p.voltage_v for p in ntc_table]
+        assert all(b > a for a, b in zip(volts, volts[1:]))
+
+    def test_voltage_consistent_with_vf_model(self, ntc_table):
+        model = fdsoi28()
+        point = ntc_table.ceil(1.9)
+        assert point.voltage_v == pytest.approx(
+            model.voltage_for_frequency(point.freq_ghz), abs=1e-6
+        )
+
+
+class TestConventionalTable:
+    def test_covers_fig1b_range(self):
+        table = conventional_opp_table()
+        assert table.f_min_ghz == pytest.approx(1.2)
+        assert table.f_max_ghz == pytest.approx(2.4)
+
+
+class TestQuantization:
+    def test_ceil_exact_hit(self, ntc_table):
+        assert ntc_table.ceil(1.9).freq_ghz == pytest.approx(1.9)
+
+    def test_ceil_rounds_up(self, ntc_table):
+        assert ntc_table.ceil(1.85).freq_ghz == pytest.approx(1.9)
+
+    def test_ceil_below_min_returns_min(self, ntc_table):
+        assert ntc_table.ceil(0.0).freq_ghz == pytest.approx(0.1)
+
+    def test_ceil_above_max_raises(self, ntc_table):
+        with pytest.raises(InfeasibleError):
+            ntc_table.ceil(3.2)
+
+    def test_floor_rounds_down(self, ntc_table):
+        assert ntc_table.floor(1.95).freq_ghz == pytest.approx(1.9)
+
+    def test_floor_exact_hit(self, ntc_table):
+        assert ntc_table.floor(2.0).freq_ghz == pytest.approx(2.0)
+
+    def test_floor_below_min_raises(self, ntc_table):
+        with pytest.raises(InfeasibleError):
+            ntc_table.floor(0.05)
+
+    def test_floor_above_max_returns_max(self, ntc_table):
+        assert ntc_table.floor(99.0).freq_ghz == pytest.approx(3.1)
+
+    def test_nearest(self, ntc_table):
+        assert ntc_table.nearest(1.93).freq_ghz == pytest.approx(1.9)
+        assert ntc_table.nearest(1.97).freq_ghz == pytest.approx(2.0)
+
+    def test_index_of_exact(self, ntc_table):
+        idx = ntc_table.index_of(0.1)
+        assert idx == 0
+        with pytest.raises(InfeasibleError):
+            ntc_table.index_of(0.15)
+
+    @given(st.floats(min_value=0.1, max_value=3.1))
+    def test_ceil_floor_bracket_demand(self, ntc_table, freq):
+        up = ntc_table.ceil(freq).freq_ghz
+        down = ntc_table.floor(freq).freq_ghz
+        assert down <= freq + 1e-12
+        assert up >= freq - 1e-12
+        assert up >= down
+
+
+class TestConstruction:
+    def test_empty_table_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OppTable([])
+
+    def test_duplicate_frequencies_rejected(self):
+        points = [
+            OperatingPoint(1.0, 0.5),
+            OperatingPoint(1.0, 0.6),
+        ]
+        with pytest.raises(ConfigurationError):
+            OppTable(points)
+
+    def test_table_sorts_points(self):
+        table = OppTable(
+            [OperatingPoint(2.0, 0.8), OperatingPoint(1.0, 0.5)]
+        )
+        assert table.frequencies_ghz == (1.0, 2.0)
+
+    def test_uniform_grid_endpoints(self):
+        grid = uniform_opp_grid(fdsoi28(), 0.5, 2.5, step_ghz=0.25)
+        assert grid.f_min_ghz == pytest.approx(0.5)
+        assert grid.f_max_ghz == pytest.approx(2.5)
+
+    def test_uniform_grid_validation(self):
+        with pytest.raises(ConfigurationError):
+            uniform_opp_grid(fdsoi28(), 2.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            uniform_opp_grid(fdsoi28(), 1.0, 2.0, step_ghz=0.0)
+
+    def test_build_rejects_out_of_range_frequency(self):
+        from repro.errors import DomainError
+
+        with pytest.raises(DomainError):
+            build_opp_table(fdsoi28(), [5.0])
+
+    def test_len_iter_getitem(self):
+        table = build_opp_table(fdsoi28(), [1.0, 2.0])
+        assert len(table) == 2
+        assert [p.freq_ghz for p in table] == [1.0, 2.0]
+        assert table[1].freq_ghz == 2.0

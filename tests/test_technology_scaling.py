@@ -1,0 +1,84 @@
+"""Tests for the future-node scaling projections."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power import ntc_server_power_model
+from repro.technology.scaling import (
+    NodeScaling,
+    fdsoi12_scaling,
+    fdsoi20_scaling,
+    scaled_ntc_power_model,
+)
+from repro.technology.voltage import fdsoi28
+
+
+class TestNodeScaling:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NodeScaling(
+                name="bad",
+                capacitance_factor=0.0,
+                voltage_factor=1.0,
+                leakage_factor=1.0,
+                platform_factor=1.0,
+            )
+
+    def test_vf_scaling_preserves_fmax(self):
+        scaled = fdsoi20_scaling().scale_vf_model(fdsoi28())
+        assert scaled.f_max_ghz == pytest.approx(3.1)
+
+    def test_vf_scaling_lowers_voltages(self):
+        base = fdsoi28()
+        scaled = fdsoi12_scaling().scale_vf_model(base)
+        assert scaled.v_max < base.v_max
+        assert scaled.vth_v < base.vth_v
+        assert scaled.voltage_for_frequency(1.9) < (
+            base.voltage_for_frequency(1.9)
+        )
+
+    def test_leakage_scaling(self):
+        from repro.technology.leakage import fdsoi28_core_leakage
+
+        base = fdsoi28_core_leakage()
+        scaling = fdsoi20_scaling()
+        scaled = scaling.scale_leakage(base)
+        # At each model's own reference voltage the ratio is the factor.
+        assert scaled.power_w(scaled.v_ref) == pytest.approx(
+            scaling.leakage_factor * base.power_w(base.v_ref)
+        )
+
+
+class TestScaledPowerModels:
+    @pytest.mark.parametrize(
+        "scaling", [fdsoi20_scaling(), fdsoi12_scaling()]
+    )
+    def test_future_nodes_use_less_power(self, scaling):
+        base = ntc_server_power_model()
+        scaled = scaled_ntc_power_model(scaling)
+        for freq in (0.5, 1.9, 3.1):
+            assert scaled.full_load_power_w(freq) < (
+                base.full_load_power_w(freq)
+            )
+
+    def test_optimum_stays_in_ntc_region(self):
+        for scaling in (fdsoi20_scaling(), fdsoi12_scaling()):
+            scaled = scaled_ntc_power_model(scaling)
+            assert 1.6 <= scaled.optimal_frequency_ghz() <= 2.3
+
+    def test_monotone_improvement_across_nodes(self):
+        base = ntc_server_power_model()
+        p28 = base.full_load_power_w(1.9)
+        p20 = scaled_ntc_power_model(fdsoi20_scaling()).full_load_power_w(
+            1.9
+        )
+        p12 = scaled_ntc_power_model(fdsoi12_scaling()).full_load_power_w(
+            1.9
+        )
+        assert p12 < p20 < p28
+
+    def test_scaled_model_still_energy_proportional(self):
+        scaled = scaled_ntc_power_model(fdsoi12_scaling())
+        floor = scaled.idle_power_w(scaled.spec.f_min_ghz)
+        peak = scaled.full_load_power_w(scaled.spec.f_max_ghz)
+        assert floor / peak < 0.35

@@ -1,0 +1,162 @@
+"""Tests for the alpha-power-law voltage/frequency models."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, DomainError
+from repro.technology.voltage import (
+    VoltageFrequencyModel,
+    bulk_planar,
+    fdsoi28,
+)
+
+
+class TestFdsoi28:
+    def test_reaches_fmax_at_vmax(self):
+        model = fdsoi28()
+        assert model.frequency_ghz(model.v_max) == pytest.approx(3.1)
+
+    def test_fmax_property_matches_curve(self):
+        model = fdsoi28()
+        assert model.f_max_ghz == pytest.approx(
+            model.frequency_ghz(model.v_max)
+        )
+
+    def test_ultra_wide_voltage_range(self):
+        """FD-SOI's NTC range must reach the 100 MHz operating point."""
+        model = fdsoi28()
+        assert model.f_min_ghz <= 0.1
+        assert model.v_min < 0.35
+
+    def test_near_threshold_region_contains_low_voltages(self):
+        model = fdsoi28()
+        assert model.is_near_threshold(0.35)
+        assert not model.is_near_threshold(1.0)
+        assert not model.is_near_threshold(0.2)
+
+    def test_one_ghz_in_near_threshold_neighbourhood(self):
+        """The Ref.-[4] claim: ~1 GHz well below 0.7 V."""
+        model = fdsoi28()
+        v = model.voltage_for_frequency(1.0)
+        assert v < 0.70
+
+    def test_curve_strictly_increasing(self):
+        model = fdsoi28()
+        voltages = [
+            model.v_min + i * (model.v_max - model.v_min) / 50
+            for i in range(51)
+        ]
+        freqs = [model.frequency_ghz(v) for v in voltages]
+        assert all(b > a for a, b in zip(freqs, freqs[1:]))
+
+
+class TestBulkPlanar:
+    def test_narrow_range(self):
+        model = bulk_planar()
+        assert model.v_min >= 1.0
+        assert model.f_max_ghz == pytest.approx(2.4)
+
+    def test_covers_conventional_dvfs_window(self):
+        model = bulk_planar()
+        assert model.f_min_ghz <= 1.2
+        assert model.f_max_ghz >= 2.4 - 1e-9
+
+    def test_voltage_moves_little_per_ghz(self):
+        """The property denying conventional servers NTC-style scaling."""
+        model = bulk_planar()
+        dv = model.voltage_for_frequency(2.4) - model.voltage_for_frequency(
+            1.2
+        )
+        assert dv / 1.2 < 0.35  # < 0.35 V per GHz
+
+
+class TestInverse:
+    @given(st.floats(min_value=0.11, max_value=3.09))
+    def test_roundtrip_frequency_voltage(self, freq):
+        model = fdsoi28()
+        voltage = model.voltage_for_frequency(freq)
+        assert model.frequency_ghz(voltage) == pytest.approx(
+            freq, rel=1e-6
+        )
+
+    def test_voltage_monotone_in_frequency(self):
+        model = fdsoi28()
+        freqs = [0.1, 0.5, 1.0, 1.9, 2.5, 3.1]
+        volts = [model.voltage_for_frequency(f) for f in freqs]
+        assert all(b > a for a, b in zip(volts, volts[1:]))
+
+    def test_out_of_range_frequency_raises(self):
+        model = fdsoi28()
+        with pytest.raises(DomainError):
+            model.voltage_for_frequency(3.5)
+        with pytest.raises(DomainError):
+            model.voltage_for_frequency(0.01)
+
+    def test_out_of_range_voltage_raises(self):
+        model = fdsoi28()
+        with pytest.raises(DomainError):
+            model.frequency_ghz(model.v_max + 0.1)
+        with pytest.raises(DomainError):
+            model.frequency_ghz(model.v_min - 0.1)
+
+
+class TestValidation:
+    def test_vmin_below_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VoltageFrequencyModel(
+                name="bad", vth_v=0.5, alpha=1.3, v_min=0.4, v_max=1.0,
+                k_ghz=1.0,
+            )
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VoltageFrequencyModel(
+                name="bad", vth_v=0.2, alpha=1.3, v_min=1.0, v_max=0.5,
+                k_ghz=1.0,
+            )
+
+    def test_nonpositive_alpha_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VoltageFrequencyModel(
+                name="bad", vth_v=0.2, alpha=0.0, v_min=0.4, v_max=1.0,
+                k_ghz=1.0,
+            )
+
+    def test_nonpositive_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VoltageFrequencyModel(
+                name="bad", vth_v=0.2, alpha=1.0, v_min=0.4, v_max=1.0,
+                k_ghz=-2.0,
+            )
+
+
+class TestAlphaPowerLaw:
+    def test_explicit_value(self):
+        model = VoltageFrequencyModel(
+            name="unit", vth_v=0.3, alpha=2.0, v_min=0.5, v_max=1.2,
+            k_ghz=4.0,
+        )
+        # f = 4 * (0.8 - 0.3)^2 / 0.8
+        assert model.frequency_ghz(0.8) == pytest.approx(
+            4.0 * 0.25 / 0.8
+        )
+
+    @given(
+        st.floats(min_value=1.0, max_value=2.0),
+        st.floats(min_value=0.45, max_value=1.2),
+    )
+    def test_frequency_scales_linearly_with_k(self, alpha, voltage):
+        base = VoltageFrequencyModel(
+            name="a", vth_v=0.3, alpha=alpha, v_min=0.45, v_max=1.2,
+            k_ghz=2.0,
+        )
+        double = VoltageFrequencyModel(
+            name="b", vth_v=0.3, alpha=alpha, v_min=0.45, v_max=1.2,
+            k_ghz=4.0,
+        )
+        assert double.frequency_ghz(voltage) == pytest.approx(
+            2.0 * base.frequency_ghz(voltage)
+        )

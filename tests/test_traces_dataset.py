@@ -1,0 +1,181 @@
+"""Tests for the trace dataset container and the generator."""
+
+import numpy as np
+import pytest
+
+from repro.anchors import GOOGLE_TRACE_MEM_RANGE_PCT
+from repro.errors import ConfigurationError, DomainError
+from repro.perf.workload import ALL_MEMORY_CLASSES
+from repro.traces import (
+    ClusterTraceGenerator,
+    GeneratorConfig,
+    TraceDataset,
+    default_dataset,
+    memory_heavy_dataset,
+)
+from repro.traces.vm import VmSpec
+from repro.units import SAMPLES_PER_DAY, SAMPLES_PER_SLOT
+
+
+class TestGenerator:
+    def test_deterministic_for_seed(self):
+        a = default_dataset(n_vms=10, n_days=2, seed=11)
+        b = default_dataset(n_vms=10, n_days=2, seed=11)
+        np.testing.assert_array_equal(a.cpu_pct, b.cpu_pct)
+        np.testing.assert_array_equal(a.mem_pct, b.mem_pct)
+
+    def test_different_seeds_differ(self):
+        a = default_dataset(n_vms=10, n_days=2, seed=11)
+        b = default_dataset(n_vms=10, n_days=2, seed=12)
+        assert not np.array_equal(a.cpu_pct, b.cpu_pct)
+
+    def test_shapes(self, small_dataset):
+        assert small_dataset.n_vms == 40
+        assert small_dataset.n_samples == 9 * SAMPLES_PER_DAY
+        assert small_dataset.n_days == 9
+        assert small_dataset.n_slots == 9 * 24
+
+    def test_utilization_bounds(self, small_dataset):
+        assert small_dataset.cpu_pct.min() >= 0.0
+        assert small_dataset.cpu_pct.max() <= 100.0
+        assert small_dataset.mem_pct.min() >= 0.0
+        assert small_dataset.mem_pct.max() <= 100.0
+
+    def test_memory_in_google_range(self, small_dataset):
+        """Per-VM mean memory within the paper's 2-32% observation."""
+        lo, hi = GOOGLE_TRACE_MEM_RANGE_PCT
+        means = small_dataset.mem_pct.mean(axis=1)
+        assert means.min() >= lo * 0.5
+        assert means.max() <= hi * 1.25
+
+    def test_all_classes_present(self, small_dataset):
+        present = set(small_dataset.mem_classes())
+        assert present == set(ALL_MEMORY_CLASSES)
+
+    def test_diurnal_periodicity_visible(self, small_dataset):
+        """Aggregate CPU correlates strongly day-over-day."""
+        agg = small_dataset.aggregate_cpu_pct()
+        d1 = agg[SAMPLES_PER_DAY : 2 * SAMPLES_PER_DAY]
+        d2 = agg[2 * SAMPLES_PER_DAY : 3 * SAMPLES_PER_DAY]
+        corr = np.corrcoef(d1, d2)[0, 1]
+        assert corr > 0.7
+
+    def test_group_correlation_structure(self, small_dataset):
+        """The property correlation-aware policies exploit."""
+        within = small_dataset.mean_cpu_correlation_within_groups()
+        across = small_dataset.mean_cpu_correlation_across_groups()
+        assert within > across + 0.2
+
+    def test_memory_heavy_variant_dominates(self):
+        ds = memory_heavy_dataset(n_vms=40, n_days=2, seed=1)
+        mem = ds.aggregate_mem_pct().mean()
+        cpu = ds.aggregate_cpu_pct().mean()
+        assert mem > cpu
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(n_vms=0)
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(class_weights=(0.5, 0.2, 0.2))
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(cpu_base_range_pct=(5.0, 2.0))
+
+    def test_config_accessible(self):
+        gen = ClusterTraceGenerator(GeneratorConfig(n_vms=5, n_days=1))
+        assert gen.config.n_vms == 5
+
+
+class TestDatasetAccess:
+    def test_slot_slice_shape(self, small_dataset):
+        cpu, mem = small_dataset.slot_slice(10)
+        assert cpu.shape == (40, SAMPLES_PER_SLOT)
+        assert mem.shape == (40, SAMPLES_PER_SLOT)
+
+    def test_slot_slice_matches_matrix(self, small_dataset):
+        cpu, _ = small_dataset.slot_slice(3)
+        lo = 3 * SAMPLES_PER_SLOT
+        np.testing.assert_array_equal(
+            cpu, small_dataset.cpu_pct[:, lo : lo + SAMPLES_PER_SLOT]
+        )
+
+    def test_day_slice_shape(self, small_dataset):
+        cpu, mem = small_dataset.day_slice(2)
+        assert cpu.shape == (40, SAMPLES_PER_DAY)
+
+    def test_out_of_range_slices_raise(self, small_dataset):
+        with pytest.raises(DomainError):
+            small_dataset.slot_slice(10_000)
+        with pytest.raises(DomainError):
+            small_dataset.day_slice(100)
+        with pytest.raises(DomainError):
+            small_dataset.vm(99)
+
+    def test_vm_trace_consistency(self, small_dataset):
+        trace = small_dataset.vm(5)
+        assert trace.spec.vm_id == 5
+        np.testing.assert_array_equal(
+            trace.cpu_pct, small_dataset.cpu_pct[5]
+        )
+        assert trace.peak_cpu_pct() == pytest.approx(
+            small_dataset.cpu_pct[5].max()
+        )
+
+    def test_subset_reindexes(self, small_dataset):
+        sub = small_dataset.subset([5, 7, 9])
+        assert sub.n_vms == 3
+        assert [s.vm_id for s in sub.specs] == [0, 1, 2]
+        np.testing.assert_array_equal(
+            sub.cpu_pct[1], small_dataset.cpu_pct[7]
+        )
+
+    def test_aggregates(self, small_dataset):
+        agg = small_dataset.aggregate_cpu_pct()
+        assert agg.shape == (small_dataset.n_samples,)
+        assert small_dataset.peak_server_equivalents() == pytest.approx(
+            agg.max() / 100.0
+        )
+
+    def test_construction_validation(self):
+        spec = VmSpec(
+            vm_id=0,
+            mem_class=ALL_MEMORY_CLASSES[0],
+            cpu_base_pct=5.0,
+            mem_base_pct=5.0,
+            group=0,
+        )
+        with pytest.raises(ConfigurationError):
+            TraceDataset(
+                specs=(spec,),
+                cpu_pct=np.ones((1, 10)),
+                mem_pct=np.ones((2, 10)),
+            )
+        with pytest.raises(ConfigurationError):
+            TraceDataset(
+                specs=(spec, spec),
+                cpu_pct=np.ones((1, 10)),
+                mem_pct=np.ones((1, 10)),
+            )
+        with pytest.raises(ConfigurationError):
+            TraceDataset(
+                specs=(spec,),
+                cpu_pct=-np.ones((1, 10)),
+                mem_pct=np.ones((1, 10)),
+            )
+
+    def test_vm_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            VmSpec(
+                vm_id=-1,
+                mem_class=ALL_MEMORY_CLASSES[0],
+                cpu_base_pct=5.0,
+                mem_base_pct=5.0,
+                group=0,
+            )
+        with pytest.raises(ConfigurationError):
+            VmSpec(
+                vm_id=0,
+                mem_class=ALL_MEMORY_CLASSES[0],
+                cpu_base_pct=0.0,
+                mem_base_pct=5.0,
+                group=0,
+            )

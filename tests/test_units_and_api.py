@@ -1,0 +1,96 @@
+"""Tests for unit helpers, error hierarchy and the public API surface."""
+
+import pytest
+
+import repro
+from repro import errors, units
+
+
+class TestUnits:
+    def test_frequency_conversions(self):
+        assert units.ghz_to_mhz(1.9) == pytest.approx(1900.0)
+        assert units.mhz_to_ghz(3100.0) == pytest.approx(3.1)
+        assert units.ghz_to_hz(2.0) == pytest.approx(2.0e9)
+
+    def test_energy_conversions(self):
+        assert units.joules_to_megajoules(3.0e6) == pytest.approx(3.0)
+        assert units.picojoules_to_joules(800.0) == pytest.approx(8.0e-10)
+        assert units.watt_hours_to_joules(1.0) == pytest.approx(3600.0)
+
+    def test_memory_conversions(self):
+        assert units.mb_to_gb(1024.0) == pytest.approx(1.0)
+        assert units.mw_to_w(15.5) == pytest.approx(0.0155)
+
+    def test_time_grid_matches_paper(self):
+        """5-min samples, 1 h slots, 168 slots/week (Section V-B)."""
+        assert units.SAMPLE_PERIOD_S == 300.0
+        assert units.SAMPLES_PER_SLOT == 12
+        assert units.SLOT_PERIOD_S == 3600.0
+        assert units.SAMPLES_PER_DAY == 288
+        assert units.SLOTS_PER_WEEK == 168
+        assert units.SAMPLES_PER_WEEK == 2016
+
+    def test_check_percentage(self):
+        assert units.check_percentage(50.0) == 50.0
+        with pytest.raises(errors.DomainError):
+            units.check_percentage(101.0)
+        with pytest.raises(errors.DomainError):
+            units.check_percentage(-1.0)
+
+    def test_check_positive_and_non_negative(self):
+        assert units.check_positive(0.1) == 0.1
+        with pytest.raises(errors.DomainError):
+            units.check_positive(0.0)
+        assert units.check_non_negative(0.0) == 0.0
+        with pytest.raises(errors.DomainError):
+            units.check_non_negative(-0.1)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (
+            errors.ConfigurationError,
+            errors.DomainError,
+            errors.InfeasibleError,
+            errors.CalibrationError,
+            errors.ForecastError,
+        ):
+            assert issubclass(exc, errors.ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.DomainError("x")
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_key_entry_points_callable(self):
+        assert callable(repro.ntc_server_power_model)
+        assert callable(repro.run_policies)
+        policy = repro.EpactPolicy()
+        assert policy.name == "EPACT"
+
+    def test_policies_share_interface(self):
+        for cls in (
+            repro.EpactPolicy,
+            repro.CoatPolicy,
+            repro.CoatOptPolicy,
+            repro.FfdPolicy,
+            repro.LoadBalancePolicy,
+        ):
+            policy = cls()
+            assert isinstance(policy, repro.AllocationPolicy)
+            assert policy.reallocation_period_slots >= 1
+
+    def test_experiments_cli_subset(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
