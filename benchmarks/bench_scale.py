@@ -1,0 +1,297 @@
+#!/usr/bin/env python
+"""Fleet-scale benchmarks: fast path vs seed reference, with baselines.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py                # run
+    PYTHONPATH=src python benchmarks/bench_scale.py --full         # + 10k
+    PYTHONPATH=src python benchmarks/bench_scale.py \\
+        --baseline benchmarks/BENCH_<rev>.json                     # compare
+
+Scenarios (deterministic seeds):
+
+* ``allocate_1d_2k`` / ``allocate_2d_2k_memdom`` — Algorithms 1/2 packing
+  2000 VMs over one slot window (12 samples).  The 2D scenario is
+  memory-dominant (~2 VMs/server), the regime Algorithm 2 serves.
+* ``*_day`` variants — the same allocators over day-ahead windows
+  (288 samples), where the reference's per-pick re-aggregation cost is
+  largest.
+* ``allocate_*_5k`` / ``allocate_*_10k`` — fast-path scale-out points
+  (the quadratic reference is only timed here under ``--full``).
+* ``forecast_day_400`` — batched vs scalar day-ahead prediction for
+  400 VMs x 2 resources.
+* ``simulate_week_120`` — the full pipeline (prediction, EPACT
+  allocation, power accounting) on reduced-scale traces, plus the
+  batched-vs-scalar total-energy relative difference as an equivalence
+  witness.
+
+Each scenario records the fast time, reference time (where tractable)
+and their speedup into ``BENCH_<rev>.json``; ``--baseline`` prints the
+delta of every scenario against a previous JSON so regressions show up
+in review.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import EpactPolicy
+from repro.core.alloc1d import allocate_1d
+from repro.core.alloc2d import allocate_2d
+from repro.dcsim.engine import DataCenterSimulation
+from repro.forecast import DayAheadPredictor
+from repro.traces import default_dataset
+
+
+def patterns(n_vms, n_samples=12, seed=0, scale=10.0):
+    """Deterministic sinusoid-modulated utilization patterns."""
+    gen = np.random.default_rng(seed)
+    base = gen.uniform(0.2, 1.0, size=(n_vms, 1)) * scale
+    phase = gen.uniform(0, 2 * np.pi, size=(n_vms, 1))
+    t = np.linspace(0, 2 * np.pi, n_samples)[None, :]
+    return base * (1.0 + 0.3 * np.sin(t + phase))
+
+
+def best_of(fn, repeats):
+    """Minimum wall time of ``repeats`` runs (first run warms caches)."""
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def best_of_pair(fast_fn, seed_fn, repeats):
+    """Interleaved minimum wall times of the fast and reference paths.
+
+    Alternating the two keeps thermal/steal-time conditions comparable —
+    on throttled single-CPU boxes a back-to-back block of one variant
+    sees a systematically different machine than the other.
+    """
+    fast_times, seed_times = [], []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fast_fn()
+        fast_times.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        seed_fn()
+        seed_times.append(time.perf_counter() - t0)
+    return min(fast_times), min(seed_times)
+
+
+def git_rev():
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                check=True,
+                cwd=Path(__file__).resolve().parent,
+            ).stdout.strip()
+        )
+    except Exception:  # noqa: BLE001 - benchmarks must run outside git too
+        return "unknown"
+
+
+def bench_allocations(results, full):
+    # Warm numpy/BLAS and the allocators before the first timed scenario.
+    wc = patterns(300, seed=0)
+    wm = patterns(300, seed=1, scale=5.0)
+    allocate_1d(wc, wm, 60.0, fast=True)
+    allocate_1d(wc, wm, 60.0, fast=False)
+    allocate_2d(wc, wm, 60, 60.0, fast=True)
+    allocate_2d(wc, wm, 60, 60.0, fast=False)
+
+    scales = [2000, 5000] + ([10000] if full else [])
+    for n_vms in scales:
+        tag = f"{n_vms // 1000}k"
+        cpu = patterns(n_vms, seed=2)
+        mem = patterns(n_vms, seed=3, scale=5.0)
+        cpu_md = patterns(n_vms, seed=2, scale=15.0)
+        mem_md = patterns(n_vms, seed=3, scale=38.0)
+        n_servers = int(n_vms * 0.45)
+        bound = int(n_vms * 0.7)
+        reps = 5 if n_vms <= 2000 else 1
+        time_seed = n_vms <= 2000 or full
+
+        if time_seed:
+            fast, seed = best_of_pair(
+                lambda: allocate_1d(cpu, mem, 60.0, fast=True),
+                lambda: allocate_1d(cpu, mem, 60.0, fast=False),
+                reps,
+            )
+        else:
+            fast = best_of(
+                lambda: allocate_1d(cpu, mem, 60.0, fast=True), reps
+            )
+            seed = None
+        record(results, f"allocate_1d_{tag}", fast, seed)
+
+        if time_seed:
+            fast, seed = best_of_pair(
+                lambda: allocate_2d(
+                    cpu_md, mem_md, n_servers, 60.0, 90.0,
+                    max_servers=bound, fast=True,
+                ),
+                lambda: allocate_2d(
+                    cpu_md, mem_md, n_servers, 60.0, 90.0,
+                    max_servers=bound, fast=False,
+                ),
+                reps,
+            )
+        else:
+            fast = best_of(
+                lambda: allocate_2d(
+                    cpu_md, mem_md, n_servers, 60.0, 90.0,
+                    max_servers=bound, fast=True,
+                ),
+                reps,
+            )
+            seed = None
+        record(results, f"allocate_2d_{tag}_memdom", fast, seed)
+
+    # Day-ahead windows at 2k: the reference's per-pick cost peaks here.
+    cpu = patterns(2000, n_samples=288, seed=2)
+    mem = patterns(2000, n_samples=288, seed=3, scale=5.0)
+    fast, seed = best_of_pair(
+        lambda: allocate_1d(cpu, mem, 60.0, fast=True),
+        lambda: allocate_1d(cpu, mem, 60.0, fast=False),
+        2,
+    )
+    record(results, "allocate_1d_2k_day", fast, seed)
+    fast, seed = best_of_pair(
+        lambda: allocate_2d(
+            cpu, mem, 400, 60.0, max_servers=800, fast=True
+        ),
+        lambda: allocate_2d(
+            cpu, mem, 400, 60.0, max_servers=800, fast=False
+        ),
+        2,
+    )
+    record(results, "allocate_2d_2k_day", fast, seed)
+
+
+def bench_forecasting(results):
+    dataset = default_dataset(n_vms=400, n_days=9, seed=7)
+
+    def run(batch):
+        predictor = DayAheadPredictor(dataset, batch=batch)
+        predictor.forecast_day(7)
+
+    fast, seed = best_of_pair(
+        lambda: run(True), lambda: run(False), 3
+    )
+    record(results, "forecast_day_400", fast, seed)
+
+
+def bench_simulation(results):
+    dataset = default_dataset(n_vms=120, n_days=9, seed=2018)
+
+    def run(batch):
+        predictor = DayAheadPredictor(dataset, batch=batch)
+        sim = DataCenterSimulation(
+            dataset, predictor, EpactPolicy(), max_servers=80
+        )
+        return sum(r.energy_j for r in sim.run().records)
+
+    t0 = time.perf_counter()
+    energy_batch = run(True)
+    fast = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    energy_scalar = run(False)
+    seed = time.perf_counter() - t0
+    record(results, "simulate_week_120", fast, seed)
+    rel = abs(energy_batch - energy_scalar) / max(abs(energy_scalar), 1e-12)
+    results["simulate_week_120"]["energy_rel_diff"] = rel
+    print(f"    batched-vs-scalar total energy rel diff: {rel:.2e}")
+
+
+def record(results, name, fast_s, seed_s):
+    entry = {"fast_s": round(fast_s, 4)}
+    if seed_s is not None:
+        entry["seed_s"] = round(seed_s, 4)
+        entry["speedup"] = round(seed_s / fast_s, 2)
+        print(
+            f"  {name:26s} fast {fast_s:8.3f}s  seed {seed_s:8.3f}s  "
+            f"-> {seed_s / fast_s:5.1f}x"
+        )
+    else:
+        print(f"  {name:26s} fast {fast_s:8.3f}s  (reference not timed)")
+    results[name] = entry
+
+
+def compare_to_baseline(results, baseline_path):
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    base_scenarios = baseline.get("scenarios", {})
+    print(f"\nvs baseline {baseline_path} (rev {baseline.get('rev')}):")
+    for name, entry in results.items():
+        base = base_scenarios.get(name)
+        if not base:
+            print(f"  {name:26s} (new scenario)")
+            continue
+        delta = (entry["fast_s"] - base["fast_s"]) / base["fast_s"] * 100.0
+        marker = "REGRESSION" if delta > 10.0 else ""
+        print(
+            f"  {name:26s} fast {entry['fast_s']:8.3f}s  "
+            f"baseline {base['fast_s']:8.3f}s  {delta:+6.1f}% {marker}"
+        )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="include the 10k-VM scenarios and time every reference",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="previous BENCH_<rev>.json to diff against",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="output JSON path (default benchmarks/BENCH_<rev>.json)",
+    )
+    args = parser.parse_args()
+    if args.baseline is not None and not args.baseline.is_file():
+        parser.error(f"baseline file not found: {args.baseline}")
+
+    rev = git_rev()
+    results = {}
+    print("allocation scale-out:")
+    bench_allocations(results, args.full)
+    print("day-ahead forecasting:")
+    bench_forecasting(results)
+    print("full simulation:")
+    bench_simulation(results)
+
+    payload = {
+        "rev": rev,
+        "numpy": np.__version__,
+        "scenarios": results,
+    }
+    out = args.output
+    if out is None:
+        out = Path(__file__).resolve().parent / f"BENCH_{rev}.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {out}")
+
+    if args.baseline is not None:
+        compare_to_baseline(results, args.baseline)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Run the fleet-scale benchmarks and persist BENCH_<rev>.json next to
+# this script, so every revision leaves a comparable performance record.
+#
+# Usage (from anywhere):
+#   benchmarks/run_bench.sh                    # scale suite only
+#   benchmarks/run_bench.sh --full             # + 10k-VM scenarios
+#   benchmarks/run_bench.sh --baseline benchmarks/BENCH_<rev>.json
+#   RUN_MICRO=1 benchmarks/run_bench.sh        # + pytest-benchmark micros
+set -eu
+
+here=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+repo=$(dirname -- "$here")
+rev=$(git -C "$repo" rev-parse --short HEAD 2>/dev/null || echo unknown)
+
+cd "$repo"
+PYTHONPATH="$repo/src${PYTHONPATH:+:$PYTHONPATH}" \
+    python benchmarks/bench_scale.py --output "benchmarks/BENCH_${rev}.json" "$@"
+
+if [ "${RUN_MICRO:-0}" = "1" ]; then
+    PYTHONPATH="$repo/src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -m pytest -c benchmarks/pytest.ini benchmarks \
+        --benchmark-json="benchmarks/BENCH_${rev}.pytest.json"
+fi

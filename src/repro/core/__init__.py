@@ -29,11 +29,14 @@ from .types import (
     ServerPlan,
     force_place_remaining,
 )
+from .workspace import AllocationWorkspace, validate_vm_order
 
 __all__ = [
     "Allocation",
     "AllocationContext",
     "AllocationPolicy",
+    "AllocationWorkspace",
+    "validate_vm_order",
     "DvfsGovernor",
     "EpactPolicy",
     "ServerPlan",

@@ -19,10 +19,28 @@ A VM only considers servers with room at every sample of the slot
 (``max(U + S) <= Cap`` for both resources).  When no server fits, the VM is
 force-placed on the least-loaded server (physical data centers cannot
 refuse admitted VMs) and reported.
+
+Two implementations share this contract:
+
+* the **fast path** (default) keeps per-server aggregates in preallocated
+  arrays and maintains sums, squared norms and centered norms
+  incrementally.  Feasibility is pruned with peak/min bounds evaluated
+  for whole blocks of VMs at once (exact per-sample checks only run
+  inside the undecided band and for servers modified within the block),
+  and Eq. 2 is evaluated only over fitting non-empty servers — all
+  empty servers tie at merit exactly 0, so one representative stands in
+  for them — using ``pearson(U, max(S)-S) == -pearson(U, S)`` and
+  ``Dist^2 = |Cap - U|^2 - 2 (Cap * sum(S) - dot(S, U)) + |S|^2``;
+* the **reference path** (``fast=False``) is the seed's direct loop, kept
+  as the equivalence oracle.  Merit terms are accumulated in a different
+  order on the fast path, so results can differ at float rounding
+  granularity when two servers' merits tie to ~1e-12 — see
+  ``tests/test_fast_path_equivalence.py``.
 """
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -30,9 +48,18 @@ import numpy as np
 from ..errors import DomainError
 from .correlation import euclidean_distance_many, pearson_many
 from .types import ServerPlan, force_place_remaining
+from .workspace import AllocationWorkspace, validate_vm_order
 
 _EPS = 1.0e-9
 _DIST_FLOOR = 1.0e-6
+# Matches repro.core.correlation._EPS (zero-variance Pearson cutoff).
+_CORR_EPS = 1.0e-12
+# Feasibility band: servers whose peak bounds clear the cap by more than
+# this slack skip the exact per-sample check (the bounds are ~1 ulp tight,
+# the slack keeps the pruning bit-equivalent to the exact check).
+_BAND_SLACK = 1.0e-6
+# VMs per speculative batch in the fast path (see _allocate_2d_fast).
+_BLOCK = 48
 
 
 def merit_scores(
@@ -89,6 +116,8 @@ def allocate_2d(
     cap_mem_pct: float = 100.0,
     max_servers: Optional[int] = None,
     order: Optional[Sequence[int]] = None,
+    fast: bool = True,
+    workspace: Optional[AllocationWorkspace] = None,
 ) -> Tuple[List[ServerPlan], int]:
     """Run Algorithm 2; returns server plans and forced-placement count.
 
@@ -104,6 +133,11 @@ def allocate_2d(
             only happens once the fleet is exhausted.
         order: VM visiting order; the paper visits ``i = 1..N_VM``
             (natural order), which is the default.
+        fast: use the incremental fast path (default); ``False`` runs the
+            seed reference loop.
+        workspace: optional precomputed
+            :class:`~repro.core.workspace.AllocationWorkspace` for
+            ``(pred_cpu, pred_mem)``, reusable across calls.
     """
     if n_servers < 1:
         raise DomainError("n_servers must be >= 1")
@@ -112,23 +146,326 @@ def allocate_2d(
     if not (0.0 < cap_mem_pct <= 100.0 + _EPS):
         raise DomainError(f"cap_mem_pct must be in (0, 100], got {cap_mem_pct}")
 
-    n_vms, n_samples = pred_cpu.shape
+    n_vms, _ = pred_cpu.shape
     sequence = (
         np.asarray(list(order), dtype=int)
         if order is not None
         else np.arange(n_vms)
     )
-    if sorted(sequence.tolist()) != list(range(n_vms)):
-        raise DomainError("order must be a permutation of all VM ids")
+    validate_vm_order(sequence, n_vms)
+    fleet_bound = max_servers if max_servers is not None else n_servers
+    fleet_bound = max(fleet_bound, n_servers)
+    if fast:
+        return _allocate_2d_fast(
+            pred_cpu,
+            pred_mem,
+            n_servers,
+            cap_cpu_pct,
+            cap_mem_pct,
+            fleet_bound,
+            sequence,
+            workspace,
+        )
+    return _allocate_2d_reference(
+        pred_cpu,
+        pred_mem,
+        n_servers,
+        cap_cpu_pct,
+        cap_mem_pct,
+        fleet_bound,
+        sequence,
+    )
 
+
+def _allocate_2d_fast(
+    pred_cpu: np.ndarray,
+    pred_mem: np.ndarray,
+    n_servers: int,
+    cap_cpu_pct: float,
+    cap_mem_pct: float,
+    fleet_bound: int,
+    sequence: np.ndarray,
+    workspace: Optional[AllocationWorkspace],
+) -> Tuple[List[ServerPlan], int]:
+    """Incremental Algorithm 2 (see module docstring).
+
+    Structure: feasibility *bounds* are precomputed for blocks of VMs in
+    a few large ufuncs (each placement mutates exactly one server, so
+    block-entry bounds stay valid for every unmodified server and only
+    the handful of in-block modified servers are re-checked per VM).
+    The Eq. 2 merit is then evaluated only over the servers that fit,
+    from O(1)-per-server incremental state — matching the reference,
+    which also scores fitting servers only.  Under tight packing (the
+    memory-dominant regime this algorithm serves) the fitting set is a
+    small fraction of the fleet, making each pick nearly fleet-size
+    independent.
+    """
+    ws = (
+        workspace
+        if workspace is not None
+        else AllocationWorkspace(pred_cpu, pred_mem)
+    )
+    n_vms, k = ws.cpu.shape
+    two_k = 2 * k
+    caps2 = np.array([cap_cpu_pct, cap_mem_pct])
+    capscol = caps2[:, None]
+    weights2 = caps2 / (cap_cpu_pct + cap_mem_pct)
+
+    # Per-VM quantities stacked resource-first (0 = CPU, 1 = memory).
+    patt = np.stack([ws.cpu, ws.mem], axis=1)  # (n_vms, 2, k)
+    patt_cat = patt.reshape(n_vms, two_k)
+    cent = np.stack([ws.cpu_centered, ws.mem_centered], axis=1)
+    v_cnorm = np.column_stack([ws.cpu_cnorm, ws.mem_cnorm])
+    # -w_r / |U - mean(U)| (zero for shapeless VM patterns): folds the
+    # Pearson sign, the Eq. 2 weight and the target norm into one per-VM
+    # factor so the merit kernel needs only two multiplies.
+    dead_t = v_cnorm < _CORR_EPS
+    vw = np.where(
+        dead_t, 0.0, -weights2[None, :] / np.where(dead_t, 1.0, v_cnorm)
+    )[:, :, None]
+    v_mean = np.column_stack([ws.cpu_mean, ws.mem_mean])
+    k2 = (2.0 * v_mean)[:, :, None]
+    rem0 = capscol[None] - patt
+    # |Cap - U|^2 per VM, the constant term of the incremental distances.
+    a2 = np.einsum("irj,irj->ir", rem0, rem0)[:, :, None]
+    v_peak = np.column_stack([ws.cpu_peak, ws.mem_peak])
+    v_min = np.column_stack([ws.cpu_min, ws.mem_min])
+    # Feasibility bounds: for any reals,
+    #   max(peak(S)+min(U), min(S)+peak(U)) <= peak(S+U)
+    #                                       <= peak(S)+peak(U),
+    # so one 6-row comparison classifies every server as surely-fitting,
+    # surely-not, or in the undecided band needing the exact per-sample
+    # check.  Rows: [peak+peak vs tight cap] x2, [peak+min vs loose] x2,
+    # [min+peak vs loose] x2.
+    off6 = np.concatenate([v_peak, v_min, v_peak], axis=1)[:, :, None]
+    loose = capscol + (_EPS + _BAND_SLACK)
+    thr6 = np.concatenate([capscol - _BAND_SLACK, loose, loose], axis=0)
+
+    plans = [
+        ServerPlan(cap_cpu_pct=cap_cpu_pct, cap_mem_pct=cap_mem_pct)
+        for _ in range(n_servers)
+    ]
+    # Preallocated per-server state (grows logically via n_act):
+    #   served_cat — aggregate patterns, CPU and memory concatenated;
+    #   ssum/ssq   — aggregate sums and squared raw norms;
+    #   cnorm2     — squared centered norms; inv_snorm — 1/sqrt of it
+    #                (0 for shapeless aggregates = zero Pearson);
+    #   g          — ssq - 2*cap*ssum, the server part of Dist^2;
+    #   bounds6    — [peak_c, peak_m, peak_c, peak_m, min_c, min_m].
+    capacity = max(fleet_bound, n_servers)
+    served_cat = np.zeros((capacity, two_k))
+    ssq = np.zeros((2, capacity))
+    cnorm2 = np.zeros((2, capacity))
+    # Merit-kernel state, consolidated so the gather branch copies one
+    # array: rows [inv_snorm_c, inv_snorm_m, g_c, g_m, ssum_c, ssum_m].
+    mstate = np.zeros((6, capacity))
+    inv_snorm = mstate[0:2]
+    g = mstate[2:4]
+    ssum = mstate[4:6]
+    bounds6 = np.zeros((6, capacity))
+    is_mod = np.zeros(capacity, dtype=bool)
+    # Empty servers all carry identical (zero) state: their Eq. 2 merit
+    # is exactly 0 for every VM and they fit or reject a VM identically.
+    # Only the lowest-indexed empty server therefore ever needs scoring —
+    # `empty_ptr` tracks it, and the merit kernel runs on the fitting
+    # non-empty servers plus that one representative.
+    nonempty = np.zeros(capacity, dtype=bool)
+    empty_ptr = 0
+    n_act = n_servers
+    unplaced: List[int] = []
+
+    # Python-float copies of the per-VM scalars: the per-placement state
+    # updates run ~5x faster outside numpy's small-array dispatch.
+    mean_l = v_mean.tolist()
+    cnorm2_l = np.column_stack([ws.cpu_cnorm2, ws.mem_cnorm2]).tolist()
+    sum_l = np.column_stack([ws.cpu_sum, ws.mem_sum]).tolist()
+    sq_l = np.column_stack([ws.cpu_sq, ws.mem_sq]).tolist()
+    capc, capm = float(cap_cpu_pct), float(cap_mem_pct)
+
+    def place(vm: int, j: int, dc: float, dm: float) -> None:
+        nonlocal empty_ptr
+        nonempty[j] = True
+        while empty_ptr < capacity and nonempty[empty_ptr]:
+            empty_ptr += 1
+        mc, mm = mean_l[vm]
+        s0 = ssum[0, j]
+        s1 = ssum[1, j]
+        draw_c = dc + mc * s0
+        draw_m = dm + mm * s1
+        n2c, n2m = cnorm2_l[vm]
+        c0 = max(cnorm2[0, j] + 2.0 * dc + n2c, 0.0)
+        c1 = max(cnorm2[1, j] + 2.0 * dm + n2m, 0.0)
+        cnorm2[0, j] = c0
+        cnorm2[1, j] = c1
+        r0 = math.sqrt(c0)
+        r1 = math.sqrt(c1)
+        inv_snorm[0, j] = 1.0 / r0 if r0 >= _CORR_EPS else 0.0
+        inv_snorm[1, j] = 1.0 / r1 if r1 >= _CORR_EPS else 0.0
+        qc, qm = sq_l[vm]
+        q0 = ssq[0, j] + 2.0 * draw_c + qc
+        q1 = ssq[1, j] + 2.0 * draw_m + qm
+        ssq[0, j] = q0
+        ssq[1, j] = q1
+        sc, sm = sum_l[vm]
+        s0 += sc
+        s1 += sm
+        ssum[0, j] = s0
+        ssum[1, j] = s1
+        g[0, j] = q0 - 2.0 * capc * s0
+        g[1, j] = q1 - 2.0 * capm * s1
+        row = served_cat[j]
+        row += patt_cat[vm]
+        r2 = row.reshape(2, k)
+        mx = r2.max(axis=1)
+        mn = r2.min(axis=1)
+        pc, pm = float(mx[0]), float(mx[1])
+        bounds6[0, j] = pc
+        bounds6[1, j] = pm
+        bounds6[2, j] = pc
+        bounds6[3, j] = pm
+        bounds6[4, j] = float(mn[0])
+        bounds6[5, j] = float(mn[1])
+        plans[j].vm_ids.append(int(vm))
+
+    seq_list = [int(v) for v in sequence]
+    eps_caps = caps2 + _EPS
+    block = _BLOCK
+    for pos in range(0, len(seq_list), block):
+        blk = seq_list[pos : pos + block]
+        n_blk = len(blk)
+        base = n_act
+        # -- block precompute: feasibility bounds vs block-entry state ---
+        c6 = bounds6[:, :base] + off6[blk] <= thr6  # (n_blk, 6, base)
+        sure0 = c6[:, 0, :] & c6[:, 1, :]
+        may0 = c6[:, 2:, :].all(axis=1)
+        may0 &= ~sure0
+
+        # -- sequential walk; only in-block modified servers re-checked --
+        modified: List[int] = []
+        for i in range(n_blk):
+            vm = blk[i]
+            fits_row = np.empty(n_act, dtype=bool)
+            fits_row[:base] = sure0[i]
+            if n_act > base:
+                fits_row[base:] = False  # patched below via `modified`
+            band = np.flatnonzero(may0[i])
+            if modified:
+                band = band[~is_mod[band]]
+                m_ids = np.array(modified, dtype=np.intp)
+                band = np.concatenate([band, m_ids])
+            if band.size:
+                aggb = served_cat[band] + patt_cat[vm]
+                fits_row[band] = (
+                    aggb.reshape(-1, 2, k).max(axis=2) <= eps_caps
+                ).all(axis=1)
+            idx = np.flatnonzero(fits_row)
+            if idx.size == 0:
+                if n_act < fleet_bound:
+                    plans.append(
+                        ServerPlan(
+                            cap_cpu_pct=cap_cpu_pct, cap_mem_pct=cap_mem_pct
+                        )
+                    )
+                    j = n_act
+                    n_act += 1
+                    place(vm, j, 0.0, 0.0)
+                    is_mod[j] = True
+                    modified.append(j)
+                else:
+                    unplaced.append(vm)
+                continue
+            # Evaluation set: fitting non-empty servers, plus the first
+            # empty server as the representative of all tied empties.
+            # (If any empty server fits, they all do, and the lowest id
+            # is exactly the one an index-order argmax would pick; the
+            # reference scores the full fitting set, but every dropped
+            # empty ties the representative at merit exactly 0.)
+            idx_eval = idx[nonempty[idx]]
+            first_empty_fits = bool(
+                empty_ptr < n_act and fits_row[empty_ptr]
+            )
+            n_eval = idx_eval.size + (1 if first_empty_fits else 0)
+            if 6 * n_eval >= n_act:
+                # Wide evaluation set: run the phi/Dist kernel on the
+                # contiguous views and mask instead of gathering.
+                dcm = np.einsum(
+                    "srk,rk->rs",
+                    served_cat[:n_act].reshape(n_act, 2, k),
+                    cent[vm],
+                )
+                um = dcm * inv_snorm[:, :n_act]
+                um *= vw[vm]
+                dm_ = dcm + dcm
+                dm_ += g[:, :n_act]
+                dm_ += ssum[:, :n_act] * k2[vm]
+                dm_ += a2[vm]
+                np.maximum(dm_, 0.0, out=dm_)
+                np.sqrt(dm_, out=dm_)
+                np.maximum(dm_, _DIST_FLOOR, out=dm_)
+                um /= dm_
+                merit = um[0] + um[1]
+                eval_mask = fits_row & nonempty[:n_act]
+                if first_empty_fits:
+                    eval_mask[empty_ptr] = True
+                merit[~eval_mask] = -np.inf
+                j = int(np.argmax(merit))
+                place(vm, j, float(dcm[0, j]), float(dcm[1, j]))
+            else:
+                if first_empty_fits:
+                    ins = int(np.searchsorted(idx_eval, empty_ptr))
+                    idx_eval = np.insert(idx_eval, ins, empty_ptr)
+                # The incremental phi/Dist kernel over the gathered set:
+                # dot(S, U-mean(U)) feeds the Pearson numerator and the
+                # distance cross term at once.
+                dcm = (
+                    (served_cat[idx_eval].reshape(-1, 2, k) * cent[vm])
+                    .sum(axis=2)
+                    .T
+                )
+                ms = mstate[:, idx_eval]
+                um = dcm * ms[0:2]
+                um *= vw[vm]
+                dm_ = dcm + dcm
+                dm_ += ms[2:4]
+                dm_ += ms[4:6] * k2[vm]
+                dm_ += a2[vm]
+                np.maximum(dm_, 0.0, out=dm_)
+                np.sqrt(dm_, out=dm_)
+                np.maximum(dm_, _DIST_FLOOR, out=dm_)
+                um /= dm_
+                merit = um[0] + um[1]
+                pick = int(np.argmax(merit))
+                j = int(idx_eval[pick])
+                place(vm, j, float(dcm[0, pick]), float(dcm[1, pick]))
+            if not is_mod[j]:
+                is_mod[j] = True
+                modified.append(j)
+        if modified:
+            is_mod[np.array(modified, dtype=np.intp)] = False
+
+    forced = force_place_remaining(plans, unplaced, pred_cpu)
+    # Servers that received no VM stay off; drop their empty plans.
+    plans = [plan for plan in plans if plan.vm_ids]
+    return plans, forced
+
+
+def _allocate_2d_reference(
+    pred_cpu: np.ndarray,
+    pred_mem: np.ndarray,
+    n_servers: int,
+    cap_cpu_pct: float,
+    cap_mem_pct: float,
+    fleet_bound: int,
+    sequence: np.ndarray,
+) -> Tuple[List[ServerPlan], int]:
+    """The seed implementation, kept as the fast path's oracle."""
+    n_vms, n_samples = pred_cpu.shape
     plans = [
         ServerPlan(cap_cpu_pct=cap_cpu_pct, cap_mem_pct=cap_mem_pct)
         for _ in range(n_servers)
     ]
     served_cpu = np.zeros((n_servers, n_samples))
     served_mem = np.zeros((n_servers, n_samples))
-    fleet_bound = max_servers if max_servers is not None else n_servers
-    fleet_bound = max(fleet_bound, n_servers)
     unplaced: List[int] = []
 
     for vm_id in (int(v) for v in sequence):
@@ -167,6 +504,5 @@ def allocate_2d(
         served_mem[winner] += pred_mem[vm_id]
 
     forced = force_place_remaining(plans, unplaced, pred_cpu)
-    # Servers that received no VM stay off; drop their empty plans.
     plans = [plan for plan in plans if plan.vm_ids]
     return plans, forced

@@ -129,19 +129,28 @@ class Allocation:
         return sum(1 for plan in self.plans if plan.vm_ids)
 
     def vm_to_server(self, n_vms: int) -> np.ndarray:
-        """Dense VM -> server index map.
+        """Dense VM -> server index map (vectorized scatter).
 
         Raises:
             ConfigurationError: if any VM is unplaced or placed twice.
         """
         mapping = np.full(n_vms, -1, dtype=int)
-        for server_id, plan in enumerate(self.plans):
-            for vm_id in plan.vm_ids:
-                if mapping[vm_id] != -1:
+        if self.plans:
+            lengths = [len(plan.vm_ids) for plan in self.plans]
+            all_ids = np.fromiter(
+                (vm for plan in self.plans for vm in plan.vm_ids),
+                dtype=int,
+                count=sum(lengths),
+            )
+            if all_ids.size:
+                counts = np.bincount(all_ids, minlength=n_vms)
+                if counts.max(initial=0) > 1:
+                    dup = int(np.argmax(counts > 1))
                     raise ConfigurationError(
-                        f"VM {vm_id} placed on two servers"
+                        f"VM {dup} placed on two servers"
                     )
-                mapping[vm_id] = server_id
+                servers = np.repeat(np.arange(len(self.plans)), lengths)
+                mapping[all_ids] = servers
         if np.any(mapping < 0):
             missing = int(np.sum(mapping < 0))
             raise ConfigurationError(f"{missing} VMs were not placed")

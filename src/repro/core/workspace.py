@@ -1,0 +1,93 @@
+"""Shared precomputation for the allocation fast paths.
+
+Algorithms 1 and 2 both reason about the same per-VM quantities over and
+over: centered patterns (for Pearson correlations), centered norms,
+peaks/minima (for feasibility pruning) and raw sums/squared norms (for
+Euclidean distances).  The seed implementations recomputed all of them
+from scratch on every greedy pick, which made the inner loops quadratic
+with a large constant.  :class:`AllocationWorkspace` computes them once
+per call — O(n_vms * n_samples) total — so the per-pick work collapses to
+O(n_candidates) dot-product bookkeeping.
+
+Two identities make the incremental bookkeeping exact enough to reproduce
+the seed plans:
+
+* ``pearson(x, max(S) - S) == -pearson(x, S)``: the complementary pattern
+  only negates the centered server aggregate, so the fast paths never
+  materialize ``PattCom``;
+* ``dot(S - mean(S), x - mean(x)) == dot(S, x - mean(x))``: the centered
+  VM pattern sums to ~0, so server aggregates never need re-centering.
+
+The workspace is stateless and read-only after construction; one instance
+can be shared across repeated ``allocate_1d``/``allocate_2d`` calls on the
+same prediction matrices (e.g. the per-slot sizing sweep).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DomainError
+
+
+def validate_vm_order(sequence: np.ndarray, n_vms: int) -> None:
+    """Check that ``sequence`` is a permutation of ``0..n_vms-1``.
+
+    Replaces the seed's ``sorted(sequence.tolist()) != list(range(n))``
+    check — which materialized Python lists and sorted them on every
+    allocation call — with an O(n) ``np.bincount`` validation.
+
+    Raises:
+        DomainError: if the sequence is not a permutation of all VM ids.
+    """
+    if sequence.ndim != 1 or sequence.shape[0] != n_vms:
+        raise DomainError("order must be a permutation of all VM ids")
+    if n_vms == 0:
+        return
+    if int(sequence.min()) < 0 or int(sequence.max()) >= n_vms:
+        raise DomainError("order must be a permutation of all VM ids")
+    if not np.all(np.bincount(sequence, minlength=n_vms) == 1):
+        raise DomainError("order must be a permutation of all VM ids")
+
+
+class AllocationWorkspace:
+    """Per-VM precomputed quantities shared by Algorithms 1 and 2.
+
+    Attributes:
+        cpu, mem: the prediction matrices, C-contiguous float64,
+            shape ``(n_vms, n_samples)``.
+        cpu_centered, mem_centered: row-centered patterns.
+        cpu_cnorm, mem_cnorm: L2 norms of the centered rows (the Pearson
+            denominators).
+        cpu_cnorm2, mem_cnorm2: squared centered norms (for incremental
+            server-aggregate norm updates).
+        cpu_peak, mem_peak, cpu_min, mem_min: per-row extrema (feasibility
+            pruning bounds).
+        cpu_mean, mem_mean, cpu_sum, mem_sum: per-row means and sums.
+        cpu_sq, mem_sq: squared L2 norms of the raw rows (for incremental
+            Euclidean distances).
+    """
+
+    def __init__(self, pred_cpu: np.ndarray, pred_mem: np.ndarray):
+        cpu = np.ascontiguousarray(np.asarray(pred_cpu, dtype=float))
+        mem = np.ascontiguousarray(np.asarray(pred_mem, dtype=float))
+        if cpu.ndim != 2 or cpu.shape != mem.shape:
+            raise DomainError(
+                "pred_cpu and pred_mem must be equal-shape 2-D arrays"
+            )
+        self.cpu = cpu
+        self.mem = mem
+        self.n_vms, self.n_samples = cpu.shape
+
+        for name, patt in (("cpu", cpu), ("mem", mem)):
+            mean = patt.mean(axis=1)
+            centered = patt - mean[:, None]
+            cnorm = np.linalg.norm(centered, axis=1)
+            setattr(self, f"{name}_mean", mean)
+            setattr(self, f"{name}_centered", centered)
+            setattr(self, f"{name}_cnorm", cnorm)
+            setattr(self, f"{name}_cnorm2", cnorm * cnorm)
+            setattr(self, f"{name}_peak", patt.max(axis=1))
+            setattr(self, f"{name}_min", patt.min(axis=1))
+            setattr(self, f"{name}_sum", patt.sum(axis=1))
+            setattr(self, f"{name}_sq", np.einsum("ij,ij->i", patt, patt))

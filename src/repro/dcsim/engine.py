@@ -14,10 +14,21 @@ For every 1-hour slot of the evaluation horizon:
 
 Servers hosting no VM are powered off (0 W) — the server turn-off
 assumption shared by all compared policies.
+
+Fast-path accounting: everything that depends only on the allocation
+(VM->server map, active set, QoS floors, fixed OPP indices, scatter
+indices) is hoisted into a per-allocation :class:`_AllocationAccounting`
+and reused across the allocation's slots, and per-slot aggregation runs
+through ``np.bincount`` — bit-identical to the seed's ``np.add.at``
+scatter (both accumulate in input order) but a single C loop instead of
+the buffered ufunc.  ``count_migrations`` likewise sorts only the
+non-zero overlap pairs; ``_count_migrations_reference`` preserves the
+seed's dense pair loop as the equivalence oracle.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 import numpy as np
@@ -29,11 +40,37 @@ from ..perf.simulator import PerformanceSimulator, traffic_coefficients
 from ..perf.workload import ALL_MEMORY_CLASSES
 from ..power.server_power import ServerPowerModel, ntc_server_power_model
 from ..traces.dataset import TraceDataset
-from ..units import SAMPLE_PERIOD_S, SLOTS_PER_DAY
+from ..units import SAMPLE_PERIOD_S, SAMPLES_PER_SLOT, SLOTS_PER_DAY
 from .metrics import SimulationResult, SlotRecord
 from .power_tables import VectorizedServerPower
 
 _EPS = 1.0e-9
+
+
+@dataclass(frozen=True)
+class _AllocationAccounting:
+    """Invariants of one allocation, shared by all slots it covers.
+
+    Attributes:
+        vm2srv: dense VM -> server map.
+        n_srv: number of planned servers.
+        active: per-server "hosts at least one VM" mask.
+        floors: per-server QoS frequency floor (max over hosted VMs).
+        opp_idx_fixed: fixed-frequency OPP indices, or ``None`` for
+            dynamic-governor policies.
+        flat_idx: flattened (server, sample) bin index per (VM, sample)
+            cell, for the bincount scatter.
+        class_flat: the same indices restricted to each memory class
+            (``None`` for classes with no VMs).
+    """
+
+    vm2srv: np.ndarray
+    n_srv: int
+    active: np.ndarray
+    floors: np.ndarray
+    opp_idx_fixed: Optional[np.ndarray]
+    flat_idx: np.ndarray
+    class_flat: List[Optional[np.ndarray]]
 
 
 class DataCenterSimulation:
@@ -155,11 +192,15 @@ class DataCenterSimulation:
 
         The policy is invoked at its own reallocation cadence (every slot
         for EPACT, every 24 slots for the day-ahead consolidation
-        baselines); accounting always happens per slot.
+        baselines); accounting always happens per slot.  Everything that
+        depends only on the allocation (VM->server map, active set, QoS
+        floors, fixed OPP indices, scatter indices) is computed once per
+        allocation and reused across its slots.
         """
         result = SimulationResult(policy_name=self._policy.name)
         period = max(1, int(self._policy.reallocation_period_slots))
         allocation: Optional[Allocation] = None
+        acct: Optional[_AllocationAccounting] = None
         previous_map: Optional[np.ndarray] = None
         for slot in range(
             self._start_slot, self._start_slot + self._n_slots
@@ -167,12 +208,14 @@ class DataCenterSimulation:
             migrations = 0
             if allocation is None or (slot - self._start_slot) % period == 0:
                 allocation = self._allocate_window(slot, period)
-                new_map = allocation.vm_to_server(self._dataset.n_vms)
+                acct = self._prepare_allocation(allocation)
                 if previous_map is not None:
-                    migrations = count_migrations(previous_map, new_map)
-                previous_map = new_map
+                    migrations = count_migrations(
+                        previous_map, acct.vm2srv
+                    )
+                previous_map = acct.vm2srv
             result.records.append(
-                self._account_slot(slot, allocation, migrations)
+                self._account_slot(slot, allocation, acct, migrations)
             )
         return result
 
@@ -199,24 +242,14 @@ class DataCenterSimulation:
         )
         return self._policy.allocate(ctx)
 
-    def _account_slot(
-        self, slot: int, allocation: Allocation, migrations: int = 0
-    ) -> SlotRecord:
+    def _prepare_allocation(
+        self, allocation: Allocation
+    ) -> "_AllocationAccounting":
+        """Hoist allocation-dependent invariants out of the slot loop."""
         n_vms = self._dataset.n_vms
+        n_samples = SAMPLES_PER_SLOT
         vm2srv = allocation.vm_to_server(n_vms)
         n_srv = len(allocation.plans)
-        real_cpu, real_mem = self._dataset.slot_slice(slot)
-        n_samples = real_cpu.shape[1]
-
-        util = np.zeros((n_srv, n_samples))
-        np.add.at(util, vm2srv, real_cpu)
-        mem_util = np.zeros((n_srv, n_samples))
-        np.add.at(mem_util, vm2srv, real_mem)
-
-        util_by_class = np.zeros((len(self._class_masks), n_srv, n_samples))
-        for ci, mask in enumerate(self._class_masks):
-            if mask.any():
-                np.add.at(util_by_class[ci], vm2srv[mask], real_cpu[mask])
 
         active = np.array(
             [bool(plan.vm_ids) for plan in allocation.plans], dtype=bool
@@ -227,7 +260,7 @@ class DataCenterSimulation:
         np.maximum.at(floors, vm2srv, self._vm_floor_ghz)
 
         if allocation.dynamic_governor:
-            opp_idx = self._governor.opp_indices(util, floors)
+            opp_idx_fixed = None
         else:
             planned = np.array(
                 [plan.planned_freq_ghz for plan in allocation.plans]
@@ -236,7 +269,66 @@ class DataCenterSimulation:
                 self._governor.frequencies_ghz, planned - _EPS, side="left"
             )
             idx = np.clip(idx, 0, len(self._governor.frequencies_ghz) - 1)
-            opp_idx = np.repeat(idx[:, None], n_samples, axis=1)
+            opp_idx_fixed = np.repeat(idx[:, None], n_samples, axis=1)
+
+        # Flattened (server, sample) bin per (VM, sample) cell: one
+        # np.bincount scatter per slot replaces the much slower
+        # buffered np.add.at.
+        flat_idx = (
+            vm2srv[:, None] * n_samples + np.arange(n_samples)[None, :]
+        ).ravel()
+        class_flat = [
+            flat_idx.reshape(n_vms, n_samples)[mask].ravel()
+            if mask.any()
+            else None
+            for mask in self._class_masks
+        ]
+        return _AllocationAccounting(
+            vm2srv=vm2srv,
+            n_srv=n_srv,
+            active=active,
+            floors=floors,
+            opp_idx_fixed=opp_idx_fixed,
+            flat_idx=flat_idx,
+            class_flat=class_flat,
+        )
+
+    def _account_slot(
+        self,
+        slot: int,
+        allocation: Allocation,
+        acct: "_AllocationAccounting",
+        migrations: int = 0,
+    ) -> SlotRecord:
+        n_srv = acct.n_srv
+        real_cpu, real_mem = self._dataset.slot_slice(slot)
+        n_samples = real_cpu.shape[1]
+        n_bins = n_srv * n_samples
+
+        # np.bincount accumulates in input order, exactly like np.add.at,
+        # but through a single C loop instead of the buffered ufunc.
+        util = np.bincount(
+            acct.flat_idx, weights=real_cpu.ravel(), minlength=n_bins
+        ).reshape(n_srv, n_samples)
+        mem_util = np.bincount(
+            acct.flat_idx, weights=real_mem.ravel(), minlength=n_bins
+        ).reshape(n_srv, n_samples)
+
+        util_by_class = np.zeros((len(self._class_masks), n_srv, n_samples))
+        for ci, mask in enumerate(self._class_masks):
+            flat = acct.class_flat[ci]
+            if flat is not None:
+                util_by_class[ci] = np.bincount(
+                    flat, weights=real_cpu[mask].ravel(), minlength=n_bins
+                ).reshape(n_srv, n_samples)
+
+        active = acct.active
+        floors = acct.floors
+
+        if acct.opp_idx_fixed is None:
+            opp_idx = self._governor.opp_indices(util, floors)
+        else:
+            opp_idx = acct.opp_idx_fixed
 
         freqs = self._tables.freqs_ghz[opp_idx]
         # Work-conserving busy fraction: may exceed 1 when a fixed-cap
@@ -302,7 +394,44 @@ def count_migrations(
     same physical server keeping its VMs"); every VM outside a matched
     overlap must have moved.  Greedy matching on sorted overlaps is the
     standard first-order estimate of reallocation churn.
+
+    The overlap histogram is built with one ``np.bincount`` over the
+    flattened (old, new) pair codes and only its non-zero entries (at
+    most one per VM) are sorted — the seed's Python double loop over the
+    dense ``n_old x n_new`` matrix made every reallocation quadratic in
+    the fleet size.  ``_count_migrations_reference`` preserves the seed
+    implementation as the equivalence oracle.
     """
+    if previous_map.shape != new_map.shape:
+        raise ConfigurationError("assignment maps must cover the same VMs")
+    n_vms = previous_map.shape[0]
+    if n_vms == 0:
+        return 0
+    n_new = int(new_map.max()) + 1
+    counts = np.bincount(previous_map * n_new + new_map)
+    nz = np.flatnonzero(counts)
+    overlap = counts[nz]
+    old_ids = nz // n_new
+    new_ids = nz % n_new
+    # Same key as the reference sort: (-count, old, new).
+    order = np.lexsort((new_ids, old_ids, -overlap))
+    used_old = set()
+    used_new = set()
+    kept = 0
+    for t in order:
+        o = int(old_ids[t])
+        nw = int(new_ids[t])
+        if o not in used_old and nw not in used_new:
+            used_old.add(o)
+            used_new.add(nw)
+            kept += int(overlap[t])
+    return n_vms - kept
+
+
+def _count_migrations_reference(
+    previous_map: np.ndarray, new_map: np.ndarray
+) -> int:
+    """The seed implementation of :func:`count_migrations` (oracle)."""
     if previous_map.shape != new_map.shape:
         raise ConfigurationError("assignment maps must cover the same VMs")
     n_vms = previous_map.shape[0]

@@ -6,6 +6,12 @@ memory utilization.
 """
 
 from .arima import ArimaFit, ArimaModel, ArimaOrder
+from .batch import (
+    BatchArmaFit,
+    batched_arma_fit,
+    batched_arma_forecast,
+    batched_decomposed_forecast,
+)
 from .decomposed import DecomposedArimaForecaster
 from .holtwinters import HoltWintersForecaster
 from .differencing import (
@@ -26,6 +32,10 @@ __all__ = [
     "ArimaFit",
     "ArimaModel",
     "ArimaOrder",
+    "BatchArmaFit",
+    "batched_arma_fit",
+    "batched_arma_forecast",
+    "batched_decomposed_forecast",
     "DayAheadPredictor",
     "DecomposedArimaForecaster",
     "HoltWintersForecaster",

@@ -62,6 +62,16 @@ class DecomposedArimaForecaster:
         return self._period
 
     @property
+    def order(self) -> ArimaOrder:
+        """ARMA order used for the remainder model."""
+        return self._order
+
+    @property
+    def decay(self) -> float:
+        """Per-season profile weight decay."""
+        return self._decay
+
+    @property
     def profile(self) -> np.ndarray:
         """The fitted seasonal profile (length ``period``).
 

@@ -132,3 +132,69 @@ class TestVectorized:
             pearson_many(np.ones((2, 3)), np.ones(4))
         with pytest.raises(DomainError):
             euclidean_distance_many(np.ones(3), np.ones(3))
+
+
+class TestDegenerateAndMismatched:
+    """Zero-variance rows and mismatched shapes across the vectorized
+    correlation helpers (the allocation fast paths rely on these exact
+    semantics for their incremental Pearson bookkeeping)."""
+
+    def test_all_rows_zero_variance(self):
+        rows = np.vstack([np.zeros(8), np.full(8, 5.0), np.full(8, -2.0)])
+        target = np.arange(8.0)
+        np.testing.assert_array_equal(pearson_many(rows, target), np.zeros(3))
+
+    def test_mixed_zero_variance_rows(self):
+        rng = np.random.default_rng(6)
+        live = rng.normal(size=8)
+        rows = np.vstack([np.full(8, 4.0), live, np.zeros(8)])
+        result = pearson_many(rows, live)
+        assert result[0] == 0.0
+        assert result[2] == 0.0
+        assert result[1] == pytest.approx(1.0)
+
+    def test_zero_variance_target_and_rows_together(self):
+        rows = np.vstack([np.ones(5), np.arange(5.0)])
+        np.testing.assert_array_equal(
+            pearson_many(rows, np.full(5, 9.0)), np.zeros(2)
+        )
+
+    def test_near_constant_below_eps_is_zero(self):
+        """Variation below the 1e-12 cutoff counts as shapeless."""
+        rows = (np.ones(6) + 1e-16 * np.arange(6))[None, :]
+        assert pearson_many(rows, np.arange(6.0))[0] == 0.0
+
+    def test_euclidean_zero_variance_rows_plain_distance(self):
+        """Distance has no degenerate case: constant rows just measure
+        their offset from the target."""
+        rows = np.vstack([np.zeros(4), np.full(4, 2.0)])
+        target = np.zeros(4)
+        np.testing.assert_allclose(
+            euclidean_distance_many(rows, target), [0.0, 4.0]
+        )
+
+    @pytest.mark.parametrize(
+        "rows, target",
+        [
+            (np.ones((2, 3)), np.ones(4)),   # column mismatch
+            (np.ones(3), np.ones(3)),        # 1-D candidates
+            (np.ones((2, 2, 2)), np.ones(2)),  # 3-D candidates
+            (np.ones((2, 3)), np.ones((3, 1))),  # 2-D target
+        ],
+    )
+    def test_pearson_many_shape_mismatch(self, rows, target):
+        with pytest.raises(DomainError):
+            pearson_many(rows, target)
+
+    @pytest.mark.parametrize(
+        "rows, target",
+        [
+            (np.ones((2, 3)), np.ones(4)),
+            (np.ones(3), np.ones(3)),
+            (np.ones((2, 2, 2)), np.ones(2)),
+            (np.ones((2, 3)), np.ones((3, 1))),
+        ],
+    )
+    def test_euclidean_many_shape_mismatch(self, rows, target):
+        with pytest.raises(DomainError):
+            euclidean_distance_many(rows, target)

@@ -1,0 +1,348 @@
+"""Fast-path vs reference equivalence for the fleet-scale hot paths.
+
+The allocation fast paths must reproduce the seed plans *exactly* on
+regular instances (same greedy winners, same forced placements); the
+batched forecaster must match the scalar reference within documented
+tolerance; the engine's bincount scatter must be bit-identical to
+``np.add.at``; the vectorized migration matcher must agree with the seed
+pair loop everywhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.alloc1d import allocate_1d, ffd_order
+from repro.core.alloc2d import allocate_2d
+from repro.core.types import Allocation, ServerPlan
+from repro.core.workspace import AllocationWorkspace, validate_vm_order
+from repro.dcsim.engine import (
+    _count_migrations_reference,
+    count_migrations,
+)
+from repro.errors import ConfigurationError, DomainError
+from repro.forecast import DayAheadPredictor
+from repro.forecast.arima import ArimaModel, ArimaOrder
+from repro.forecast.batch import (
+    batched_arma_fit,
+    batched_arma_forecast,
+    batched_decomposed_forecast,
+)
+from repro.forecast.decomposed import DecomposedArimaForecaster
+from repro.traces import default_dataset
+
+
+def make_patterns(n_vms, n_samples=12, seed=0, scale=10.0):
+    gen = np.random.default_rng(seed)
+    base = gen.uniform(0.2, 1.0, size=(n_vms, 1)) * scale
+    wiggle = 1.0 + 0.3 * np.sin(
+        np.linspace(0, 2 * np.pi, n_samples)[None, :]
+        + gen.uniform(0, 2 * np.pi, size=(n_vms, 1))
+    )
+    return base * wiggle
+
+
+def plans_equal(a, b):
+    return [p.vm_ids for p in a] == [p.vm_ids for p in b]
+
+
+class TestAllocate1dEquivalence:
+    @pytest.mark.parametrize("n_vms", [1, 2, 50, 300])
+    def test_matches_reference_random(self, n_vms):
+        cpu = make_patterns(n_vms, seed=n_vms)
+        mem = make_patterns(n_vms, seed=n_vms + 100, scale=5.0)
+        fast, f_forced = allocate_1d(cpu, mem, cap_cpu_pct=60.0, fast=True)
+        ref, r_forced = allocate_1d(cpu, mem, cap_cpu_pct=60.0, fast=False)
+        assert plans_equal(fast, ref)
+        assert f_forced == r_forced
+
+    def test_matches_reference_constant_patterns(self):
+        """Degenerate shapeless patterns: Pearson is 0 everywhere and the
+        tie-breaks (first fitting candidate) must match exactly."""
+        cpu = np.full((40, 12), 7.0)
+        mem = np.full((40, 12), 3.0)
+        fast, _ = allocate_1d(cpu, mem, cap_cpu_pct=60.0, fast=True)
+        ref, _ = allocate_1d(cpu, mem, cap_cpu_pct=60.0, fast=False)
+        assert plans_equal(fast, ref)
+
+    def test_matches_reference_max_servers_exhaustion(self):
+        cpu = make_patterns(120, seed=5)
+        mem = make_patterns(120, seed=6, scale=5.0)
+        fast, f_forced = allocate_1d(
+            cpu, mem, cap_cpu_pct=40.0, max_servers=5, fast=True
+        )
+        ref, r_forced = allocate_1d(
+            cpu, mem, cap_cpu_pct=40.0, max_servers=5, fast=False
+        )
+        assert plans_equal(fast, ref)
+        assert f_forced == r_forced > 0
+
+    def test_matches_reference_memory_bound(self):
+        cpu = make_patterns(60, seed=7, scale=2.0)
+        mem = make_patterns(60, seed=8, scale=30.0)
+        fast, _ = allocate_1d(
+            cpu, mem, cap_cpu_pct=100.0, cap_mem_pct=80.0, fast=True
+        )
+        ref, _ = allocate_1d(
+            cpu, mem, cap_cpu_pct=100.0, cap_mem_pct=80.0, fast=False
+        )
+        assert plans_equal(fast, ref)
+
+    def test_explicit_order_and_shared_workspace(self):
+        cpu = make_patterns(30, seed=9)
+        mem = make_patterns(30, seed=10, scale=5.0)
+        order = list(reversed(range(30)))
+        ws = AllocationWorkspace(cpu, mem)
+        fast, _ = allocate_1d(
+            cpu, mem, 60.0, order=order, workspace=ws, fast=True
+        )
+        ref, _ = allocate_1d(cpu, mem, 60.0, order=order, fast=False)
+        assert plans_equal(fast, ref)
+
+
+class TestAllocate2dEquivalence:
+    @pytest.mark.parametrize("n_vms", [1, 2, 50, 300])
+    def test_matches_reference_random(self, n_vms):
+        cpu = make_patterns(n_vms, seed=n_vms + 1)
+        mem = make_patterns(n_vms, seed=n_vms + 200, scale=5.0)
+        n_servers = max(1, n_vms // 8)
+        fast, f_forced = allocate_2d(
+            cpu, mem, n_servers, cap_cpu_pct=60.0, fast=True
+        )
+        ref, r_forced = allocate_2d(
+            cpu, mem, n_servers, cap_cpu_pct=60.0, fast=False
+        )
+        assert plans_equal(fast, ref)
+        assert f_forced == r_forced
+
+    def test_matches_reference_constant_patterns(self):
+        cpu = np.full((40, 12), 7.0)
+        mem = np.full((40, 12), 3.0)
+        fast, _ = allocate_2d(
+            cpu, mem, 5, cap_cpu_pct=60.0, max_servers=10, fast=True
+        )
+        ref, _ = allocate_2d(
+            cpu, mem, 5, cap_cpu_pct=60.0, max_servers=10, fast=False
+        )
+        assert plans_equal(fast, ref)
+
+    def test_matches_reference_fleet_exhaustion(self):
+        cpu = make_patterns(120, seed=11)
+        mem = make_patterns(120, seed=12, scale=5.0)
+        fast, f_forced = allocate_2d(
+            cpu, mem, 3, cap_cpu_pct=40.0, max_servers=5, fast=True
+        )
+        ref, r_forced = allocate_2d(
+            cpu, mem, 3, cap_cpu_pct=40.0, max_servers=5, fast=False
+        )
+        assert plans_equal(fast, ref)
+        assert f_forced == r_forced > 0
+
+    def test_matches_reference_memory_dominant(self):
+        """The regime Algorithm 2 is designed for: few VMs per server."""
+        cpu = make_patterns(200, seed=13, scale=15.0)
+        mem = make_patterns(200, seed=14, scale=38.0)
+        fast, _ = allocate_2d(
+            cpu, mem, 90, 60.0, cap_mem_pct=90.0, max_servers=150, fast=True
+        )
+        ref, _ = allocate_2d(
+            cpu, mem, 90, 60.0, cap_mem_pct=90.0, max_servers=150, fast=False
+        )
+        assert plans_equal(fast, ref)
+
+    def test_matches_reference_day_window(self):
+        """Day-ahead window width (288 samples per pattern)."""
+        cpu = make_patterns(60, n_samples=288, seed=15)
+        mem = make_patterns(60, n_samples=288, seed=16, scale=5.0)
+        fast, _ = allocate_2d(cpu, mem, 8, cap_cpu_pct=60.0, fast=True)
+        ref, _ = allocate_2d(cpu, mem, 8, cap_cpu_pct=60.0, fast=False)
+        assert plans_equal(fast, ref)
+
+
+class TestOrderValidation:
+    """The bincount-based permutation check (replaces sorted()==range)."""
+
+    def test_valid_permutation_accepted(self):
+        validate_vm_order(np.array([2, 0, 1]), 3)
+
+    def test_empty_permutation_accepted(self):
+        validate_vm_order(np.array([], dtype=int), 0)
+
+    @pytest.mark.parametrize(
+        "order",
+        [[0, 1, 1], [0, 1], [0, 1, 3], [-1, 0, 1], [0, 1, 2, 3]],
+    )
+    def test_invalid_orders_raise(self, order):
+        with pytest.raises(DomainError):
+            validate_vm_order(np.asarray(order, dtype=int), 3)
+
+    @pytest.mark.parametrize("fast", [True, False])
+    def test_allocators_reject_bad_orders(self, fast):
+        cpu = make_patterns(4, seed=17)
+        mem = make_patterns(4, seed=18, scale=5.0)
+        with pytest.raises(DomainError):
+            allocate_1d(cpu, mem, 60.0, order=[0, 1, 2, 2], fast=fast)
+        with pytest.raises(DomainError):
+            allocate_2d(cpu, mem, 2, 60.0, order=[0, 1, 2], fast=fast)
+
+
+class TestCountMigrationsEquivalence:
+    def test_matches_reference_random_maps(self):
+        rng = np.random.default_rng(42)
+        for trial in range(25):
+            n_vms = int(rng.integers(1, 400))
+            n_old = int(rng.integers(1, 40))
+            n_new = int(rng.integers(1, 40))
+            old = rng.integers(0, n_old, size=n_vms)
+            new = rng.integers(0, n_new, size=n_vms)
+            assert count_migrations(old, new) == (
+                _count_migrations_reference(old, new)
+            ), f"mismatch on trial {trial}"
+
+    def test_identity_and_relabel(self):
+        arr = np.array([0, 0, 1, 1, 2])
+        assert count_migrations(arr, arr) == 0
+        relabeled = np.array([2, 2, 0, 0, 1])
+        assert count_migrations(arr, relabeled) == 0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            count_migrations(np.array([0]), np.array([0, 1]))
+
+    def test_empty_maps(self):
+        empty = np.array([], dtype=int)
+        assert count_migrations(empty, empty) == 0
+
+
+class TestVmToServerVectorized:
+    def test_roundtrip(self):
+        allocation = Allocation(
+            policy_name="t",
+            plans=[
+                ServerPlan(vm_ids=[2, 0]),
+                ServerPlan(vm_ids=[1, 3]),
+            ],
+            dynamic_governor=True,
+            violation_cap_pct=100.0,
+        )
+        np.testing.assert_array_equal(
+            allocation.vm_to_server(4), [0, 1, 0, 1]
+        )
+
+    def test_duplicate_raises(self):
+        allocation = Allocation(
+            policy_name="t",
+            plans=[ServerPlan(vm_ids=[0, 1]), ServerPlan(vm_ids=[1])],
+            dynamic_governor=True,
+            violation_cap_pct=100.0,
+        )
+        with pytest.raises(ConfigurationError):
+            allocation.vm_to_server(2)
+
+    def test_missing_raises(self):
+        allocation = Allocation(
+            policy_name="t",
+            plans=[ServerPlan(vm_ids=[0])],
+            dynamic_governor=True,
+            violation_cap_pct=100.0,
+        )
+        with pytest.raises(ConfigurationError):
+            allocation.vm_to_server(2)
+
+
+class TestBincountScatterEquivalence:
+    def test_matches_add_at_bitwise(self):
+        """The engine's bincount aggregation accumulates in the same
+        order as np.add.at, so the sums are bit-identical."""
+        rng = np.random.default_rng(3)
+        n_vms, n_srv, n_samples = 200, 23, 12
+        vm2srv = rng.integers(0, n_srv, size=n_vms)
+        real = rng.uniform(0, 100, size=(n_vms, n_samples))
+        expected = np.zeros((n_srv, n_samples))
+        np.add.at(expected, vm2srv, real)
+        flat = (
+            vm2srv[:, None] * n_samples + np.arange(n_samples)[None, :]
+        ).ravel()
+        got = np.bincount(
+            flat, weights=real.ravel(), minlength=n_srv * n_samples
+        ).reshape(n_srv, n_samples)
+        np.testing.assert_array_equal(got, expected)
+
+
+class TestBatchedForecastEquivalence:
+    def test_batched_arma_matches_scalar(self):
+        rng = np.random.default_rng(5)
+        order = ArimaOrder(p=2, d=0, q=1)
+        series = rng.normal(0, 1.0, size=(7, 400)).cumsum(axis=1) * 0.01
+        fit = batched_arma_fit(series, order)
+        assert fit.ok.all()
+        fc = batched_arma_forecast(fit, 24)
+        for row in range(series.shape[0]):
+            model = ArimaModel(order)
+            model.fit(series[row])
+            np.testing.assert_allclose(
+                fc[row], model.forecast(24), rtol=1e-6, atol=1e-8
+            )
+
+    def test_batched_constant_rows_collapse(self):
+        order = ArimaOrder(p=2, d=0, q=1)
+        series = np.vstack(
+            [np.full(100, 3.5), np.sin(np.linspace(0, 20, 100))]
+        )
+        fit = batched_arma_fit(series, order)
+        fc = batched_arma_forecast(fit, 10)
+        np.testing.assert_allclose(fc[0], np.full(10, 3.5))
+
+    def test_batched_decomposed_matches_scalar(self):
+        rng = np.random.default_rng(6)
+        period, days = 48, 7
+        t = np.arange(period * days)
+        base = 20 + 10 * np.sin(2 * np.pi * t / period)
+        series = base[None, :] + rng.normal(0, 1.0, size=(5, t.size))
+        types = np.array([1 if d % 7 >= 5 else 0 for d in range(days)])
+        fc, ok = batched_decomposed_forecast(
+            series,
+            order=ArimaOrder(2, 0, 1),
+            period=period,
+            decay=0.6,
+            horizon=period,
+            season_types=types,
+            target_type=0,
+        )
+        assert ok.all()
+        for row in range(series.shape[0]):
+            model = DecomposedArimaForecaster(
+                order=ArimaOrder(2, 0, 1), period=period
+            )
+            model.fit(series[row], season_types=types, target_type=0)
+            np.testing.assert_allclose(
+                fc[row], model.forecast(period), rtol=1e-6, atol=1e-7
+            )
+
+    def test_day_ahead_predictor_batch_matches_scalar(self):
+        dataset = default_dataset(n_vms=12, n_days=9, seed=11)
+        scalar = DayAheadPredictor(dataset, batch=False)
+        batched = DayAheadPredictor(dataset, batch=True)
+        cpu_s, mem_s = scalar.forecast_day(7)
+        cpu_b, mem_b = batched.forecast_day(7)
+        np.testing.assert_allclose(cpu_b, cpu_s, rtol=1e-7, atol=1e-8)
+        np.testing.assert_allclose(mem_b, mem_s, rtol=1e-7, atol=1e-8)
+
+    def test_custom_factory_disables_batch(self):
+        dataset = default_dataset(n_vms=4, n_days=9, seed=12)
+
+        def factory():
+            return DecomposedArimaForecaster(
+                order=ArimaOrder(p=1, d=1, q=0), period=288
+            )
+
+        predictor = DayAheadPredictor(dataset, factory=factory, batch=True)
+        assert predictor._batch_params is None  # d=1 cannot batch
+
+    def test_batched_rejects_differencing(self):
+        from repro.errors import ForecastError
+
+        with pytest.raises(ForecastError):
+            batched_arma_fit(
+                np.random.default_rng(0).normal(size=(2, 50)),
+                ArimaOrder(p=1, d=1, q=0),
+            )
