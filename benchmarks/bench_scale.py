@@ -24,6 +24,14 @@ Scenarios (deterministic seeds):
   allocation, power accounting) on reduced-scale traces, plus the
   batched-vs-scalar total-energy relative difference as an equivalence
   witness.
+* ``simulate_week_batch_120`` — window-batched vs per-slot accounting
+  on the reduced week with a day-ahead (24-slot window) policy and a
+  pre-warmed shared predictor: the engine-side comparison the
+  ``window_batch`` fast path is about.
+* ``run_policies_3pol_120`` — the three-policy comparison (the Fig. 4-6
+  workload shape) over shared predictions; with ``--jobs N`` the same
+  scenario is also timed through the process-pool fan-out (wall-clock
+  gains require >1 CPU; the result records both).
 
 Each scenario records the fast time, reference time (where tractable)
 and their speedup into ``BENCH_<rev>.json``; ``--baseline`` prints the
@@ -41,10 +49,11 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.baselines import CoatOptPolicy, CoatPolicy
 from repro.core import EpactPolicy
 from repro.core.alloc1d import allocate_1d
 from repro.core.alloc2d import allocate_2d
-from repro.dcsim.engine import DataCenterSimulation
+from repro.dcsim.engine import DataCenterSimulation, run_policies
 from repro.forecast import DayAheadPredictor
 from repro.traces import default_dataset
 
@@ -214,6 +223,61 @@ def bench_simulation(results):
     print(f"    batched-vs-scalar total energy rel diff: {rel:.2e}")
 
 
+def bench_window_batch(results, jobs):
+    """Window-batched engine and multi-policy scenarios (PR 2)."""
+    dataset = default_dataset(n_vms=120, n_days=9, seed=2018)
+    predictor = DayAheadPredictor(dataset)
+    for day in range(7, dataset.n_days):
+        predictor.forecast_day(day)
+
+    # Engine-side comparison: day-ahead windows (COAT, 24-slot windows)
+    # accounted as whole batches vs slot by slot; the predictor is
+    # pre-warmed so only the engine is timed.
+    def run_engine(window_batch):
+        sim = DataCenterSimulation(
+            dataset,
+            predictor,
+            CoatPolicy(),
+            max_servers=80,
+            window_batch=window_batch,
+        )
+        return sum(r.energy_j for r in sim.run().records)
+
+    # The warm-up pair doubles as the equivalence witness.
+    energy_batch = run_engine(True)
+    energy_slot = run_engine(False)
+    fast, seed = best_of_pair(
+        lambda: run_engine(True), lambda: run_engine(False), 3
+    )
+    record(results, "simulate_week_batch_120", fast, seed)
+    rel = abs(energy_batch - energy_slot) / max(abs(energy_slot), 1e-12)
+    results["simulate_week_batch_120"]["energy_rel_diff"] = rel
+    print(f"    window-batch-vs-per-slot energy rel diff: {rel:.2e}")
+
+    # Scenario layer: the three paper policies over shared predictions.
+    def run_three(n_jobs):
+        return run_policies(
+            dataset,
+            predictor,
+            [EpactPolicy(), CoatPolicy(), CoatOptPolicy()],
+            jobs=n_jobs,
+            max_servers=80,
+        )
+
+    serial = best_of(lambda: run_three(1), 2)
+    record(results, "run_policies_3pol_120", serial, None)
+    if jobs > 1:
+        par = best_of(lambda: run_three(jobs), 2)
+        results["run_policies_3pol_120"][f"jobs{jobs}_s"] = round(par, 4)
+        import os
+
+        cpus = os.cpu_count() or 1
+        print(
+            f"    --jobs {jobs}: {par:8.3f}s on {cpus} CPU(s) "
+            f"(fan-out needs >1 CPU for wall-clock gains)"
+        )
+
+
 def record(results, name, fast_s, seed_s):
     entry = {"fast_s": round(fast_s, 4)}
     if seed_s is not None:
@@ -265,6 +329,12 @@ def main():
         default=None,
         help="output JSON path (default benchmarks/BENCH_<rev>.json)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="also time run_policies through a process pool of N workers",
+    )
     args = parser.parse_args()
     if args.baseline is not None and not args.baseline.is_file():
         parser.error(f"baseline file not found: {args.baseline}")
@@ -277,6 +347,8 @@ def main():
     bench_forecasting(results)
     print("full simulation:")
     bench_simulation(results)
+    print("window-batched engine / scenario layer:")
+    bench_window_batch(results, args.jobs)
 
     payload = {
         "rev": rev,

@@ -1,0 +1,122 @@
+"""Smoke bench: the window-batched engine must not lose to per-slot.
+
+A deliberately trivial day-ahead policy (zero allocation cost, 24-slot
+windows) makes the run time accounting-dominated, so the comparison
+isolates exactly what ``window_batch`` changes.  The batched path
+replaces ~24 per-slot accounting passes per window with one batched
+pass; if it ever comes out slower than the per-slot reference on the
+reduced week, a regression snuck into the fast path and this test
+fails.  Results are asserted bit-identical along the way.
+
+Runs in the regular test suite (it needs only a few engine runs) and
+carries the ``smokebench`` marker so it can be selected or skipped with
+``-m smokebench`` / ``-m "not smokebench"``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.types import Allocation, AllocationPolicy, ServerPlan
+from repro.dcsim import DataCenterSimulation
+from repro.forecast import PerfectPredictor
+from repro.traces import default_dataset
+
+
+class _RoundRobinDayPolicy(AllocationPolicy):
+    """Fixed round-robin placement, day-ahead windows, ~zero cost."""
+
+    name = "round-robin-day"
+    reallocation_period_slots = 24
+
+    def __init__(self, n_servers: int = 40):
+        self._n_servers = n_servers
+
+    def allocate(self, ctx):
+        plans = [
+            ServerPlan(planned_freq_ghz=ctx.f_max_ghz)
+            for _ in range(self._n_servers)
+        ]
+        for vm in range(ctx.n_vms):
+            plans[vm % self._n_servers].vm_ids.append(vm)
+        return Allocation(
+            policy_name=self.name,
+            plans=plans,
+            dynamic_governor=False,
+            violation_cap_pct=100.0,
+        )
+
+
+@pytest.mark.smokebench
+def test_window_batch_not_slower_than_per_slot():
+    dataset = default_dataset(n_vms=120, n_days=9, seed=2018)
+    predictor = PerfectPredictor(dataset)
+
+    def run(window_batch):
+        sim = DataCenterSimulation(
+            dataset,
+            predictor,
+            _RoundRobinDayPolicy(),
+            max_servers=120,
+            start_slot=168,
+            window_batch=window_batch,
+        )
+        t0 = time.perf_counter()
+        result = sim.run()
+        return time.perf_counter() - t0, result
+
+    # Warm caches (power tables, calibration) outside the timing.
+    run(True)
+    run(False)
+    # Interleaved best-of-5: the min of each side is robust to load
+    # spikes on shared single-CPU runners (spikes inflate individual
+    # samples, they do not deflate the minimum).
+    batched_times, slot_times = [], []
+    for _ in range(5):
+        tb, rb = run(True)
+        ts, rs = run(False)
+        batched_times.append(tb)
+        slot_times.append(ts)
+        assert len(rb.records) == len(rs.records)
+        for a, b in zip(rb.records, rs.records):
+            assert a == b  # bit-identical records
+
+    batched = min(batched_times)
+    per_slot = min(slot_times)
+    # The batched path must win on a 24-slot-window workload; the 1.1
+    # factor only absorbs scheduler noise, not a real regression.
+    assert batched <= per_slot * 1.1, (
+        f"window-batched accounting ({batched:.4f}s) slower than the "
+        f"per-slot reference ({per_slot:.4f}s)"
+    )
+
+
+@pytest.mark.smokebench
+def test_window_batch_speedup_report(capsys):
+    """Informational: print the measured batch-vs-slot ratio."""
+    dataset = default_dataset(n_vms=60, n_days=9, seed=5)
+    predictor = PerfectPredictor(dataset)
+
+    def run(window_batch):
+        sim = DataCenterSimulation(
+            dataset,
+            predictor,
+            _RoundRobinDayPolicy(n_servers=20),
+            max_servers=60,
+            start_slot=168,
+            window_batch=window_batch,
+        )
+        t0 = time.perf_counter()
+        energy = sum(r.energy_j for r in sim.run().records)
+        return time.perf_counter() - t0, energy
+
+    run(True)
+    tb, eb = run(True)
+    ts, es = run(False)
+    assert np.isclose(eb, es, rtol=0.0, atol=0.0)  # exact
+    with capsys.disabled():
+        print(
+            f"\n[smokebench] window-batch {tb:.4f}s vs per-slot "
+            f"{ts:.4f}s ({ts / max(tb, 1e-9):.1f}x)"
+        )

@@ -47,6 +47,10 @@ def main() -> None:
     print("\nSimulating 100 VMs for two days (EPACT vs COAT)...")
     dataset = default_dataset(n_vms=100, n_days=9, seed=42)
     predictor = DayAheadPredictor(dataset)
+    # On a multi-core box, pass jobs=N to fan the policies out over a
+    # process pool (the day-ahead predictions are shared, results are
+    # identical to the serial run) — same flag as `repro-experiments
+    # --jobs N`.
     results = run_policies(
         dataset,
         predictor,

@@ -74,6 +74,35 @@ class DvfsGovernor:
         floor_idx = self.floor_indices(np.asarray(floor_ghz))
         return np.maximum(idx, floor_idx[:, None])
 
+    def opp_indices_window(
+        self,
+        cpu_util_pct: np.ndarray,
+        floor_ghz: np.ndarray,
+    ) -> np.ndarray:
+        """Chosen OPP index per (slot, server, sample) of a window batch.
+
+        Elementwise identical to :meth:`opp_indices` applied slot by
+        slot; one call covers a whole allocation window.
+
+        Args:
+            cpu_util_pct: real aggregate utilization, shape
+                ``(n_slots, n_servers, n_samples)``.
+            floor_ghz: per-server QoS frequency floor, shape
+                ``(n_servers,)``.
+        """
+        util = np.asarray(cpu_util_pct, dtype=float)
+        if util.ndim != 3:
+            raise DomainError(
+                "cpu_util_pct must be 3-D (slots, servers, samples)"
+            )
+        if np.asarray(floor_ghz).shape != (util.shape[1],):
+            raise DomainError("floor_ghz must have one entry per server")
+        demand_ghz = util * self._f_max / 100.0
+        idx = np.searchsorted(self._freqs, demand_ghz - _EPS, side="left")
+        idx = np.clip(idx, 0, len(self._freqs) - 1)
+        floor_idx = self.floor_indices(np.asarray(floor_ghz))
+        return np.maximum(idx, floor_idx[None, :, None])
+
     def fixed_indices(
         self, freq_ghz: float, shape: tuple[int, int]
     ) -> np.ndarray:

@@ -63,12 +63,22 @@ def peak_aggregate_pct(pred: np.ndarray) -> float:
 
 
 def n_servers_cpu(
-    pred_cpu: np.ndarray, f_max_ghz: float, f_opt_ghz: float
+    pred_cpu: np.ndarray,
+    f_max_ghz: float,
+    f_opt_ghz: float,
+    peak_pct: float | None = None,
 ) -> int:
-    """Eq. 1 left: CPU-perspective server count at the optimal frequency."""
+    """Eq. 1 left: CPU-perspective server count at the optimal frequency.
+
+    ``peak_pct`` lets callers that already computed the peak aggregate
+    (e.g. :func:`size_slot`, which also needs it for the demand) skip
+    the second reduction.
+    """
     if f_opt_ghz <= 0.0 or f_max_ghz <= 0.0:
         raise DomainError("frequencies must be positive")
-    peak = peak_aggregate_pct(pred_cpu)
+    peak = (
+        peak_pct if peak_pct is not None else peak_aggregate_pct(pred_cpu)
+    )
     return max(1, math.ceil(peak * f_max_ghz / (f_opt_ghz * 100.0) - _EPS))
 
 
@@ -127,9 +137,12 @@ def size_slot(
         if f_ntc_opt_ghz is not None
         else power_model.optimal_frequency_ghz()
     )
-    n_cpu = min(n_servers_cpu(pred_cpu, f_max, f_opt_platform), max_servers)
-    n_mem = min(n_servers_mem(pred_mem, cap_mem_pct), max_servers)
     peak_cpu = peak_aggregate_pct(pred_cpu)
+    n_cpu = min(
+        n_servers_cpu(pred_cpu, f_max, f_opt_platform, peak_pct=peak_cpu),
+        max_servers,
+    )
+    n_mem = min(n_servers_mem(pred_mem, cap_mem_pct), max_servers)
     demand_ghz = peak_cpu * f_max / 100.0
 
     if n_cpu > n_mem:
@@ -170,13 +183,76 @@ def _search_case1(
     demand_ghz: float,
     n_mem: int,
     n_cpu: int,
+    fast: bool = True,
 ) -> tuple[int, float]:
     """Exhaustive (N, F) exploration of case 1 (paper Section V-B-1).
 
     For each candidate server count between ``N_mem`` and ``N_cpu`` the
     frequency is the smallest OPP covering the spread demand; the pair with
     the lowest worst-case data-center power wins.
+
+    The default fast path evaluates the whole candidate sweep as one
+    array expression against the per-OPP coefficient tables of
+    :class:`~repro.dcsim.power_tables.VectorizedServerPower` (the same
+    tables the engine accounts power with) instead of one scalar
+    power-model call per candidate; ``fast=False`` keeps the scalar
+    reference loop.  The epsilon-hysteresis winner selection is shared,
+    so both paths pick the same ``(N, F)`` pair.
     """
+    if not fast:
+        return _search_case1_reference(
+            power_model, demand_ghz, n_mem, n_cpu
+        )
+    spec = power_model.spec
+    freqs_tab = np.asarray(spec.opps.frequencies_ghz, dtype=float)
+    f_max = spec.f_max_ghz
+    ns = np.arange(max(1, n_mem), max(1, n_cpu) + 1, dtype=float)
+    f_required = demand_ghz / ns
+    valid = f_required <= f_max + _EPS
+    if not valid.any():
+        # Demand exceeds even Fmax packing on n_cpu servers; saturate.
+        return max(1, n_cpu), f_max
+    ns = ns[valid]
+    f_required = f_required[valid]
+    # Ceil quantization: bisect_left == searchsorted('left'); demands at
+    # or below the table minimum land on index 0, like OppTable.ceil.
+    idx = np.searchsorted(
+        freqs_tab, np.minimum(f_required, f_max), side="left"
+    )
+    freqs = freqs_tab[idx]
+    busy = np.minimum(1.0, demand_ghz / (ns * freqs))
+
+    from ..dcsim.power_tables import cached_tables
+
+    tables = cached_tables(power_model)
+    powers = ns * tables.power_w(
+        idx, busy, np.zeros_like(busy), np.zeros_like(busy)
+    )
+    win = _select_case1_winner(powers)
+    return int(ns[win]), float(freqs[win])
+
+
+def _select_case1_winner(powers: np.ndarray) -> int:
+    """Index of the sweep winner under the epsilon-hysteresis rule.
+
+    Mirrors the reference loop: a later candidate only displaces the
+    incumbent when it improves the worst-case power by more than
+    ``_EPS`` — near-ties keep the smaller server count.
+    """
+    best = 0
+    for j in range(1, powers.shape[0]):
+        if powers[j] < powers[best] - _EPS:
+            best = j
+    return best
+
+
+def _search_case1_reference(
+    power_model: ServerPowerModel,
+    demand_ghz: float,
+    n_mem: int,
+    n_cpu: int,
+) -> tuple[int, float]:
+    """The seed implementation of :func:`_search_case1` (oracle)."""
     spec = power_model.spec
     opps = spec.opps
     best: tuple[float, int, float] | None = None

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -191,19 +191,28 @@ def force_place_remaining(
     A safety valve for exhausted capacity: real data centers cannot refuse
     VMs, so policies fall back to the least-loaded server and report the
     count.  Returns the number of forced placements.
+
+    Per remaining VM this is one ``np.argmin`` over the load vector plus
+    an O(1) update; ties pick the lowest server index, exactly like the
+    seed's Python scan over a dict in insertion order, and the peak-load
+    arithmetic is unchanged — placements are bit-identical.
     """
     if not vm_ids:
         return 0
     if not plans:
         raise ConfigurationError("cannot force-place without servers")
-    loads: Dict[int, float] = {
-        idx: float(pred_cpu[plan.vm_ids].sum(axis=0).max())
-        if plan.vm_ids
-        else 0.0
-        for idx, plan in enumerate(plans)
-    }
-    for vm_id in vm_ids:
-        target = min(loads, key=lambda idx: loads[idx])
-        plans[target].vm_ids.append(vm_id)
-        loads[target] += float(pred_cpu[vm_id].max())
-    return len(vm_ids)
+    loads = np.array(
+        [
+            float(pred_cpu[plan.vm_ids].sum(axis=0).max())
+            if plan.vm_ids
+            else 0.0
+            for plan in plans
+        ]
+    )
+    ids = np.asarray(list(vm_ids), dtype=int)
+    peaks = pred_cpu[ids].max(axis=1)
+    for vm_id, peak in zip(ids, peaks):
+        target = int(np.argmin(loads))
+        plans[target].vm_ids.append(int(vm_id))
+        loads[target] += peak
+    return len(ids)

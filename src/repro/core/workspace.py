@@ -68,6 +68,31 @@ class AllocationWorkspace:
             Euclidean distances).
     """
 
+    #: Statistic groups resolved lazily on first access: Algorithm 1 only
+    #: touches the CPU correlation stats, so the memory stats and the
+    #: extrema/sum stats (Algorithm 2's feasibility bounds) are not
+    #: computed until an allocator actually reads them.
+    _LAZY_GROUPS = {
+        "cpu_extrema": (
+            "cpu_peak",
+            "cpu_min",
+            "cpu_sum",
+            "cpu_sq",
+        ),
+        "mem_corr": (
+            "mem_mean",
+            "mem_centered",
+            "mem_cnorm",
+            "mem_cnorm2",
+        ),
+        "mem_extrema": (
+            "mem_peak",
+            "mem_min",
+            "mem_sum",
+            "mem_sq",
+        ),
+    }
+
     def __init__(self, pred_cpu: np.ndarray, pred_mem: np.ndarray):
         cpu = np.ascontiguousarray(np.asarray(pred_cpu, dtype=float))
         mem = np.ascontiguousarray(np.asarray(pred_mem, dtype=float))
@@ -79,15 +104,37 @@ class AllocationWorkspace:
         self.mem = mem
         self.n_vms, self.n_samples = cpu.shape
 
-        for name, patt in (("cpu", cpu), ("mem", mem)):
+        mean = cpu.mean(axis=1)
+        centered = cpu - mean[:, None]
+        cnorm = np.linalg.norm(centered, axis=1)
+        self.cpu_mean = mean
+        self.cpu_centered = centered
+        self.cpu_cnorm = cnorm
+        self.cpu_cnorm2 = cnorm * cnorm
+
+    def __getattr__(self, name: str):
+        for group, attrs in AllocationWorkspace._LAZY_GROUPS.items():
+            if name in attrs:
+                self._fill_lazy(group)
+                return self.__dict__[name]
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def _fill_lazy(self, group: str) -> None:
+        """Compute one lazy statistic group (same values as the seed)."""
+        prefix, kind = group.split("_")
+        patt = self.cpu if prefix == "cpu" else self.mem
+        if kind == "corr":
             mean = patt.mean(axis=1)
             centered = patt - mean[:, None]
             cnorm = np.linalg.norm(centered, axis=1)
-            setattr(self, f"{name}_mean", mean)
-            setattr(self, f"{name}_centered", centered)
-            setattr(self, f"{name}_cnorm", cnorm)
-            setattr(self, f"{name}_cnorm2", cnorm * cnorm)
-            setattr(self, f"{name}_peak", patt.max(axis=1))
-            setattr(self, f"{name}_min", patt.min(axis=1))
-            setattr(self, f"{name}_sum", patt.sum(axis=1))
-            setattr(self, f"{name}_sq", np.einsum("ij,ij->i", patt, patt))
+            setattr(self, f"{prefix}_mean", mean)
+            setattr(self, f"{prefix}_centered", centered)
+            setattr(self, f"{prefix}_cnorm", cnorm)
+            setattr(self, f"{prefix}_cnorm2", cnorm * cnorm)
+        else:
+            setattr(self, f"{prefix}_peak", patt.max(axis=1))
+            setattr(self, f"{prefix}_min", patt.min(axis=1))
+            setattr(self, f"{prefix}_sum", patt.sum(axis=1))
+            setattr(self, f"{prefix}_sq", np.einsum("ij,ij->i", patt, patt))

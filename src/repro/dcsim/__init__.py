@@ -4,7 +4,12 @@ Implements the paper's Section VI-C evaluation protocol over the trace,
 forecast, policy and power substrates.
 """
 
-from .engine import DataCenterSimulation, count_migrations, run_policies
+from .engine import (
+    DataCenterSimulation,
+    count_migrations,
+    run_policies,
+    shared_predictions,
+)
 from .inspect import SlotDetail, inspect_slot
 from .metrics import (
     SimulationResult,
@@ -34,6 +39,7 @@ __all__ = [
     "energy_savings_pct",
     "format_table",
     "run_policies",
+    "shared_predictions",
     "series_block",
     "sparkline",
     "total_energy_savings_pct",

@@ -18,17 +18,30 @@ assumption shared by all compared policies.
 Fast-path accounting: everything that depends only on the allocation
 (VM->server map, active set, QoS floors, fixed OPP indices, scatter
 indices) is hoisted into a per-allocation :class:`_AllocationAccounting`
-and reused across the allocation's slots, and per-slot aggregation runs
-through ``np.bincount`` — bit-identical to the seed's ``np.add.at``
-scatter (both accumulate in input order) but a single C loop instead of
-the buffered ufunc.  ``count_migrations`` likewise sorts only the
-non-zero overlap pairs; ``_count_migrations_reference`` preserves the
-seed's dense pair loop as the equivalence oracle.
+and reused across the allocation's slots, and aggregation runs through
+``np.bincount`` — bit-identical to the seed's ``np.add.at`` scatter
+(both accumulate in input order) but a single C loop instead of the
+buffered ufunc.
+
+On top of that, accounting is **batched per allocation window** by
+default (``window_batch=True``): all of a window's real-trace slots are
+stacked into one ``(n_slots, n_servers, n_samples)`` tensor, aggregated
+with a single bincount scatter over flattened (slot, server, sample)
+bins, run through the governor and :class:`VectorizedServerPower` in one
+call, and the per-slot :class:`SlotRecord`s are emitted from the batched
+arrays.  Within each (slot, server, sample) bin the VMs accumulate in
+the same ascending order as the per-slot scatter and the per-slot
+reductions run over the same contiguous slices, so the results are
+bit-identical to the per-slot path — which ``window_batch=False`` keeps
+callable as the tested reference oracle.  ``count_migrations`` likewise
+sorts only the non-zero overlap pairs; ``_count_migrations_reference``
+preserves the seed's dense pair loop as the equivalence oracle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Iterable, List, Optional
 
 import numpy as np
@@ -42,9 +55,20 @@ from ..power.server_power import ServerPowerModel, ntc_server_power_model
 from ..traces.dataset import TraceDataset
 from ..units import SAMPLE_PERIOD_S, SAMPLES_PER_SLOT, SLOTS_PER_DAY
 from .metrics import SimulationResult, SlotRecord
-from .power_tables import VectorizedServerPower
+from .power_tables import VectorizedServerPower, cached_tables
 
 _EPS = 1.0e-9
+
+
+@lru_cache(maxsize=1)
+def _default_perf() -> PerformanceSimulator:
+    """Shared default performance simulator.
+
+    Calibration is deterministic and the simulator is read-only after
+    construction, so every engine instance can share one copy instead of
+    re-running the calibration per simulation.
+    """
+    return PerformanceSimulator()
 
 
 @dataclass(frozen=True)
@@ -96,6 +120,9 @@ class DataCenterSimulation:
         psu: optional per-server power-supply model; when given, energy
             is accounted at the wall plug (DC power plus conversion
             losses) instead of the DC side the paper models.
+        window_batch: account whole allocation windows at once (default)
+            instead of slot by slot.  Results are bit-identical; the
+            per-slot path remains the tested reference oracle.
     """
 
     def __init__(
@@ -110,6 +137,7 @@ class DataCenterSimulation:
         n_slots: Optional[int] = None,
         migration_energy_j: float = 0.0,
         psu=None,
+        window_batch: bool = True,
     ):
         if migration_energy_j < 0.0:
             raise ConfigurationError(
@@ -117,15 +145,16 @@ class DataCenterSimulation:
             )
         self._migration_energy_j = migration_energy_j
         self._psu = psu
+        self._window_batch = window_batch
         self._dataset = dataset
         self._predictor = predictor
         self._policy = policy
         self._power = (
             power_model if power_model is not None else ntc_server_power_model()
         )
-        self._perf = perf if perf is not None else PerformanceSimulator()
+        self._perf = perf if perf is not None else _default_perf()
         self._max_servers = max_servers
-        self._tables = VectorizedServerPower(self._power)
+        self._tables = cached_tables(self._power)
         spec = self._power.spec
         self._governor = DvfsGovernor(spec.opps, spec.f_max_ghz)
         self._f_max = spec.f_max_ghz
@@ -195,28 +224,40 @@ class DataCenterSimulation:
         baselines); accounting always happens per slot.  Everything that
         depends only on the allocation (VM->server map, active set, QoS
         floors, fixed OPP indices, scatter indices) is computed once per
-        allocation and reused across its slots.
+        allocation and reused across its slots; with ``window_batch``
+        (the default) the window's slots are additionally accounted in
+        one batched pass.
         """
         result = SimulationResult(policy_name=self._policy.name)
         period = max(1, int(self._policy.reallocation_period_slots))
-        allocation: Optional[Allocation] = None
-        acct: Optional[_AllocationAccounting] = None
         previous_map: Optional[np.ndarray] = None
-        for slot in range(
-            self._start_slot, self._start_slot + self._n_slots
-        ):
+        slot = self._start_slot
+        end = self._start_slot + self._n_slots
+        while slot < end:
+            allocation = self._allocate_window(slot, period)
+            acct = self._prepare_allocation(allocation)
             migrations = 0
-            if allocation is None or (slot - self._start_slot) % period == 0:
-                allocation = self._allocate_window(slot, period)
-                acct = self._prepare_allocation(allocation)
-                if previous_map is not None:
-                    migrations = count_migrations(
-                        previous_map, acct.vm2srv
+            if previous_map is not None:
+                migrations = count_migrations(previous_map, acct.vm2srv)
+            previous_map = acct.vm2srv
+            n_window = min(period, end - slot)
+            if self._window_batch:
+                result.records.extend(
+                    self._account_window(
+                        slot, n_window, allocation, acct, migrations
                     )
-                previous_map = acct.vm2srv
-            result.records.append(
-                self._account_slot(slot, allocation, acct, migrations)
-            )
+                )
+            else:
+                for s in range(slot, slot + n_window):
+                    result.records.append(
+                        self._account_slot(
+                            s,
+                            allocation,
+                            acct,
+                            migrations if s == slot else 0,
+                        )
+                    )
+            slot += n_window
         return result
 
     # -- internals ----------------------------------------------------------
@@ -234,8 +275,12 @@ class DataCenterSimulation:
             cpu_parts.append(pred_cpu)
             mem_parts.append(pred_mem)
         ctx = AllocationContext(
-            pred_cpu=np.hstack(cpu_parts),
-            pred_mem=np.hstack(mem_parts),
+            pred_cpu=(
+                np.hstack(cpu_parts) if len(cpu_parts) > 1 else cpu_parts[0]
+            ),
+            pred_mem=(
+                np.hstack(mem_parts) if len(mem_parts) > 1 else mem_parts[0]
+            ),
             power_model=self._power,
             max_servers=self._max_servers,
             qos_floor_ghz=self._vm_floor_ghz,
@@ -364,12 +409,10 @@ class DataCenterSimulation:
         overutilized = (util > cap + _EPS) | (mem_util > 100.0 + _EPS)
         violations = int((overutilized & active[:, None]).sum())
 
-        active_samples = active[:, None] & np.ones_like(util, dtype=bool)
-        mean_freq = (
-            float(freqs[active_samples].mean())
-            if active_samples.any()
-            else 0.0
-        )
+        # Selecting active rows directly is bit-identical to the seed's
+        # dense (server, sample) mask — both flatten the same elements in
+        # row-major order — without materializing the mask.
+        mean_freq = float(freqs[active].mean()) if active.any() else 0.0
         return SlotRecord(
             slot_index=slot,
             case=allocation.case,
@@ -381,6 +424,127 @@ class DataCenterSimulation:
             f_opt_ghz=allocation.f_opt_ghz or 0.0,
             migrations=migrations,
         )
+
+    def _account_window(
+        self,
+        first_slot: int,
+        n_window: int,
+        allocation: Allocation,
+        acct: "_AllocationAccounting",
+        migrations: int,
+    ) -> List[SlotRecord]:
+        """Account a whole allocation window in one batched pass.
+
+        Stacks the window's real-trace slots into ``(n_window, n_servers,
+        n_samples)`` tensors, aggregates them with a single bincount
+        scatter over flattened (slot, server, sample) bins and evaluates
+        governor, stall, traffic and power for the whole window at once.
+        Every per-slot quantity is reduced over the same contiguous slice
+        in the same element order as :meth:`_account_slot`, so the
+        emitted records are bit-identical to the per-slot reference.
+        """
+        n_srv = acct.n_srv
+        n_vms = self._dataset.n_vms
+        sps = SAMPLES_PER_SLOT
+        lo = first_slot * sps
+        hi = (first_slot + n_window) * sps
+        real_cpu = self._dataset.cpu_pct[:, lo:hi].reshape(
+            n_vms, n_window, sps
+        )
+        real_mem = self._dataset.mem_pct[:, lo:hi].reshape(
+            n_vms, n_window, sps
+        )
+        n_bins = n_window * n_srv * sps
+
+        # Flattened (slot, server, sample) bin per (VM, slot, sample)
+        # cell.  Raveling in (VM, slot, sample) order keeps the VMs of
+        # every bin in ascending order — the same accumulation order as
+        # the per-slot scatter, hence bit-identical sums.
+        flat = (
+            acct.flat_idx.reshape(n_vms, 1, sps)
+            + (np.arange(n_window) * (n_srv * sps))[None, :, None]
+        )
+        util = np.bincount(
+            flat.ravel(), weights=real_cpu.ravel(), minlength=n_bins
+        ).reshape(n_window, n_srv, sps)
+        mem_util = np.bincount(
+            flat.ravel(), weights=real_mem.ravel(), minlength=n_bins
+        ).reshape(n_window, n_srv, sps)
+
+        util_by_class = np.zeros(
+            (len(self._class_masks), n_window, n_srv, sps)
+        )
+        for ci, mask in enumerate(self._class_masks):
+            if acct.class_flat[ci] is not None:
+                util_by_class[ci] = np.bincount(
+                    flat[mask].ravel(),
+                    weights=real_cpu[mask].ravel(),
+                    minlength=n_bins,
+                ).reshape(n_window, n_srv, sps)
+
+        active = acct.active
+        floors = acct.floors
+
+        if acct.opp_idx_fixed is None:
+            opp_idx = self._governor.opp_indices_window(util, floors)
+        else:
+            opp_idx = np.broadcast_to(
+                acct.opp_idx_fixed[None], (n_window, n_srv, sps)
+            )
+
+        freqs = self._tables.freqs_ghz[opp_idx]
+        busy = util * self._f_max / (100.0 * freqs)
+
+        stall_num = np.zeros_like(util)
+        for ci in range(util_by_class.shape[0]):
+            stall_num += util_by_class[ci] * self._stall_tab[ci][opp_idx]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            stall = np.where(
+                util > _EPS, stall_num / np.maximum(util, _EPS), 0.0
+            )
+
+        traffic = np.tensordot(
+            self._traffic_coeff, util_by_class, axes=([0], [0])
+        )
+
+        power = self._tables.power_w(opp_idx, busy, stall, traffic)
+        power = power * active[None, :, None]
+        if self._psu is not None:
+            power = (
+                power
+                + self._psu.loss_fixed_w * active[None, :, None]
+                + self._psu.loss_prop * power
+                + self._psu.loss_sq_per_w * power**2
+            )
+
+        cap = allocation.violation_cap_pct
+        overutilized = (util > cap + _EPS) | (mem_util > 100.0 + _EPS)
+        violations = (overutilized & active[None, :, None]).sum(axis=(1, 2))
+
+        n_active = int(active.sum())
+        any_active = bool(active.any())
+        records: List[SlotRecord] = []
+        for w in range(n_window):
+            energy_j = float(power[w].sum() * SAMPLE_PERIOD_S)
+            if w == 0:
+                energy_j += migrations * self._migration_energy_j
+            mean_freq = (
+                float(freqs[w][active].mean()) if any_active else 0.0
+            )
+            records.append(
+                SlotRecord(
+                    slot_index=first_slot + w,
+                    case=allocation.case,
+                    n_active_servers=n_active,
+                    violations=int(violations[w]),
+                    forced_placements=allocation.forced_placements,
+                    energy_j=energy_j,
+                    mean_freq_ghz=mean_freq,
+                    f_opt_ghz=allocation.f_opt_ghz or 0.0,
+                    migrations=migrations if w == 0 else 0,
+                )
+            )
+        return records
 
 
 def count_migrations(
@@ -460,19 +624,88 @@ def _count_migrations_reference(
     return n_vms - kept
 
 
+def shared_predictions(
+    dataset: TraceDataset,
+    predictor,
+    start_slot: Optional[int] = None,
+    n_slots: Optional[int] = None,
+):
+    """Freeze the predictions a simulation horizon needs into arrays.
+
+    Computes (once) every day-ahead forecast the horizon touches and
+    wraps them in a :class:`~repro.forecast.predictor
+    .PrecomputedPredictor` — plain arrays that pickle cheaply into
+    worker processes and read back with zero fitting cost.  The defaults
+    mirror :class:`DataCenterSimulation`'s horizon derivation.
+    """
+    first = predictor.first_predictable_day * SLOTS_PER_DAY
+    start = start_slot if start_slot is not None else first
+    count = n_slots if n_slots is not None else dataset.n_slots - start
+    if count < 1:
+        raise ConfigurationError("horizon must cover at least one slot")
+    from ..forecast.predictor import PrecomputedPredictor
+
+    days = range(start // SLOTS_PER_DAY, (start + count - 1) // SLOTS_PER_DAY + 1)
+    return PrecomputedPredictor.from_predictor(predictor, days)
+
+
+def _run_one_policy(
+    dataset: TraceDataset,
+    predictor,
+    policy: AllocationPolicy,
+    kwargs: Dict,
+) -> SimulationResult:
+    """Worker entry point: one policy's full simulation (picklable)."""
+    return DataCenterSimulation(dataset, predictor, policy, **kwargs).run()
+
+
 def run_policies(
     dataset: TraceDataset,
     predictor,
     policies: Iterable[AllocationPolicy],
+    jobs: int = 1,
     **kwargs,
 ) -> Dict[str, SimulationResult]:
     """Run several policies over the same traces and predictions.
 
     Sharing the predictor across policies both matches the paper's
     protocol and amortizes the ARIMA fitting cost.
+
+    Args:
+        dataset: the VM utilization traces.
+        predictor: shared day-ahead predictor.
+        policies: the policies to compare.
+        jobs: number of worker processes.  With ``jobs > 1`` the
+            policies fan out over a ``ProcessPoolExecutor``; the
+            day-ahead predictions are computed once up front and shipped
+            to the workers as plain arrays
+            (:func:`shared_predictions`), so no worker re-fits the
+            forecaster.  Results are identical to the serial run.
+        **kwargs: forwarded to :class:`DataCenterSimulation`.
     """
-    results: Dict[str, SimulationResult] = {}
-    for policy in policies:
-        sim = DataCenterSimulation(dataset, predictor, policy, **kwargs)
-        results[policy.name] = sim.run()
-    return results
+    policy_list = list(policies)
+    if jobs is None or jobs <= 1 or len(policy_list) <= 1:
+        results: Dict[str, SimulationResult] = {}
+        for policy in policy_list:
+            sim = DataCenterSimulation(dataset, predictor, policy, **kwargs)
+            results[policy.name] = sim.run()
+        return results
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    shared = shared_predictions(
+        dataset,
+        predictor,
+        start_slot=kwargs.get("start_slot"),
+        n_slots=kwargs.get("n_slots"),
+    )
+    workers = min(jobs, len(policy_list))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(_run_one_policy, dataset, shared, policy, kwargs)
+            for policy in policy_list
+        ]
+        return {
+            policy.name: future.result()
+            for policy, future in zip(policy_list, futures)
+        }

@@ -14,11 +14,25 @@ to floating-point accuracy (asserted by tests).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from ..errors import DomainError
 from ..power.llc import ACCESS_BYTES
 from ..power.server_power import ServerPowerModel
+
+
+@lru_cache(maxsize=32)
+def cached_tables(power_model: ServerPowerModel) -> "VectorizedServerPower":
+    """Per-OPP tables for ``power_model``, cached per model instance.
+
+    Power models hash by identity (their components do not define
+    equality), so each distinct model gets its own tables; repeated
+    callers — one sizing search per slot, one engine per policy — share
+    one tabulation instead of re-deriving it.
+    """
+    return VectorizedServerPower(power_model)
 
 
 class VectorizedServerPower:

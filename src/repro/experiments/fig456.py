@@ -86,6 +86,7 @@ def run_fig456(
     n_slots: Optional[int] = None,
     quick: bool = False,
     extra_policies: Optional[List[AllocationPolicy]] = None,
+    jobs: int = 1,
 ) -> Fig456Result:
     """Run the three-policy comparison.
 
@@ -98,6 +99,8 @@ def run_fig456(
         quick: shrink to 120 VMs / 9 days / 2 evaluated days.
         extra_policies: additional policies to run alongside the paper's
             three (e.g. fixed-cap variants for the Fig. 6 "other caps").
+        jobs: worker processes for the policy runs (see
+            :func:`repro.dcsim.run_policies`); 1 keeps the serial path.
     """
     if quick:
         n_vms, n_days = 120, 9
@@ -119,6 +122,7 @@ def run_fig456(
         data,
         predictor,
         policies,
+        jobs=jobs,
         max_servers=max_servers,
         n_slots=n_slots,
     )

@@ -15,7 +15,11 @@ from typing import Dict, List, Optional, Tuple
 from ..anchors import FIG7_STATIC_POWER_SWEEP_W
 from ..baselines import CoatPolicy
 from ..core import EpactPolicy
-from ..dcsim import run_policies, total_energy_savings_pct
+from ..dcsim import (
+    run_policies,
+    shared_predictions,
+    total_energy_savings_pct,
+)
 from ..dcsim.reporting import format_table
 from ..forecast import DayAheadPredictor
 from ..power.server_power import ntc_server_power_model
@@ -57,6 +61,31 @@ class Fig7Result:
         return all(b <= a + tolerance_pct for a, b in zip(s, s[1:]))
 
 
+def _run_fig7_point(
+    data: TraceDataset,
+    predictor,
+    static_w: float,
+    max_servers: int,
+    n_slots: Optional[int],
+) -> Fig7Point:
+    """One static-power point of the sweep (picklable worker body)."""
+    power = ntc_server_power_model().with_motherboard(float(static_w))
+    results = run_policies(
+        data,
+        predictor,
+        [EpactPolicy(), CoatPolicy()],
+        power_model=power,
+        max_servers=max_servers,
+        n_slots=n_slots,
+    )
+    return Fig7Point(
+        static_w=float(static_w),
+        epact_energy_mj=results["EPACT"].total_energy_mj,
+        coat_energy_mj=results["COAT"].total_energy_mj,
+        epact_optimal_freq_ghz=power.optimal_frequency_ghz(),
+    )
+
+
 def run_fig7(
     dataset: Optional[TraceDataset] = None,
     static_sweep_w: Tuple[float, ...] = FIG7_STATIC_POWER_SWEEP_W,
@@ -66,12 +95,15 @@ def run_fig7(
     max_servers: int = 600,
     n_slots: Optional[int] = 48,
     quick: bool = False,
+    jobs: int = 1,
 ) -> Fig7Result:
     """Run EPACT and COAT at each static-power point.
 
     The sweep replaces the motherboard/fan/disk component of the server
     power model (default 15 W) with each sweep value; everything else —
-    traces, forecasts, policies — is held fixed.
+    traces, forecasts, policies — is held fixed.  With ``jobs > 1`` the
+    sweep points fan out over a ``ProcessPoolExecutor``, sharing the
+    day-ahead predictions (computed once) as plain arrays.
     """
     if quick:
         n_vms, n_days, n_slots = 100, 9, 24
@@ -81,27 +113,26 @@ def run_fig7(
         else default_dataset(n_vms=n_vms, n_days=n_days, seed=seed)
     )
     predictor = DayAheadPredictor(data)
-    base_power = ntc_server_power_model()
-    points: List[Fig7Point] = []
-    for static_w in static_sweep_w:
-        power = base_power.with_motherboard(float(static_w))
-        results = run_policies(
-            data,
-            predictor,
-            [EpactPolicy(), CoatPolicy()],
-            power_model=power,
-            max_servers=max_servers,
-            n_slots=n_slots,
-        )
-        points.append(
-            Fig7Point(
-                static_w=float(static_w),
-                epact_energy_mj=results["EPACT"].total_energy_mj,
-                coat_energy_mj=results["COAT"].total_energy_mj,
-                epact_optimal_freq_ghz=power.optimal_frequency_ghz(),
+    if jobs is None or jobs <= 1 or len(static_sweep_w) <= 1:
+        points = [
+            _run_fig7_point(data, predictor, w, max_servers, n_slots)
+            for w in static_sweep_w
+        ]
+        return Fig7Result(points=points)
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    shared = shared_predictions(data, predictor, n_slots=n_slots)
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(static_sweep_w))
+    ) as pool:
+        futures = [
+            pool.submit(
+                _run_fig7_point, data, shared, w, max_servers, n_slots
             )
-        )
-    return Fig7Result(points=points)
+            for w in static_sweep_w
+        ]
+        return Fig7Result(points=[f.result() for f in futures])
 
 
 def render(result: Fig7Result) -> str:

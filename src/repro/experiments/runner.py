@@ -5,6 +5,8 @@ Usage (installed as the ``repro-experiments`` console script)::
     repro-experiments                # all experiments, quick scale
     repro-experiments --full         # paper scale (minutes)
     repro-experiments table1 fig2    # a subset
+    repro-experiments --jobs 4       # fan the data-center policy runs
+                                     # and sweep points over 4 processes
 """
 
 from __future__ import annotations
@@ -16,43 +18,43 @@ from typing import Callable, Dict
 from . import fig1, fig2, fig3, fig456, fig7, table1
 
 
-def _run_table1(full: bool) -> str:
+def _run_table1(full: bool, jobs: int) -> str:
     return table1.render(table1.run_table1())
 
 
-def _run_fig1(full: bool) -> str:
+def _run_fig1(full: bool, jobs: int) -> str:
     return fig1.render(fig1.run_fig1())
 
 
-def _run_fig2(full: bool) -> str:
+def _run_fig2(full: bool, jobs: int) -> str:
     return fig2.render(fig2.run_fig2())
 
 
-def _run_fig3(full: bool) -> str:
+def _run_fig3(full: bool, jobs: int) -> str:
     return fig3.render(fig3.run_fig3())
 
 
-def _run_fig456(full: bool) -> str:
-    return fig456.render(fig456.run_fig456(quick=not full))
+def _run_fig456(full: bool, jobs: int) -> str:
+    return fig456.render(fig456.run_fig456(quick=not full, jobs=jobs))
 
 
-def _run_fig7(full: bool) -> str:
-    return fig7.render(fig7.run_fig7(quick=not full))
+def _run_fig7(full: bool, jobs: int) -> str:
+    return fig7.render(fig7.run_fig7(quick=not full, jobs=jobs))
 
 
-def _run_thunderx(full: bool) -> str:
+def _run_thunderx(full: bool, jobs: int) -> str:
     from . import thunderx
 
     return thunderx.render(thunderx.run_thunderx())
 
 
-def _run_validate(full: bool) -> str:
+def _run_validate(full: bool, jobs: int) -> str:
     from ..validation import validate_reproduction
 
     return validate_reproduction().summary()
 
 
-EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
+EXPERIMENTS: Dict[str, Callable[[bool, int], str]] = {
     "table1": _run_table1,
     "fig1": _run_fig1,
     "fig2": _run_fig2,
@@ -90,11 +92,22 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also export every experiment's rows/series as CSV files",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for the data-center experiments: fig456 "
+            "fans its policies and fig7 its sweep points over a process "
+            "pool, sharing the day-ahead predictions (default: serial)"
+        ),
+    )
     args = parser.parse_args(argv)
     names = args.experiments or list(EXPERIMENTS)
     for name in names:
         print("=" * 72)
-        print(EXPERIMENTS[name](args.full))
+        print(EXPERIMENTS[name](args.full, args.jobs))
         print()
     if args.csv is not None:
         from .export import export_all

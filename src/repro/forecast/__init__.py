@@ -24,6 +24,7 @@ from .metrics import bias, mae, mape, rmse, smape
 from .predictor import (
     DayAheadPredictor,
     PerfectPredictor,
+    PrecomputedPredictor,
     default_forecaster_factory,
 )
 from .seasonal import SeasonalArimaForecaster, SeasonalNaiveForecaster
@@ -40,6 +41,7 @@ __all__ = [
     "DecomposedArimaForecaster",
     "HoltWintersForecaster",
     "PerfectPredictor",
+    "PrecomputedPredictor",
     "SeasonalArimaForecaster",
     "SeasonalNaiveForecaster",
     "bias",

@@ -10,10 +10,15 @@ handful of NumPy calls:
 1. the exponentially weighted seasonal profiles become one ``einsum``
    over the stacked ``(batch, n_seasons, period)`` season tensor;
 2. both Hannan-Rissanen regressions (the long-AR stage and the ARMA
-   stage) become *stacked* least squares: one batched GEMM builds the
-   Gram matrix and right-hand side together from an augmented design,
-   one batched LU solves the normal equations, chunked so each design
-   tensor stays cache-resident;
+   stage) become *stacked* least squares whose normal equations are
+   assembled **directly from lag correlations**: every Gram entry is a
+   full-series autocorrelation (one reduction over the cache-resident
+   ``(batch, n)`` matrix per lag distance) corrected by the handful of
+   head/tail terms the regression window excludes, so no
+   ``(batch, rows, columns)`` design tensor is ever materialized and no
+   per-chunk Python loop runs; one batched LU then solves all series at
+   once, and the stage-2 residuals are evaluated only at the ``q`` tail
+   positions the forecast recursion actually reads;
 3. the ARMA forecast recursion runs once over the horizon with vector
    states instead of once per series.
 
@@ -36,6 +41,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from ..errors import ForecastError
 from .arima import ArimaOrder
@@ -45,11 +51,6 @@ from .arima import ArimaOrder
 # path.  1e-10 on the eigenvalue ratio bounds the design condition number
 # by ~1e5, keeping the normal-equation solve at ~1e-8 accuracy.
 _RANK_EPS = 1.0e-10
-# Rows per least-squares chunk: keeps each chunk's design tensor a few MB
-# (cache-resident) so the batched GEMMs are compute- rather than
-# memory-bandwidth-bound.  Chunking does not change any result — rows are
-# independent.
-_CHUNK_ROWS = 8
 
 
 @dataclass(frozen=True)
@@ -76,53 +77,170 @@ class BatchArmaFit:
     ok: np.ndarray
 
 
-def _ols_from_aug(
-    aug: np.ndarray, n_cols: int
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Stacked least squares from an augmented design tensor.
+def _lag_gram(
+    w: np.ndarray,
+    max_lag: int,
+    t0: int,
+    autocorr: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """All lag inner products ``s[i, j] = sum_{t=t0}^{n-1} w[t-i] w[t-j]``.
 
-    ``aug`` carries ``[1, y, x_1 .. x_{n_cols-1}]`` per row block, so a
-    single batched GEMM produces the Gram matrix, the right-hand side
-    and the target's squared norm at once; a batched LU solves the
-    normal equations.  For the well-conditioned, cache-sized chunks this
-    matches the scalar SVD ``lstsq`` to ~1e-9 on the coefficients; rows
-    whose Gram spectrum reveals (near-)rank deficiency are flagged via
-    ``ok`` for the scalar reference path instead.
+    ``s`` covers ``i, j`` in ``0..max_lag`` (index 0 is the regression
+    target, lag 0).  Each lag distance ``d = j - i`` needs one reduction
+    over the full series — the whole-series autocorrelation ``A(d) =
+    sum_{u=d}^{n-1} w[u] w[u-d]`` — from which the window's entry
+    follows by subtracting the few head (``u < t0 - i``) and tail
+    (``u >= n - i``) products the regression window excludes.  The
+    ``(batch, n)`` source matrix stays cache-resident across the
+    ``max_lag + 1`` passes, unlike a materialized design tensor.
 
-    Args:
-        aug: ``(batch, n_rows, n_cols + 1)`` tensor, target in column 1.
-        n_cols: number of true design columns (intercept included).
-
-    Returns:
-        ``(coef, fitted, ok)``: coefficients ``(batch, n_cols)``, fitted
-        values ``(batch, n_rows)`` and the per-row success mask.
+    Requires ``max_lag <= t0`` (both regressions satisfy this: the long
+    AR stage has ``t0 == max_lag`` and the ARMA stage
+    ``t0 = max(p, q) >= p``).  ``autocorr`` optionally supplies the
+    whole-series autocorrelations ``A(d)`` (shape ``(batch, >=
+    max_lag+1)``) so both regression stages share one set of passes.
     """
-    big = np.matmul(aug.transpose(0, 2, 1), aug)
-    idx = [0] + list(range(2, n_cols + 1))
-    gram = big[:, idx][:, :, idx]
-    rhs = big[:, idx, 1]
+    b, n = w.shape
+    lags = max_lag
+    s = np.empty((b, lags + 1, lags + 1))
+    for d in range(lags + 1):
+        total = (
+            autocorr[:, d]
+            if autocorr is not None
+            else np.einsum("bi,bi->b", w[:, d:], w[:, : n - d])
+        )
+        if t0 > d:
+            # hc[:, k] = sum of the first k+1 head products (u = d..d+k).
+            hc = np.cumsum(w[:, d:t0] * w[:, : t0 - d], axis=1)
+        if lags > 0:
+            # tcs[:, k] = sum of tail products with u >= n - lags + k.
+            tp = w[:, n - lags :] * w[:, n - lags - d : n - d]
+            tcs = np.cumsum(tp[:, ::-1], axis=1)[:, ::-1]
+        for i in range(0, lags + 1 - d):
+            j = i + d
+            val = total
+            head_count = t0 - i - d
+            if head_count > 0:
+                val = val - hc[:, head_count - 1]
+            if i > 0:
+                val = val - tcs[:, lags - i]
+            s[:, i, j] = val
+            if i != j:
+                s[:, j, i] = val
+    return s
+
+
+def _lag_sums(
+    w: np.ndarray,
+    max_lag: int,
+    t0: int,
+    cumsum: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Column sums ``r[i] = sum_{t=t0}^{n-1} w[t-i]`` for ``i <= max_lag``."""
+    b, n = w.shape
+    cs = cumsum if cumsum is not None else np.cumsum(w, axis=1)
+    out = np.empty((b, max_lag + 1))
+    for i in range(max_lag + 1):
+        hi = cs[:, n - 1 - i]
+        out[:, i] = hi - cs[:, t0 - i - 1] if t0 - i > 0 else hi
+    return out
+
+
+def _ar_normal_equations(
+    w: np.ndarray,
+    lags: int,
+    t0: int,
+    autocorr: Optional[np.ndarray] = None,
+    cumsum: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Normal equations of ``w_t ~ [1, w_{t-1} .. w_{t-lags}]``, batched.
+
+    Returns ``(gram, rhs)`` of shapes ``(batch, lags+1, lags+1)`` and
+    ``(batch, lags+1)`` for the regression over ``t in [t0, n)``.
+    """
+    s = _lag_gram(w, lags, t0, autocorr=autocorr)
+    r = _lag_sums(w, lags, t0, cumsum=cumsum)
+    k = lags + 1
+    gram = np.empty((w.shape[0], k, k))
+    rhs = np.empty((w.shape[0], k))
+    gram[:, 0, 0] = w.shape[1] - t0
+    gram[:, 0, 1:] = r[:, 1:]
+    gram[:, 1:, 0] = r[:, 1:]
+    gram[:, 1:, 1:] = s[:, 1:, 1:]
+    rhs[:, 0] = r[:, 0]
+    rhs[:, 1:] = s[:, 1:, 0]
+    return gram, rhs
+
+
+def _solve_normal(
+    gram: np.ndarray, rhs: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Solve batched normal equations with the Gram-spectrum rank test.
+
+    Rows whose smallest eigenvalue falls below ``_RANK_EPS`` of the
+    largest (or whose solution is non-finite) come back with zero
+    coefficients and ``ok == False`` — the caller re-fits them through
+    the scalar reference path.
+    """
     eigs = np.linalg.eigvalsh(gram)
     ok = eigs[:, 0] > _RANK_EPS * np.maximum(eigs[:, -1], 1.0)
-    coef = np.zeros((aug.shape[0], n_cols))
+    coef = np.zeros(rhs.shape)
     if ok.any():
         coef[ok] = np.linalg.solve(gram[ok], rhs[ok][..., None])[..., 0]
     ok = ok & np.isfinite(coef).all(axis=-1)
-    fitted = np.matmul(aug[:, :, 2:], coef[:, 1:, None])[..., 0]
-    fitted += coef[:, :1]
-    return coef, fitted, ok
+    return coef, ok
 
 
-def _fill_lags(
-    aug: np.ndarray, w: np.ndarray, start: int, lags: int, offset: int
-) -> None:
-    """Write lag columns ``w_{t-1}..w_{t-lags}`` into ``aug`` at ``offset``.
+def _extend_with_innovations(
+    gram: np.ndarray,
+    rhs: np.ndarray,
+    w: np.ndarray,
+    residuals: np.ndarray,
+    p: int,
+    q: int,
+    start: int,
+    m: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Append the ``q`` innovation-lag columns to the ARMA stage.
 
-    Column ``offset + l - 1`` receives ``w[:, start - l : n - l]``
-    (mirrors the scalar ``_lagged_design`` layout).
+    ``residuals`` holds the long-AR innovations, zero before position
+    ``m``; every inner product therefore starts at the first position
+    where its innovation factor is non-zero (the skipped products are
+    exactly zero, so the sums are unchanged).
     """
-    n = w.shape[1]
-    for lag in range(1, lags + 1):
-        aug[:, :, offset + lag - 1] = w[:, start - lag : n - lag]
+    b, n = w.shape
+    k = 1 + p + q
+    full_gram = np.empty((b, k, k))
+    full_rhs = np.empty((b, k))
+    full_gram[:, : 1 + p, : 1 + p] = gram
+    full_rhs[:, : 1 + p] = rhs
+    for j in range(1, q + 1):
+        col = p + j
+        t1 = max(start, m + j)  # first t with e[t-j] != 0
+        ej = residuals[:, t1 - j : n - j]
+        # <1, e_j>
+        total = ej.sum(axis=1)
+        full_gram[:, 0, col] = total
+        full_gram[:, col, 0] = total
+        # <w_{t-i}, e_{t-j}> for the target (i=0) and the AR lags.
+        for i in range(0, p + 1):
+            dot = np.einsum("bt,bt->b", w[:, t1 - i : n - i], ej)
+            if i == 0:
+                full_rhs[:, col] = dot
+            else:
+                full_gram[:, i, col] = dot
+                full_gram[:, col, i] = dot
+        # <e_{t-i}, e_{t-j}> for i <= j: both factors are non-zero from
+        # the same first position t1 (t - j >= m dominates for i <= j).
+        for i in range(1, j + 1):
+            dot = np.einsum(
+                "bt,bt->b",
+                residuals[:, t1 - i : n - i],
+                residuals[:, t1 - j : n - j],
+            )
+            full_gram[:, p + i, col] = dot
+            full_gram[:, col, p + i] = dot
+    return full_gram, full_rhs
 
 
 def batched_arma_fit(w: np.ndarray, order: ArimaOrder) -> BatchArmaFit:
@@ -156,66 +274,82 @@ def batched_arma_fit(w: np.ndarray, order: ArimaOrder) -> BatchArmaFit:
         if n <= m + 2:
             raise ForecastError("series too short for the long-AR stage")
 
-    # Degenerate (constant) rows: the model collapses to the constant
-    # (same rule as the scalar path's np.allclose check).
+    # Degenerate (constant) rows: the model collapses to the constant.
+    # Same rule as the scalar path's np.allclose check — |w - w0| <=
+    # atol + rtol |w0| with numpy's default rtol=1e-5, atol=1e-8 — spelt
+    # out to skip np.isclose's generic dispatch on the big matrix.
     first = w[:, :1]
-    constant = np.isclose(w, first).all(axis=1)
+    constant = (
+        np.abs(w - first) <= 1.0e-8 + 1.0e-5 * np.abs(first)
+    ).all(axis=1)
 
     const = np.where(constant, first[:, 0], 0.0)
     ar = np.zeros((batch, p))
     ma = np.zeros((batch, q))
-    e_full = np.zeros((batch, n))
+    e_tail = np.zeros((batch, max(q, 1)))
     ok = np.ones(batch, dtype=bool)
 
-    # The stacked designs are processed in row chunks sized to stay in
-    # cache: one day's full design tensor runs to hundreds of MB, and the
-    # batched GEMMs would be memory-bandwidth bound, forfeiting the win
-    # over the (cache-resident) scalar loop.  Chunking changes no result —
-    # rows are independent.
     active_rows = np.flatnonzero(~constant)
-    for lo_i in range(0, active_rows.size, _CHUNK_ROWS):
-        rows = active_rows[lo_i : lo_i + _CHUNK_ROWS]
-        wa = w[rows]
-        b = rows.size
+    if active_rows.size:
+        wa = w[active_rows]
+        ok_a = np.ones(active_rows.size, dtype=bool)
         residuals: Optional[np.ndarray] = None
-        ok_a = np.ones(b, dtype=bool)
+        # Whole-series autocorrelations and prefix sums shared by both
+        # regression stages.
+        max_lag = max(m if q > 0 else 0, p)
+        autocorr = np.empty((wa.shape[0], max_lag + 1))
+        for d in range(max_lag + 1):
+            autocorr[:, d] = np.einsum(
+                "bi,bi->b", wa[:, d:], wa[:, : n - d]
+            )
+        cumsum = np.cumsum(wa, axis=1)
         if q > 0:
-            aug1 = np.empty((b, n - m, m + 2))
-            aug1[:, :, 0] = 1.0
-            aug1[:, :, 1] = wa[:, m:]
-            _fill_lags(aug1, wa, m, m, 2)
-            coef1, fitted1, ok1 = _ols_from_aug(aug1, m + 1)
-            residuals = np.zeros_like(wa)
-            residuals[:, m:] = aug1[:, :, 1] - fitted1
+            # Long-AR stage: innovations estimated from an AR(m) fit.
+            gram1, rhs1 = _ar_normal_equations(
+                wa, m, m, autocorr=autocorr, cumsum=cumsum
+            )
+            coef1, ok1 = _solve_normal(gram1, rhs1)
             ok_a &= ok1
+            residuals = np.zeros_like(wa)
+            # One einsum over a strided lag view: window t covers
+            # wa[t .. t+m-1], so column m - l is lag l of target t + m.
+            lag_view = sliding_window_view(wa, m, axis=1)[:, : n - m, :]
+            fitted = np.einsum(
+                "btk,bk->bt", lag_view, coef1[:, 1:][:, ::-1]
+            )
+            fitted += coef1[:, :1]
+            residuals[:, m:] = wa[:, m:] - fitted
 
-        n_cols = 1 + p + q
-        aug2 = np.empty((b, n - start, n_cols + 1))
-        aug2[:, :, 0] = 1.0
-        aug2[:, :, 1] = wa[:, start:]
-        if p > 0:
-            _fill_lags(aug2, wa, start, p, 2)
+        # ARMA stage: w_t ~ [1, w-lags, innovation-lags].
+        gram2, rhs2 = _ar_normal_equations(
+            wa, p, start, autocorr=autocorr, cumsum=cumsum
+        )
         if q > 0:
-            assert residuals is not None
-            _fill_lags(aug2, residuals, start, q, 2 + p)
-        coef2, fitted2, ok2 = _ols_from_aug(aug2, n_cols)
+            gram2, rhs2 = _extend_with_innovations(
+                gram2, rhs2, wa, residuals, p, q, start, m
+            )
+        coef2, ok2 = _solve_normal(gram2, rhs2)
         ok_a &= ok2
 
-        const[rows] = coef2[:, 0]
+        const[active_rows] = coef2[:, 0]
         if p > 0:
-            ar[rows] = coef2[:, 1 : 1 + p]
+            ar[active_rows] = coef2[:, 1 : 1 + p]
         if q > 0:
-            ma[rows] = coef2[:, 1 + p :]
-        ef = np.zeros_like(wa)
-        ef[:, start:] = aug2[:, :, 1] - fitted2
-        e_full[rows] = ef
-        ok[rows] = ok_a
+            ma[active_rows] = coef2[:, 1 + p :]
+            # The forecast recursion only reads the last q stage-2
+            # residuals, so only those positions are evaluated.
+            tail = np.empty((wa.shape[0], q))
+            for k, t in enumerate(range(n - q, n)):
+                value = wa[:, t] - coef2[:, 0]
+                for lag in range(1, p + 1):
+                    value = value - coef2[:, lag] * wa[:, t - lag]
+                for lag in range(1, q + 1):
+                    value = value - coef2[:, p + lag] * residuals[:, t - lag]
+                tail[:, k] = value
+            e_tail[active_rows] = tail
+        ok[active_rows] = ok_a
 
     w_tail = w[:, -max(p, 1) :].copy()
-    if q > 0:
-        e_tail = e_full[:, -max(q, 1) :].copy()
-    else:
-        e_tail = np.zeros((batch, 1))
     # Constant rows always succeed (no regression involved).
     ok |= constant
     return BatchArmaFit(

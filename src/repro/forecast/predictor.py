@@ -13,7 +13,7 @@ is the oracle variant used in ablations and tests.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -245,6 +245,77 @@ class DayAheadPredictor:
             fallback = SeasonalNaiveForecaster(period=SAMPLES_PER_DAY)
             fallback.fit(series)
             return fallback.forecast(SAMPLES_PER_DAY)
+
+
+class PrecomputedPredictor:
+    """Day-ahead predictions frozen into plain per-day arrays.
+
+    Wraps the ``{day: (cpu, mem)}`` forecasts another predictor already
+    computed.  Being nothing but arrays, it pickles cheaply — this is how
+    :func:`repro.dcsim.engine.run_policies` ships the shared day-ahead
+    predictions to its worker processes instead of re-fitting (or
+    serializing) the full ARIMA predictor per policy.
+
+    Args:
+        days: mapping from day index to ``(cpu, mem)`` forecast arrays of
+            shape ``(n_vms, 288)`` each.
+        first_predictable_day: the wrapped predictor's first predictable
+            day (kept so simulations derive the same start slot).
+    """
+
+    def __init__(
+        self,
+        days: Dict[int, Tuple[np.ndarray, np.ndarray]],
+        first_predictable_day: int,
+    ):
+        if first_predictable_day < 0:
+            raise DomainError("first_predictable_day must be >= 0")
+        self._days = dict(days)
+        self._first = first_predictable_day
+
+    @classmethod
+    def from_predictor(
+        cls, predictor, days: "range | Sequence[int]"
+    ) -> "PrecomputedPredictor":
+        """Materialize ``predictor``'s forecasts for the given days."""
+        return cls(
+            {int(day): predictor.forecast_day(int(day)) for day in days},
+            predictor.first_predictable_day,
+        )
+
+    @property
+    def first_predictable_day(self) -> int:
+        """First day index the wrapped predictor could predict."""
+        return self._first
+
+    @property
+    def fallback_count(self) -> int:
+        """Frozen forecasts carry no fitting, hence no fallbacks."""
+        return 0
+
+    def forecast_day(self, day_index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The precomputed forecasts of one day.
+
+        Raises:
+            DomainError: if the day was not precomputed.
+        """
+        try:
+            return self._days[day_index]
+        except KeyError:
+            raise DomainError(
+                f"day {day_index} was not precomputed"
+            ) from None
+
+    def predicted_slot(
+        self, slot_index: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Predicted CPU/memory for one 1-hour slot, ``(n_vms, 12)`` each."""
+        cpu_day, mem_day = self.forecast_day(slot_index // SLOTS_PER_DAY)
+        offset = (slot_index % SLOTS_PER_DAY) * SAMPLES_PER_SLOT
+        return (
+            cpu_day[:, offset : offset + SAMPLES_PER_SLOT],
+            mem_day[:, offset : offset + SAMPLES_PER_SLOT],
+        )
 
 
 class PerfectPredictor:

@@ -1,0 +1,266 @@
+"""Window-batched accounting and parallel scenario-layer equivalence.
+
+The engine's window-batched fast path must emit records *bit-identical*
+to the per-slot reference (same bincount accumulation order, same
+contiguous reduction slices), across dynamic-governor and
+fixed-frequency policies, PSU on/off and migration-energy accounting;
+``run_policies(jobs > 1)`` must reproduce the serial results exactly;
+the vectorized case-1 sizing sweep must pick the same ``(N, F)`` pairs
+as the scalar reference loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CoatOptPolicy, CoatPolicy, LoadBalancePolicy
+from repro.core import EpactPolicy
+from repro.core.sizing import _search_case1, _search_case1_reference
+from repro.core.types import ServerPlan, force_place_remaining
+from repro.dcsim import DataCenterSimulation, run_policies, shared_predictions
+from repro.errors import DomainError
+from repro.forecast import DayAheadPredictor, PrecomputedPredictor
+from repro.power import conventional_server_power_model, ntc_psu
+from repro.power.server_power import ntc_server_power_model
+from repro.traces import default_dataset
+
+
+def records_equal(a, b):
+    """Exact (bitwise for floats) equality of two record lists."""
+    return len(a) == len(b) and all(ra == rb for ra, rb in zip(a, b))
+
+
+@pytest.fixture(scope="module")
+def eq_dataset():
+    return default_dataset(n_vms=60, n_days=9, seed=77)
+
+
+@pytest.fixture(scope="module")
+def eq_predictor(eq_dataset):
+    predictor = DayAheadPredictor(eq_dataset)
+    for day in range(7, eq_dataset.n_days):
+        predictor.forecast_day(day)
+    return predictor
+
+
+class TestWindowBatchBitIdentical:
+    @pytest.mark.parametrize(
+        "policy_cls",
+        [EpactPolicy, CoatPolicy, CoatOptPolicy, LoadBalancePolicy],
+    )
+    def test_policies_match_per_slot(
+        self, eq_dataset, eq_predictor, policy_cls
+    ):
+        """Dynamic-governor (EPACT, load-balance) and fixed-frequency
+        (COAT, COAT-OPT) policies: every SlotRecord field bit-identical."""
+        batched = DataCenterSimulation(
+            eq_dataset,
+            eq_predictor,
+            policy_cls(),
+            max_servers=50,
+            window_batch=True,
+        ).run()
+        reference = DataCenterSimulation(
+            eq_dataset,
+            eq_predictor,
+            policy_cls(),
+            max_servers=50,
+            window_batch=False,
+        ).run()
+        assert records_equal(batched.records, reference.records)
+
+    def test_random_fleets(self):
+        """Random fleet sizes/seeds, including truncated final windows."""
+        rng = np.random.default_rng(9)
+        for _ in range(3):
+            n_vms = int(rng.integers(20, 70))
+            seed = int(rng.integers(0, 10_000))
+            n_slots = int(rng.integers(25, 40))  # not a multiple of 24
+            data = default_dataset(n_vms=n_vms, n_days=9, seed=seed)
+            predictor = DayAheadPredictor(data)
+            for policy_cls in (EpactPolicy, CoatPolicy):
+                runs = [
+                    DataCenterSimulation(
+                        data,
+                        predictor,
+                        policy_cls(),
+                        max_servers=60,
+                        n_slots=n_slots,
+                        window_batch=wb,
+                    ).run()
+                    for wb in (True, False)
+                ]
+                assert records_equal(runs[0].records, runs[1].records)
+
+    @pytest.mark.parametrize("policy_cls", [EpactPolicy, CoatPolicy])
+    def test_with_psu_and_migration_energy(
+        self, eq_dataset, eq_predictor, policy_cls
+    ):
+        """Wall-plug accounting and per-migration energy charges."""
+        kwargs = dict(
+            max_servers=50,
+            psu=ntc_psu(),
+            migration_energy_j=250.0,
+            n_slots=30,
+        )
+        batched = DataCenterSimulation(
+            eq_dataset,
+            eq_predictor,
+            policy_cls(),
+            window_batch=True,
+            **kwargs,
+        ).run()
+        reference = DataCenterSimulation(
+            eq_dataset,
+            eq_predictor,
+            policy_cls(),
+            window_batch=False,
+            **kwargs,
+        ).run()
+        assert records_equal(batched.records, reference.records)
+        assert batched.total_migrations == reference.total_migrations
+
+    def test_conventional_power_model(self, eq_dataset, eq_predictor):
+        """A different OPP table / power model exercises the tables."""
+        power = conventional_server_power_model()
+        runs = [
+            DataCenterSimulation(
+                eq_dataset,
+                eq_predictor,
+                CoatPolicy(),
+                power_model=power,
+                max_servers=50,
+                n_slots=24,
+                window_batch=wb,
+            ).run()
+            for wb in (True, False)
+        ]
+        assert records_equal(runs[0].records, runs[1].records)
+
+
+class TestParallelRunPolicies:
+    def test_jobs_match_serial(self, eq_dataset, eq_predictor):
+        policies = lambda: [EpactPolicy(), CoatPolicy(), CoatOptPolicy()]
+        serial = run_policies(
+            eq_dataset,
+            eq_predictor,
+            policies(),
+            max_servers=50,
+            n_slots=26,
+        )
+        parallel = run_policies(
+            eq_dataset,
+            eq_predictor,
+            policies(),
+            jobs=2,
+            max_servers=50,
+            n_slots=26,
+        )
+        assert list(serial) == list(parallel)
+        for name in serial:
+            assert records_equal(
+                serial[name].records, parallel[name].records
+            )
+
+    def test_jobs_one_stays_serial(self, eq_dataset, eq_predictor):
+        """jobs=1 must not spawn workers (no predictor freezing)."""
+        result = run_policies(
+            eq_dataset,
+            eq_predictor,
+            [EpactPolicy()],
+            jobs=1,
+            max_servers=50,
+            n_slots=24,
+        )
+        assert set(result) == {"EPACT"}
+
+
+class TestPrecomputedPredictor:
+    def test_matches_wrapped_predictor(self, eq_dataset, eq_predictor):
+        frozen = shared_predictions(eq_dataset, eq_predictor)
+        assert (
+            frozen.first_predictable_day
+            == eq_predictor.first_predictable_day
+        )
+        for day in range(7, eq_dataset.n_days):
+            for got, want in zip(
+                frozen.forecast_day(day), eq_predictor.forecast_day(day)
+            ):
+                np.testing.assert_array_equal(got, want)
+        slot = 7 * 24 + 5
+        for got, want in zip(
+            frozen.predicted_slot(slot), eq_predictor.predicted_slot(slot)
+        ):
+            np.testing.assert_array_equal(got, want)
+
+    def test_missing_day_raises(self):
+        predictor = PrecomputedPredictor({}, first_predictable_day=7)
+        with pytest.raises(DomainError):
+            predictor.forecast_day(7)
+
+
+class TestSizingSearchEquivalence:
+    @pytest.mark.parametrize(
+        "model_factory",
+        [ntc_server_power_model, conventional_server_power_model],
+    )
+    def test_fast_matches_reference_random(self, model_factory):
+        model = model_factory()
+        rng = np.random.default_rng(11)
+        for _ in range(400):
+            demand = float(rng.uniform(0.5, 4000.0))
+            n_mem = int(rng.integers(1, 300))
+            n_cpu = n_mem + int(rng.integers(0, 300))
+            assert _search_case1(
+                model, demand, n_mem, n_cpu, fast=True
+            ) == _search_case1_reference(model, demand, n_mem, n_cpu)
+
+    def test_saturation_branch(self):
+        """Demand beyond Fmax packing on n_cpu servers saturates."""
+        model = ntc_server_power_model()
+        f_max = model.spec.f_max_ghz
+        demand = 10.0 * f_max  # cannot be served by <= 4 servers
+        assert _search_case1(model, demand, 2, 4, fast=True) == (4, f_max)
+        assert _search_case1_reference(model, demand, 2, 4) == (4, f_max)
+
+
+class TestForcePlaceEquivalence:
+    @staticmethod
+    def _seed_force_place(plans, vm_ids, pred_cpu):
+        """The seed dict-scan implementation, kept inline as the oracle."""
+        loads = {
+            idx: float(pred_cpu[plan.vm_ids].sum(axis=0).max())
+            if plan.vm_ids
+            else 0.0
+            for idx, plan in enumerate(plans)
+        }
+        for vm_id in vm_ids:
+            target = min(loads, key=lambda idx: loads[idx])
+            plans[target].vm_ids.append(vm_id)
+            loads[target] += float(pred_cpu[vm_id].max())
+        return len(vm_ids)
+
+    def test_matches_seed_scan(self):
+        rng = np.random.default_rng(4)
+        for trial in range(50):
+            n_vms = int(rng.integers(2, 60))
+            n_srv = int(rng.integers(1, 9))
+            pred = rng.uniform(0, 20, size=(n_vms, 12))
+            if trial % 3 == 0:
+                pred = np.round(pred)  # provoke exact load ties
+            order = rng.permutation(n_vms)
+            k = int(rng.integers(0, n_vms))
+
+            def build():
+                plans = [ServerPlan() for _ in range(n_srv)]
+                for i, vm in enumerate(order[:k]):
+                    plans[i % n_srv].vm_ids.append(int(vm))
+                return plans
+
+            rest = [int(v) for v in order[k:]]
+            fast_plans, ref_plans = build(), build()
+            n_fast = force_place_remaining(fast_plans, rest, pred)
+            n_ref = self._seed_force_place(ref_plans, rest, pred)
+            assert n_fast == n_ref
+            assert [p.vm_ids for p in fast_plans] == [
+                p.vm_ids for p in ref_plans
+            ]
