@@ -32,6 +32,11 @@ Scenarios (deterministic seeds):
   workload shape) over shared predictions; with ``--jobs N`` the same
   scenario is also timed through the process-pool fan-out (wall-clock
   gains require >1 CPU; the result records both).
+* ``cloud_churn_120`` — the online cloud subsystem on the
+  ``diurnal-burst`` churn scenario (120 VMs, arrivals/departures over
+  two evaluated days): window-batched vs per-slot accounting with a
+  day-ahead 24-slot-window policy, plus the ONLINE-REACTIVE policy's
+  fast-path time.
 
 Each scenario records the fast time, reference time (where tractable)
 and their speedup into ``BENCH_<rev>.json``; ``--baseline`` prints the
@@ -49,7 +54,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.baselines import CoatOptPolicy, CoatPolicy
+from repro.baselines import CoatOptPolicy, CoatPolicy, OnlineReactivePolicy
+from repro.cloud import CloudSimulation, get_scenario
 from repro.core import EpactPolicy
 from repro.core.alloc1d import allocate_1d
 from repro.core.alloc2d import allocate_2d
@@ -278,6 +284,48 @@ def bench_window_batch(results, jobs):
         )
 
 
+def bench_cloud(results):
+    """Online cloud churn scenario (PR 3)."""
+    dataset, schedule = get_scenario("diurnal-burst").build(
+        n_vms=120, n_days=9, seed=2018, n_slots=48
+    )
+    predictor = DayAheadPredictor(dataset)
+    for day in range(7, dataset.n_days):
+        predictor.forecast_day(day)
+
+    def run(window_batch, policy):
+        sim = CloudSimulation(
+            dataset,
+            predictor,
+            policy,
+            schedule,
+            max_servers=120,
+            n_slots=48,
+            window_batch=window_batch,
+        )
+        return sum(r.energy_j for r in sim.run().records)
+
+    def day_ahead():
+        return CoatPolicy(reallocation_period_slots=24)
+
+    # The warm-up pair doubles as the equivalence witness.
+    energy_batch = run(True, day_ahead())
+    energy_slot = run(False, day_ahead())
+    fast, seed = best_of_pair(
+        lambda: run(True, day_ahead()),
+        lambda: run(False, day_ahead()),
+        3,
+    )
+    record(results, "cloud_churn_120", fast, seed)
+    rel = abs(energy_batch - energy_slot) / max(abs(energy_slot), 1e-12)
+    results["cloud_churn_120"]["energy_rel_diff"] = rel
+    print(f"    window-batch-vs-per-slot energy rel diff: {rel:.2e}")
+
+    online = best_of(lambda: run(True, OnlineReactivePolicy()), 3)
+    results["cloud_churn_120"]["online_reactive_s"] = round(online, 4)
+    print(f"    ONLINE-REACTIVE fast path: {online:8.3f}s")
+
+
 def record(results, name, fast_s, seed_s):
     entry = {"fast_s": round(fast_s, 4)}
     if seed_s is not None:
@@ -349,6 +397,8 @@ def main():
     bench_simulation(results)
     print("window-batched engine / scenario layer:")
     bench_window_batch(results, args.jobs)
+    print("online cloud churn:")
+    bench_cloud(results)
 
     payload = {
         "rev": rev,

@@ -8,7 +8,12 @@ Touches each layer of the library in under a minute:
 3. generate a small synthetic cluster trace,
 4. run EPACT against COAT for two simulated days and compare.
 
-Run with:  python examples/quickstart.py
+Run with:  PYTHONPATH=src python examples/quickstart.py
+
+See the top-level README.md for installation, the tier-1 verify
+command, the `repro-experiments` CLI (including `--jobs` and the
+online `cloud` scenario) and the benchmark workflow; for the churn
+counterpart of this walkthrough see examples/cloud_churn.py.
 """
 
 from repro import (

@@ -13,6 +13,8 @@ The package is organized by substrate (see DESIGN.md):
 * :mod:`repro.core` — EPACT (Algorithms 1-2, Eq. 1-2, DVFS governor)
 * :mod:`repro.baselines` — COAT, COAT-OPT, FFD, load-balancing
 * :mod:`repro.dcsim` — the slot/sample data-center simulator
+* :mod:`repro.cloud` — online cloud simulation (VM churn, reactive
+  consolidation, scenario registry, SLA metrics)
 * :mod:`repro.experiments` — one module per paper table/figure
 
 Quick start::
@@ -28,18 +30,28 @@ Quick start::
                            [EpactPolicy(), CoatPolicy()], n_slots=48)
 """
 
-from .baselines import CoatOptPolicy, CoatPolicy, FfdPolicy, LoadBalancePolicy
+from .baselines import (
+    CoatOptPolicy,
+    CoatPolicy,
+    FfdPolicy,
+    LoadBalancePolicy,
+    OnlineBestFitPolicy,
+    OnlineReactivePolicy,
+)
 from .core import (
     Allocation,
     AllocationContext,
     AllocationPolicy,
     DvfsGovernor,
     EpactPolicy,
+    OnlinePolicy,
 )
 from .dcsim import (
+    CloudSimulation,
     DataCenterSimulation,
     SimulationResult,
     inspect_slot,
+    run_cloud_policies,
     run_policies,
     total_energy_savings_pct,
 )
@@ -79,6 +91,7 @@ __all__ = [
     "ArimaModel",
     "ArimaOrder",
     "CalibrationError",
+    "CloudSimulation",
     "ClusterTraceGenerator",
     "CoatOptPolicy",
     "CoatPolicy",
@@ -95,6 +108,9 @@ __all__ = [
     "InfeasibleError",
     "LoadBalancePolicy",
     "MemoryClass",
+    "OnlineBestFitPolicy",
+    "OnlinePolicy",
+    "OnlineReactivePolicy",
     "PerformanceSimulator",
     "PsuModel",
     "QosModel",
@@ -107,6 +123,7 @@ __all__ = [
     "load_dataset",
     "ntc_psu",
     "ntc_server_power_model",
+    "run_cloud_policies",
     "run_policies",
     "save_dataset",
     "total_energy_savings_pct",

@@ -2,17 +2,22 @@
 
 COAT and COAT-OPT are the paper's Section VI-C baselines; FFD and
 LOAD-BALANCE bound the design space (pure consolidation without
-correlation awareness, and pure spreading).
+correlation awareness, and pure spreading).  ONLINE-BF and
+ONLINE-REACTIVE are the churn-native baselines of the ``repro.cloud``
+subsystem (placement on arrival, threshold-driven re-consolidation).
 """
 
 from .coat import CoatPolicy
 from .coat_opt import CoatOptPolicy
 from .ffd import FfdPolicy
 from .loadbalance import LoadBalancePolicy
+from .online import OnlineBestFitPolicy, OnlineReactivePolicy
 
 __all__ = [
     "CoatOptPolicy",
     "CoatPolicy",
     "FfdPolicy",
     "LoadBalancePolicy",
+    "OnlineBestFitPolicy",
+    "OnlineReactivePolicy",
 ]

@@ -1,0 +1,473 @@
+"""Online cloud policies: placement-on-arrival and reactive consolidation.
+
+The taxonomy of Beloglazov et al. (and the revisited evaluations that
+followed) splits online consolidation into three mechanisms:
+
+1. **placement on arrival** — each arriving VM is packed against the
+   *current* load (best-fit or first-fit decreasing), instead of
+   re-packing the whole fleet;
+2. **overload detection** — servers whose (predicted or observed)
+   aggregate exceeds an upper threshold shed their largest VMs;
+3. **underload detection** — servers riding below a lower threshold are
+   drained entirely (all-or-nothing) so they can be switched off.
+
+:class:`OnlineBestFitPolicy` implements mechanism 1;
+:class:`OnlineReactivePolicy` adds 2 and 3.  Both keep their placement
+*between* slots (the engine's migration counter then sees exactly the
+VMs they chose to move) and run the per-sample DVFS governor like EPACT,
+so the three-way comparison against the paper's day-ahead policies
+isolates the allocation strategy.
+
+The detection/placement **signal** is selectable: ``"forecast"`` uses
+the shared day-ahead predictions (forecast-assisted operation),
+``"reactive"`` uses the utilization actually observed during the
+previous slot, falling back to the forecast for VMs without history
+(fresh arrivals).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.online import CloudAllocationContext, OnlinePolicy
+from ..core.types import Allocation, AllocationContext, ServerPlan
+from ..errors import ConfigurationError
+
+_EPS = 1.0e-9
+
+
+class _ServerTable:
+    """Mutable per-call server state: ids, aggregates, membership.
+
+    Aggregates live in preallocated (capacity, n_samples) arrays so the
+    placement loop's whole-table reads are views, not per-call stacks.
+    """
+
+    def __init__(self, n_samples: int, capacity: int = 16):
+        self.sids: List[int] = []
+        self.vms: List[List[int]] = []  # global ids, insertion order
+        self._cpu = np.zeros((capacity, n_samples))
+        self._mem = np.zeros((capacity, n_samples))
+        self._next_sid = 0
+
+    @property
+    def n_servers(self) -> int:
+        return len(self.sids)
+
+    def agg_cpu(self) -> np.ndarray:
+        return self._cpu[: len(self.sids)]
+
+    def agg_mem(self) -> np.ndarray:
+        return self._mem[: len(self.sids)]
+
+    def row_cpu(self, pos: int) -> np.ndarray:
+        """One server's aggregate CPU pattern (the per-move hot read)."""
+        return self._cpu[pos]
+
+    def _append_row(self) -> int:
+        if len(self.sids) == self._cpu.shape[0]:
+            grown = np.zeros((2 * self._cpu.shape[0], self._cpu.shape[1]))
+            grown[: self._cpu.shape[0]] = self._cpu
+            self._cpu = grown
+            grown = np.zeros((2 * self._mem.shape[0], self._mem.shape[1]))
+            grown[: self._mem.shape[0]] = self._mem
+            self._mem = grown
+        self.vms.append([])
+        return len(self.vms) - 1
+
+    def open(self) -> int:
+        sid = self._next_sid
+        self._next_sid += 1
+        pos = self._append_row()
+        self.sids.append(sid)
+        return pos
+
+    def seed_server(self, sid: int) -> int:
+        """Register a server id carried over from the previous slot."""
+        pos = self._append_row()
+        self.sids.append(sid)
+        self._next_sid = max(self._next_sid, sid + 1)
+        return pos
+
+    def add(self, pos: int, vm: int, cpu: np.ndarray, mem: np.ndarray):
+        self.vms[pos].append(vm)
+        self._cpu[pos] += cpu
+        self._mem[pos] += mem
+
+    def bulk_add(
+        self,
+        positions: np.ndarray,
+        vms: List[int],
+        cpu_rows: np.ndarray,
+        mem_rows: np.ndarray,
+    ):
+        """Scatter many VMs onto their servers in one pass (the slot-
+        entry rebuild of carried-over state)."""
+        for pos, vm in zip(positions, vms):
+            self.vms[pos].append(vm)
+        np.add.at(self._cpu, positions, cpu_rows)
+        np.add.at(self._mem, positions, mem_rows)
+
+    def remove(self, pos: int, vm: int, cpu: np.ndarray, mem: np.ndarray):
+        self.vms[pos].remove(vm)
+        self._cpu[pos] -= cpu
+        self._mem[pos] -= mem
+
+    def drop_empty(self) -> None:
+        keep = [i for i, hosted in enumerate(self.vms) if hosted]
+        if len(keep) != len(self.sids):
+            rows = np.asarray(keep, dtype=int)
+            self._cpu[: rows.size] = self._cpu[rows]
+            self._mem[: rows.size] = self._mem[rows]
+            self._cpu[rows.size : len(self.sids)] = 0.0
+            self._mem[rows.size : len(self.sids)] = 0.0
+            self.sids = [self.sids[i] for i in keep]
+            self.vms = [self.vms[i] for i in keep]
+
+
+class OnlineBestFitPolicy(OnlinePolicy):
+    """Placement-on-arrival against the current load (no rebalancing).
+
+    Args:
+        cap_cpu_pct: per-server CPU packing cap (percent of ``Fmax``
+            capacity); kept below 100 to leave reaction headroom.
+        cap_mem_pct: per-server memory packing cap.
+        placement: ``"best-fit"`` (tightest fitting server) or
+            ``"first-fit"`` (lowest server id that fits).
+        signal: ``"forecast"`` (day-ahead predictions) or ``"reactive"``
+            (previous slot's observed utilization, forecast fallback).
+        name: report-name override.
+    """
+
+    name = "ONLINE-BF"
+
+    def __init__(
+        self,
+        cap_cpu_pct: float = 90.0,
+        cap_mem_pct: float = 90.0,
+        placement: str = "best-fit",
+        signal: str = "forecast",
+        name: Optional[str] = None,
+    ):
+        if not (0.0 < cap_cpu_pct <= 100.0):
+            raise ConfigurationError("cap_cpu_pct must be in (0, 100]")
+        if not (0.0 < cap_mem_pct <= 100.0):
+            raise ConfigurationError("cap_mem_pct must be in (0, 100]")
+        if placement not in ("best-fit", "first-fit"):
+            raise ConfigurationError(
+                "placement must be 'best-fit' or 'first-fit'"
+            )
+        if signal not in ("forecast", "reactive"):
+            raise ConfigurationError(
+                "signal must be 'forecast' or 'reactive'"
+            )
+        self._cap_cpu = cap_cpu_pct
+        self._cap_mem = cap_mem_pct
+        self._placement = placement
+        self._signal_kind = signal
+        if name is not None:
+            self.name = name
+        self._assign: Dict[int, int] = {}  # global vm id -> server id
+
+    # -- OnlinePolicy -------------------------------------------------------
+
+    def reset(self) -> None:
+        """Forget every placement (fresh simulation)."""
+        self._assign = {}
+
+    def allocate(self, ctx: AllocationContext) -> Allocation:
+        """One online step: prune, place arrivals, optionally rebalance."""
+        cloud = self.require_cloud_context(ctx)
+        ids = cloud.vm_ids
+        id_set = {int(g) for g in ids}
+        pos_of = {int(g): i for i, g in enumerate(ids)}
+        sig_cpu, sig_mem = self._signal(cloud)
+
+        # Departures: drop state for VMs no longer in the population.
+        self._assign = {
+            g: s for g, s in self._assign.items() if g in id_set
+        }
+
+        # Seed carried-over servers in ascending sid order so table
+        # position order equals server-id order (newly opened servers
+        # always take higher sids), keeping "first-fit = lowest server
+        # id" true as a position argmin.  Aggregates are rebuilt in one
+        # scatter; per-bin accumulation order (ascending global id)
+        # matches the per-VM loop it replaces.
+        table = _ServerTable(sig_cpu.shape[1])
+        pos_of_sid: Dict[int, int] = {
+            sid: table.seed_server(sid)
+            for sid in sorted(set(self._assign.values()))
+        }
+        if self._assign:
+            carried = sorted(self._assign)
+            positions = np.array(
+                [pos_of_sid[self._assign[g]] for g in carried],
+                dtype=np.intp,
+            )
+            rows = np.array([pos_of[g] for g in carried], dtype=np.intp)
+            table.bulk_add(
+                positions, carried, sig_cpu[rows], sig_mem[rows]
+            )
+
+        # Arrivals in FFD order (decreasing signal peak, stable ties).
+        new_ids = np.array(
+            [g for g in map(int, ids) if g not in self._assign], dtype=int
+        )
+        forced = 0
+        if new_ids.size:
+            peaks = sig_cpu[[pos_of[g] for g in new_ids]].max(axis=1)
+            for g in new_ids[np.argsort(-peaks, kind="stable")]:
+                g = int(g)
+                forced += self._place(
+                    table,
+                    g,
+                    sig_cpu[pos_of[g]],
+                    sig_mem[pos_of[g]],
+                    cloud.max_servers,
+                )
+
+        self._rebalance(table, sig_cpu, sig_mem, pos_of, cloud.max_servers)
+        table.drop_empty()
+        self._assign = {
+            g: table.sids[i]
+            for i, hosted in enumerate(table.vms)
+            for g in hosted
+        }
+        return self._build_allocation(table, pos_of, forced)
+
+    # -- internals ----------------------------------------------------------
+
+    def _signal(
+        self, cloud: CloudAllocationContext
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The (n_vms, n_samples) detection/placement patterns."""
+        if self._signal_kind == "forecast" or cloud.last_cpu is None:
+            return cloud.pred_cpu, cloud.pred_mem
+        have = ~np.isnan(cloud.last_cpu).any(axis=1)
+        sig_cpu = np.where(
+            have[:, None], np.nan_to_num(cloud.last_cpu), cloud.pred_cpu
+        )
+        sig_mem = np.where(
+            have[:, None], np.nan_to_num(cloud.last_mem), cloud.pred_mem
+        )
+        return sig_cpu, sig_mem
+
+    def _fitting(
+        self,
+        table: _ServerTable,
+        cpu: np.ndarray,
+        mem: np.ndarray,
+        exclude: Optional[int] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fitting server positions and their resulting CPU peaks."""
+        if table.n_servers == 0:
+            return np.empty(0, dtype=int), np.empty(0)
+        peaks_cpu = (table.agg_cpu() + cpu[None, :]).max(axis=1)
+        peaks_mem = (table.agg_mem() + mem[None, :]).max(axis=1)
+        fits = (peaks_cpu <= self._cap_cpu + _EPS) & (
+            peaks_mem <= self._cap_mem + _EPS
+        )
+        if exclude is not None:
+            fits[exclude] = False
+        cand = np.flatnonzero(fits)
+        return cand, peaks_cpu[cand]
+
+    def _choose(self, cand: np.ndarray, peaks: np.ndarray) -> int:
+        """Best-fit = tightest resulting peak; first-fit = lowest pos."""
+        if self._placement == "first-fit":
+            return int(cand[0])
+        return int(cand[int(np.argmax(peaks))])
+
+    def _place(
+        self,
+        table: _ServerTable,
+        vm: int,
+        cpu: np.ndarray,
+        mem: np.ndarray,
+        max_servers: int,
+    ) -> int:
+        """Place one VM; returns 1 if it had to be force-placed."""
+        cand, peaks = self._fitting(table, cpu, mem)
+        if cand.size:
+            table.add(self._choose(cand, peaks), vm, cpu, mem)
+            return 0
+        if table.n_servers < max_servers:
+            table.add(table.open(), vm, cpu, mem)
+            return 0
+        # Fleet exhausted: least-loaded force placement, like the
+        # day-ahead policies' safety valve.
+        loads = table.agg_cpu().max(axis=1)
+        table.add(int(np.argmin(loads)), vm, cpu, mem)
+        return 1
+
+    def _rebalance(
+        self,
+        table: _ServerTable,
+        sig_cpu: np.ndarray,
+        sig_mem: np.ndarray,
+        pos_of: Dict[int, int],
+        max_servers: int,
+    ) -> None:
+        """Hook for reactive subclasses; placement-only does nothing."""
+
+    def _build_allocation(
+        self,
+        table: _ServerTable,
+        pos_of: Dict[int, int],
+        forced: int,
+    ) -> Allocation:
+        order = np.argsort(np.asarray(table.sids, dtype=int), kind="stable")
+        plans = [
+            ServerPlan(
+                vm_ids=[pos_of[g] for g in sorted(table.vms[i])],
+                cap_cpu_pct=self._cap_cpu,
+                cap_mem_pct=self._cap_mem,
+            )
+            for i in order
+        ]
+        return Allocation(
+            policy_name=self.name,
+            plans=plans,
+            dynamic_governor=True,
+            violation_cap_pct=100.0,
+            forced_placements=forced,
+        )
+
+
+class OnlineReactivePolicy(OnlineBestFitPolicy):
+    """Placement-on-arrival plus threshold-driven re-consolidation.
+
+    Args:
+        overload_pct: servers whose signal aggregate peak exceeds this
+            shed their largest VMs until back under (or stuck).
+        underload_pct: servers riding below this are drained whole (all
+            VMs re-placed elsewhere) so they can be switched off.
+        max_migrations_per_slot: optional budget bounding reactive moves
+            per slot (arrival placements are not migrations and are
+            never limited).
+        Other arguments as in :class:`OnlineBestFitPolicy`.
+    """
+
+    name = "ONLINE-REACTIVE"
+
+    def __init__(
+        self,
+        cap_cpu_pct: float = 90.0,
+        cap_mem_pct: float = 90.0,
+        overload_pct: float = 90.0,
+        underload_pct: float = 25.0,
+        max_migrations_per_slot: Optional[int] = None,
+        placement: str = "best-fit",
+        signal: str = "reactive",
+        name: Optional[str] = None,
+    ):
+        super().__init__(
+            cap_cpu_pct=cap_cpu_pct,
+            cap_mem_pct=cap_mem_pct,
+            placement=placement,
+            signal=signal,
+            name=name,
+        )
+        if not (0.0 < overload_pct <= 100.0):
+            raise ConfigurationError("overload_pct must be in (0, 100]")
+        if not (0.0 <= underload_pct < overload_pct):
+            raise ConfigurationError(
+                "underload_pct must be in [0, overload_pct)"
+            )
+        if (
+            max_migrations_per_slot is not None
+            and max_migrations_per_slot < 0
+        ):
+            raise ConfigurationError(
+                "max_migrations_per_slot must be >= 0"
+            )
+        self._over = overload_pct
+        self._under = underload_pct
+        self._budget = max_migrations_per_slot
+
+    def _rebalance(
+        self,
+        table: _ServerTable,
+        sig_cpu: np.ndarray,
+        sig_mem: np.ndarray,
+        pos_of: Dict[int, int],
+        max_servers: int,
+    ) -> None:
+        moves = 0
+        budget = self._budget if self._budget is not None else np.inf
+
+        # -- overload: shed largest VMs from the hottest servers --------
+        peaks = table.agg_cpu().max(axis=1)
+        for pos in np.argsort(-peaks, kind="stable"):
+            pos = int(pos)
+            while (
+                moves < budget
+                and len(table.vms[pos]) > 1
+                and table.row_cpu(pos).max() > self._over + _EPS
+            ):
+                hosted = sorted(table.vms[pos])
+                vm_peaks = sig_cpu[[pos_of[g] for g in hosted]].max(axis=1)
+                victim = hosted[int(np.argmax(vm_peaks))]
+                cpu = sig_cpu[pos_of[victim]]
+                mem = sig_mem[pos_of[victim]]
+                cand, cand_peaks = self._fitting(
+                    table, cpu, mem, exclude=pos
+                )
+                if cand.size:
+                    target = self._choose(cand, cand_peaks)
+                elif table.n_servers < max_servers:
+                    target = table.open()
+                else:
+                    break  # nowhere to shed to
+                table.remove(pos, victim, cpu, mem)
+                table.add(target, victim, cpu, mem)
+                moves += 1
+
+        # -- underload: drain the coldest servers whole -----------------
+        agg = table.agg_cpu()
+        entry_peaks = agg.max(axis=1) if agg.shape[0] else np.empty(0)
+        for pos in np.argsort(entry_peaks, kind="stable"):
+            pos = int(pos)
+            hosted = sorted(table.vms[pos])
+            if not hosted or moves + len(hosted) > budget:
+                continue
+            # Re-check against the *current* load: a cold server that
+            # absorbed another drain (or shed VMs) is judged as it now is.
+            if table.row_cpu(pos).max() >= self._under - _EPS:
+                continue
+            staged = []
+            ok = True
+            for g in sorted(
+                hosted,
+                key=lambda g: -float(sig_cpu[pos_of[g]].max()),
+            ):
+                cpu = sig_cpu[pos_of[g]]
+                mem = sig_mem[pos_of[g]]
+                cand, cand_peaks = self._fitting(
+                    table, cpu, mem, exclude=pos
+                )
+                # Draining into an empty server would just move the
+                # underload; only already-loaded targets count.
+                nonempty = np.fromiter(
+                    (len(table.vms[int(c)]) > 0 for c in cand),
+                    dtype=bool,
+                    count=cand.size,
+                )
+                cand, cand_peaks = cand[nonempty], cand_peaks[nonempty]
+                if cand.size == 0:
+                    ok = False
+                    break
+                target = self._choose(cand, cand_peaks)
+                table.remove(pos, g, cpu, mem)
+                table.add(target, g, cpu, mem)
+                staged.append((target, g, cpu, mem))
+            if ok:
+                moves += len(staged)
+            else:
+                # All-or-nothing: undo the partial drain.
+                for target, g, cpu, mem in reversed(staged):
+                    table.remove(target, g, cpu, mem)
+                    table.add(pos, g, cpu, mem)

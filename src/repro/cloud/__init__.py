@@ -1,0 +1,71 @@
+"""repro.cloud — online cloud simulation over the Section VI-C engine.
+
+The paper consolidates a *fixed* VM population; this subsystem asks the
+"Consolidating or Not?" question in the regime production clouds live
+in: VMs arrive, resize and depart continuously, and consolidation
+decisions are made online under SLA pressure.  It ties together
+
+* the lifecycle substrate (:mod:`repro.traces.lifecycle`) — seeded
+  Poisson/heavy-tailed arrival, departure and resize schedules;
+* the churn-aware engine (:mod:`repro.dcsim.cloud`) — window-batched
+  accounting over time-varying active sets, bit-identical to the
+  per-slot reference;
+* the online policies (:mod:`repro.baselines.online`) — placement on
+  arrival plus threshold-/forecast-driven reactive consolidation,
+  comparable head-to-head with the paper's day-ahead EPACT;
+* the scenario registry (:mod:`repro.cloud.scenarios`) and the SLA
+  metrics layer (:mod:`repro.cloud.sla`).
+
+Quick start::
+
+    from repro.cloud import get_scenario, run_cloud_policies, sla_table
+    from repro.baselines import OnlineReactivePolicy
+    from repro.core import EpactPolicy
+    from repro.forecast import DayAheadPredictor
+
+    dataset, schedule = get_scenario("diurnal-burst").build(n_vms=120,
+                                                           n_days=9,
+                                                           n_slots=48)
+    predictor = DayAheadPredictor(dataset)
+    results = run_cloud_policies(
+        dataset, predictor, [EpactPolicy(), OnlineReactivePolicy()],
+        schedule, n_slots=48)
+    print(sla_table(results))
+"""
+
+from ..baselines.online import OnlineBestFitPolicy, OnlineReactivePolicy
+from ..core.online import CloudAllocationContext, OnlinePolicy
+from ..dcsim.cloud import CloudSimulation, run_cloud_policies
+from ..traces.lifecycle import (
+    ChurnConfig,
+    LifecycleSchedule,
+    fixed_schedule,
+    generate_lifecycle,
+)
+from .scenarios import (
+    SCENARIOS,
+    CloudScenario,
+    get_scenario,
+    list_scenarios,
+)
+from .sla import SlaSummary, sla_table, summarize
+
+__all__ = [
+    "SCENARIOS",
+    "ChurnConfig",
+    "CloudAllocationContext",
+    "CloudScenario",
+    "CloudSimulation",
+    "LifecycleSchedule",
+    "OnlineBestFitPolicy",
+    "OnlinePolicy",
+    "OnlineReactivePolicy",
+    "SlaSummary",
+    "fixed_schedule",
+    "generate_lifecycle",
+    "get_scenario",
+    "list_scenarios",
+    "run_cloud_policies",
+    "sla_table",
+    "summarize",
+]

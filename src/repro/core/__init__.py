@@ -15,6 +15,7 @@ from .correlation import (
 )
 from .epact import EpactPolicy
 from .governor import DvfsGovernor
+from .online import CloudAllocationContext, OnlinePolicy
 from .sizing import (
     SizingResult,
     n_servers_cpu,
@@ -37,8 +38,10 @@ __all__ = [
     "AllocationPolicy",
     "AllocationWorkspace",
     "validate_vm_order",
+    "CloudAllocationContext",
     "DvfsGovernor",
     "EpactPolicy",
+    "OnlinePolicy",
     "ServerPlan",
     "SizingResult",
     "allocate_1d",

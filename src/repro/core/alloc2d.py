@@ -26,8 +26,12 @@ Two implementations share this contract:
   arrays and maintains sums, squared norms and centered norms
   incrementally.  Feasibility is pruned with peak/min bounds evaluated
   for whole blocks of VMs at once (exact per-sample checks only run
-  inside the undecided band and for servers modified within the block),
-  and Eq. 2 is evaluated only over fitting non-empty servers — all
+  inside the undecided band and for servers modified within the block)
+  and folded into **position-indexed penalties** — 0 for scoreable
+  servers, -inf for unfit ones and redundant empties — so candidate
+  assembly is one add + ``flatnonzero``/``argmax`` instead of boolean
+  masks and sorted inserts (the same treatment ``allocate_1d`` got).
+  Eq. 2 is evaluated only over fitting non-empty servers — all
   empty servers tie at merit exactly 0, so one representative stands in
   for them — using ``pearson(U, max(S)-S) == -pearson(U, S)`` and
   ``Dist^2 = |Cap - U|^2 - 2 (Cap * sum(S) - dot(S, U)) + |S|^2``;
@@ -271,6 +275,13 @@ def _allocate_2d_fast(
     # non-empty servers plus that one representative.
     nonempty = np.zeros(capacity, dtype=bool)
     empty_ptr = 0
+    # Position-indexed scoreability penalty (the treatment allocate_1d's
+    # fast path got): 0 for servers the merit kernel may pick (non-empty
+    # or the representative empty), -inf for the redundant empties.  The
+    # per-VM feasibility penalty is added on top, so one argmax replaces
+    # the boolean mask / searchsorted-insert candidate assembly.
+    empty_pen = np.full(capacity, -np.inf)
+    empty_pen[0] = 0.0
     n_act = n_servers
     unplaced: List[int] = []
 
@@ -285,8 +296,11 @@ def _allocate_2d_fast(
     def place(vm: int, j: int, dc: float, dm: float) -> None:
         nonlocal empty_ptr
         nonempty[j] = True
+        empty_pen[j] = 0.0  # non-empty servers are always scoreable
         while empty_ptr < capacity and nonempty[empty_ptr]:
             empty_ptr += 1
+        if empty_ptr < capacity:
+            empty_pen[empty_ptr] = 0.0  # the new representative empty
         mc, mm = mean_l[vm]
         s0 = ssum[0, j]
         s1 = ssum[1, j]
@@ -334,20 +348,22 @@ def _allocate_2d_fast(
         blk = seq_list[pos : pos + block]
         n_blk = len(blk)
         base = n_act
-        # -- block precompute: feasibility bounds vs block-entry state ---
+        # -- block precompute: feasibility penalties vs block-entry state.
+        # Position-indexed like allocate_1d's fast path: 0 marks a
+        # surely-fitting server, -inf a surely-unfit one; the undecided
+        # band is patched per VM after its exact check.
         c6 = bounds6[:, :base] + off6[blk] <= thr6  # (n_blk, 6, base)
         sure0 = c6[:, 0, :] & c6[:, 1, :]
         may0 = c6[:, 2:, :].all(axis=1)
         may0 &= ~sure0
+        pen0 = np.where(sure0, 0.0, -np.inf)
 
         # -- sequential walk; only in-block modified servers re-checked --
         modified: List[int] = []
         for i in range(n_blk):
             vm = blk[i]
-            fits_row = np.empty(n_act, dtype=bool)
-            fits_row[:base] = sure0[i]
-            if n_act > base:
-                fits_row[base:] = False  # patched below via `modified`
+            row_pen = np.full(n_act, -np.inf)
+            row_pen[:base] = pen0[i]
             band = np.flatnonzero(may0[i])
             if modified:
                 band = band[~is_mod[band]]
@@ -355,11 +371,23 @@ def _allocate_2d_fast(
                 band = np.concatenate([band, m_ids])
             if band.size:
                 aggb = served_cat[band] + patt_cat[vm]
-                fits_row[band] = (
-                    aggb.reshape(-1, 2, k).max(axis=2) <= eps_caps
-                ).all(axis=1)
-            idx = np.flatnonzero(fits_row)
-            if idx.size == 0:
+                row_pen[band] = np.where(
+                    (aggb.reshape(-1, 2, k).max(axis=2) <= eps_caps).all(
+                        axis=1
+                    ),
+                    0.0,
+                    -np.inf,
+                )
+            # Scoreable set = fitting servers with the redundant empties
+            # penalized away (every fitting empty ties the representative
+            # at merit exactly 0, and if any empty fits the lowest-index
+            # one — the representative — fits too).  Positions ascend, so
+            # argmax tie-breaks match the reference's lowest-index pick.
+            scoreable = row_pen + empty_pen[:n_act]
+            idx_eval = np.flatnonzero(scoreable == 0.0)
+            if idx_eval.size == 0:
+                # No server fits (the representative stands in for all
+                # empties, so this covers the whole fleet).
                 if n_act < fleet_bound:
                     plans.append(
                         ServerPlan(
@@ -374,20 +402,11 @@ def _allocate_2d_fast(
                 else:
                     unplaced.append(vm)
                 continue
-            # Evaluation set: fitting non-empty servers, plus the first
-            # empty server as the representative of all tied empties.
-            # (If any empty server fits, they all do, and the lowest id
-            # is exactly the one an index-order argmax would pick; the
-            # reference scores the full fitting set, but every dropped
-            # empty ties the representative at merit exactly 0.)
-            idx_eval = idx[nonempty[idx]]
-            first_empty_fits = bool(
-                empty_ptr < n_act and fits_row[empty_ptr]
-            )
-            n_eval = idx_eval.size + (1 if first_empty_fits else 0)
-            if 6 * n_eval >= n_act:
+            if 6 * idx_eval.size >= n_act:
                 # Wide evaluation set: run the phi/Dist kernel on the
-                # contiguous views and mask instead of gathering.
+                # contiguous views; adding the penalty vector replaces
+                # the boolean-mask assembly (finite + 0.0 is unchanged,
+                # everything else drops to -inf).
                 dcm = np.einsum(
                     "srk,rk->rs",
                     served_cat[:n_act].reshape(n_act, 2, k),
@@ -404,17 +423,13 @@ def _allocate_2d_fast(
                 np.maximum(dm_, _DIST_FLOOR, out=dm_)
                 um /= dm_
                 merit = um[0] + um[1]
-                eval_mask = fits_row & nonempty[:n_act]
-                if first_empty_fits:
-                    eval_mask[empty_ptr] = True
-                merit[~eval_mask] = -np.inf
+                merit += scoreable
                 j = int(np.argmax(merit))
                 place(vm, j, float(dcm[0, j]), float(dcm[1, j]))
             else:
-                if first_empty_fits:
-                    ins = int(np.searchsorted(idx_eval, empty_ptr))
-                    idx_eval = np.insert(idx_eval, ins, empty_ptr)
-                # The incremental phi/Dist kernel over the gathered set:
+                # The incremental phi/Dist kernel over the gathered set
+                # (idx_eval already lists the scoreable positions in
+                # ascending order, representative empty included):
                 # dot(S, U-mean(U)) feeds the Pearson numerator and the
                 # distance cross term at once.
                 dcm = (

@@ -4,8 +4,10 @@ Implements the paper's Section VI-C evaluation protocol over the trace,
 forecast, policy and power substrates.
 """
 
+from .cloud import CloudSimulation, run_cloud_policies
 from .engine import (
     DataCenterSimulation,
+    MigrationCounter,
     count_migrations,
     run_policies,
     shared_predictions,
@@ -27,8 +29,11 @@ from .reporting import (
 )
 
 __all__ = [
+    "CloudSimulation",
     "DataCenterSimulation",
+    "MigrationCounter",
     "SimulationResult",
+    "run_cloud_policies",
     "SlotDetail",
     "SlotRecord",
     "VectorizedServerPower",

@@ -1,0 +1,293 @@
+"""Online cloud simulation: time-varying VM populations under churn.
+
+:class:`CloudSimulation` extends the Section VI-C engine to a cloud
+where VMs arrive, resize and depart mid-horizon (see
+:mod:`repro.traces.lifecycle`):
+
+* allocation windows are **cut at membership/resize boundaries** — a
+  day-ahead policy's 24-slot window ends early when the population
+  changes, exactly when a real operator would have to react;
+* the policy sees a :class:`~repro.core.online.CloudAllocationContext`
+  covering only the window's active VMs (global ids attached, previous
+  slot's observed utilization for reactive detectors), so the paper's
+  day-ahead policies and the stateful online policies run head-to-head
+  on identical information;
+* accounting reuses the engine's window-batched bincount scatter with
+  the membership rows as the scatter's VM set — bit-identical to the
+  per-slot reference (``window_batch=False``), which stays the oracle;
+* migrations are counted only over VMs present on *both* sides of a
+  boundary (arrivals and departures are not migrations) and can be
+  charged via ``migration_energy_j`` as in the base engine.
+
+With a zero-churn :func:`~repro.traces.lifecycle.fixed_schedule` the
+simulation reproduces the fixed-population
+:class:`~repro.dcsim.engine.DataCenterSimulation` results exactly — the
+equivalence the cloud test-suite asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..core.online import CloudAllocationContext, OnlinePolicy
+from ..core.types import AllocationPolicy
+from ..errors import ConfigurationError
+from ..traces.dataset import TraceDataset
+from ..traces.lifecycle import LifecycleSchedule
+from ..units import SAMPLES_PER_SLOT
+from .engine import DataCenterSimulation, count_migrations, shared_predictions
+from .metrics import SimulationResult, SlotRecord
+
+
+class CloudSimulation(DataCenterSimulation):
+    """Simulates one policy over churning traces (see module docstring).
+
+    Args:
+        dataset: utilization traces for the whole VM *pool* (rows for
+            VMs that have not arrived yet are simply unused).
+        predictor: shared day-ahead predictor (as in the base engine).
+        policy: a day-ahead :class:`AllocationPolicy` or a stateful
+            :class:`~repro.core.online.OnlinePolicy`.
+        schedule: the VM lifecycle (arrivals/departures/resizes); must
+            cover the dataset's VM pool and the simulated horizon.
+        **kwargs: forwarded to :class:`DataCenterSimulation`.
+    """
+
+    def __init__(
+        self,
+        dataset: TraceDataset,
+        predictor,
+        policy: AllocationPolicy,
+        schedule: LifecycleSchedule,
+        **kwargs,
+    ):
+        super().__init__(dataset, predictor, policy, **kwargs)
+        if schedule.n_vms != dataset.n_vms:
+            raise ConfigurationError(
+                f"schedule covers {schedule.n_vms} VMs, dataset has "
+                f"{dataset.n_vms}"
+            )
+        end = self._start_slot + self._n_slots
+        if (
+            schedule.horizon_start > self._start_slot
+            or schedule.horizon_end < end
+        ):
+            raise ConfigurationError(
+                "lifecycle schedule does not cover the simulated horizon"
+            )
+        self._schedule = schedule
+
+    def run(self) -> SimulationResult:
+        """Simulate the horizon with the time-varying active set."""
+        if isinstance(self._policy, OnlinePolicy):
+            self._policy.reset()
+        result = SimulationResult(policy_name=self._policy.name)
+        period = max(1, int(self._policy.reallocation_period_slots))
+        sched = self._schedule
+        prev_ids: Optional[np.ndarray] = None
+        prev_map: Optional[np.ndarray] = None
+        slot = self._start_slot
+        end = self._start_slot + self._n_slots
+        while slot < end:
+            active = sched.active_ids(slot)
+            n_window = min(
+                period, end - slot, max(1, sched.next_change(slot) - slot)
+            )
+            arrivals = departures = 0
+            if prev_ids is not None:
+                arrivals = int(
+                    np.setdiff1d(active, prev_ids, assume_unique=True).size
+                )
+                departures = int(
+                    np.setdiff1d(prev_ids, active, assume_unique=True).size
+                )
+
+            if active.size == 0:
+                # Empty cloud: every server off, nothing to place.
+                records = [
+                    SlotRecord(
+                        slot_index=s,
+                        case="",
+                        n_active_servers=0,
+                        violations=0,
+                        forced_placements=0,
+                        energy_j=0.0,
+                        mean_freq_ghz=0.0,
+                        f_opt_ghz=0.0,
+                    )
+                    for s in range(slot, slot + n_window)
+                ]
+                prev_ids = active
+                prev_map = np.empty(0, dtype=int)
+            else:
+                scale = sched.scale_at(slot)
+                scale_loc = (
+                    None
+                    if scale is None
+                    else (scale[0][active], scale[1][active])
+                )
+                ctx = self._cloud_context(slot, n_window, active, scale_loc)
+                allocation = self._policy.allocate(ctx)
+                acct = self._prepare_allocation(
+                    allocation, vm_rows=active, scale=scale_loc
+                )
+                migrations = 0
+                if prev_ids is not None and prev_ids.size:
+                    # Only VMs present on both sides of the boundary can
+                    # migrate; the membership change invalidates any
+                    # cached sort, so the stateless counter is used.
+                    common, ia, ib = np.intersect1d(
+                        prev_ids,
+                        active,
+                        assume_unique=True,
+                        return_indices=True,
+                    )
+                    if common.size:
+                        migrations = count_migrations(
+                            prev_map[ia], acct.vm2srv[ib]
+                        )
+                if self._window_batch:
+                    records = self._account_window(
+                        slot, n_window, allocation, acct, migrations
+                    )
+                else:
+                    records = [
+                        self._account_slot(
+                            s,
+                            allocation,
+                            acct,
+                            migrations if s == slot else 0,
+                        )
+                        for s in range(slot, slot + n_window)
+                    ]
+                prev_ids = active
+                prev_map = acct.vm2srv
+
+            result.records.extend(
+                replace(
+                    rec,
+                    n_active_vms=int(active.size),
+                    arrivals=arrivals if i == 0 else 0,
+                    departures=departures if i == 0 else 0,
+                )
+                for i, rec in enumerate(records)
+            )
+            slot += n_window
+        return result
+
+    # -- internals ----------------------------------------------------------
+
+    def _cloud_context(
+        self,
+        slot: int,
+        n_window: int,
+        active: np.ndarray,
+        scale_loc,
+    ) -> CloudAllocationContext:
+        """Window context restricted to the active VMs (global ids kept)."""
+        pred_cpu, pred_mem = self._window_predictions(
+            slot, slot + n_window, vm_rows=active, scale=scale_loc
+        )
+        last_cpu, last_mem = self._last_observed(slot, active)
+        return CloudAllocationContext(
+            pred_cpu=pred_cpu,
+            pred_mem=pred_mem,
+            power_model=self._power,
+            max_servers=self._max_servers,
+            qos_floor_ghz=self._vm_floor_ghz[active],
+            vm_ids=active,
+            last_cpu=last_cpu,
+            last_mem=last_mem,
+        )
+
+    def _last_observed(self, slot: int, active: np.ndarray):
+        """Previous slot's actual utilization; NaN rows without history.
+
+        Scaled with the resize factors in force *during* that slot —
+        what a monitoring system would actually have recorded — not the
+        current window's factors.
+        """
+        prev = slot - 1
+        if prev < 0:
+            return None, None
+        lo = prev * SAMPLES_PER_SLOT
+        hi = lo + SAMPLES_PER_SLOT
+        last_cpu = self._dataset.cpu_pct[active, lo:hi].copy()
+        last_mem = self._dataset.mem_pct[active, lo:hi].copy()
+        scale_prev = self._schedule.scale_at(prev)
+        if scale_prev is not None:
+            last_cpu *= scale_prev[0][active][:, None]
+            last_mem *= scale_prev[1][active][:, None]
+        ran = self._schedule.active_mask(prev)[active]
+        last_cpu[~ran] = np.nan
+        last_mem[~ran] = np.nan
+        return last_cpu, last_mem
+
+
+def _run_one_cloud_policy(
+    dataset: TraceDataset,
+    predictor,
+    policy: AllocationPolicy,
+    schedule: LifecycleSchedule,
+    kwargs: Dict,
+) -> SimulationResult:
+    """Worker entry point: one policy's full cloud run (picklable)."""
+    return CloudSimulation(
+        dataset, predictor, policy, schedule, **kwargs
+    ).run()
+
+
+def run_cloud_policies(
+    dataset: TraceDataset,
+    predictor,
+    policies: Iterable[AllocationPolicy],
+    schedule: LifecycleSchedule,
+    jobs: int = 1,
+    **kwargs,
+) -> Dict[str, SimulationResult]:
+    """Run several policies over the same churning traces.
+
+    The cloud counterpart of :func:`repro.dcsim.engine.run_policies`:
+    with ``jobs > 1`` the policies fan out over a
+    ``ProcessPoolExecutor`` with the day-ahead predictions frozen once
+    (:func:`shared_predictions`), so workers re-fit nothing and results
+    equal the serial run exactly (online policies are reset per run).
+    """
+    policy_list = list(policies)
+    if jobs is None or jobs <= 1 or len(policy_list) <= 1:
+        results: Dict[str, SimulationResult] = {}
+        for policy in policy_list:
+            sim = CloudSimulation(
+                dataset, predictor, policy, schedule, **kwargs
+            )
+            results[policy.name] = sim.run()
+        return results
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    shared = shared_predictions(
+        dataset,
+        predictor,
+        start_slot=kwargs.get("start_slot"),
+        n_slots=kwargs.get("n_slots"),
+    )
+    workers = min(jobs, len(policy_list))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(
+                _run_one_cloud_policy,
+                dataset,
+                shared,
+                policy,
+                schedule,
+                kwargs,
+            )
+            for policy in policy_list
+        ]
+        return {
+            policy.name: future.result()
+            for policy, future in zip(policy_list, futures)
+        }

@@ -76,7 +76,7 @@ class _AllocationAccounting:
     """Invariants of one allocation, shared by all slots it covers.
 
     Attributes:
-        vm2srv: dense VM -> server map.
+        vm2srv: dense VM -> server map (over the covered VMs).
         n_srv: number of planned servers.
         active: per-server "hosts at least one VM" mask.
         floors: per-server QoS frequency floor (max over hosted VMs).
@@ -86,6 +86,15 @@ class _AllocationAccounting:
             cell, for the bincount scatter.
         class_flat: the same indices restricted to each memory class
             (``None`` for classes with no VMs).
+        class_masks: per-memory-class VM masks over the covered VMs.
+        vm_rows: global dataset row per covered VM, or ``None`` when the
+            allocation covers the whole fleet (the fixed-population
+            engine).  The online cloud engine passes the window's active
+            VM ids here; all accounting then reads/aggregates only those
+            trace rows.
+        scale_cpu: per-covered-VM CPU utilization factor (resizes), or
+            ``None`` for unscaled traces.
+        scale_mem: per-covered-VM memory utilization factor, or ``None``.
     """
 
     vm2srv: np.ndarray
@@ -95,6 +104,10 @@ class _AllocationAccounting:
     opp_idx_fixed: Optional[np.ndarray]
     flat_idx: np.ndarray
     class_flat: List[Optional[np.ndarray]]
+    class_masks: List[np.ndarray]
+    vm_rows: Optional[np.ndarray] = None
+    scale_cpu: Optional[np.ndarray] = None
+    scale_mem: Optional[np.ndarray] = None
 
 
 class DataCenterSimulation:
@@ -230,16 +243,13 @@ class DataCenterSimulation:
         """
         result = SimulationResult(policy_name=self._policy.name)
         period = max(1, int(self._policy.reallocation_period_slots))
-        previous_map: Optional[np.ndarray] = None
+        counter = MigrationCounter()
         slot = self._start_slot
         end = self._start_slot + self._n_slots
         while slot < end:
             allocation = self._allocate_window(slot, period)
             acct = self._prepare_allocation(allocation)
-            migrations = 0
-            if previous_map is not None:
-                migrations = count_migrations(previous_map, acct.vm2srv)
-            previous_map = acct.vm2srv
+            migrations = counter.update(acct.vm2srv)
             n_window = min(period, end - slot)
             if self._window_batch:
                 result.records.extend(
@@ -262,6 +272,38 @@ class DataCenterSimulation:
 
     # -- internals ----------------------------------------------------------
 
+    def _window_predictions(
+        self,
+        slot: int,
+        end: int,
+        vm_rows: Optional[np.ndarray] = None,
+        scale: Optional[tuple] = None,
+    ):
+        """The window's predicted patterns, one hstacked pair.
+
+        Shared by the fixed-population context assembly and the cloud
+        engine's (rows/scale restricted) one, so both feed policies the
+        same arrays.
+        """
+        cpu_parts, mem_parts = [], []
+        for s in range(slot, end):
+            pred_cpu, pred_mem = self._predictor.predicted_slot(s)
+            if vm_rows is not None:
+                pred_cpu = pred_cpu[vm_rows]
+                pred_mem = pred_mem[vm_rows]
+            cpu_parts.append(pred_cpu)
+            mem_parts.append(pred_mem)
+        pred_cpu = (
+            np.hstack(cpu_parts) if len(cpu_parts) > 1 else cpu_parts[0]
+        )
+        pred_mem = (
+            np.hstack(mem_parts) if len(mem_parts) > 1 else mem_parts[0]
+        )
+        if scale is not None:
+            pred_cpu = pred_cpu * scale[0][:, None]
+            pred_mem = pred_mem * scale[1][:, None]
+        return pred_cpu, pred_mem
+
     def _allocate_window(self, slot: int, period: int) -> Allocation:
         """Ask the policy to pack against the window's predicted patterns."""
         end = min(
@@ -269,18 +311,10 @@ class DataCenterSimulation:
             self._start_slot + self._n_slots,
             self._dataset.n_slots,
         )
-        cpu_parts, mem_parts = [], []
-        for s in range(slot, end):
-            pred_cpu, pred_mem = self._predictor.predicted_slot(s)
-            cpu_parts.append(pred_cpu)
-            mem_parts.append(pred_mem)
+        pred_cpu, pred_mem = self._window_predictions(slot, end)
         ctx = AllocationContext(
-            pred_cpu=(
-                np.hstack(cpu_parts) if len(cpu_parts) > 1 else cpu_parts[0]
-            ),
-            pred_mem=(
-                np.hstack(mem_parts) if len(mem_parts) > 1 else mem_parts[0]
-            ),
+            pred_cpu=pred_cpu,
+            pred_mem=pred_mem,
             power_model=self._power,
             max_servers=self._max_servers,
             qos_floor_ghz=self._vm_floor_ghz,
@@ -288,10 +322,30 @@ class DataCenterSimulation:
         return self._policy.allocate(ctx)
 
     def _prepare_allocation(
-        self, allocation: Allocation
+        self,
+        allocation: Allocation,
+        vm_rows: Optional[np.ndarray] = None,
+        scale: Optional[tuple] = None,
     ) -> "_AllocationAccounting":
-        """Hoist allocation-dependent invariants out of the slot loop."""
-        n_vms = self._dataset.n_vms
+        """Hoist allocation-dependent invariants out of the slot loop.
+
+        Args:
+            allocation: the policy's placement for the window.
+            vm_rows: optional global dataset rows covered by the
+                allocation (the cloud engine's active VM set, in the
+                same order the allocation's local ids index).  ``None``
+                means the full fleet, exactly the seed behaviour.
+            scale: optional ``(cpu, mem)`` per-covered-VM utilization
+                factors (resize events).
+        """
+        if vm_rows is None:
+            n_vms = self._dataset.n_vms
+            vm_floors = self._vm_floor_ghz
+            class_masks = self._class_masks
+        else:
+            n_vms = int(vm_rows.shape[0])
+            vm_floors = self._vm_floor_ghz[vm_rows]
+            class_masks = [mask[vm_rows] for mask in self._class_masks]
         n_samples = SAMPLES_PER_SLOT
         vm2srv = allocation.vm_to_server(n_vms)
         n_srv = len(allocation.plans)
@@ -302,7 +356,7 @@ class DataCenterSimulation:
 
         # Per-server QoS frequency floor = max floor of hosted VMs.
         floors = np.full(n_srv, self._power.spec.opps.f_min_ghz)
-        np.maximum.at(floors, vm2srv, self._vm_floor_ghz)
+        np.maximum.at(floors, vm2srv, vm_floors)
 
         if allocation.dynamic_governor:
             opp_idx_fixed = None
@@ -326,8 +380,9 @@ class DataCenterSimulation:
             flat_idx.reshape(n_vms, n_samples)[mask].ravel()
             if mask.any()
             else None
-            for mask in self._class_masks
+            for mask in class_masks
         ]
+        scale_cpu, scale_mem = scale if scale is not None else (None, None)
         return _AllocationAccounting(
             vm2srv=vm2srv,
             n_srv=n_srv,
@@ -336,6 +391,10 @@ class DataCenterSimulation:
             opp_idx_fixed=opp_idx_fixed,
             flat_idx=flat_idx,
             class_flat=class_flat,
+            class_masks=class_masks,
+            vm_rows=vm_rows,
+            scale_cpu=scale_cpu,
+            scale_mem=scale_mem,
         )
 
     def _account_slot(
@@ -346,7 +405,16 @@ class DataCenterSimulation:
         migrations: int = 0,
     ) -> SlotRecord:
         n_srv = acct.n_srv
-        real_cpu, real_mem = self._dataset.slot_slice(slot)
+        if acct.vm_rows is None:
+            real_cpu, real_mem = self._dataset.slot_slice(slot)
+        else:
+            lo = slot * SAMPLES_PER_SLOT
+            hi = lo + SAMPLES_PER_SLOT
+            real_cpu = self._dataset.cpu_pct[acct.vm_rows, lo:hi]
+            real_mem = self._dataset.mem_pct[acct.vm_rows, lo:hi]
+        if acct.scale_cpu is not None:
+            real_cpu = real_cpu * acct.scale_cpu[:, None]
+            real_mem = real_mem * acct.scale_mem[:, None]
         n_samples = real_cpu.shape[1]
         n_bins = n_srv * n_samples
 
@@ -359,8 +427,8 @@ class DataCenterSimulation:
             acct.flat_idx, weights=real_mem.ravel(), minlength=n_bins
         ).reshape(n_srv, n_samples)
 
-        util_by_class = np.zeros((len(self._class_masks), n_srv, n_samples))
-        for ci, mask in enumerate(self._class_masks):
+        util_by_class = np.zeros((len(acct.class_masks), n_srv, n_samples))
+        for ci, mask in enumerate(acct.class_masks):
             flat = acct.class_flat[ci]
             if flat is not None:
                 util_by_class[ci] = np.bincount(
@@ -444,16 +512,25 @@ class DataCenterSimulation:
         emitted records are bit-identical to the per-slot reference.
         """
         n_srv = acct.n_srv
-        n_vms = self._dataset.n_vms
         sps = SAMPLES_PER_SLOT
         lo = first_slot * sps
         hi = (first_slot + n_window) * sps
-        real_cpu = self._dataset.cpu_pct[:, lo:hi].reshape(
-            n_vms, n_window, sps
-        )
-        real_mem = self._dataset.mem_pct[:, lo:hi].reshape(
-            n_vms, n_window, sps
-        )
+        if acct.vm_rows is None:
+            n_vms = self._dataset.n_vms
+            real_cpu = self._dataset.cpu_pct[:, lo:hi]
+            real_mem = self._dataset.mem_pct[:, lo:hi]
+        else:
+            n_vms = int(acct.vm_rows.shape[0])
+            real_cpu = self._dataset.cpu_pct[acct.vm_rows, lo:hi]
+            real_mem = self._dataset.mem_pct[acct.vm_rows, lo:hi]
+        if acct.scale_cpu is not None:
+            # Scaling before the per-slot reshape applies the same
+            # elementwise multiply the per-slot path performs, keeping
+            # the scatter inputs (hence all sums) bit-identical.
+            real_cpu = real_cpu * acct.scale_cpu[:, None]
+            real_mem = real_mem * acct.scale_mem[:, None]
+        real_cpu = real_cpu.reshape(n_vms, n_window, sps)
+        real_mem = real_mem.reshape(n_vms, n_window, sps)
         n_bins = n_window * n_srv * sps
 
         # Flattened (slot, server, sample) bin per (VM, slot, sample)
@@ -472,9 +549,9 @@ class DataCenterSimulation:
         ).reshape(n_window, n_srv, sps)
 
         util_by_class = np.zeros(
-            (len(self._class_masks), n_window, n_srv, sps)
+            (len(acct.class_masks), n_window, n_srv, sps)
         )
-        for ci, mask in enumerate(self._class_masks):
+        for ci, mask in enumerate(acct.class_masks):
             if acct.class_flat[ci] is not None:
                 util_by_class[ci] = np.bincount(
                     flat[mask].ravel(),
@@ -577,7 +654,17 @@ def count_migrations(
     overlap = counts[nz]
     old_ids = nz // n_new
     new_ids = nz % n_new
-    # Same key as the reference sort: (-count, old, new).
+    return n_vms - _greedy_kept(overlap, old_ids, new_ids)
+
+
+def _greedy_kept(
+    overlap: np.ndarray, old_ids: np.ndarray, new_ids: np.ndarray
+) -> int:
+    """VMs kept in place by greedy (old, new) server matching.
+
+    Pairs are visited by the reference sort key ``(-count, old, new)``;
+    each old and new server is matched at most once.
+    """
     order = np.lexsort((new_ids, old_ids, -overlap))
     used_old = set()
     used_new = set()
@@ -589,7 +676,66 @@ def count_migrations(
             used_old.add(o)
             used_new.add(nw)
             kept += int(overlap[t])
-    return n_vms - kept
+    return kept
+
+
+class MigrationCounter:
+    """Stateful :func:`count_migrations` over consecutive reallocations.
+
+    The engine counts migrations between every pair of consecutive
+    allocations, so the "old" map of each call is exactly the "new" map
+    of the previous one.  This counter carries that map's **sorted
+    grouping** (stable argsort + sorted copy) across calls: per
+    reallocation it only sorts combined (old, new) pair codes whose high
+    bits are already grouped by the cached order, run-length-encodes the
+    non-zero overlap pairs, and applies the same greedy matching as
+    :func:`count_migrations`.  Unlike the dense pair histogram, the work
+    never scales with ``n_old * n_new`` — only with the fleet size — and
+    the old map is never re-sorted.
+
+    Counts are identical to calling :func:`count_migrations` on each
+    consecutive map pair (same pair multiset, same greedy order);
+    ``_count_migrations_reference`` remains the seed oracle.
+    """
+
+    __slots__ = ("_order", "_sorted", "_n_vms")
+
+    def __init__(self) -> None:
+        self._order: Optional[np.ndarray] = None
+        self._sorted: Optional[np.ndarray] = None
+        self._n_vms: Optional[int] = None
+
+    def update(self, new_map: np.ndarray) -> int:
+        """Count migrations vs the previous map, then adopt ``new_map``.
+
+        The first call primes the state and returns 0 (no previous
+        allocation to migrate from).
+        """
+        new_map = np.asarray(new_map)
+        if self._n_vms is not None and new_map.shape != (self._n_vms,):
+            raise ConfigurationError(
+                "assignment maps must cover the same VMs"
+            )
+        n_vms = int(new_map.shape[0])
+        migrations = 0
+        if self._order is not None and n_vms > 0:
+            n_new = int(new_map.max()) + 1
+            # High bits (old server) are pre-grouped by the cached sort;
+            # one sort of the combined codes yields contiguous pair runs.
+            codes = self._sorted * n_new + new_map[self._order]
+            codes.sort()
+            starts = np.concatenate(
+                ([0], np.flatnonzero(codes[1:] != codes[:-1]) + 1)
+            )
+            overlap = np.diff(np.concatenate((starts, [codes.shape[0]])))
+            uniq = codes[starts]
+            migrations = n_vms - _greedy_kept(
+                overlap, uniq // n_new, uniq % n_new
+            )
+        self._n_vms = n_vms
+        self._order = np.argsort(new_map, kind="stable")
+        self._sorted = new_map[self._order]
+        return migrations
 
 
 def _count_migrations_reference(

@@ -37,6 +37,13 @@ class SlotRecord:
             paper ignores migration cost; the engine counts it so the
             churn of dynamic policies is visible (and can optionally be
             charged, see ``DataCenterSimulation``).
+        n_active_vms: VMs running during the slot.  The fixed-population
+            engine leaves the default 0 ("not tracked"); the cloud
+            engine fills it per window.
+        arrivals: VMs that arrived at this slot's window boundary
+            (cloud engine only; 0 inside a window).
+        departures: VMs that departed at this slot's window boundary
+            (cloud engine only; 0 inside a window).
     """
 
     slot_index: int
@@ -48,6 +55,9 @@ class SlotRecord:
     mean_freq_ghz: float
     f_opt_ghz: float
     migrations: int = 0
+    n_active_vms: int = 0
+    arrivals: int = 0
+    departures: int = 0
 
     @property
     def energy_mj(self) -> float:
@@ -117,6 +127,21 @@ class SimulationResult:
     def migrations_per_slot(self) -> np.ndarray:
         """Migration counts per slot (non-zero at reallocation points)."""
         return np.array([r.migrations for r in self.records], dtype=int)
+
+    @property
+    def active_vms_per_slot(self) -> np.ndarray:
+        """Running VMs per slot (all zeros for fixed-population runs)."""
+        return np.array([r.n_active_vms for r in self.records], dtype=int)
+
+    @property
+    def total_arrivals(self) -> int:
+        """Total VM arrivals over the horizon (cloud runs)."""
+        return int(sum(r.arrivals for r in self.records))
+
+    @property
+    def total_departures(self) -> int:
+        """Total VM departures over the horizon (cloud runs)."""
+        return int(sum(r.departures for r in self.records))
 
     def case_counts(self) -> dict:
         """How many slots used each EPACT case (empty for baselines)."""

@@ -15,7 +15,7 @@ import argparse
 import sys
 from typing import Callable, Dict
 
-from . import fig1, fig2, fig3, fig456, fig7, table1
+from . import cloud, fig1, fig2, fig3, fig456, fig7, table1
 
 
 def _run_table1(full: bool, jobs: int) -> str:
@@ -42,6 +42,10 @@ def _run_fig7(full: bool, jobs: int) -> str:
     return fig7.render(fig7.run_fig7(quick=not full, jobs=jobs))
 
 
+def _run_cloud(full: bool, jobs: int) -> str:
+    return cloud.render(cloud.run_cloud(quick=not full, jobs=jobs))
+
+
 def _run_thunderx(full: bool, jobs: int) -> str:
     from . import thunderx
 
@@ -61,6 +65,7 @@ EXPERIMENTS: Dict[str, Callable[[bool, int], str]] = {
     "fig3": _run_fig3,
     "fig456": _run_fig456,
     "fig7": _run_fig7,
+    "cloud": _run_cloud,
     "thunderx": _run_thunderx,
     "validate": _run_validate,
 }
@@ -99,8 +104,9 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help=(
             "worker processes for the data-center experiments: fig456 "
-            "fans its policies and fig7 its sweep points over a process "
-            "pool, sharing the day-ahead predictions (default: serial)"
+            "fans its policies, fig7 its sweep points and cloud its "
+            "(scenario, policy) pairs over a process pool, sharing the "
+            "day-ahead predictions (default: serial)"
         ),
     )
     args = parser.parse_args(argv)

@@ -13,12 +13,20 @@ from .generator import (
     memory_heavy_dataset,
 )
 from .io import load_dataset, save_dataset
+from .lifecycle import (
+    ChurnConfig,
+    LifecycleSchedule,
+    fixed_schedule,
+    generate_lifecycle,
+)
 from .patterns import ar1_noise, burst_events, diurnal_profile, weekly_modulation
 from .vm import VmSpec, VmTrace
 
 __all__ = [
+    "ChurnConfig",
     "ClusterTraceGenerator",
     "GeneratorConfig",
+    "LifecycleSchedule",
     "TraceDataset",
     "VmSpec",
     "VmTrace",
@@ -26,6 +34,8 @@ __all__ = [
     "burst_events",
     "default_dataset",
     "diurnal_profile",
+    "fixed_schedule",
+    "generate_lifecycle",
     "load_dataset",
     "memory_heavy_dataset",
     "save_dataset",

@@ -1,0 +1,414 @@
+"""VM lifecycle model: arrivals, departures and resizes over a horizon.
+
+The paper's Section VI-C evaluation consolidates a *fixed* VM
+population; a production cloud is dominated by churn.  This module
+provides the lifecycle substrate of the ``repro.cloud`` subsystem:
+
+* a :class:`LifecycleSchedule` — per-VM arrival and departure slots plus
+  optional resize events, with the membership / change-point queries the
+  online engine needs (``active_ids``, ``next_change``, ``scale_at``);
+* :func:`generate_lifecycle` — a seeded generator producing Poisson
+  arrivals (optionally diurnally modulated, with flash-crowd spikes),
+  heavy-tailed lognormal lifetimes, an optional short-lived "batch"
+  sub-population, and Poisson resize events;
+* :func:`fixed_schedule` — the zero-churn degenerate case (every VM
+  active for the whole horizon), which must reproduce the fixed-
+  population engine exactly.
+
+All randomness flows through one ``numpy`` Generator in a fixed draw
+order, so a given ``(config, n_vms, horizon, seed)`` always produces the
+identical schedule — the determinism the cloud tests assert.
+
+Arrivals and departures happen at slot boundaries (the paper's 1-hour
+allocation grid): a VM with ``arrival_slot == a`` and ``departure_slot
+== d`` is active for slots ``a <= slot < d``.  A resize event at slot
+``s`` rescales the VM's CPU/memory trace (and its forecasts) from ``s``
+onward until the next event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, DomainError
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Knobs of the lifecycle generator.
+
+    Attributes:
+        initial_fraction: fraction of the VM pool already running at the
+            first horizon slot.
+        arrival_rate_frac: mean arrivals per slot as a fraction of the
+            pool size (Poisson; ``0.005`` at 600 VMs = 3 VMs/hour).
+        lifetime_mean_slots: mean VM lifetime in slots.
+        lifetime_sigma: lognormal shape parameter; larger values give the
+            heavy tail of real cloud lifetimes.
+        arrival_diurnal_amplitude: 0..1 modulation of the arrival rate
+            over the day (peak at midday, trough at night).
+        flash_slots: horizon-relative slots receiving an arrival burst.
+        flash_arrivals: extra arrivals injected at each flash slot.
+        short_lived_fraction: fraction of arriving VMs drawn from the
+            short-lived "batch" sub-population.
+        short_lifetime_mean_slots: mean lifetime of that sub-population.
+        resize_rate_per_slot: per-VM Poisson rate of resize events per
+            active slot.
+        resize_range: uniform range of resize factors (applied to both
+            CPU and memory utilization from the event slot onward).
+    """
+
+    initial_fraction: float = 0.6
+    arrival_rate_frac: float = 0.004
+    lifetime_mean_slots: float = 48.0
+    lifetime_sigma: float = 0.9
+    arrival_diurnal_amplitude: float = 0.0
+    flash_slots: Tuple[int, ...] = ()
+    flash_arrivals: int = 0
+    short_lived_fraction: float = 0.0
+    short_lifetime_mean_slots: float = 6.0
+    resize_rate_per_slot: float = 0.0
+    resize_range: Tuple[float, float] = (0.6, 1.5)
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.initial_fraction <= 1.0):
+            raise ConfigurationError("initial_fraction must be in [0, 1]")
+        if self.arrival_rate_frac < 0.0:
+            raise ConfigurationError("arrival_rate_frac must be >= 0")
+        if self.lifetime_mean_slots <= 0.0:
+            raise ConfigurationError("lifetime_mean_slots must be > 0")
+        if self.lifetime_sigma < 0.0:
+            raise ConfigurationError("lifetime_sigma must be >= 0")
+        if not (0.0 <= self.arrival_diurnal_amplitude <= 1.0):
+            raise ConfigurationError(
+                "arrival_diurnal_amplitude must be in [0, 1]"
+            )
+        if self.flash_arrivals < 0:
+            raise ConfigurationError("flash_arrivals must be >= 0")
+        if not (0.0 <= self.short_lived_fraction <= 1.0):
+            raise ConfigurationError(
+                "short_lived_fraction must be in [0, 1]"
+            )
+        if self.resize_rate_per_slot < 0.0:
+            raise ConfigurationError("resize_rate_per_slot must be >= 0")
+        lo, hi = self.resize_range
+        if not (0.0 < lo <= hi):
+            raise ConfigurationError("resize_range must be 0 < lo <= hi")
+
+
+class LifecycleSchedule:
+    """Per-VM arrival/departure slots plus resize events over a horizon.
+
+    Args:
+        arrival_slot: per-VM first active slot, length ``n_vms``.  VMs
+            that never run carry ``arrival_slot == departure_slot``.
+        departure_slot: per-VM first slot *after* the VM leaves
+            (exclusive bound).
+        horizon_start: first slot of the simulated horizon.
+        horizon_end: one past the last simulated slot.
+        resize_events: optional ``(vm_id, slot, cpu_factor, mem_factor)``
+            tuples; each replaces the VM's scale factors from ``slot``
+            onward.
+    """
+
+    def __init__(
+        self,
+        arrival_slot: np.ndarray,
+        departure_slot: np.ndarray,
+        horizon_start: int,
+        horizon_end: int,
+        resize_events: Sequence[Tuple[int, int, float, float]] = (),
+    ):
+        arrival = np.asarray(arrival_slot, dtype=np.int64)
+        departure = np.asarray(departure_slot, dtype=np.int64)
+        if arrival.ndim != 1 or arrival.shape != departure.shape:
+            raise ConfigurationError(
+                "arrival and departure must be equal-length 1-D arrays"
+            )
+        if horizon_end <= horizon_start:
+            raise ConfigurationError("horizon must cover at least one slot")
+        if np.any(departure < arrival):
+            raise ConfigurationError("departure_slot precedes arrival_slot")
+        self._arrival = arrival
+        self._departure = departure
+        self._start = int(horizon_start)
+        self._end = int(horizon_end)
+        self._events = sorted(
+            (int(vm), int(slot), float(fc), float(fm))
+            for vm, slot, fc, fm in resize_events
+        )
+        for vm, slot, fc, fm in self._events:
+            if not (0 <= vm < arrival.shape[0]):
+                raise ConfigurationError(f"resize vm {vm} out of range")
+            if fc <= 0.0 or fm <= 0.0:
+                raise ConfigurationError("resize factors must be positive")
+        self._change_slots = self._build_change_slots()
+        self._scale_snapshots = self._build_scale_snapshots()
+
+    # -- construction helpers ------------------------------------------------
+
+    def _build_change_slots(self) -> np.ndarray:
+        """Sorted unique slots (within the horizon) where membership or
+        scale changes — the online engine cuts windows at these points.
+
+        VMs with ``arrival == departure`` never run and contribute no
+        change points.
+        """
+        lives = self._departure > self._arrival
+        points: List[int] = []
+        for arr in (self._arrival[lives], self._departure[lives]):
+            inside = arr[(arr > self._start) & (arr < self._end)]
+            points.extend(int(s) for s in inside)
+        points.extend(
+            slot
+            for _, slot, _, _ in self._events
+            if self._start < slot < self._end
+        )
+        return np.unique(np.asarray(points, dtype=np.int64))
+
+    def _build_scale_snapshots(self):
+        """Per-change-slot full scale vectors (copy-on-write timeline)."""
+        if not self._events:
+            return None
+        n_vms = self._arrival.shape[0]
+        slots = sorted({slot for _, slot, _, _ in self._events})
+        cpu = np.ones(n_vms)
+        mem = np.ones(n_vms)
+        snapshots = []
+        by_slot: dict = {}
+        for vm, slot, fc, fm in self._events:
+            by_slot.setdefault(slot, []).append((vm, fc, fm))
+        for slot in slots:
+            cpu = cpu.copy()
+            mem = mem.copy()
+            for vm, fc, fm in by_slot[slot]:
+                cpu[vm] = fc
+                mem[vm] = fm
+            snapshots.append((cpu, mem))
+        return np.asarray(slots, dtype=np.int64), snapshots
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def n_vms(self) -> int:
+        """Size of the VM pool the schedule covers."""
+        return self._arrival.shape[0]
+
+    @property
+    def horizon_start(self) -> int:
+        """First slot of the horizon."""
+        return self._start
+
+    @property
+    def horizon_end(self) -> int:
+        """One past the last slot of the horizon."""
+        return self._end
+
+    @property
+    def arrival_slots(self) -> np.ndarray:
+        """Per-VM arrival slot (read-only view)."""
+        return self._arrival
+
+    @property
+    def departure_slots(self) -> np.ndarray:
+        """Per-VM departure slot, exclusive (read-only view)."""
+        return self._departure
+
+    @property
+    def has_resizes(self) -> bool:
+        """Whether any resize events exist."""
+        return bool(self._events)
+
+    @property
+    def resize_events(self) -> List[Tuple[int, int, float, float]]:
+        """Sorted ``(vm, slot, cpu_factor, mem_factor)`` events."""
+        return list(self._events)
+
+    # -- queries -------------------------------------------------------------
+
+    def active_mask(self, slot: int) -> np.ndarray:
+        """Boolean per-VM "is active during ``slot``" mask."""
+        return (self._arrival <= slot) & (slot < self._departure)
+
+    def active_ids(self, slot: int) -> np.ndarray:
+        """Sorted global ids of the VMs active during ``slot``."""
+        return np.flatnonzero(self.active_mask(slot))
+
+    def next_change(self, slot: int) -> int:
+        """First slot after ``slot`` where membership or scale changes.
+
+        Returns ``horizon_end`` when nothing changes any more — the
+        caller can always use it as an exclusive window bound.
+        """
+        idx = int(np.searchsorted(self._change_slots, slot, side="right"))
+        if idx >= self._change_slots.shape[0]:
+            return self._end
+        return int(self._change_slots[idx])
+
+    def scale_at(
+        self, slot: int
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Per-VM (cpu, mem) utilization scale factors active at ``slot``.
+
+        ``None`` when the schedule carries no resize events at all — the
+        engine then skips scaling entirely, keeping the zero-churn path
+        bit-identical to the fixed-population engine.
+        """
+        if self._scale_snapshots is None:
+            return None
+        slots, snapshots = self._scale_snapshots
+        idx = int(np.searchsorted(slots, slot, side="right")) - 1
+        if idx < 0:
+            n = self.n_vms
+            return np.ones(n), np.ones(n)
+        return snapshots[idx]
+
+    def churn_in(self, lo: int, hi: int) -> Tuple[int, int]:
+        """Arrivals and departures with slot in ``[lo, hi)``.
+
+        The initial population (``arrival == horizon_start``) and VMs
+        that never run are not counted as arrivals — churn is what
+        happens *after* the horizon opens.
+        """
+        lives = self._departure > self._arrival
+        arrivals = int(
+            (
+                lives
+                & (self._arrival >= lo)
+                & (self._arrival < hi)
+                & (self._arrival > self._start)
+            ).sum()
+        )
+        departures = int(
+            (
+                lives
+                & (self._departure >= lo)
+                & (self._departure < hi)
+            ).sum()
+        )
+        return arrivals, departures
+
+
+def fixed_schedule(
+    n_vms: int, horizon_start: int, horizon_end: int
+) -> LifecycleSchedule:
+    """Zero-churn schedule: every VM active over the whole horizon."""
+    if n_vms < 1:
+        raise DomainError("n_vms must be >= 1")
+    return LifecycleSchedule(
+        arrival_slot=np.full(n_vms, horizon_start, dtype=np.int64),
+        departure_slot=np.full(n_vms, horizon_end, dtype=np.int64),
+        horizon_start=horizon_start,
+        horizon_end=horizon_end,
+    )
+
+
+def _diurnal_rate_factor(slot: int, amplitude: float) -> float:
+    """Arrival-rate modulation over the day (peak midday, trough 2am)."""
+    if amplitude <= 0.0:
+        return 1.0
+    hour = slot % 24
+    return 1.0 + amplitude * float(np.sin(2.0 * np.pi * (hour - 8.0) / 24.0))
+
+
+def _draw_lifetime(
+    rng: np.random.Generator, mean_slots: float, sigma: float
+) -> int:
+    """Heavy-tailed lognormal lifetime with the requested mean, >= 1."""
+    mu = float(np.log(mean_slots)) - 0.5 * sigma * sigma
+    return max(1, int(round(float(rng.lognormal(mu, sigma)))))
+
+
+def generate_lifecycle(
+    n_vms: int,
+    horizon_start: int,
+    horizon_end: int,
+    config: Optional[ChurnConfig] = None,
+    seed: int = 0,
+) -> LifecycleSchedule:
+    """Generate a deterministic churn schedule for a VM pool.
+
+    The pool is consumed in VM-id order: ids ``[0, n_init)`` form the
+    initial population and later arrivals take the next unused id, so a
+    VM's trace row is fixed regardless of when it arrives.  VMs the
+    arrival process never reaches stay inactive for the whole horizon
+    (``arrival == departure``).
+
+    Args:
+        n_vms: VM pool size (must match the trace dataset).
+        horizon_start: first simulated slot.
+        horizon_end: one past the last simulated slot.
+        config: churn knobs; defaults to :class:`ChurnConfig`.
+        seed: PRNG seed; the same seed always yields the same schedule.
+    """
+    if n_vms < 1:
+        raise DomainError("n_vms must be >= 1")
+    if horizon_end <= horizon_start:
+        raise DomainError("horizon must cover at least one slot")
+    cfg = config if config is not None else ChurnConfig()
+    rng = np.random.default_rng(seed)
+
+    arrival = np.full(n_vms, horizon_end, dtype=np.int64)
+    departure = np.full(n_vms, horizon_end, dtype=np.int64)
+
+    def assign(vm: int, arrive_at: int) -> None:
+        short = (
+            cfg.short_lived_fraction > 0.0
+            and float(rng.random()) < cfg.short_lived_fraction
+        )
+        mean = (
+            cfg.short_lifetime_mean_slots
+            if short
+            else cfg.lifetime_mean_slots
+        )
+        lifetime = _draw_lifetime(rng, mean, cfg.lifetime_sigma)
+        arrival[vm] = arrive_at
+        departure[vm] = min(arrive_at + lifetime, horizon_end)
+
+    n_init = int(round(cfg.initial_fraction * n_vms))
+    next_vm = 0
+    for vm in range(n_init):
+        assign(vm, horizon_start)
+        next_vm += 1
+
+    rate = cfg.arrival_rate_frac * n_vms
+    flash = {horizon_start + int(s) for s in cfg.flash_slots}
+    for slot in range(horizon_start + 1, horizon_end):
+        k = int(rng.poisson(rate * _diurnal_rate_factor(
+            slot, cfg.arrival_diurnal_amplitude
+        )))
+        if slot in flash:
+            k += cfg.flash_arrivals
+        for _ in range(k):
+            if next_vm >= n_vms:
+                break
+            assign(next_vm, slot)
+            next_vm += 1
+
+    events: List[Tuple[int, int, float, float]] = []
+    if cfg.resize_rate_per_slot > 0.0:
+        lo, hi = cfg.resize_range
+        for vm in range(n_vms):
+            span = int(departure[vm] - arrival[vm])
+            if span < 2:
+                continue
+            n_events = int(rng.poisson(cfg.resize_rate_per_slot * span))
+            if n_events == 0:
+                continue
+            slots = rng.integers(
+                arrival[vm] + 1, departure[vm], size=n_events
+            )
+            factors = rng.uniform(lo, hi, size=(n_events, 2))
+            for s, (fc, fm) in zip(slots, factors):
+                events.append((vm, int(s), float(fc), float(fm)))
+
+    return LifecycleSchedule(
+        arrival_slot=arrival,
+        departure_slot=departure,
+        horizon_start=horizon_start,
+        horizon_end=horizon_end,
+        resize_events=events,
+    )

@@ -1,0 +1,346 @@
+"""Cloud engine equivalences: zero churn, window batching, parallel runs.
+
+The acceptance bar of the online subsystem:
+
+* a zero-churn cloud run reproduces the fixed-population engine
+  *exactly* (every seed record field, bit for bit);
+* the window-batched churn path is bit-identical to the kept per-slot
+  reference, across online and day-ahead policies, resizes, PSU and
+  migration-energy accounting;
+* ``run_cloud_policies(jobs > 1)`` equals the serial run exactly;
+* repeated runs with fresh (or reset) policy instances are identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CoatPolicy,
+    OnlineBestFitPolicy,
+    OnlineReactivePolicy,
+)
+from repro.cloud import (
+    ChurnConfig,
+    CloudSimulation,
+    fixed_schedule,
+    generate_lifecycle,
+    get_scenario,
+    run_cloud_policies,
+    summarize,
+)
+from repro.core import EpactPolicy
+from repro.dcsim import DataCenterSimulation
+from repro.errors import ConfigurationError
+from repro.forecast import DayAheadPredictor
+from repro.traces import LifecycleSchedule, default_dataset
+
+SEED_FIELDS = (
+    "slot_index",
+    "case",
+    "n_active_servers",
+    "violations",
+    "forced_placements",
+    "energy_j",
+    "mean_freq_ghz",
+    "f_opt_ghz",
+    "migrations",
+)
+
+
+def seed_fields(record):
+    return tuple(getattr(record, f) for f in SEED_FIELDS)
+
+
+def records_equal(a, b):
+    return len(a) == len(b) and all(ra == rb for ra, rb in zip(a, b))
+
+
+@pytest.fixture(scope="module")
+def churn_setup():
+    dataset, schedule = get_scenario("diurnal-burst").build(
+        n_vms=50, n_days=9, seed=13, n_slots=30
+    )
+    predictor = DayAheadPredictor(dataset)
+    for day in range(7, dataset.n_days):
+        predictor.forecast_day(day)
+    return dataset, predictor, schedule
+
+
+class TestZeroChurnEquivalence:
+    @pytest.mark.parametrize("policy_cls", [EpactPolicy, CoatPolicy])
+    def test_reproduces_fixed_population_exactly(
+        self, small_dataset, arima_predictor, policy_cls
+    ):
+        n_slots = 26
+        schedule = fixed_schedule(small_dataset.n_vms, 168, 168 + n_slots)
+        fixed = DataCenterSimulation(
+            small_dataset,
+            arima_predictor,
+            policy_cls(),
+            max_servers=40,
+            n_slots=n_slots,
+        ).run()
+        cloud = CloudSimulation(
+            small_dataset,
+            arima_predictor,
+            policy_cls(),
+            schedule,
+            max_servers=40,
+            n_slots=n_slots,
+        ).run()
+        assert len(fixed.records) == len(cloud.records)
+        for a, b in zip(fixed.records, cloud.records):
+            assert seed_fields(a) == seed_fields(b)
+        # The cloud run additionally tracks the population.
+        assert all(
+            r.n_active_vms == small_dataset.n_vms for r in cloud.records
+        )
+
+
+class TestWindowBatchChurnEquivalence:
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [
+            EpactPolicy,
+            OnlineBestFitPolicy,
+            OnlineReactivePolicy,
+            lambda: OnlineReactivePolicy(
+                signal="forecast", name="ONLINE-REACTIVE-F"
+            ),
+            lambda: CoatPolicy(reallocation_period_slots=24),
+        ],
+    )
+    def test_bit_identical_under_churn(self, churn_setup, policy_factory):
+        dataset, predictor, schedule = churn_setup
+        runs = [
+            CloudSimulation(
+                dataset,
+                predictor,
+                policy_factory(),
+                schedule,
+                max_servers=50,
+                n_slots=30,
+                window_batch=wb,
+            ).run()
+            for wb in (True, False)
+        ]
+        assert records_equal(runs[0].records, runs[1].records)
+
+    def test_bit_identical_with_resizes_psu_and_migration_energy(self):
+        from repro.power import ntc_psu
+
+        dataset, schedule = get_scenario("batch-latency").build(
+            n_vms=60, n_days=9, seed=21, n_slots=30
+        )
+        assert schedule.has_resizes
+        predictor = DayAheadPredictor(dataset)
+        runs = [
+            CloudSimulation(
+                dataset,
+                predictor,
+                OnlineReactivePolicy(),
+                schedule,
+                max_servers=60,
+                n_slots=30,
+                psu=ntc_psu(),
+                migration_energy_j=250.0,
+                window_batch=wb,
+            ).run()
+            for wb in (True, False)
+        ]
+        assert records_equal(runs[0].records, runs[1].records)
+        assert runs[0].total_migrations == runs[1].total_migrations
+
+
+class TestCloudRunSemantics:
+    def test_migrations_exclude_arrivals_and_departures(self):
+        """A policy that never moves persisting VMs shows 0 migrations
+        even while the population churns."""
+        dataset = default_dataset(n_vms=20, n_days=9, seed=5)
+        predictor = DayAheadPredictor(dataset)
+        schedule = LifecycleSchedule(
+            arrival_slot=np.array([168] * 10 + [175] * 10),
+            departure_slot=np.array([180] * 5 + [192] * 15),
+            horizon_start=168,
+            horizon_end=192,
+        )
+        result = CloudSimulation(
+            dataset,
+            predictor,
+            OnlineBestFitPolicy(),
+            schedule,
+            max_servers=20,
+            n_slots=24,
+        ).run()
+        assert result.total_migrations == 0
+        assert result.total_arrivals == 10
+        assert result.total_departures == 5
+        # Population series follows the schedule.
+        assert result.records[0].n_active_vms == 10
+        assert result.records[-1].n_active_vms == 15
+
+    def test_empty_cloud_slots_consume_nothing(self):
+        dataset = default_dataset(n_vms=8, n_days=9, seed=6)
+        predictor = DayAheadPredictor(dataset)
+        schedule = LifecycleSchedule(
+            arrival_slot=np.full(8, 172),
+            departure_slot=np.full(8, 192),
+            horizon_start=168,
+            horizon_end=192,
+        )
+        result = CloudSimulation(
+            dataset,
+            predictor,
+            OnlineBestFitPolicy(),
+            schedule,
+            max_servers=8,
+            n_slots=24,
+        ).run()
+        for record in result.records[:4]:
+            assert record.energy_j == 0.0
+            assert record.n_active_servers == 0
+            assert record.n_active_vms == 0
+        assert result.records[4].n_active_vms == 8
+        assert result.records[4].arrivals == 8
+
+    def test_determinism_across_runs(self, churn_setup):
+        dataset, predictor, schedule = churn_setup
+        runs = [
+            CloudSimulation(
+                dataset,
+                predictor,
+                OnlineReactivePolicy(),
+                schedule,
+                max_servers=50,
+                n_slots=30,
+            ).run()
+            for _ in range(2)
+        ]
+        assert records_equal(runs[0].records, runs[1].records)
+
+    def test_policy_instance_reusable_via_reset(self, churn_setup):
+        """The same stateful policy object yields identical runs."""
+        dataset, predictor, schedule = churn_setup
+        policy = OnlineReactivePolicy()
+        first = CloudSimulation(
+            dataset, predictor, policy, schedule, max_servers=50, n_slots=30
+        ).run()
+        second = CloudSimulation(
+            dataset, predictor, policy, schedule, max_servers=50, n_slots=30
+        ).run()
+        assert records_equal(first.records, second.records)
+
+    def test_online_policy_rejects_plain_engine(
+        self, small_dataset, arima_predictor
+    ):
+        sim = DataCenterSimulation(
+            small_dataset,
+            arima_predictor,
+            OnlineReactivePolicy(),
+            max_servers=40,
+            n_slots=2,
+        )
+        with pytest.raises(ConfigurationError):
+            sim.run()
+
+    def test_schedule_validation(self, small_dataset, arima_predictor):
+        with pytest.raises(ConfigurationError):
+            CloudSimulation(
+                small_dataset,
+                arima_predictor,
+                EpactPolicy(),
+                fixed_schedule(small_dataset.n_vms + 1, 168, 200),
+                n_slots=24,
+            )
+        with pytest.raises(ConfigurationError):
+            CloudSimulation(
+                small_dataset,
+                arima_predictor,
+                EpactPolicy(),
+                fixed_schedule(small_dataset.n_vms, 168, 170),
+                n_slots=24,
+            )
+
+
+class TestParallelCloudRuns:
+    def test_jobs_match_serial_exactly(self, churn_setup):
+        dataset, predictor, schedule = churn_setup
+        policies = lambda: [
+            EpactPolicy(),
+            OnlineBestFitPolicy(),
+            OnlineReactivePolicy(),
+        ]
+        serial = run_cloud_policies(
+            dataset,
+            predictor,
+            policies(),
+            schedule,
+            max_servers=50,
+            n_slots=30,
+        )
+        parallel = run_cloud_policies(
+            dataset,
+            predictor,
+            policies(),
+            schedule,
+            jobs=2,
+            max_servers=50,
+            n_slots=30,
+        )
+        assert list(serial) == list(parallel)
+        for name in serial:
+            assert records_equal(
+                serial[name].records, parallel[name].records
+            )
+
+
+class TestCloudExperiment:
+    def test_registered_and_renders(self):
+        from repro.experiments.cloud import render, run_cloud
+        from repro.experiments.runner import EXPERIMENTS
+
+        assert "cloud" in EXPERIMENTS
+        result = run_cloud(
+            quick=True, scenario_names=["zero-churn"], n_slots=4
+        )
+        text = render(result)
+        assert "zero-churn" in text
+        for policy in ("EPACT", "ONLINE-REACTIVE"):
+            assert policy in text
+
+
+class TestSlaSummary:
+    def test_summary_rates(self, churn_setup):
+        dataset, predictor, schedule = churn_setup
+        result = CloudSimulation(
+            dataset,
+            predictor,
+            OnlineReactivePolicy(),
+            schedule,
+            max_servers=50,
+            n_slots=30,
+        ).run()
+        s = summarize(result)
+        assert s.policy_name == "ONLINE-REACTIVE"
+        assert s.total_energy_mj > 0.0
+        assert 0.0 <= s.violation_rate <= 1.0
+        assert s.mean_active_vms > 0.0
+        assert s.energy_per_vm_slot_kj > 0.0
+        assert s.total_arrivals >= 0 and s.total_departures >= 0
+
+    def test_fixed_population_rates_unavailable(
+        self, small_dataset, arima_predictor
+    ):
+        """Per-VM-slot rates need the cloud engine's population series;
+        a fixed-population run reports them as NaN, not a silent 0."""
+        result = DataCenterSimulation(
+            small_dataset,
+            arima_predictor,
+            EpactPolicy(),
+            max_servers=40,
+            n_slots=2,
+        ).run()
+        s = summarize(result)
+        assert np.isnan(s.migrations_per_vm_slot)
+        assert np.isnan(s.energy_per_vm_slot_kj)
+        assert s.total_energy_mj > 0.0

@@ -1,0 +1,228 @@
+"""Lifecycle model and scenario registry: determinism and semantics.
+
+The online layer's reproducibility rests on the lifecycle generator:
+the same seed must yield the identical arrival/departure/resize
+schedule, and the scenario registry must rebuild identical (dataset,
+schedule) pairs from a name.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    SCENARIOS,
+    CloudScenario,
+    get_scenario,
+    list_scenarios,
+)
+from repro.errors import ConfigurationError, DomainError
+from repro.traces.lifecycle import (
+    ChurnConfig,
+    LifecycleSchedule,
+    fixed_schedule,
+    generate_lifecycle,
+)
+
+
+class TestLifecycleSchedule:
+    def test_fixed_schedule_everything_active(self):
+        sched = fixed_schedule(10, 168, 200)
+        for slot in (168, 180, 199):
+            np.testing.assert_array_equal(
+                sched.active_ids(slot), np.arange(10)
+            )
+        assert sched.next_change(168) == 200
+        assert sched.scale_at(170) is None
+        assert not sched.has_resizes
+        assert sched.churn_in(168, 200) == (0, 0)
+
+    def test_membership_window(self):
+        sched = LifecycleSchedule(
+            arrival_slot=np.array([0, 2, 5, 9]),
+            departure_slot=np.array([4, 9, 6, 9]),
+            horizon_start=0,
+            horizon_end=10,
+        )
+        np.testing.assert_array_equal(sched.active_ids(0), [0])
+        np.testing.assert_array_equal(sched.active_ids(2), [0, 1])
+        np.testing.assert_array_equal(sched.active_ids(5), [1, 2])
+        np.testing.assert_array_equal(sched.active_ids(8), [1])
+        # VM 3 has arrival == departure: never active.
+        assert 3 not in set(sched.active_ids(9))
+        # change points: arrivals at 2, 5; departures at 4, 6, 9 (VM 3
+        # never runs, so its arrival/departure at 9 adds nothing — but
+        # VM 1's departure at 9 does).
+        assert sched.next_change(0) == 2
+        assert sched.next_change(2) == 4
+        assert sched.next_change(4) == 5
+        assert sched.next_change(6) == 9
+        assert sched.next_change(9) == 10
+        # Arrivals after the horizon opened (VM 0 is initial population,
+        # VM 3 never runs): VMs 1 and 2; departures: VMs 0, 1 and 2.
+        assert sched.churn_in(0, 10) == (2, 3)
+
+    def test_resize_scale_timeline(self):
+        sched = LifecycleSchedule(
+            arrival_slot=np.array([0, 0]),
+            departure_slot=np.array([10, 10]),
+            horizon_start=0,
+            horizon_end=10,
+            resize_events=[(0, 3, 1.5, 0.8), (0, 7, 0.5, 1.0)],
+        )
+        assert sched.has_resizes
+        cpu, mem = sched.scale_at(0)
+        np.testing.assert_array_equal(cpu, [1.0, 1.0])
+        cpu, mem = sched.scale_at(3)
+        assert cpu[0] == 1.5 and mem[0] == 0.8
+        assert cpu[1] == 1.0 and mem[1] == 1.0
+        cpu, _ = sched.scale_at(9)
+        assert cpu[0] == 0.5
+        # Resize slots are change points too.
+        assert sched.next_change(2) == 3
+        assert sched.next_change(3) == 7
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LifecycleSchedule(
+                arrival_slot=np.array([5]),
+                departure_slot=np.array([3]),
+                horizon_start=0,
+                horizon_end=10,
+            )
+        with pytest.raises(ConfigurationError):
+            LifecycleSchedule(
+                arrival_slot=np.array([0]),
+                departure_slot=np.array([1]),
+                horizon_start=5,
+                horizon_end=5,
+            )
+        with pytest.raises(ConfigurationError):
+            LifecycleSchedule(
+                arrival_slot=np.array([0]),
+                departure_slot=np.array([5]),
+                horizon_start=0,
+                horizon_end=10,
+                resize_events=[(0, 2, -1.0, 1.0)],
+            )
+
+
+class TestGenerateLifecycle:
+    def test_same_seed_identical_schedule(self):
+        cfg = ChurnConfig(
+            initial_fraction=0.5,
+            arrival_rate_frac=0.01,
+            arrival_diurnal_amplitude=0.5,
+            short_lived_fraction=0.3,
+            resize_rate_per_slot=0.01,
+        )
+        a = generate_lifecycle(200, 168, 216, config=cfg, seed=42)
+        b = generate_lifecycle(200, 168, 216, config=cfg, seed=42)
+        np.testing.assert_array_equal(a.arrival_slots, b.arrival_slots)
+        np.testing.assert_array_equal(a.departure_slots, b.departure_slots)
+        assert a.resize_events == b.resize_events
+
+    def test_different_seeds_differ(self):
+        cfg = ChurnConfig(arrival_rate_frac=0.01)
+        a = generate_lifecycle(200, 0, 100, config=cfg, seed=1)
+        b = generate_lifecycle(200, 0, 100, config=cfg, seed=2)
+        assert not np.array_equal(a.departure_slots, b.departure_slots)
+
+    def test_initial_population_and_arrival_order(self):
+        cfg = ChurnConfig(initial_fraction=0.4, arrival_rate_frac=0.02)
+        sched = generate_lifecycle(100, 10, 60, config=cfg, seed=3)
+        # 40 initial VMs arrive exactly at the horizon start.
+        assert (sched.arrival_slots[:40] == 10).all()
+        # Later ids arrive no earlier than earlier ids (pool order).
+        later = sched.arrival_slots[40:]
+        active_later = later[later < 60]
+        assert (np.diff(active_later) >= 0).all()
+
+    def test_flash_crowd_spikes(self):
+        cfg = ChurnConfig(
+            initial_fraction=0.1,
+            arrival_rate_frac=0.0,
+            flash_slots=(5,),
+            flash_arrivals=17,
+        )
+        sched = generate_lifecycle(100, 0, 20, config=cfg, seed=4)
+        arrivals, _ = sched.churn_in(5, 6)
+        assert arrivals == 17
+
+    def test_bounds_respected(self):
+        sched = generate_lifecycle(
+            150,
+            0,
+            50,
+            config=ChurnConfig(arrival_rate_frac=0.05),
+            seed=5,
+        )
+        assert (sched.departure_slots <= 50).all()
+        assert (sched.arrival_slots >= 0).all()
+        for slot in range(0, 50, 7):
+            ids = sched.active_ids(slot)
+            assert (ids >= 0).all() and (ids < 150).all()
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(initial_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(arrival_rate_frac=-0.1)
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(resize_range=(0.0, 1.0))
+        with pytest.raises(DomainError):
+            generate_lifecycle(0, 0, 10)
+
+
+class TestScenarioRegistry:
+    def test_known_scenarios_present(self):
+        for name in (
+            "zero-churn",
+            "steady",
+            "diurnal-burst",
+            "flash-crowd",
+            "batch-latency",
+        ):
+            assert name in SCENARIOS
+        listing = list_scenarios()
+        assert set(listing) == set(SCENARIOS)
+        assert all(isinstance(v, str) and v for v in listing.values())
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_scenario("does-not-exist")
+
+    def test_build_deterministic(self):
+        scenario = get_scenario("diurnal-burst")
+        d1, s1 = scenario.build(n_vms=40, n_days=9, seed=7, n_slots=24)
+        d2, s2 = scenario.build(n_vms=40, n_days=9, seed=7, n_slots=24)
+        np.testing.assert_array_equal(d1.cpu_pct, d2.cpu_pct)
+        np.testing.assert_array_equal(s1.arrival_slots, s2.arrival_slots)
+        np.testing.assert_array_equal(
+            s1.departure_slots, s2.departure_slots
+        )
+
+    def test_zero_churn_build_is_fixed(self):
+        dataset, sched = get_scenario("zero-churn").build(
+            n_vms=30, n_days=9, seed=9, n_slots=24
+        )
+        assert dataset.n_vms == 30
+        np.testing.assert_array_equal(
+            sched.active_ids(sched.horizon_start), np.arange(30)
+        )
+        assert sched.next_change(sched.horizon_start) == sched.horizon_end
+
+    def test_batch_latency_has_churn_and_resizes(self):
+        _, sched = get_scenario("batch-latency").build(
+            n_vms=120, n_days=9, seed=11, n_slots=48
+        )
+        arrivals, departures = sched.churn_in(
+            sched.horizon_start, sched.horizon_end
+        )
+        assert arrivals > 0 and departures > 0
+        assert sched.has_resizes
+
+    def test_scenario_horizon_validation(self):
+        with pytest.raises(ConfigurationError):
+            CloudScenario(name="x", description="y").build(
+                n_vms=10, n_days=7, n_slots=None
+            )
