@@ -19,6 +19,6 @@ PYTHONPATH="$repo/src${PYTHONPATH:+:$PYTHONPATH}" \
 
 if [ "${RUN_MICRO:-0}" = "1" ]; then
     PYTHONPATH="$repo/src${PYTHONPATH:+:$PYTHONPATH}" \
-        python -m pytest -c benchmarks/pytest.ini benchmarks \
+        python -m pytest -c benchmarks/bench.ini benchmarks \
         --benchmark-json="benchmarks/BENCH_${rev}.pytest.json"
 fi

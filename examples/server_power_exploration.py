@@ -12,7 +12,7 @@ public API:
 Run with:  python examples/server_power_exploration.py
 """
 
-from repro import MemoryClass, PerformanceSimulator, ntc_server_power_model
+from repro import PerformanceSimulator, ntc_server_power_model
 from repro.experiments.fig3 import efficiency_point
 from repro.perf.workload import ALL_MEMORY_CLASSES
 

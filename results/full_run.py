@@ -1,6 +1,6 @@
 """Paper-scale run for EXPERIMENTS.md (600 VMs, one evaluated week)."""
-import json, time
-import numpy as np
+import json
+import time
 from repro.experiments.fig456 import run_fig456
 from repro.experiments.fig7 import run_fig7
 from repro.experiments.table1 import run_table1
@@ -21,10 +21,10 @@ out['fig1'] = {'ntc_optima': {u: p.freq_ghz for u, p in f1.ntc_optima.items()},
                'conv_optima': {u: p.freq_ghz for u, p in f1.conventional_optima.items()}}
 f2 = run_fig2()
 out['fig2'] = {'floors': f2.qos_floors_ghz,
-               'norm_at_2ghz': {l: f2.normalized_at(l, 2.0) for l in f2.sweeps}}
+               'norm_at_2ghz': {lbl: f2.normalized_at(lbl, 2.0) for lbl in f2.sweeps}}
 f3 = run_fig3()
 out['fig3'] = {'peaks_ghz': f3.peak_frequencies(),
-               'peaks_buipsw': {l: f3.peak(l).buips_per_watt for l in f3.curves}}
+               'peaks_buipsw': {lbl: f3.peak(lbl).buips_per_watt for lbl in f3.curves}}
 
 r = run_fig456(n_vms=600, n_days=14, seed=2018, max_servers=600)
 s_coat = energy_savings_pct(r.epact, r.coat)

@@ -97,7 +97,6 @@ class CoatPolicy(AllocationPolicy):
     def allocate(self, ctx: AllocationContext) -> Allocation:
         """FFD consolidation with correlation-aware server choice."""
         pred_cpu, pred_mem = ctx.pred_cpu, ctx.pred_mem
-        n_samples = ctx.n_samples
         order = ffd_order(pred_cpu)
 
         plans: List[ServerPlan] = []

@@ -38,7 +38,12 @@ from ..errors import ConfigurationError
 from ..traces.dataset import TraceDataset
 from ..traces.lifecycle import LifecycleSchedule
 from ..units import SAMPLES_PER_SLOT
-from .engine import DataCenterSimulation, count_migrations, shared_predictions
+from .engine import (
+    DataCenterSimulation,
+    _WindowTask,
+    count_migrations,
+    shared_predictions,
+)
 from .metrics import SimulationResult, SlotRecord
 
 
@@ -81,7 +86,15 @@ class CloudSimulation(DataCenterSimulation):
         self._schedule = schedule
 
     def run(self) -> SimulationResult:
-        """Simulate the horizon with the time-varying active set."""
+        """Simulate the horizon with the time-varying active set.
+
+        With ``superbatch`` (the default) the non-empty windows'
+        accounting is deferred into the engine's horizon-concatenated
+        super-batches — per-window membership rows and resize scales
+        feed the same padded scatter — and the per-window churn
+        metadata (active VMs, arrivals, departures) is stitched back
+        onto the records in horizon order afterwards.
+        """
         if isinstance(self._policy, OnlinePolicy):
             self._policy.reset()
         result = SimulationResult(policy_name=self._policy.name)
@@ -89,6 +102,10 @@ class CloudSimulation(DataCenterSimulation):
         sched = self._schedule
         prev_ids: Optional[np.ndarray] = None
         prev_map: Optional[np.ndarray] = None
+        # Per window: (n_active_vms, arrivals, departures, records);
+        # ``records is None`` marks a window deferred into ``tasks``.
+        windows: List[tuple] = []
+        tasks: List[_WindowTask] = []
         slot = self._start_slot
         end = self._start_slot + self._n_slots
         while slot < end:
@@ -120,6 +137,7 @@ class CloudSimulation(DataCenterSimulation):
                     )
                     for s in range(slot, slot + n_window)
                 ]
+                windows.append((0, arrivals, departures, records))
                 prev_ids = active
                 prev_map = np.empty(0, dtype=int)
             else:
@@ -149,7 +167,14 @@ class CloudSimulation(DataCenterSimulation):
                         migrations = count_migrations(
                             prev_map[ia], acct.vm2srv[ib]
                         )
-                if self._window_batch:
+                if self._superbatch:
+                    tasks.append(
+                        _WindowTask(
+                            slot, n_window, allocation, acct, migrations
+                        )
+                    )
+                    records = None
+                elif self._window_batch:
                     records = self._account_window(
                         slot, n_window, allocation, acct, migrations
                     )
@@ -163,19 +188,26 @@ class CloudSimulation(DataCenterSimulation):
                         )
                         for s in range(slot, slot + n_window)
                     ]
+                windows.append(
+                    (int(active.size), arrivals, departures, records)
+                )
                 prev_ids = active
                 prev_map = acct.vm2srv
+            slot += n_window
 
+        deferred = iter(self._account_horizon(tasks) if tasks else [])
+        for n_active_vms, arrivals, departures, records in windows:
+            if records is None:
+                records = next(deferred)
             result.records.extend(
                 replace(
                     rec,
-                    n_active_vms=int(active.size),
+                    n_active_vms=n_active_vms,
                     arrivals=arrivals if i == 0 else 0,
                     departures=departures if i == 0 else 0,
                 )
                 for i, rec in enumerate(records)
             )
-            slot += n_window
         return result
 
     # -- internals ----------------------------------------------------------

@@ -36,6 +36,24 @@ bit-identical to the per-slot path — which ``window_batch=False`` keeps
 callable as the tested reference oracle.  ``count_migrations`` likewise
 sorts only the non-zero overlap pairs; ``_count_migrations_reference``
 preserves the seed's dense pair loop as the equivalence oracle.
+
+**Horizon-concatenated accounting** (``superbatch=True``, the default)
+goes one step further: consecutive accounting windows are concatenated
+*across allocation boundaries* into one ragged super-batch.  Policies
+that reallocate every slot (EPACT) degenerate window batching back into
+per-slot work — one scatter and one power evaluation per 1-slot window —
+so the super-batch pads every window's (slot, server, sample) bins to
+the horizon chunk's maximum server count and aggregates *all* windows
+with a single ``np.bincount`` scatter and a single
+:class:`VectorizedServerPower` evaluation.  Per-slot records are sliced
+back out of the padded tensors over exactly the per-window reduction
+ranges (padded servers carry zero utilization, an inactive mask and are
+excluded from every reduction by prefix slicing), so the results remain
+bit-identical to both the per-window and the per-slot oracles —
+``superbatch=False`` keeps the per-window path, ``window_batch=False``
+the per-slot one.  Super-batches are flushed in memory-bounded chunks
+(``_SUPERBATCH_MAX_CELLS`` caps both the padded server tensors and the
+VM-proportional scatter arrays).
 """
 
 from __future__ import annotations
@@ -55,9 +73,19 @@ from ..power.server_power import ServerPowerModel, ntc_server_power_model
 from ..traces.dataset import TraceDataset
 from ..units import SAMPLE_PERIOD_S, SAMPLES_PER_SLOT, SLOTS_PER_DAY
 from .metrics import SimulationResult, SlotRecord
-from .power_tables import VectorizedServerPower, cached_tables
+from .power_tables import cached_tables
 
 _EPS = 1.0e-9
+
+# Cell budget per horizon-concatenated accounting flush.  A chunk
+# closes when either transient family would outgrow it: the padded
+# (slot, server, sample) tensors (times the memory-class count) or the
+# (VM, slot, sample) scatter index/weight arrays — the latter scale
+# with the fleet's VM count, which consolidating policies make much
+# larger than the server count.  2M float64 cells keeps each family
+# around ~50 MB at paper scale while still concatenating hundreds of
+# 1-slot windows per flush.
+_SUPERBATCH_MAX_CELLS = 2_000_000
 
 
 @lru_cache(maxsize=1)
@@ -110,6 +138,17 @@ class _AllocationAccounting:
     scale_mem: Optional[np.ndarray] = None
 
 
+@dataclass(frozen=True)
+class _WindowTask:
+    """One accounting window deferred into a horizon super-batch."""
+
+    first_slot: int
+    n_window: int
+    allocation: Allocation
+    acct: _AllocationAccounting
+    migrations: int
+
+
 class DataCenterSimulation:
     """Simulates one policy over a trace dataset.
 
@@ -136,6 +175,13 @@ class DataCenterSimulation:
         window_batch: account whole allocation windows at once (default)
             instead of slot by slot.  Results are bit-identical; the
             per-slot path remains the tested reference oracle.
+        superbatch: concatenate consecutive accounting windows across
+            allocation boundaries into horizon super-batches (default;
+            requires ``window_batch``).  Per-slot-reallocation policies
+            then aggregate with one scatter and one power evaluation per
+            chunk instead of one per allocation.  Results are
+            bit-identical; ``superbatch=False`` keeps the per-window
+            path as the intermediate oracle.
     """
 
     def __init__(
@@ -151,6 +197,7 @@ class DataCenterSimulation:
         migration_energy_j: float = 0.0,
         psu=None,
         window_batch: bool = True,
+        superbatch: bool = True,
     ):
         if migration_energy_j < 0.0:
             raise ConfigurationError(
@@ -159,6 +206,7 @@ class DataCenterSimulation:
         self._migration_energy_j = migration_energy_j
         self._psu = psu
         self._window_batch = window_batch
+        self._superbatch = superbatch and window_batch
         self._dataset = dataset
         self._predictor = predictor
         self._policy = policy
@@ -244,6 +292,7 @@ class DataCenterSimulation:
         result = SimulationResult(policy_name=self._policy.name)
         period = max(1, int(self._policy.reallocation_period_slots))
         counter = MigrationCounter()
+        tasks: List[_WindowTask] = []
         slot = self._start_slot
         end = self._start_slot + self._n_slots
         while slot < end:
@@ -251,7 +300,11 @@ class DataCenterSimulation:
             acct = self._prepare_allocation(allocation)
             migrations = counter.update(acct.vm2srv)
             n_window = min(period, end - slot)
-            if self._window_batch:
+            if self._superbatch:
+                tasks.append(
+                    _WindowTask(slot, n_window, allocation, acct, migrations)
+                )
+            elif self._window_batch:
                 result.records.extend(
                     self._account_window(
                         slot, n_window, allocation, acct, migrations
@@ -268,6 +321,9 @@ class DataCenterSimulation:
                         )
                     )
             slot += n_window
+        if tasks:
+            for window_records in self._account_horizon(tasks):
+                result.records.extend(window_records)
         return result
 
     # -- internals ----------------------------------------------------------
@@ -623,6 +679,292 @@ class DataCenterSimulation:
             )
         return records
 
+    def _account_horizon(
+        self, tasks: List["_WindowTask"]
+    ) -> List[List[SlotRecord]]:
+        """Account deferred windows in memory-bounded super-batches.
+
+        Windows are flushed in order and never split across chunks; a
+        chunk closes when adding the next window would push either
+        transient family — padded (slot, server, sample) cells times
+        the class count, or (VM, slot, sample) scatter cells — past
+        ``_SUPERBATCH_MAX_CELLS`` (a single oversized window still
+        forms its own chunk — that is exactly the per-window batch the
+        PR 2 path already handles).  Returns one record list per task,
+        in task order.
+        """
+        sps = SAMPLES_PER_SLOT
+        n_classes = len(self._class_masks)
+        out: List[List[SlotRecord]] = []
+        chunk: List[_WindowTask] = []
+        n_slots = 0
+        max_srv = 0
+        vm_cells = 0
+        for task in tasks:
+            n_vms = (
+                self._dataset.n_vms
+                if task.acct.vm_rows is None
+                else int(task.acct.vm_rows.shape[0])
+            )
+            task_vm_cells = n_vms * task.n_window * sps
+            new_srv = max(max_srv, task.acct.n_srv)
+            new_slots = n_slots + task.n_window
+            if chunk and (
+                new_slots * new_srv * sps * n_classes
+                > _SUPERBATCH_MAX_CELLS
+                or vm_cells + task_vm_cells > _SUPERBATCH_MAX_CELLS
+            ):
+                out.extend(self._account_superbatch(chunk))
+                chunk = []
+                new_srv = task.acct.n_srv
+                new_slots = task.n_window
+                vm_cells = 0
+            chunk.append(task)
+            n_slots = new_slots
+            max_srv = new_srv
+            vm_cells += task_vm_cells
+        if chunk:
+            out.extend(self._account_superbatch(chunk))
+        return out
+
+    def _account_superbatch(
+        self, tasks: List["_WindowTask"]
+    ) -> List[List[SlotRecord]]:
+        """Account several windows (distinct allocations) in one pass.
+
+        Every window's (slot, server, sample) bins are padded to the
+        chunk's maximum server count, so the whole chunk aggregates with
+        a single ``np.bincount`` scatter per quantity and one
+        :class:`VectorizedServerPower` evaluation.  Padded servers carry
+        zero utilization, the QoS floor ``f_min`` and an inactive mask;
+        every per-slot reduction (energy, violations, mean frequency)
+        slices the window's own server prefix — the same contiguous
+        ranges, in the same element order, as :meth:`_account_window` —
+        so the emitted records are bit-identical to the per-window path
+        (and therefore to the per-slot reference).
+        """
+        sps = SAMPLES_PER_SLOT
+        n_classes = len(self._class_masks)
+        n_total = sum(t.n_window for t in tasks)
+        n_srv_max = max(t.acct.n_srv for t in tasks)
+        slot_bins = n_srv_max * sps
+        n_bins = n_total * slot_bins
+
+        floors = np.full(
+            (n_total, n_srv_max), self._power.spec.opps.f_min_ghz
+        )
+        active = np.zeros((n_total, n_srv_max), dtype=bool)
+        caps = np.empty(n_total)
+        fixed: List[tuple] = []
+        off = 0
+        for task in tasks:
+            acct = task.acct
+            floors[off : off + task.n_window, : acct.n_srv] = acct.floors[
+                None, :
+            ]
+            active[off : off + task.n_window, : acct.n_srv] = acct.active[
+                None, :
+            ]
+            caps[off : off + task.n_window] = (
+                task.allocation.violation_cap_pct
+            )
+            if acct.opp_idx_fixed is not None:
+                fixed.append((off, task.n_window, acct))
+            off += task.n_window
+
+        # Two scatter-assembly routes.  Fixed-population chunks (the
+        # base engine: full fleet, no resizes, consecutive slots) build
+        # one chunk-wide index tensor against one contiguous trace
+        # slice; the general route (cloud membership rows / resize
+        # scales) assembles per task.  Either way every bin receives
+        # only its own window's VMs in ascending-VM order — the
+        # per-slot scatter's accumulation order — so sums stay
+        # bit-identical.
+        plain = all(
+            t.acct.vm_rows is None and t.acct.scale_cpu is None
+            for t in tasks
+        ) and all(
+            tasks[i].first_slot + tasks[i].n_window
+            == tasks[i + 1].first_slot
+            for i in range(len(tasks) - 1)
+        )
+        if plain:
+            n_vms = self._dataset.n_vms
+            lo = tasks[0].first_slot * sps
+            hi = lo + n_total * sps
+            real_cpu = self._dataset.cpu_pct[:, lo:hi]
+            real_mem = self._dataset.mem_pct[:, lo:hi]
+            # Per-(VM, slot) server index, stacked over the chunk.
+            vm2srv = np.concatenate(
+                [
+                    np.broadcast_to(
+                        t.acct.vm2srv[:, None], (n_vms, t.n_window)
+                    )
+                    for t in tasks
+                ],
+                axis=1,
+            )
+            flat = (
+                vm2srv * sps + (np.arange(n_total) * slot_bins)[None, :]
+            )[:, :, None] + np.arange(sps)[None, None, :]
+            all_idx = flat.ravel()
+            util = np.bincount(
+                all_idx, weights=real_cpu.ravel(), minlength=n_bins
+            ).reshape(n_total, n_srv_max, sps)
+            mem_util = np.bincount(
+                all_idx, weights=real_mem.ravel(), minlength=n_bins
+            ).reshape(n_total, n_srv_max, sps)
+            util_by_class = np.zeros((n_classes, n_total, n_srv_max, sps))
+            for ci, mask in enumerate(self._class_masks):
+                if mask.any():
+                    util_by_class[ci] = np.bincount(
+                        flat[mask].ravel(),
+                        weights=real_cpu[mask].ravel(),
+                        minlength=n_bins,
+                    ).reshape(n_total, n_srv_max, sps)
+        else:
+            idx_parts: List[np.ndarray] = []
+            cpu_parts: List[np.ndarray] = []
+            mem_parts: List[np.ndarray] = []
+            class_idx: List[List[np.ndarray]] = [
+                [] for _ in range(n_classes)
+            ]
+            class_wts: List[List[np.ndarray]] = [
+                [] for _ in range(n_classes)
+            ]
+            off = 0
+            for task in tasks:
+                acct = task.acct
+                lo = task.first_slot * sps
+                hi = (task.first_slot + task.n_window) * sps
+                if acct.vm_rows is None:
+                    n_vms = self._dataset.n_vms
+                    real_cpu = self._dataset.cpu_pct[:, lo:hi]
+                    real_mem = self._dataset.mem_pct[:, lo:hi]
+                else:
+                    n_vms = int(acct.vm_rows.shape[0])
+                    real_cpu = self._dataset.cpu_pct[acct.vm_rows, lo:hi]
+                    real_mem = self._dataset.mem_pct[acct.vm_rows, lo:hi]
+                if acct.scale_cpu is not None:
+                    real_cpu = real_cpu * acct.scale_cpu[:, None]
+                    real_mem = real_mem * acct.scale_mem[:, None]
+                real_cpu = real_cpu.reshape(n_vms, task.n_window, sps)
+                real_mem = real_mem.reshape(n_vms, task.n_window, sps)
+
+                # acct.flat_idx already encodes server * sps + sample
+                # against the window's own server count; since every
+                # padded slot spans slot_bins >= n_srv * sps bins,
+                # adding the slot offset re-bases it into the chunk
+                # layout.
+                flat = (
+                    acct.flat_idx.reshape(n_vms, 1, sps)
+                    + ((off + np.arange(task.n_window)) * slot_bins)[
+                        None, :, None
+                    ]
+                )
+                idx_parts.append(flat.ravel())
+                cpu_parts.append(real_cpu.ravel())
+                mem_parts.append(real_mem.ravel())
+                for ci, mask in enumerate(acct.class_masks):
+                    if acct.class_flat[ci] is not None:
+                        class_idx[ci].append(flat[mask].ravel())
+                        class_wts[ci].append(real_cpu[mask].ravel())
+                off += task.n_window
+
+            all_idx = np.concatenate(idx_parts)
+            util = np.bincount(
+                all_idx,
+                weights=np.concatenate(cpu_parts),
+                minlength=n_bins,
+            ).reshape(n_total, n_srv_max, sps)
+            mem_util = np.bincount(
+                all_idx,
+                weights=np.concatenate(mem_parts),
+                minlength=n_bins,
+            ).reshape(n_total, n_srv_max, sps)
+            util_by_class = np.zeros((n_classes, n_total, n_srv_max, sps))
+            for ci in range(n_classes):
+                if class_idx[ci]:
+                    util_by_class[ci] = np.bincount(
+                        np.concatenate(class_idx[ci]),
+                        weights=np.concatenate(class_wts[ci]),
+                        minlength=n_bins,
+                    ).reshape(n_total, n_srv_max, sps)
+
+        # Dynamic-governor choice everywhere (padded servers get valid
+        # lowest-OPP indices), then fixed-frequency windows overwrite
+        # their own server prefix with the allocation's fixed indices.
+        opp_idx = self._governor.opp_indices_horizon(util, floors)
+        for off_t, n_window, acct in fixed:
+            opp_idx[off_t : off_t + n_window, : acct.n_srv] = (
+                acct.opp_idx_fixed[None]
+            )
+
+        freqs = self._tables.freqs_ghz[opp_idx]
+        busy = util * self._f_max / (100.0 * freqs)
+
+        stall_num = np.zeros_like(util)
+        for ci in range(n_classes):
+            stall_num += util_by_class[ci] * self._stall_tab[ci][opp_idx]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            stall = np.where(
+                util > _EPS, stall_num / np.maximum(util, _EPS), 0.0
+            )
+
+        traffic = np.tensordot(
+            self._traffic_coeff, util_by_class, axes=([0], [0])
+        )
+
+        power = self._tables.power_w(opp_idx, busy, stall, traffic)
+        power = power * active[:, :, None]
+        if self._psu is not None:
+            power = (
+                power
+                + self._psu.loss_fixed_w * active[:, :, None]
+                + self._psu.loss_prop * power
+                + self._psu.loss_sq_per_w * power**2
+            )
+
+        overutilized = (util > caps[:, None, None] + _EPS) | (
+            mem_util > 100.0 + _EPS
+        )
+        violations = (overutilized & active[:, :, None]).sum(axis=(1, 2))
+
+        records: List[List[SlotRecord]] = []
+        off = 0
+        for task in tasks:
+            acct = task.acct
+            n_srv = acct.n_srv
+            n_active = int(acct.active.sum())
+            any_active = bool(acct.active.any())
+            window_records: List[SlotRecord] = []
+            for w in range(task.n_window):
+                t = off + w
+                energy_j = float(power[t, :n_srv].sum() * SAMPLE_PERIOD_S)
+                if w == 0:
+                    energy_j += task.migrations * self._migration_energy_j
+                mean_freq = (
+                    float(freqs[t, :n_srv][acct.active].mean())
+                    if any_active
+                    else 0.0
+                )
+                window_records.append(
+                    SlotRecord(
+                        slot_index=task.first_slot + w,
+                        case=task.allocation.case,
+                        n_active_servers=n_active,
+                        violations=int(violations[t]),
+                        forced_placements=task.allocation.forced_placements,
+                        energy_j=energy_j,
+                        mean_freq_ghz=mean_freq,
+                        f_opt_ghz=task.allocation.f_opt_ghz or 0.0,
+                        migrations=task.migrations if w == 0 else 0,
+                    )
+                )
+            records.append(window_records)
+            off += task.n_window
+        return records
+
 
 def count_migrations(
     previous_map: np.ndarray, new_map: np.ndarray
@@ -669,13 +1011,18 @@ def _greedy_kept(
     used_old = set()
     used_new = set()
     kept = 0
-    for t in order:
-        o = int(old_ids[t])
-        nw = int(new_ids[t])
+    # Plain-int lists keep the greedy scan free of NumPy scalar
+    # boxing/unboxing — the loop runs once per reallocation on up to
+    # one pair per server, so constant factors matter here.
+    for o, nw, cnt in zip(
+        old_ids[order].tolist(),
+        new_ids[order].tolist(),
+        overlap[order].tolist(),
+    ):
         if o not in used_old and nw not in used_new:
             used_old.add(o)
             used_new.add(nw)
-            kept += int(overlap[t])
+            kept += cnt
     return kept
 
 

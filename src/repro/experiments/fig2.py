@@ -13,7 +13,7 @@ from typing import Dict, List, Tuple
 from ..anchors import FIG2_FREQ_SWEEP_GHZ, QOS_MIN_FREQ_GHZ
 from ..dcsim.reporting import format_table
 from ..perf.simulator import PerformanceSimulator, SweepPoint
-from ..perf.workload import ALL_MEMORY_CLASSES, MemoryClass
+from ..perf.workload import ALL_MEMORY_CLASSES
 
 
 @dataclass(frozen=True)

@@ -10,16 +10,12 @@ effective as future technologies cut static power further.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..anchors import FIG7_STATIC_POWER_SWEEP_W
 from ..baselines import CoatPolicy
 from ..core import EpactPolicy
-from ..dcsim import (
-    run_policies,
-    shared_predictions,
-    total_energy_savings_pct,
-)
+from ..dcsim import run_policies, shared_predictions
 from ..dcsim.reporting import format_table
 from ..forecast import DayAheadPredictor
 from ..power.server_power import ntc_server_power_model

@@ -20,7 +20,7 @@ from typing import Dict, List
 
 from ..dcsim.reporting import format_table
 from ..perf.simulator import PerformanceSimulator
-from ..perf.workload import ALL_MEMORY_CLASSES, MemoryClass
+from ..perf.workload import ALL_MEMORY_CLASSES
 
 
 @dataclass(frozen=True)

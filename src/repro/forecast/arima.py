@@ -83,6 +83,102 @@ def _lagged_design(
     return design, target
 
 
+def _companion_system(
+    const: np.ndarray,
+    ar: np.ndarray,
+    ma: np.ndarray,
+    w_tail: np.ndarray,
+    e_tail: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Companion matrix and initial state of the forecast recursion.
+
+    The mean-forecast recursion (future innovations at zero) is a linear
+    map of the state ``z_h = [w_{h-1}..w_{h-P}, e_{h-1}..e_{h-q}, 1]``
+    with ``P = max(p, 1)``: ``z_{h+1} = A z_h`` where row 0 of ``A``
+    holds ``[ar, ma, const]``, the shift rows move the ``w``/``e``
+    histories down one lag, the fresh-innovation row is zero (its mean)
+    and the last row keeps the constant 1.  The step-``h`` forecast is
+    then ``(A^{h+1} z_0)[0]``.
+
+    Args:
+        const: intercepts, shape ``(batch,)``.
+        ar: AR coefficients, shape ``(batch, p)``.
+        ma: MA coefficients, shape ``(batch, q)``.
+        w_tail: final ``max(p, 1)`` observations, newest last.
+        e_tail: final ``max(q, 1)`` in-sample residuals, newest last.
+
+    Returns:
+        ``(A, z0)`` of shapes ``(batch, s, s)`` and ``(batch, s)`` with
+        ``s = max(p, 1) + q + 1``.
+    """
+    batch, p = ar.shape
+    q = ma.shape[1]
+    big_p = max(p, 1)
+    s = big_p + q + 1
+    a = np.zeros((batch, s, s))
+    a[:, 0, :p] = ar
+    a[:, 0, big_p : big_p + q] = ma
+    a[:, 0, s - 1] = const
+    for i in range(1, big_p):
+        a[:, i, i - 1] = 1.0
+    # Row big_p is the fresh innovation e_h = 0 (left all-zero); the
+    # remaining e rows shift the residual history down one lag.
+    for j in range(1, q):
+        a[:, big_p + j, big_p + j - 1] = 1.0
+    a[:, s - 1, s - 1] = 1.0
+
+    z0 = np.zeros((batch, s))
+    z0[:, :big_p] = w_tail[:, ::-1][:, :big_p]
+    if q > 0:
+        z0[:, big_p : big_p + q] = e_tail[:, ::-1][:, :q]
+    z0[:, s - 1] = 1.0
+    return a, z0
+
+
+def _companion_row_powers(a: np.ndarray, horizon: int) -> np.ndarray:
+    """First rows of ``A^1 .. A^horizon``, shape ``(batch, horizon, s)``.
+
+    Forecasts only read row 0 of every power (``out[h] = e1' A^{h+1}
+    z0``), so the doubling scan propagates row *vectors* against
+    repeated-squared matrices — ``rows(A^{k+1..k+m}) = rows(A^{1..m})
+    A^k`` — in ``ceil(log2(horizon))`` batched matmuls instead of one
+    matrix product (or one Python recursion step) per horizon step, and
+    never materializes the full ``(batch, horizon, s, s)`` power train.
+    """
+    batch, s, _ = a.shape
+    rows = np.empty((batch, horizon, s))
+    rows[:, 0] = a[:, 0, :]
+    sq = a  # A^k at the top of each iteration
+    k = 1
+    while k < horizon:
+        m = min(k, horizon - k)
+        rows[:, k : k + m] = rows[:, :m] @ sq
+        k += m
+        if k < horizon:
+            sq = sq @ sq
+    return rows
+
+
+def _companion_forecast(
+    const: np.ndarray,
+    ar: np.ndarray,
+    ma: np.ndarray,
+    w_tail: np.ndarray,
+    e_tail: np.ndarray,
+    horizon: int,
+) -> np.ndarray:
+    """Mean forecasts via companion-matrix powers, shape ``(batch, h)``.
+
+    Mathematically identical to the per-step recursion (it evaluates the
+    same linear map through reassociated products), so results agree to
+    floating-point rounding; callers fall back to the recursion for rows
+    whose power train goes non-finite.
+    """
+    a, z0 = _companion_system(const, ar, ma, w_tail, e_tail)
+    rows = _companion_row_powers(a, horizon)
+    return (rows @ z0[:, :, None])[..., 0]
+
+
 def _long_ar_residuals(w: np.ndarray, m: int) -> np.ndarray:
     """Residuals of a long AR(m) fit (stage 1 of Hannan-Rissanen)."""
     n = w.shape[0]
@@ -190,20 +286,51 @@ class ArimaModel:
         self._fit = fit
         return fit
 
-    def forecast(self, horizon: int) -> np.ndarray:
+    def forecast(
+        self, horizon: int, method: str = "companion"
+    ) -> np.ndarray:
         """Mean forecast for the next ``horizon`` steps (original scale).
 
         Future innovations are set to their mean (zero); differencing is
         inverted against the fit history.
 
+        Args:
+            horizon: number of steps to forecast.
+            method: ``"companion"`` (default) evaluates the recursion
+                through precomputed companion-matrix powers —
+                ``O(log horizon)`` NumPy calls instead of a Python loop
+                over the horizon — falling back to the recursion if the
+                power train goes non-finite; ``"recursion"`` forces the
+                seed per-step loop (the reference oracle).
+
         Raises:
-            ForecastError: if not fitted or the horizon is not positive.
+            ForecastError: if not fitted, the horizon is not positive or
+                the method is unknown.
         """
         if horizon < 1:
             raise ForecastError("forecast horizon must be >= 1")
         fit = self.fitted
-        order = fit.order
-        p, q = order.p, order.q
+        if method == "recursion":
+            out = self._forecast_recursion(horizon)
+        elif method == "companion":
+            out = _companion_forecast(
+                np.array([fit.const]),
+                fit.ar[None, :],
+                fit.ma[None, :],
+                fit.w_tail[None, :],
+                fit.e_tail[None, :],
+                horizon,
+            )[0]
+            if not np.all(np.isfinite(out)):
+                out = self._forecast_recursion(horizon)
+        else:
+            raise ForecastError(f"unknown forecast method {method!r}")
+        return integrate(out, fit.history, fit.order.d)
+
+    def _forecast_recursion(self, horizon: int) -> np.ndarray:
+        """The seed per-step forecast loop (pre-integration oracle)."""
+        fit = self.fitted
+        p, q = fit.order.p, fit.order.q
 
         w_state = list(fit.w_tail[-p:]) if p > 0 else []
         e_state = list(fit.e_tail[-q:]) if q > 0 else []
@@ -219,4 +346,4 @@ class ArimaModel:
                 w_state.append(value)
             if q > 0:
                 e_state.append(0.0)
-        return integrate(out, fit.history, order.d)
+        return out

@@ -19,8 +19,12 @@ handful of NumPy calls:
    per-chunk Python loop runs; one batched LU then solves all series at
    once, and the stage-2 residuals are evaluated only at the ``q`` tail
    positions the forecast recursion actually reads;
-3. the ARMA forecast recursion runs once over the horizon with vector
-   states instead of once per series.
+3. the ARMA forecast recursion is evaluated through precomputed
+   companion-matrix powers — a doubling scan of ``ceil(log2(horizon))``
+   batched ``einsum`` contractions for all series at once — with the
+   per-step vector recursion kept callable as the reference oracle
+   (``method="recursion"``) and used as the fallback for rows whose
+   power train goes non-finite.
 
 The scalar implementation remains the reference oracle: rows whose
 batched solve is (near-)rank-deficient — flagged by the Gram-spectrum
@@ -44,7 +48,7 @@ import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 from ..errors import ForecastError
-from .arima import ArimaOrder
+from .arima import ArimaOrder, _companion_forecast
 
 # Relative Gram-spectrum threshold below which a stacked least-squares row
 # is declared (near-)rank-deficient and routed to the scalar reference
@@ -363,16 +367,45 @@ def batched_arma_fit(w: np.ndarray, order: ArimaOrder) -> BatchArmaFit:
     )
 
 
-def batched_arma_forecast(fit: BatchArmaFit, horizon: int) -> np.ndarray:
+def batched_arma_forecast(
+    fit: BatchArmaFit, horizon: int, method: str = "companion"
+) -> np.ndarray:
     """Mean forecasts for every series, shape ``(batch, horizon)``.
 
-    The recursion over the horizon matches the scalar
+    With ``method="companion"`` (the default) the whole batch's
+    forecasts are evaluated through precomputed companion-matrix powers
+    (:func:`repro.forecast.arima._companion_forecast`): a doubling scan
+    of ``ceil(log2(horizon))`` batched ``einsum`` contractions replaces
+    the Python loop over the horizon.  Rows whose power train goes
+    non-finite transparently fall back to the recursion, and
+    ``method="recursion"`` forces the seed per-step loop — the kept
+    reference oracle, which matches the scalar
     :meth:`~repro.forecast.arima.ArimaModel.forecast` step for step
-    (future innovations at their zero mean), with vector states across
-    the batch.
+    (future innovations at their zero mean).
     """
     if horizon < 1:
         raise ForecastError("forecast horizon must be >= 1")
+    if method == "companion":
+        out = _companion_forecast(
+            fit.const, fit.ar, fit.ma, fit.w_tail, fit.e_tail, horizon
+        )
+        bad = ~np.isfinite(out).all(axis=1)
+        if bad.any():
+            sub = BatchArmaFit(
+                order=fit.order,
+                const=fit.const[bad],
+                ar=fit.ar[bad],
+                ma=fit.ma[bad],
+                w_tail=fit.w_tail[bad],
+                e_tail=fit.e_tail[bad],
+                ok=fit.ok[bad],
+            )
+            out[bad] = batched_arma_forecast(
+                sub, horizon, method="recursion"
+            )
+        return out
+    if method != "recursion":
+        raise ForecastError(f"unknown forecast method {method!r}")
     p, q = fit.order.p, fit.order.q
     batch = fit.const.shape[0]
     out = np.empty((batch, horizon))

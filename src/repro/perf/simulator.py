@@ -11,7 +11,7 @@ Wraps calibration + timing into the operations the experiments need:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence
 
 from ..arch.platforms import cavium_thunderx, intel_xeon_x5650, ntc_server
 from ..arch.server_spec import ServerSpec

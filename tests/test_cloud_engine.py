@@ -20,10 +20,8 @@ from repro.baselines import (
     OnlineReactivePolicy,
 )
 from repro.cloud import (
-    ChurnConfig,
     CloudSimulation,
     fixed_schedule,
-    generate_lifecycle,
     get_scenario,
     run_cloud_policies,
     summarize,
@@ -265,11 +263,12 @@ class TestCloudRunSemantics:
 class TestParallelCloudRuns:
     def test_jobs_match_serial_exactly(self, churn_setup):
         dataset, predictor, schedule = churn_setup
-        policies = lambda: [
-            EpactPolicy(),
-            OnlineBestFitPolicy(),
-            OnlineReactivePolicy(),
-        ]
+        def policies():
+            return [
+                EpactPolicy(),
+                OnlineBestFitPolicy(),
+                OnlineReactivePolicy(),
+            ]
         serial = run_cloud_policies(
             dataset,
             predictor,

@@ -1,6 +1,5 @@
 """Edge-case tests for the engine and experiment harness plumbing."""
 
-import numpy as np
 import pytest
 
 from repro import LoadBalancePolicy

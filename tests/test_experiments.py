@@ -6,7 +6,6 @@ qualitative claim of the corresponding paper table/figure (see
 EXPERIMENTS.md for the quantitative paper-vs-measured record).
 """
 
-import numpy as np
 import pytest
 
 from repro.anchors import (

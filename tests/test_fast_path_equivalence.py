@@ -11,7 +11,7 @@ pair loop everywhere.
 import numpy as np
 import pytest
 
-from repro.core.alloc1d import allocate_1d, ffd_order
+from repro.core.alloc1d import allocate_1d
 from repro.core.alloc2d import allocate_2d
 from repro.core.types import Allocation, ServerPlan
 from repro.core.workspace import AllocationWorkspace, validate_vm_order

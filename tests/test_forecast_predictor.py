@@ -6,7 +6,6 @@ import pytest
 from repro.errors import DomainError
 from repro.forecast import (
     DayAheadPredictor,
-    PerfectPredictor,
     SeasonalNaiveForecaster,
     rmse,
 )

@@ -6,7 +6,6 @@ consistency, policy/engine/forecast interplay, and the memory-dominated
 regime.
 """
 
-import numpy as np
 import pytest
 
 from repro import (

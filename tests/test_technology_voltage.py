@@ -1,6 +1,5 @@
 """Tests for the alpha-power-law voltage/frequency models."""
 
-import math
 
 import pytest
 from hypothesis import given

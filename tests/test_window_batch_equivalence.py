@@ -139,7 +139,8 @@ class TestWindowBatchBitIdentical:
 
 class TestParallelRunPolicies:
     def test_jobs_match_serial(self, eq_dataset, eq_predictor):
-        policies = lambda: [EpactPolicy(), CoatPolicy(), CoatOptPolicy()]
+        def policies():
+            return [EpactPolicy(), CoatPolicy(), CoatOptPolicy()]
         serial = run_policies(
             eq_dataset,
             eq_predictor,
