@@ -23,6 +23,17 @@ the shared day-ahead predictions (forecast-assisted operation),
 ``"reactive"`` uses the utilization actually observed during the
 previous slot, falling back to the forecast for VMs without history
 (fresh arrivals).
+
+Both policies carry a **pool dimension** for heterogeneous fleets
+(:class:`~repro.core.types.FleetSpec` on the context): placement state
+is one server table *per pool*, arrivals try pools in platform-
+efficiency order (fit into an existing server, else open one, before
+falling through to the next pool), and reactive re-consolidation stays
+*within* a pool — heterogeneous platforms (ARM NTC vs x86) cannot
+live-migrate a VM across ISAs, so cross-pool moves are not offered.
+With no fleet (or a single pool) the policies behave exactly as
+before; the equivalence suite asserts the single-pool run is
+bit-identical to the homogeneous one.
 """
 
 from __future__ import annotations
@@ -169,7 +180,9 @@ class OnlineBestFitPolicy(OnlinePolicy):
         self._signal_kind = signal
         if name is not None:
             self.name = name
-        self._assign: Dict[int, int] = {}  # global vm id -> server id
+        # global vm id -> (pool index, server id); pool is always 0
+        # outside heterogeneous fleets.
+        self._assign: Dict[int, Tuple[int, int]] = {}
 
     # -- OnlinePolicy -------------------------------------------------------
 
@@ -180,37 +193,63 @@ class OnlineBestFitPolicy(OnlinePolicy):
     def allocate(self, ctx: AllocationContext) -> Allocation:
         """One online step: prune, place arrivals, optionally rebalance."""
         cloud = self.require_cloud_context(ctx)
+        fleet = cloud.fleet
         ids = cloud.vm_ids
         id_set = {int(g) for g in ids}
         pos_of = {int(g): i for i, g in enumerate(ids)}
         sig_cpu, sig_mem = self._signal(cloud)
+
+        # The pool dimension: per-pool capacities and the order pools
+        # are offered demand in (most efficient platform first).  A
+        # fleet-less run is the degenerate single pool.
+        if fleet is not None:
+            pool_caps = [pool.n_servers for pool in fleet.pools]
+            order = fleet.efficiency_order()
+        else:
+            pool_caps = [cloud.max_servers]
+            order = [0]
+        n_pools = len(pool_caps)
 
         # Departures: drop state for VMs no longer in the population.
         self._assign = {
             g: s for g, s in self._assign.items() if g in id_set
         }
 
-        # Seed carried-over servers in ascending sid order so table
-        # position order equals server-id order (newly opened servers
-        # always take higher sids), keeping "first-fit = lowest server
-        # id" true as a position argmin.  Aggregates are rebuilt in one
-        # scatter; per-bin accumulation order (ascending global id)
-        # matches the per-VM loop it replaces.
-        table = _ServerTable(sig_cpu.shape[1])
-        pos_of_sid: Dict[int, int] = {
-            sid: table.seed_server(sid)
-            for sid in sorted(set(self._assign.values()))
-        }
+        # Seed carried-over servers per pool in ascending sid order so
+        # table position order equals server-id order (newly opened
+        # servers always take higher sids), keeping "first-fit = lowest
+        # server id" true as a position argmin.  Aggregates are rebuilt
+        # in one scatter per pool; per-bin accumulation order
+        # (ascending global id) matches the per-VM loop it replaces.
+        tables = [_ServerTable(sig_cpu.shape[1]) for _ in range(n_pools)]
+        pos_of_sid: List[Dict[int, int]] = []
+        for m in range(n_pools):
+            sids = sorted(
+                {sid for pm, sid in self._assign.values() if pm == m}
+            )
+            pos_of_sid.append(
+                {sid: tables[m].seed_server(sid) for sid in sids}
+            )
         if self._assign:
-            carried = sorted(self._assign)
-            positions = np.array(
-                [pos_of_sid[self._assign[g]] for g in carried],
-                dtype=np.intp,
-            )
-            rows = np.array([pos_of[g] for g in carried], dtype=np.intp)
-            table.bulk_add(
-                positions, carried, sig_cpu[rows], sig_mem[rows]
-            )
+            for m in range(n_pools):
+                carried = sorted(
+                    g for g, (pm, _) in self._assign.items() if pm == m
+                )
+                if not carried:
+                    continue
+                positions = np.array(
+                    [
+                        pos_of_sid[m][self._assign[g][1]]
+                        for g in carried
+                    ],
+                    dtype=np.intp,
+                )
+                rows = np.array(
+                    [pos_of[g] for g in carried], dtype=np.intp
+                )
+                tables[m].bulk_add(
+                    positions, carried, sig_cpu[rows], sig_mem[rows]
+                )
 
         # Arrivals in FFD order (decreasing signal peak, stable ties).
         new_ids = np.array(
@@ -222,21 +261,26 @@ class OnlineBestFitPolicy(OnlinePolicy):
             for g in new_ids[np.argsort(-peaks, kind="stable")]:
                 g = int(g)
                 forced += self._place(
-                    table,
+                    tables,
                     g,
                     sig_cpu[pos_of[g]],
                     sig_mem[pos_of[g]],
-                    cloud.max_servers,
+                    pool_caps,
+                    order,
                 )
 
-        self._rebalance(table, sig_cpu, sig_mem, pos_of, cloud.max_servers)
-        table.drop_empty()
+        self._rebalance(
+            tables, sig_cpu, sig_mem, pos_of, pool_caps, order
+        )
+        for table in tables:
+            table.drop_empty()
         self._assign = {
-            g: table.sids[i]
-            for i, hosted in enumerate(table.vms)
+            g: (m, tables[m].sids[i])
+            for m in range(n_pools)
+            for i, hosted in enumerate(tables[m].vms)
             for g in hosted
         }
-        return self._build_allocation(table, pos_of, forced)
+        return self._build_allocation(tables, pos_of, forced, fleet)
 
     # -- internals ----------------------------------------------------------
 
@@ -283,57 +327,88 @@ class OnlineBestFitPolicy(OnlinePolicy):
 
     def _place(
         self,
-        table: _ServerTable,
+        tables: List[_ServerTable],
         vm: int,
         cpu: np.ndarray,
         mem: np.ndarray,
-        max_servers: int,
+        pool_caps: List[int],
+        order: List[int],
     ) -> int:
-        """Place one VM; returns 1 if it had to be force-placed."""
-        cand, peaks = self._fitting(table, cpu, mem)
-        if cand.size:
-            table.add(self._choose(cand, peaks), vm, cpu, mem)
-            return 0
-        if table.n_servers < max_servers:
-            table.add(table.open(), vm, cpu, mem)
-            return 0
-        # Fleet exhausted: least-loaded force placement, like the
-        # day-ahead policies' safety valve.
-        loads = table.agg_cpu().max(axis=1)
-        table.add(int(np.argmin(loads)), vm, cpu, mem)
+        """Place one VM; returns 1 if it had to be force-placed.
+
+        Pools are tried in platform-efficiency order — fit into an
+        existing server of the pool, else open a new one under the
+        pool's capacity — before falling through to the next pool.
+        Only when every pool is exhausted does the VM get force-placed
+        on the least-loaded server fleet-wide (the day-ahead policies'
+        safety valve).
+        """
+        for m in order:
+            table = tables[m]
+            cand, peaks = self._fitting(table, cpu, mem)
+            if cand.size:
+                table.add(self._choose(cand, peaks), vm, cpu, mem)
+                return 0
+            if table.n_servers < pool_caps[m]:
+                table.add(table.open(), vm, cpu, mem)
+                return 0
+        best = None
+        for m, table in enumerate(tables):
+            if table.n_servers == 0:
+                continue
+            loads = table.agg_cpu().max(axis=1)
+            pos = int(np.argmin(loads))
+            if best is None or loads[pos] < best[0]:
+                best = (float(loads[pos]), m, pos)
+        if best is None:  # unreachable: pool capacities are >= 1
+            raise ConfigurationError("no pool can open a server")
+        tables[best[1]].add(best[2], vm, cpu, mem)
         return 1
 
     def _rebalance(
         self,
-        table: _ServerTable,
+        tables: List[_ServerTable],
         sig_cpu: np.ndarray,
         sig_mem: np.ndarray,
         pos_of: Dict[int, int],
-        max_servers: int,
+        pool_caps: List[int],
+        order: List[int],
     ) -> None:
         """Hook for reactive subclasses; placement-only does nothing."""
 
     def _build_allocation(
         self,
-        table: _ServerTable,
+        tables: List[_ServerTable],
         pos_of: Dict[int, int],
         forced: int,
+        fleet,
     ) -> Allocation:
-        order = np.argsort(np.asarray(table.sids, dtype=int), kind="stable")
-        plans = [
-            ServerPlan(
-                vm_ids=[pos_of[g] for g in sorted(table.vms[i])],
-                cap_cpu_pct=self._cap_cpu,
-                cap_mem_pct=self._cap_mem,
+        plans: List[ServerPlan] = []
+        pools_of: List[int] = []
+        for m, table in enumerate(tables):
+            sid_order = np.argsort(
+                np.asarray(table.sids, dtype=int), kind="stable"
             )
-            for i in order
-        ]
+            plans.extend(
+                ServerPlan(
+                    vm_ids=[pos_of[g] for g in sorted(table.vms[i])],
+                    cap_cpu_pct=self._cap_cpu,
+                    cap_mem_pct=self._cap_mem,
+                )
+                for i in sid_order
+            )
+            pools_of.extend([m] * len(sid_order))
         return Allocation(
             policy_name=self.name,
             plans=plans,
             dynamic_governor=True,
             violation_cap_pct=100.0,
             forced_placements=forced,
+            server_pools=(
+                np.asarray(pools_of, dtype=int)
+                if fleet is not None
+                else None
+            ),
         )
 
 
@@ -390,14 +465,38 @@ class OnlineReactivePolicy(OnlineBestFitPolicy):
 
     def _rebalance(
         self,
+        tables: List[_ServerTable],
+        sig_cpu: np.ndarray,
+        sig_mem: np.ndarray,
+        pos_of: Dict[int, int],
+        pool_caps: List[int],
+        order: List[int],
+    ) -> None:
+        """Re-consolidate each pool, sharing one migration budget.
+
+        Reactive moves stay *within* a pool (heterogeneous platforms
+        cannot live-migrate across ISAs); pools are visited in the same
+        efficiency order placement uses, so the budget favors the
+        platform hosting the preferred share of the demand.
+        """
+        moves = 0
+        budget = self._budget if self._budget is not None else np.inf
+        for m in order:
+            moves = self._rebalance_pool(
+                tables[m], sig_cpu, sig_mem, pos_of, pool_caps[m],
+                moves, budget,
+            )
+
+    def _rebalance_pool(
+        self,
         table: _ServerTable,
         sig_cpu: np.ndarray,
         sig_mem: np.ndarray,
         pos_of: Dict[int, int],
         max_servers: int,
-    ) -> None:
-        moves = 0
-        budget = self._budget if self._budget is not None else np.inf
+        moves: int,
+        budget,
+    ) -> int:
 
         # -- overload: shed largest VMs from the hottest servers --------
         peaks = table.agg_cpu().max(axis=1)
@@ -471,3 +570,4 @@ class OnlineReactivePolicy(OnlineBestFitPolicy):
                 for target, g, cpu, mem in reversed(staged):
                     table.remove(target, g, cpu, mem)
                     table.add(pos, g, cpu, mem)
+        return moves

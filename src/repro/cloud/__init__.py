@@ -42,6 +42,7 @@ from ..traces.lifecycle import (
     fixed_schedule,
     generate_lifecycle,
 )
+from .fleets import FLEETS, FleetMix, get_fleet, list_fleets
 from .scenarios import (
     SCENARIOS,
     CloudScenario,
@@ -51,6 +52,8 @@ from .scenarios import (
 from .sla import SlaSummary, sla_table, summarize
 
 __all__ = [
+    "FLEETS",
+    "FleetMix",
     "SCENARIOS",
     "ChurnConfig",
     "CloudAllocationContext",
@@ -63,7 +66,9 @@ __all__ = [
     "SlaSummary",
     "fixed_schedule",
     "generate_lifecycle",
+    "get_fleet",
     "get_scenario",
+    "list_fleets",
     "list_scenarios",
     "run_cloud_policies",
     "sla_table",

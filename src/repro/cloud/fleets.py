@@ -1,0 +1,149 @@
+"""Named heterogeneous fleet compositions (NTC vs conventional mixes).
+
+The paper's title question is answered per platform: spread on NTC
+servers, consolidate on conventional big-core servers.  A real cloud
+retires and refreshes hardware incrementally, so at any moment it runs
+a *mix*; this registry names the compositions the hybrid experiments
+sweep, from all-NTC to all-conventional:
+
+* ``all-ntc`` / ``all-conventional`` — the homogeneous controls (the
+  paper's two regimes);
+* ``ntc-heavy`` (75% NTC), ``hybrid-50/50``, ``conventional-heavy``
+  (25% NTC) — the migration path between them.
+
+Each :class:`FleetMix` builds a :class:`~repro.core.types.FleetSpec`
+with an NTC pool (full near-threshold DVFS range, per-sample governor)
+and a conventional E5-2620-like pool (narrow DVFS window, ``x86``
+stall/traffic calibration) sized from one total server count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.types import FleetSpec, PoolSpec
+from ..errors import ConfigurationError
+from ..power.server_power import (
+    conventional_server_power_model,
+    ntc_server_power_model,
+)
+
+
+@dataclass(frozen=True)
+class FleetMix:
+    """A named NTC/conventional fleet composition.
+
+    Attributes:
+        name: registry key (also the report label).
+        description: one-line summary for listings.
+        ntc_fraction: share of the total servers in the NTC pool.
+        conventional_opp_policy: frequency policy of the conventional
+            pool (``"governor"`` or ``"fixed-opt"``; conventional
+            consolidation at a pinned frequency is the paper's Fig. 1(b)
+            operating mode).
+    """
+
+    name: str
+    description: str
+    ntc_fraction: float
+    conventional_opp_policy: str = "governor"
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.ntc_fraction <= 1.0):
+            raise ConfigurationError("ntc_fraction must be in [0, 1]")
+
+    def build(self, total_servers: int = 600) -> FleetSpec:
+        """Materialize the mix as a :class:`FleetSpec`.
+
+        Pool sizes are rounded so they always sum to ``total_servers``;
+        empty pools are dropped (the homogeneous controls are genuine
+        single-pool fleets, which the engine treats bit-identically to
+        the homogeneous protocol).
+        """
+        if total_servers < 1:
+            raise ConfigurationError("total_servers must be >= 1")
+        n_ntc = round(total_servers * self.ntc_fraction)
+        n_conv = total_servers - n_ntc
+        pools = []
+        if n_ntc > 0:
+            pools.append(
+                PoolSpec(
+                    name="ntc",
+                    power_model=ntc_server_power_model(),
+                    n_servers=n_ntc,
+                )
+            )
+        if n_conv > 0:
+            pools.append(
+                PoolSpec(
+                    name="conventional",
+                    power_model=conventional_server_power_model(),
+                    n_servers=n_conv,
+                    opp_policy=self.conventional_opp_policy,
+                    perf_platform="x86",
+                )
+            )
+        return FleetSpec(pools=tuple(pools))
+
+
+FLEETS: Dict[str, FleetMix] = {
+    mix.name: mix
+    for mix in (
+        FleetMix(
+            name="all-ntc",
+            description="homogeneous NTC fleet (the paper's proposed "
+            "data center; spreading wins)",
+            ntc_fraction=1.0,
+        ),
+        FleetMix(
+            name="ntc-heavy",
+            description="75% NTC / 25% conventional (late in the "
+            "refresh cycle)",
+            ntc_fraction=0.75,
+        ),
+        FleetMix(
+            name="hybrid-50/50",
+            description="half NTC, half conventional servers",
+            ntc_fraction=0.5,
+        ),
+        FleetMix(
+            name="conventional-heavy",
+            description="25% NTC / 75% conventional (early in the "
+            "refresh cycle)",
+            ntc_fraction=0.25,
+        ),
+        FleetMix(
+            name="all-conventional",
+            description="homogeneous conventional fleet (consolidation "
+            "wins; the Fig. 1(b) regime)",
+            ntc_fraction=0.0,
+        ),
+    )
+}
+
+
+def get_fleet(name: str, total_servers: Optional[int] = None):
+    """Look up a registered mix; with ``total_servers``, build it.
+
+    Returns the :class:`FleetMix` when ``total_servers`` is omitted,
+    the built :class:`FleetSpec` otherwise.
+
+    Raises:
+        ConfigurationError: for unknown names (lists the registry).
+    """
+    try:
+        mix = FLEETS[name]
+    except KeyError:
+        known = ", ".join(sorted(FLEETS))
+        raise ConfigurationError(
+            f"unknown fleet mix {name!r}; known: {known}"
+        ) from None
+    if total_servers is None:
+        return mix
+    return mix.build(total_servers)
+
+
+def list_fleets() -> Dict[str, str]:
+    """Mapping of registered mix names to their descriptions."""
+    return {name: mix.description for name, mix in FLEETS.items()}

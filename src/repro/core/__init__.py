@@ -5,8 +5,8 @@ sizing step, Algorithms 1 and 2, the per-sample DVFS governor, and the
 :class:`EpactPolicy` that ties them together.
 """
 
-from .alloc1d import allocate_1d, ffd_order
-from .alloc2d import allocate_2d, merit_scores
+from .alloc1d import allocate_1d, allocate_1d_pools, ffd_order
+from .alloc2d import allocate_2d, allocate_2d_pools, merit_scores
 from .correlation import (
     complementary_pattern,
     euclidean_distance_many,
@@ -14,19 +14,28 @@ from .correlation import (
     pearson_many,
 )
 from .epact import EpactPolicy
+from .fleet import (
+    FleetEpactPolicy,
+    allocate_fleet_slot,
+    split_fleet_vms,
+)
 from .governor import DvfsGovernor
 from .online import CloudAllocationContext, OnlinePolicy
 from .sizing import (
+    FleetSizingResult,
     SizingResult,
     n_servers_cpu,
     n_servers_mem,
     peak_aggregate_pct,
+    size_fleet_slot,
     size_slot,
 )
 from .types import (
     Allocation,
     AllocationContext,
     AllocationPolicy,
+    FleetSpec,
+    PoolSpec,
     ServerPlan,
     force_place_remaining,
 )
@@ -41,11 +50,18 @@ __all__ = [
     "CloudAllocationContext",
     "DvfsGovernor",
     "EpactPolicy",
+    "FleetEpactPolicy",
+    "FleetSizingResult",
+    "FleetSpec",
     "OnlinePolicy",
+    "PoolSpec",
     "ServerPlan",
     "SizingResult",
     "allocate_1d",
+    "allocate_1d_pools",
     "allocate_2d",
+    "allocate_2d_pools",
+    "allocate_fleet_slot",
     "complementary_pattern",
     "euclidean_distance_many",
     "ffd_order",
@@ -56,5 +72,7 @@ __all__ = [
     "pearson",
     "pearson_many",
     "peak_aggregate_pct",
+    "size_fleet_slot",
     "size_slot",
+    "split_fleet_vms",
 ]

@@ -12,13 +12,160 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import ConfigurationError
 from ..power.server_power import ServerPowerModel
 from ..technology.opp import OppTable
+
+#: Per-pool frequency-selection policies a :class:`PoolSpec` can request.
+OPP_POLICIES = ("governor", "fixed-opt")
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """One homogeneous server pool of a heterogeneous fleet.
+
+    Utilization percentages are **capacity-normalized** (the standard
+    cloud-trace convention): a VM at 10% CPU occupies 10% of whichever
+    server hosts it, relative to that server's own ``Fmax`` capacity, and
+    likewise for memory against the host's DRAM.  That keeps a single
+    trace dataset meaningful across platforms; the platforms differ in
+    how much *power* a percent costs, which is exactly the axis the
+    heterogeneous-fleet experiments sweep.
+
+    Attributes:
+        name: pool label (unique within a fleet; used in reports).
+        power_model: the pool's per-server power model (provides the
+            spec, OPP table and worst-case power evaluations).
+        n_servers: physical servers in the pool (placement capacity).
+        qos_floor_ghz: optional extra per-pool QoS frequency floor; the
+            effective per-VM floor on this pool's servers is the maximum
+            of the class floor (from the pool's OPP table) and this.
+        opp_policy: ``"governor"`` runs the per-sample DVFS governor on
+            this pool's servers (EPACT's mode); ``"fixed-opt"`` pins
+            them to the allocation's planned frequency (quantized to
+            this pool's OPP grid) for the whole slot.
+        perf_platform: calibration key for stall/traffic curves
+            (``"ntc"``, ``"thunderx"`` or ``"x86"``; see
+            :class:`~repro.perf.simulator.PerformanceSimulator`).
+    """
+
+    name: str
+    power_model: ServerPowerModel
+    n_servers: int
+    qos_floor_ghz: Optional[float] = None
+    opp_policy: str = "governor"
+    perf_platform: str = "ntc"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("pool name must be non-empty")
+        if self.n_servers < 1:
+            raise ConfigurationError("pool n_servers must be >= 1")
+        if self.opp_policy not in OPP_POLICIES:
+            raise ConfigurationError(
+                f"opp_policy must be one of {OPP_POLICIES}, "
+                f"got {self.opp_policy!r}"
+            )
+        if self.qos_floor_ghz is not None and self.qos_floor_ghz <= 0.0:
+            raise ConfigurationError("qos_floor_ghz must be positive")
+
+    @property
+    def spec(self):
+        """The pool's :class:`~repro.arch.server_spec.ServerSpec`."""
+        return self.power_model.spec
+
+    @property
+    def opps(self) -> OppTable:
+        """The pool's DVFS table."""
+        return self.power_model.spec.opps
+
+    @property
+    def f_max_ghz(self) -> float:
+        """The pool's maximum frequency."""
+        return self.power_model.spec.f_max_ghz
+
+    def watts_per_capacity_pct(self) -> float:
+        """Worst-case power per percent of capacity at ``F_opt``.
+
+        The fleet's platform-efficiency metric: a pool serving demand at
+        its energy-optimal frequency delivers ``100 * F_opt / Fmax``
+        percent of capacity per fully loaded server; dividing the
+        full-load power by that yields W per served percent — the
+        quantity the greedy fleet split orders pools by.
+        """
+        f_opt = self.power_model.optimal_frequency_ghz()
+        capacity_pct = 100.0 * f_opt / self.f_max_ghz
+        return self.power_model.full_load_power_w(f_opt) / capacity_pct
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A heterogeneous data-center fleet: an ordered tuple of pools.
+
+    Server rows of a fleet allocation are laid out pool-major (all of
+    pool 0's planned servers first, then pool 1's, ...); the engine
+    reads the actual per-server pool from
+    :attr:`Allocation.server_pools`, so pools only bound *capacity*, not
+    row positions.
+
+    Attributes:
+        pools: the constituent pools, in declaration order.
+    """
+
+    pools: Tuple[PoolSpec, ...]
+
+    def __post_init__(self) -> None:
+        pools = tuple(self.pools)
+        object.__setattr__(self, "pools", pools)
+        if not pools:
+            raise ConfigurationError("a fleet needs at least one pool")
+        names = [pool.name for pool in pools]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"pool names must be unique, got {names}"
+            )
+
+    @property
+    def n_pools(self) -> int:
+        """Number of pools."""
+        return len(self.pools)
+
+    @property
+    def total_servers(self) -> int:
+        """Physical servers across all pools."""
+        return sum(pool.n_servers for pool in self.pools)
+
+    @property
+    def single_pool(self) -> bool:
+        """True for the degenerate homogeneous fleet."""
+        return len(self.pools) == 1
+
+    def efficiency_order(self) -> List[int]:
+        """Pool indices, most efficient platform first.
+
+        Pools are ranked by :meth:`PoolSpec.watts_per_capacity_pct`
+        (ties keep declaration order) — the order the greedy fleet
+        split and the online placement-on-arrival policies fill pools
+        in.  The ranking is a pure function of the immutable fleet but
+        costs one scalar power sweep per pool, and the callers need it
+        once per allocation slot — so it is computed once and cached
+        on the instance (``object.__setattr__`` around the frozen
+        dataclass; a fresh list is returned each call).
+        """
+        cached = self.__dict__.get("_efficiency_order")
+        if cached is None:
+            costs = [
+                pool.watts_per_capacity_pct() for pool in self.pools
+            ]
+            cached = sorted(
+                range(len(self.pools)), key=lambda m: (costs[m], m)
+            )
+            object.__setattr__(self, "_efficiency_order", cached)
+        return list(cached)
 
 
 @dataclass(frozen=True)
@@ -34,7 +181,15 @@ class AllocationContext:
             and the worst-case power evaluations EPACT's sizing needs).
         max_servers: number of physical servers available.
         qos_floor_ghz: per-VM minimum frequency meeting QoS (from the VM's
-            workload class), length ``n_vms``.
+            workload class), length ``n_vms``.  For heterogeneous fleets
+            these are the reference pool's floors; pool-aware policies
+            and the engine derive the per-pool floors from ``fleet``.
+        fleet: the heterogeneous fleet, or ``None`` for the paper's
+            homogeneous protocol.  When set, ``power_model`` is the
+            fleet's reference (first) pool model and ``max_servers`` its
+            total server count; fleet-aware policies must respect the
+            per-pool capacities and tag their allocation with
+            :attr:`Allocation.server_pools`.
     """
 
     pred_cpu: np.ndarray
@@ -42,6 +197,7 @@ class AllocationContext:
     power_model: ServerPowerModel
     max_servers: int
     qos_floor_ghz: np.ndarray
+    fleet: Optional[FleetSpec] = None
 
     def __post_init__(self) -> None:
         if self.pred_cpu.ndim != 2 or self.pred_cpu.shape != self.pred_mem.shape:
@@ -113,6 +269,10 @@ class Allocation:
         f_opt_ghz: the slot-optimal frequency chosen by the policy, if any.
         forced_placements: VMs that did not fit under the policy's caps and
             were force-placed on the least-loaded server.
+        server_pools: per-plan fleet pool index (``plans[i]`` is a server
+            of pool ``server_pools[i]``), or ``None`` for homogeneous
+            allocations.  Heterogeneous engines require it whenever the
+            fleet has more than one pool.
     """
 
     policy_name: str
@@ -122,6 +282,7 @@ class Allocation:
     case: str = ""
     f_opt_ghz: Optional[float] = None
     forced_placements: int = 0
+    server_pools: Optional[np.ndarray] = None
 
     @property
     def n_servers(self) -> int:

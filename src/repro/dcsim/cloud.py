@@ -102,6 +102,7 @@ class CloudSimulation(DataCenterSimulation):
         sched = self._schedule
         prev_ids: Optional[np.ndarray] = None
         prev_map: Optional[np.ndarray] = None
+        prev_pools: Optional[np.ndarray] = None
         # Per window: (n_active_vms, arrivals, departures, records);
         # ``records is None`` marks a window deferred into ``tasks``.
         windows: List[tuple] = []
@@ -140,6 +141,7 @@ class CloudSimulation(DataCenterSimulation):
                 windows.append((0, arrivals, departures, records))
                 prev_ids = active
                 prev_map = np.empty(0, dtype=int)
+                prev_pools = None
             else:
                 scale = sched.scale_at(slot)
                 scale_loc = (
@@ -164,8 +166,14 @@ class CloudSimulation(DataCenterSimulation):
                         return_indices=True,
                     )
                     if common.size:
+                        # Pool indices restrict matching to same-pool
+                        # server pairs on heterogeneous fleets (a VM
+                        # block landing on another platform migrated).
                         migrations = count_migrations(
-                            prev_map[ia], acct.vm2srv[ib]
+                            prev_map[ia],
+                            acct.vm2srv[ib],
+                            previous_pools=prev_pools,
+                            new_pools=acct.pool_idx,
                         )
                 if self._superbatch:
                     tasks.append(
@@ -193,6 +201,7 @@ class CloudSimulation(DataCenterSimulation):
                 )
                 prev_ids = active
                 prev_map = acct.vm2srv
+                prev_pools = acct.pool_idx
             slot += n_window
 
         deferred = iter(self._account_horizon(tasks) if tasks else [])
@@ -230,6 +239,7 @@ class CloudSimulation(DataCenterSimulation):
             power_model=self._power,
             max_servers=self._max_servers,
             qos_floor_ghz=self._vm_floor_ghz[active],
+            fleet=self._fleet,
             vm_ids=active,
             last_cpu=last_cpu,
             last_mem=last_mem,

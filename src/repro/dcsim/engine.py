@@ -65,7 +65,12 @@ from typing import Dict, Iterable, List, Optional
 import numpy as np
 
 from ..core.governor import DvfsGovernor
-from ..core.types import Allocation, AllocationContext, AllocationPolicy
+from ..core.types import (
+    Allocation,
+    AllocationContext,
+    AllocationPolicy,
+    FleetSpec,
+)
 from ..errors import ConfigurationError
 from ..perf.simulator import PerformanceSimulator, traffic_coefficients
 from ..perf.workload import ALL_MEMORY_CLASSES
@@ -123,6 +128,12 @@ class _AllocationAccounting:
         scale_cpu: per-covered-VM CPU utilization factor (resizes), or
             ``None`` for unscaled traces.
         scale_mem: per-covered-VM memory utilization factor, or ``None``.
+        pool_idx: per-server fleet pool index (heterogeneous engines
+            only), or ``None`` for the homogeneous protocol.
+        pool_fixed_opp: per-server fixed OPP index into *that server's
+            own pool table* (``-1`` = per-sample governor); set for
+            fixed-frequency allocations and ``"fixed-opt"`` pools on
+            heterogeneous fleets, ``None`` otherwise.
     """
 
     vm2srv: np.ndarray
@@ -136,6 +147,8 @@ class _AllocationAccounting:
     vm_rows: Optional[np.ndarray] = None
     scale_cpu: Optional[np.ndarray] = None
     scale_mem: Optional[np.ndarray] = None
+    pool_idx: Optional[np.ndarray] = None
+    pool_fixed_opp: Optional[np.ndarray] = None
 
 
 @dataclass(frozen=True)
@@ -160,7 +173,9 @@ class DataCenterSimulation:
         power_model: per-server power model; defaults to the NTC server.
         perf: performance simulator supplying per-class stall curves,
             QoS floors and DRAM traffic coefficients.
-        max_servers: fleet size (the paper's data center has 600).
+        max_servers: fleet size (default 600, the paper's data center);
+            mutually exclusive with ``fleet``, whose pool sizes define
+            the total.
         start_slot: first simulated slot; defaults to the first slot with
             a full prediction window.
         n_slots: number of slots to simulate; defaults to the rest of the
@@ -182,6 +197,16 @@ class DataCenterSimulation:
             chunk instead of one per allocation.  Results are
             bit-identical; ``superbatch=False`` keeps the per-window
             path as the intermediate oracle.
+        fleet: heterogeneous fleet specification.  When given (mutually
+            exclusive with ``power_model`` and ``max_servers``), the
+            fleet's pool sizes define the total server count, every
+            server row carries a pool
+            (model) index, and accounting evaluates each pool through
+            its own cached :class:`VectorizedServerPower` tables,
+            governor, QoS floors and stall/traffic curves — one
+            evaluation per (batch, model).  A single-pool fleet
+            reproduces the homogeneous engine bit-identically
+            (``tests/test_hetero_equivalence.py``).
     """
 
     def __init__(
@@ -191,13 +216,14 @@ class DataCenterSimulation:
         policy: AllocationPolicy,
         power_model: Optional[ServerPowerModel] = None,
         perf: Optional[PerformanceSimulator] = None,
-        max_servers: int = 600,
+        max_servers: Optional[int] = None,
         start_slot: Optional[int] = None,
         n_slots: Optional[int] = None,
         migration_energy_j: float = 0.0,
         psu=None,
         window_batch: bool = True,
         superbatch: bool = True,
+        fleet: Optional[FleetSpec] = None,
     ):
         if migration_energy_j < 0.0:
             raise ConfigurationError(
@@ -210,9 +236,27 @@ class DataCenterSimulation:
         self._dataset = dataset
         self._predictor = predictor
         self._policy = policy
-        self._power = (
-            power_model if power_model is not None else ntc_server_power_model()
-        )
+        self._fleet = fleet
+        if fleet is not None:
+            if power_model is not None:
+                raise ConfigurationError(
+                    "pass either power_model or fleet, not both"
+                )
+            if max_servers is not None:
+                raise ConfigurationError(
+                    "max_servers is derived from the fleet's pool "
+                    "sizes; size the pools instead of passing it"
+                )
+            self._power = fleet.pools[0].power_model
+            max_servers = fleet.total_servers
+        else:
+            self._power = (
+                power_model
+                if power_model is not None
+                else ntc_server_power_model()
+            )
+            if max_servers is None:
+                max_servers = 600
         self._perf = perf if perf is not None else _default_perf()
         self._max_servers = max_servers
         self._tables = cached_tables(self._power)
@@ -235,12 +279,21 @@ class DataCenterSimulation:
             )
 
         self._class_masks = self._build_class_masks()
-        self._vm_floor_ghz = self._build_vm_floors()
-        self._stall_tab = self._build_stall_tables()
-        coeffs = traffic_coefficients(self._perf)
-        self._traffic_coeff = np.array(
-            [coeffs[mc] for mc in ALL_MEMORY_CLASSES]
-        )
+        if fleet is not None:
+            # Per-pool state only; the homogeneous-path attributes
+            # alias pool 0's correctly calibrated tables (inspect_slot
+            # reads them) instead of rebuilding them with the
+            # hardcoded "ntc" platform against pool 0's OPP grid.
+            self._build_pool_models(fleet)
+            self._stall_tab = self._pool_stall_tabs[0]
+            self._traffic_coeff = self._pool_traffic_coeff[0]
+        else:
+            self._vm_floor_ghz = self._build_vm_floors()
+            self._stall_tab = self._build_stall_tables()
+            coeffs = traffic_coefficients(self._perf)
+            self._traffic_coeff = np.array(
+                [coeffs[mc] for mc in ALL_MEMORY_CLASSES]
+            )
 
     # -- precomputation -----------------------------------------------------
 
@@ -252,18 +305,83 @@ class DataCenterSimulation:
         ]
 
     def _build_vm_floors(self) -> np.ndarray:
-        floors = self._perf.qos.qos_floors(self._power.spec.opps)
+        return self._vm_floors_for(self._power.spec.opps, None)
+
+    def _vm_floors_for(self, opps, qos_floor_ghz) -> np.ndarray:
+        """Per-VM QoS frequency floor against one OPP table."""
+        floors = self._perf.qos.qos_floors(opps)
         classes = self._dataset.mem_classes()
-        return np.array([floors[c] for c in classes], dtype=float)
+        arr = np.array([floors[c] for c in classes], dtype=float)
+        if qos_floor_ghz is not None:
+            arr = np.maximum(arr, qos_floor_ghz)
+        return arr
 
     def _build_stall_tables(self) -> np.ndarray:
-        freqs = self._power.spec.opps.frequencies_ghz
+        return self._stall_tables_for(self._power.spec.opps, "ntc")
+
+    def _stall_tables_for(self, opps, platform: str) -> np.ndarray:
+        """Per-(class, OPP) stall fractions for one platform's curves."""
+        freqs = opps.frequencies_ghz
         table = np.zeros((len(ALL_MEMORY_CLASSES), len(freqs)))
         for ci, mc in enumerate(ALL_MEMORY_CLASSES):
-            timing = self._perf.timing(mc, "ntc")
+            timing = self._perf.timing(mc, platform)
             for fi, freq in enumerate(freqs):
                 table[ci, fi] = timing.stall_fraction(freq)
         return table
+
+    def _build_pool_models(self, fleet: FleetSpec) -> None:
+        """Per-pool tables, governors, floors and stall/traffic curves.
+
+        Every pool gets its own cached :class:`VectorizedServerPower`
+        coefficients and :class:`DvfsGovernor`; the reference per-VM
+        floors (``self._vm_floor_ghz``, what the allocation context
+        reports) are pool 0's row so a single-pool fleet presents
+        policies the exact arrays the homogeneous engine would.
+        """
+        self._pool_tables = [
+            cached_tables(pool.power_model) for pool in fleet.pools
+        ]
+        self._pool_governors = [
+            DvfsGovernor(pool.opps, pool.f_max_ghz)
+            for pool in fleet.pools
+        ]
+        self._pool_fmax = np.array(
+            [pool.f_max_ghz for pool in fleet.pools]
+        )
+        self._pool_fmin = np.array(
+            [pool.opps.f_min_ghz for pool in fleet.pools]
+        )
+        self._pool_stall_tabs = [
+            self._stall_tables_for(pool.opps, pool.perf_platform)
+            for pool in fleet.pools
+        ]
+        self._pool_traffic_coeff = []
+        for pool in fleet.pools:
+            coeffs = traffic_coefficients(self._perf, pool.perf_platform)
+            self._pool_traffic_coeff.append(
+                np.array([coeffs[mc] for mc in ALL_MEMORY_CLASSES])
+            )
+        self._pool_fixed_policy = np.array(
+            [pool.opp_policy == "fixed-opt" for pool in fleet.pools]
+        )
+        # Fallback pin frequency of "fixed-opt" pools when the policy
+        # supplies no planned frequency (online policies): the pool's
+        # energy-optimal OPP, the frequency the policy name promises.
+        self._pool_f_opt = np.array(
+            [
+                pool.power_model.optimal_frequency_ghz()
+                if pool.opp_policy == "fixed-opt"
+                else 0.0
+                for pool in fleet.pools
+            ]
+        )
+        self._vm_floor_by_pool = np.stack(
+            [
+                self._vm_floors_for(pool.opps, pool.qos_floor_ghz)
+                for pool in fleet.pools
+            ]
+        )
+        self._vm_floor_ghz = self._vm_floor_by_pool[0]
 
     # -- public API ---------------------------------------------------------
 
@@ -298,7 +416,7 @@ class DataCenterSimulation:
         while slot < end:
             allocation = self._allocate_window(slot, period)
             acct = self._prepare_allocation(allocation)
-            migrations = counter.update(acct.vm2srv)
+            migrations = counter.update(acct.vm2srv, acct.pool_idx)
             n_window = min(period, end - slot)
             if self._superbatch:
                 tasks.append(
@@ -374,6 +492,7 @@ class DataCenterSimulation:
             power_model=self._power,
             max_servers=self._max_servers,
             qos_floor_ghz=self._vm_floor_ghz,
+            fleet=self._fleet,
         )
         return self._policy.allocate(ctx)
 
@@ -410,21 +529,91 @@ class DataCenterSimulation:
             [bool(plan.vm_ids) for plan in allocation.plans], dtype=bool
         )
 
-        # Per-server QoS frequency floor = max floor of hosted VMs.
-        floors = np.full(n_srv, self._power.spec.opps.f_min_ghz)
-        np.maximum.at(floors, vm2srv, vm_floors)
+        pool_idx = pool_fixed_opp = None
+        if self._fleet is None:
+            # Per-server QoS frequency floor = max floor of hosted VMs.
+            floors = np.full(n_srv, self._power.spec.opps.f_min_ghz)
+            np.maximum.at(floors, vm2srv, vm_floors)
 
-        if allocation.dynamic_governor:
-            opp_idx_fixed = None
+            if allocation.dynamic_governor:
+                opp_idx_fixed = None
+            else:
+                planned = np.array(
+                    [plan.planned_freq_ghz for plan in allocation.plans]
+                )
+                idx = np.searchsorted(
+                    self._governor.frequencies_ghz,
+                    planned - _EPS,
+                    side="left",
+                )
+                idx = np.clip(
+                    idx, 0, len(self._governor.frequencies_ghz) - 1
+                )
+                opp_idx_fixed = np.repeat(idx[:, None], n_samples, axis=1)
         else:
-            planned = np.array(
-                [plan.planned_freq_ghz for plan in allocation.plans]
+            opp_idx_fixed = None
+            pool_idx = self._resolve_pool_idx(allocation, n_srv)
+            # Per-server QoS floor against the *host pool's* table: each
+            # VM's floor is looked up in its server's pool row.
+            vm_floor_by_pool = (
+                self._vm_floor_by_pool
+                if vm_rows is None
+                else self._vm_floor_by_pool[:, vm_rows]
             )
-            idx = np.searchsorted(
-                self._governor.frequencies_ghz, planned - _EPS, side="left"
+            floors = self._pool_fmin[pool_idx].copy()
+            if n_vms:
+                np.maximum.at(
+                    floors,
+                    vm2srv,
+                    vm_floor_by_pool[
+                        pool_idx[vm2srv], np.arange(n_vms)
+                    ],
+                )
+            # Servers pinned to a fixed frequency: fixed-cap allocations
+            # pin every server, "fixed-opt" pools pin theirs even under
+            # dynamic-governor policies.  Indices are quantized against
+            # each server's own pool table.  Fixed-cap allocations keep
+            # the homogeneous semantics exactly (plan frequency, no
+            # floor — COAT-style policies own their caps); pool-policy
+            # pins fall back to the pool's F_opt when the policy left
+            # no planned frequency (online policies) and are raised to
+            # the server's QoS floor — the pin is the *pool's* choice,
+            # so it must not undercut the hosted workloads.
+            pinned = (
+                np.ones(n_srv, dtype=bool)
+                if not allocation.dynamic_governor
+                else self._pool_fixed_policy[pool_idx]
             )
-            idx = np.clip(idx, 0, len(self._governor.frequencies_ghz) - 1)
-            opp_idx_fixed = np.repeat(idx[:, None], n_samples, axis=1)
+            if pinned.any():
+                pool_fixed_opp = np.full(n_srv, -1, dtype=int)
+                planned = np.array(
+                    [plan.planned_freq_ghz for plan in allocation.plans]
+                )
+                for m in range(self._fleet.n_pools):
+                    rows = np.flatnonzero((pool_idx == m) & pinned)
+                    if rows.size:
+                        governor_m = self._pool_governors[m]
+                        freqs_m = governor_m.frequencies_ghz
+                        pin_freq = planned[rows]
+                        if allocation.dynamic_governor:
+                            pin_freq = np.where(
+                                pin_freq > 0.0,
+                                pin_freq,
+                                self._pool_f_opt[m],
+                            )
+                        idx = np.clip(
+                            np.searchsorted(
+                                freqs_m, pin_freq - _EPS, side="left"
+                            ),
+                            0,
+                            len(freqs_m) - 1,
+                        )
+                        if allocation.dynamic_governor:
+                            idx = np.maximum(
+                                idx,
+                                governor_m.floor_indices(floors[rows]),
+                            )
+                        pool_fixed_opp[rows] = idx
 
         # Flattened (server, sample) bin per (VM, sample) cell: one
         # np.bincount scatter per slot replaces the much slower
@@ -451,7 +640,159 @@ class DataCenterSimulation:
             vm_rows=vm_rows,
             scale_cpu=scale_cpu,
             scale_mem=scale_mem,
+            pool_idx=pool_idx,
+            pool_fixed_opp=pool_fixed_opp,
         )
+
+    def _resolve_pool_idx(
+        self, allocation: Allocation, n_srv: int
+    ) -> np.ndarray:
+        """Validated per-server pool indices of a fleet allocation."""
+        fleet = self._fleet
+        if allocation.server_pools is not None:
+            pool_idx = np.asarray(allocation.server_pools, dtype=int)
+            if pool_idx.shape != (n_srv,):
+                raise ConfigurationError(
+                    f"server_pools must tag all {n_srv} plans, got "
+                    f"shape {pool_idx.shape}"
+                )
+        elif fleet.single_pool:
+            pool_idx = np.zeros(n_srv, dtype=int)
+        else:
+            raise ConfigurationError(
+                "allocations on a multi-pool fleet must set "
+                "Allocation.server_pools"
+            )
+        if pool_idx.size and (
+            pool_idx.min() < 0 or pool_idx.max() >= fleet.n_pools
+        ):
+            raise ConfigurationError("server_pools index out of range")
+        counts = np.bincount(pool_idx, minlength=fleet.n_pools)
+        for m, pool in enumerate(fleet.pools):
+            if counts[m] > pool.n_servers:
+                raise ConfigurationError(
+                    f"pool {pool.name!r} capacity exceeded: "
+                    f"{int(counts[m])} > {pool.n_servers} servers"
+                )
+        return pool_idx
+
+    def _eval_pools(
+        self,
+        util: np.ndarray,
+        util_by_class: np.ndarray,
+        floors: np.ndarray,
+        pool_map: np.ndarray,
+        fixed_opp: Optional[np.ndarray] = None,
+    ) -> tuple:
+        """Per-(batch, model) governor + power evaluation.
+
+        The heterogeneous counterpart of the inline homogeneous blocks:
+        ``util`` has shape ``(..., n_samples)`` with arbitrary leading
+        (…, server) axes, and ``pool_map``/``floors``/``fixed_opp``
+        share the leading shape.  For each fleet pool the selected rows
+        run through *that pool's* governor, stall table, traffic
+        coefficients and cached :class:`VectorizedServerPower` in one
+        call — one evaluation per (batch, model), never per server.
+        Rows with pool ``-1`` (super-batch padding) stay zero; they are
+        excluded from every reduction by prefix slicing anyway.
+
+        All arithmetic is the same elementwise kernel the homogeneous
+        blocks use (shared ``DvfsGovernor._demand_indices``, the same
+        stall accumulation order, the same ``tensordot`` contraction),
+        so with a single-pool fleet the results are bit-identical to
+        the homogeneous engine.
+
+        Returns:
+            ``(freqs_ghz, power_w)`` arrays shaped like ``util``.
+        """
+        sps = util.shape[-1]
+        n_classes = util_by_class.shape[0]
+        # Whole-tensor selections (single-pool fleets — every mix
+        # sweep's homogeneous controls) evaluate through reshaped
+        # *views*, skipping the chunk-sized copies boolean indexing
+        # would make; only the small per-(…, server) floor/pin vectors
+        # are materialized.
+        for m in range(self._fleet.n_pools):
+            sel = pool_map == m
+            if not sel.any():
+                continue
+            if sel.all():
+                fl = np.ascontiguousarray(
+                    np.broadcast_to(floors, pool_map.shape)
+                ).reshape(-1)
+                fx = (
+                    np.ascontiguousarray(
+                        np.broadcast_to(fixed_opp, pool_map.shape)
+                    ).reshape(-1)
+                    if fixed_opp is not None
+                    else None
+                )
+                f, p = self._eval_one_pool(
+                    m,
+                    util.reshape(-1, sps),
+                    fl,
+                    fx,
+                    util_by_class.reshape(n_classes, -1, sps),
+                )
+                return f.reshape(util.shape), p.reshape(util.shape)
+            break
+        freqs = np.zeros_like(util)
+        power = np.zeros_like(util)
+        for m in range(self._fleet.n_pools):
+            sel = pool_map == m
+            if not sel.any():
+                continue
+            f, p = self._eval_one_pool(
+                m,
+                util[sel],
+                floors[sel],
+                fixed_opp[sel] if fixed_opp is not None else None,
+                util_by_class[:, sel],
+            )
+            freqs[sel] = f
+            power[sel] = p
+        return freqs, power
+
+    def _eval_one_pool(
+        self,
+        m: int,
+        u: np.ndarray,
+        fl: np.ndarray,
+        fx: Optional[np.ndarray],
+        ubc: np.ndarray,
+    ) -> tuple:
+        """One pool's governor + power kernel over ``(rows, samples)``.
+
+        The shared arithmetic of both :meth:`_eval_pools` routes; the
+        elementwise operations (and their order) match the homogeneous
+        blocks exactly, preserving the bit-identity guarantees.
+        """
+        # Pinned rows never read the governor's choice, so a fully
+        # pinned selection (fixed-cap allocations) skips the whole
+        # demand-quantization pass; broadcast indices are read-only
+        # but only ever used for table lookups below.
+        pinned = fx >= 0 if fx is not None else None
+        if pinned is not None and pinned.all():
+            idx = np.broadcast_to(fx[:, None], u.shape)
+        else:
+            idx = self._pool_governors[m].opp_indices(u, fl)
+            if pinned is not None and pinned.any():
+                idx[pinned] = fx[pinned][:, None]
+        tables = self._pool_tables[m]
+        f = tables.freqs_ghz[idx]
+        busy = u * self._pool_fmax[m] / (100.0 * f)
+        stall_num = np.zeros_like(u)
+        stall_tab = self._pool_stall_tabs[m]
+        for ci in range(ubc.shape[0]):
+            stall_num += ubc[ci] * stall_tab[ci][idx]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            stall = np.where(
+                u > _EPS, stall_num / np.maximum(u, _EPS), 0.0
+            )
+        traffic = np.tensordot(
+            self._pool_traffic_coeff[m], ubc, axes=([0], [0])
+        )
+        return f, tables.power_w(idx, busy, stall, traffic)
 
     def _account_slot(
         self,
@@ -494,28 +835,42 @@ class DataCenterSimulation:
         active = acct.active
         floors = acct.floors
 
-        if acct.opp_idx_fixed is None:
-            opp_idx = self._governor.opp_indices(util, floors)
+        if acct.pool_idx is not None:
+            freqs, power = self._eval_pools(
+                util,
+                util_by_class,
+                floors,
+                acct.pool_idx,
+                acct.pool_fixed_opp,
+            )
         else:
-            opp_idx = acct.opp_idx_fixed
+            if acct.opp_idx_fixed is None:
+                opp_idx = self._governor.opp_indices(util, floors)
+            else:
+                opp_idx = acct.opp_idx_fixed
 
-        freqs = self._tables.freqs_ghz[opp_idx]
-        # Work-conserving busy fraction: may exceed 1 when a fixed-cap
-        # policy is overrun; the excess is deferred work whose dynamic
-        # energy is still charged (see VectorizedServerPower.power_w).
-        busy = util * self._f_max / (100.0 * freqs)
+            freqs = self._tables.freqs_ghz[opp_idx]
+            # Work-conserving busy fraction: may exceed 1 when a
+            # fixed-cap policy is overrun; the excess is deferred work
+            # whose dynamic energy is still charged (see
+            # VectorizedServerPower.power_w).
+            busy = util * self._f_max / (100.0 * freqs)
 
-        stall_num = np.zeros_like(util)
-        for ci in range(util_by_class.shape[0]):
-            stall_num += util_by_class[ci] * self._stall_tab[ci][opp_idx]
-        with np.errstate(divide="ignore", invalid="ignore"):
-            stall = np.where(util > _EPS, stall_num / np.maximum(util, _EPS), 0.0)
+            stall_num = np.zeros_like(util)
+            for ci in range(util_by_class.shape[0]):
+                stall_num += (
+                    util_by_class[ci] * self._stall_tab[ci][opp_idx]
+                )
+            with np.errstate(divide="ignore", invalid="ignore"):
+                stall = np.where(
+                    util > _EPS, stall_num / np.maximum(util, _EPS), 0.0
+                )
 
-        traffic = np.tensordot(
-            self._traffic_coeff, util_by_class, axes=([0], [0])
-        )
+            traffic = np.tensordot(
+                self._traffic_coeff, util_by_class, axes=([0], [0])
+            )
 
-        power = self._tables.power_w(opp_idx, busy, stall, traffic)
+            power = self._tables.power_w(opp_idx, busy, stall, traffic)
         power = power * active[:, None]
         if self._psu is not None:
             # Vectorized quadratic PSU loss; fixed loss only for servers
@@ -618,29 +973,45 @@ class DataCenterSimulation:
         active = acct.active
         floors = acct.floors
 
-        if acct.opp_idx_fixed is None:
-            opp_idx = self._governor.opp_indices_window(util, floors)
+        if acct.pool_idx is not None:
+            shape = (n_window, n_srv)
+            freqs, power = self._eval_pools(
+                util,
+                util_by_class,
+                np.broadcast_to(floors[None], shape),
+                np.broadcast_to(acct.pool_idx[None], shape),
+                (
+                    np.broadcast_to(acct.pool_fixed_opp[None], shape)
+                    if acct.pool_fixed_opp is not None
+                    else None
+                ),
+            )
         else:
-            opp_idx = np.broadcast_to(
-                acct.opp_idx_fixed[None], (n_window, n_srv, sps)
+            if acct.opp_idx_fixed is None:
+                opp_idx = self._governor.opp_indices_window(util, floors)
+            else:
+                opp_idx = np.broadcast_to(
+                    acct.opp_idx_fixed[None], (n_window, n_srv, sps)
+                )
+
+            freqs = self._tables.freqs_ghz[opp_idx]
+            busy = util * self._f_max / (100.0 * freqs)
+
+            stall_num = np.zeros_like(util)
+            for ci in range(util_by_class.shape[0]):
+                stall_num += (
+                    util_by_class[ci] * self._stall_tab[ci][opp_idx]
+                )
+            with np.errstate(divide="ignore", invalid="ignore"):
+                stall = np.where(
+                    util > _EPS, stall_num / np.maximum(util, _EPS), 0.0
+                )
+
+            traffic = np.tensordot(
+                self._traffic_coeff, util_by_class, axes=([0], [0])
             )
 
-        freqs = self._tables.freqs_ghz[opp_idx]
-        busy = util * self._f_max / (100.0 * freqs)
-
-        stall_num = np.zeros_like(util)
-        for ci in range(util_by_class.shape[0]):
-            stall_num += util_by_class[ci] * self._stall_tab[ci][opp_idx]
-        with np.errstate(divide="ignore", invalid="ignore"):
-            stall = np.where(
-                util > _EPS, stall_num / np.maximum(util, _EPS), 0.0
-            )
-
-        traffic = np.tensordot(
-            self._traffic_coeff, util_by_class, axes=([0], [0])
-        )
-
-        power = self._tables.power_w(opp_idx, busy, stall, traffic)
+            power = self._tables.power_w(opp_idx, busy, stall, traffic)
         power = power * active[None, :, None]
         if self._psu is not None:
             power = (
@@ -756,6 +1127,18 @@ class DataCenterSimulation:
         active = np.zeros((n_total, n_srv_max), dtype=bool)
         caps = np.empty(n_total)
         fixed: List[tuple] = []
+        # Heterogeneous fleets carry a model-index tensor parallel to
+        # the padded (slot, server) bins: -1 marks padding, everything
+        # else selects the pool whose tables evaluate that server row.
+        # Single-pool fleets pad with pool 0 instead — padded rows are
+        # zero-utilization and excluded from every reduction anyway
+        # (exactly how the homogeneous path treats them), and an
+        # all-pool-0 map lets _eval_pools take its copy-free
+        # whole-tensor route.
+        pool_map = fixed_map = None
+        if self._fleet is not None:
+            pad_pool = 0 if self._fleet.single_pool else -1
+            pool_map = np.full((n_total, n_srv_max), pad_pool, dtype=int)
         off = 0
         for task in tasks:
             acct = task.acct
@@ -770,6 +1153,18 @@ class DataCenterSimulation:
             )
             if acct.opp_idx_fixed is not None:
                 fixed.append((off, task.n_window, acct))
+            if pool_map is not None:
+                pool_map[off : off + task.n_window, : acct.n_srv] = (
+                    acct.pool_idx[None, :]
+                )
+                if acct.pool_fixed_opp is not None:
+                    if fixed_map is None:
+                        fixed_map = np.full(
+                            (n_total, n_srv_max), -1, dtype=int
+                        )
+                    fixed_map[
+                        off : off + task.n_window, : acct.n_srv
+                    ] = acct.pool_fixed_opp[None, :]
             off += task.n_window
 
         # Two scatter-assembly routes.  Fixed-population chunks (the
@@ -891,31 +1286,41 @@ class DataCenterSimulation:
                         minlength=n_bins,
                     ).reshape(n_total, n_srv_max, sps)
 
-        # Dynamic-governor choice everywhere (padded servers get valid
-        # lowest-OPP indices), then fixed-frequency windows overwrite
-        # their own server prefix with the allocation's fixed indices.
-        opp_idx = self._governor.opp_indices_horizon(util, floors)
-        for off_t, n_window, acct in fixed:
-            opp_idx[off_t : off_t + n_window, : acct.n_srv] = (
-                acct.opp_idx_fixed[None]
+        if pool_map is not None:
+            # One governor + power evaluation per (chunk, model); the
+            # padded -1 rows stay zero and never enter a reduction.
+            freqs, power = self._eval_pools(
+                util, util_by_class, floors, pool_map, fixed_map
+            )
+        else:
+            # Dynamic-governor choice everywhere (padded servers get
+            # valid lowest-OPP indices), then fixed-frequency windows
+            # overwrite their own server prefix with the allocation's
+            # fixed indices.
+            opp_idx = self._governor.opp_indices_horizon(util, floors)
+            for off_t, n_window, acct in fixed:
+                opp_idx[off_t : off_t + n_window, : acct.n_srv] = (
+                    acct.opp_idx_fixed[None]
+                )
+
+            freqs = self._tables.freqs_ghz[opp_idx]
+            busy = util * self._f_max / (100.0 * freqs)
+
+            stall_num = np.zeros_like(util)
+            for ci in range(n_classes):
+                stall_num += (
+                    util_by_class[ci] * self._stall_tab[ci][opp_idx]
+                )
+            with np.errstate(divide="ignore", invalid="ignore"):
+                stall = np.where(
+                    util > _EPS, stall_num / np.maximum(util, _EPS), 0.0
+                )
+
+            traffic = np.tensordot(
+                self._traffic_coeff, util_by_class, axes=([0], [0])
             )
 
-        freqs = self._tables.freqs_ghz[opp_idx]
-        busy = util * self._f_max / (100.0 * freqs)
-
-        stall_num = np.zeros_like(util)
-        for ci in range(n_classes):
-            stall_num += util_by_class[ci] * self._stall_tab[ci][opp_idx]
-        with np.errstate(divide="ignore", invalid="ignore"):
-            stall = np.where(
-                util > _EPS, stall_num / np.maximum(util, _EPS), 0.0
-            )
-
-        traffic = np.tensordot(
-            self._traffic_coeff, util_by_class, axes=([0], [0])
-        )
-
-        power = self._tables.power_w(opp_idx, busy, stall, traffic)
+            power = self._tables.power_w(opp_idx, busy, stall, traffic)
         power = power * active[:, :, None]
         if self._psu is not None:
             power = (
@@ -967,7 +1372,10 @@ class DataCenterSimulation:
 
 
 def count_migrations(
-    previous_map: np.ndarray, new_map: np.ndarray
+    previous_map: np.ndarray,
+    new_map: np.ndarray,
+    previous_pools: Optional[np.ndarray] = None,
+    new_pools: Optional[np.ndarray] = None,
 ) -> int:
     """Minimum-ish VM migrations between two assignments.
 
@@ -977,6 +1385,13 @@ def count_migrations(
     same physical server keeping its VMs"); every VM outside a matched
     overlap must have moved.  Greedy matching on sorted overlaps is the
     standard first-order estimate of reallocation churn.
+
+    On heterogeneous fleets a server can only be "the same physical
+    server" within its own pool — a block of VMs landing on a server of
+    a *different* platform genuinely moved (across ISAs, no less) — so
+    when per-server pool indices are supplied, cross-pool (old, new)
+    pairs are excluded from the matching.  Single-pool fleets filter
+    nothing, preserving the homogeneous counts exactly.
 
     The overlap histogram is built with one ``np.bincount`` over the
     flattened (old, new) pair codes and only its non-zero entries (at
@@ -996,6 +1411,11 @@ def count_migrations(
     overlap = counts[nz]
     old_ids = nz // n_new
     new_ids = nz % n_new
+    if previous_pools is not None and new_pools is not None:
+        same = previous_pools[old_ids] == new_pools[new_ids]
+        overlap = overlap[same]
+        old_ids = old_ids[same]
+        new_ids = new_ids[same]
     return n_vms - _greedy_kept(overlap, old_ids, new_ids)
 
 
@@ -1045,18 +1465,25 @@ class MigrationCounter:
     ``_count_migrations_reference`` remains the seed oracle.
     """
 
-    __slots__ = ("_order", "_sorted", "_n_vms")
+    __slots__ = ("_order", "_sorted", "_n_vms", "_pools")
 
     def __init__(self) -> None:
         self._order: Optional[np.ndarray] = None
         self._sorted: Optional[np.ndarray] = None
         self._n_vms: Optional[int] = None
+        self._pools: Optional[np.ndarray] = None
 
-    def update(self, new_map: np.ndarray) -> int:
+    def update(
+        self,
+        new_map: np.ndarray,
+        new_pools: Optional[np.ndarray] = None,
+    ) -> int:
         """Count migrations vs the previous map, then adopt ``new_map``.
 
         The first call primes the state and returns 0 (no previous
-        allocation to migrate from).
+        allocation to migrate from).  ``new_pools`` (per-server pool
+        indices, heterogeneous fleets) restricts the greedy matching to
+        same-pool server pairs, as in :func:`count_migrations`.
         """
         new_map = np.asarray(new_map)
         if self._n_vms is not None and new_map.shape != (self._n_vms,):
@@ -1076,12 +1503,18 @@ class MigrationCounter:
             )
             overlap = np.diff(np.concatenate((starts, [codes.shape[0]])))
             uniq = codes[starts]
-            migrations = n_vms - _greedy_kept(
-                overlap, uniq // n_new, uniq % n_new
-            )
+            old_ids = uniq // n_new
+            new_ids = uniq % n_new
+            if self._pools is not None and new_pools is not None:
+                same = self._pools[old_ids] == new_pools[new_ids]
+                overlap = overlap[same]
+                old_ids = old_ids[same]
+                new_ids = new_ids[same]
+            migrations = n_vms - _greedy_kept(overlap, old_ids, new_ids)
         self._n_vms = n_vms
         self._order = np.argsort(new_map, kind="stable")
         self._sorted = new_map[self._order]
+        self._pools = new_pools
         return migrations
 
 

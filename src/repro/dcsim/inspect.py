@@ -111,40 +111,40 @@ def inspect_slot(
         if mask.any():
             np.add.at(util_by_class[ci], vm2srv[mask], real_cpu[mask])
 
-    active = np.array(
-        [bool(plan.vm_ids) for plan in allocation.plans], dtype=bool
-    )
-    floors = np.full(n_srv, simulation._power.spec.opps.f_min_ghz)
-    np.maximum.at(floors, vm2srv, simulation._vm_floor_ghz)
+    # The engine's own per-allocation invariants (active set, QoS
+    # floors, fixed OPP pins, per-server pool indices on heterogeneous
+    # fleets), so the matrices below price every server with its own
+    # pool's tables — exactly like the full run.
+    acct = simulation._prepare_allocation(allocation)
+    active = acct.active
+    floors = acct.floors
 
-    if allocation.dynamic_governor:
-        opp_idx = simulation._governor.opp_indices(util, floors)
+    if acct.pool_idx is not None:
+        freqs, power = simulation._eval_pools(
+            util, util_by_class, floors, acct.pool_idx,
+            acct.pool_fixed_opp,
+        )
     else:
-        planned = np.array(
-            [plan.planned_freq_ghz for plan in allocation.plans]
-        )
-        idx = np.searchsorted(
-            simulation._governor.frequencies_ghz, planned - 1e-9,
-            side="left",
-        )
-        idx = np.clip(
-            idx, 0, len(simulation._governor.frequencies_ghz) - 1
-        )
-        opp_idx = np.repeat(idx[:, None], n_samples, axis=1)
+        if acct.opp_idx_fixed is None:
+            opp_idx = simulation._governor.opp_indices(util, floors)
+        else:
+            opp_idx = acct.opp_idx_fixed
 
-    freqs = simulation._tables.freqs_ghz[opp_idx]
-    busy = util * simulation._f_max / (100.0 * freqs)
-    stall_num = np.zeros_like(util)
-    for ci in range(util_by_class.shape[0]):
-        stall_num += util_by_class[ci] * simulation._stall_tab[ci][opp_idx]
-    with np.errstate(divide="ignore", invalid="ignore"):
-        stall = np.where(
-            util > 1e-9, stall_num / np.maximum(util, 1e-9), 0.0
+        freqs = simulation._tables.freqs_ghz[opp_idx]
+        busy = util * simulation._f_max / (100.0 * freqs)
+        stall_num = np.zeros_like(util)
+        for ci in range(util_by_class.shape[0]):
+            stall_num += (
+                util_by_class[ci] * simulation._stall_tab[ci][opp_idx]
+            )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            stall = np.where(
+                util > 1e-9, stall_num / np.maximum(util, 1e-9), 0.0
+            )
+        traffic = np.tensordot(
+            simulation._traffic_coeff, util_by_class, axes=([0], [0])
         )
-    traffic = np.tensordot(
-        simulation._traffic_coeff, util_by_class, axes=([0], [0])
-    )
-    power = simulation._tables.power_w(opp_idx, busy, stall, traffic)
+        power = simulation._tables.power_w(opp_idx, busy, stall, traffic)
     power = power * active[:, None]
 
     cap = allocation.violation_cap_pct

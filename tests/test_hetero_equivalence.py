@@ -1,0 +1,654 @@
+"""Heterogeneous-fleet equivalence suite.
+
+Two families of guarantees:
+
+* **degeneracy** — a single-pool :class:`FleetSpec` must reproduce the
+  homogeneous engine *bit-identically*: :class:`FleetEpactPolicy`
+  against :class:`EpactPolicy` on the fixed-population engine, and both
+  the fleet-aware day-ahead policy and the pool-aware online policies
+  under churn;
+* **oracles** — on genuinely mixed fleets the per-(chunk, model)
+  super-batch accounting must match the per-window and the per-pool
+  per-slot references exactly, the pool-dimension allocators must equal
+  running each pool separately, and the fleet sizing's fast case-1
+  sweep must equal the scalar reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import OnlineBestFitPolicy, OnlineReactivePolicy
+from repro.core import (
+    EpactPolicy,
+    FleetEpactPolicy,
+    FleetSpec,
+    PoolSpec,
+    allocate_1d,
+    allocate_1d_pools,
+    allocate_2d,
+    allocate_2d_pools,
+    size_fleet_slot,
+    split_fleet_vms,
+)
+from repro.dcsim import CloudSimulation, DataCenterSimulation
+from repro.errors import ConfigurationError
+from repro.forecast import DayAheadPredictor
+from repro.power.server_power import (
+    conventional_server_power_model,
+    ntc_server_power_model,
+)
+from repro.traces import default_dataset
+from repro.traces.lifecycle import ChurnConfig, generate_lifecycle
+from repro.units import SLOTS_PER_DAY
+
+
+def records_equal(a, b):
+    """Exact (bitwise for floats) equality of two record lists."""
+    return len(a) == len(b) and all(ra == rb for ra, rb in zip(a, b))
+
+
+@pytest.fixture(scope="module")
+def het_dataset():
+    return default_dataset(n_vms=40, n_days=9, seed=505)
+
+
+@pytest.fixture(scope="module")
+def het_predictor(het_dataset):
+    predictor = DayAheadPredictor(het_dataset)
+    for day in range(7, het_dataset.n_days):
+        predictor.forecast_day(day)
+    return predictor
+
+
+@pytest.fixture(scope="module")
+def het_schedule(het_dataset):
+    start = 7 * SLOTS_PER_DAY
+    return generate_lifecycle(
+        het_dataset.n_vms,
+        start,
+        start + 24,
+        config=ChurnConfig(
+            initial_fraction=0.6,
+            arrival_rate_frac=0.01,
+            lifetime_mean_slots=20.0,
+        ),
+        seed=31,
+    )
+
+
+@pytest.fixture(scope="module")
+def single_pool_fleet():
+    return FleetSpec(
+        pools=(PoolSpec("ntc", ntc_server_power_model(), 40),)
+    )
+
+
+@pytest.fixture(scope="module")
+def two_pool_fleet():
+    # A deliberately tight NTC pool: demand genuinely spills onto the
+    # conventional pool, so both models account servers every slot.
+    return FleetSpec(
+        pools=(
+            PoolSpec("ntc", ntc_server_power_model(), 3),
+            PoolSpec(
+                "conventional",
+                conventional_server_power_model(),
+                30,
+                perf_platform="x86",
+            ),
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def fixed_opt_fleet():
+    return FleetSpec(
+        pools=(
+            PoolSpec("ntc", ntc_server_power_model(), 3),
+            PoolSpec(
+                "conventional",
+                conventional_server_power_model(),
+                30,
+                perf_platform="x86",
+                opp_policy="fixed-opt",
+            ),
+        )
+    )
+
+
+class TestSinglePoolBitIdentity:
+    def test_fixed_population_matches_homogeneous(
+        self, het_dataset, het_predictor, single_pool_fleet
+    ):
+        """FleetEpact on a single-pool fleet == EpactPolicy, exactly."""
+        homogeneous = DataCenterSimulation(
+            het_dataset,
+            het_predictor,
+            EpactPolicy(),
+            max_servers=40,
+            n_slots=16,
+        ).run()
+        fleet_run = DataCenterSimulation(
+            het_dataset,
+            het_predictor,
+            FleetEpactPolicy(),
+            fleet=single_pool_fleet,
+            n_slots=16,
+        ).run()
+        assert records_equal(homogeneous.records, fleet_run.records)
+
+    def test_fixed_population_per_slot_reference(
+        self, het_dataset, het_predictor, single_pool_fleet
+    ):
+        """The hetero per-slot oracle equals the homogeneous one too."""
+        homogeneous = DataCenterSimulation(
+            het_dataset,
+            het_predictor,
+            EpactPolicy(),
+            max_servers=40,
+            n_slots=8,
+            window_batch=False,
+        ).run()
+        fleet_run = DataCenterSimulation(
+            het_dataset,
+            het_predictor,
+            FleetEpactPolicy(),
+            fleet=single_pool_fleet,
+            n_slots=8,
+            window_batch=False,
+        ).run()
+        assert records_equal(homogeneous.records, fleet_run.records)
+
+    def test_fixed_cap_policy_matches_homogeneous(
+        self, het_dataset, het_predictor, single_pool_fleet
+    ):
+        """COAT's fixed-frequency windows (every server pinned) take
+        the all-pinned fast path and still match the homogeneous
+        engine exactly."""
+        from repro.baselines import CoatPolicy
+
+        homogeneous = DataCenterSimulation(
+            het_dataset,
+            het_predictor,
+            CoatPolicy(),
+            max_servers=40,
+            n_slots=16,
+        ).run()
+        fleet_run = DataCenterSimulation(
+            het_dataset,
+            het_predictor,
+            CoatPolicy(),
+            fleet=single_pool_fleet,
+            n_slots=16,
+        ).run()
+        assert records_equal(homogeneous.records, fleet_run.records)
+
+    def test_churn_matches_homogeneous(
+        self,
+        het_dataset,
+        het_predictor,
+        het_schedule,
+        single_pool_fleet,
+    ):
+        """Single-pool cloud runs reproduce the homogeneous engine."""
+        homogeneous = CloudSimulation(
+            het_dataset,
+            het_predictor,
+            EpactPolicy(),
+            het_schedule,
+            max_servers=40,
+            n_slots=24,
+        ).run()
+        fleet_run = CloudSimulation(
+            het_dataset,
+            het_predictor,
+            FleetEpactPolicy(),
+            het_schedule,
+            fleet=single_pool_fleet,
+            n_slots=24,
+        ).run()
+        assert records_equal(homogeneous.records, fleet_run.records)
+
+    @pytest.mark.parametrize(
+        "policy_cls", [OnlineBestFitPolicy, OnlineReactivePolicy]
+    )
+    def test_online_policies_match_homogeneous(
+        self,
+        het_dataset,
+        het_predictor,
+        het_schedule,
+        single_pool_fleet,
+        policy_cls,
+    ):
+        """The pool dimension is invisible on a single-pool fleet."""
+        homogeneous = CloudSimulation(
+            het_dataset,
+            het_predictor,
+            policy_cls(),
+            het_schedule,
+            max_servers=40,
+            n_slots=24,
+        ).run()
+        fleet_run = CloudSimulation(
+            het_dataset,
+            het_predictor,
+            policy_cls(),
+            het_schedule,
+            fleet=single_pool_fleet,
+            n_slots=24,
+        ).run()
+        assert records_equal(homogeneous.records, fleet_run.records)
+
+
+class TestHeteroAccountingOracles:
+    def test_superbatch_matches_both_oracles(
+        self, het_dataset, het_predictor, two_pool_fleet
+    ):
+        """Per-(chunk, model) accounting == per-window == per-slot."""
+
+        def run(**kwargs):
+            return DataCenterSimulation(
+                het_dataset,
+                het_predictor,
+                FleetEpactPolicy(),
+                fleet=two_pool_fleet,
+                n_slots=16,
+                **kwargs,
+            ).run()
+
+        sup = run()
+        win = run(superbatch=False)
+        ref = run(window_batch=False)
+        assert records_equal(sup.records, win.records)
+        assert records_equal(sup.records, ref.records)
+
+    def test_both_pools_actually_used(
+        self, het_dataset, het_predictor, two_pool_fleet
+    ):
+        """The tight fleet exercises both models (not a vacuous test)."""
+        sim = DataCenterSimulation(
+            het_dataset,
+            het_predictor,
+            FleetEpactPolicy(),
+            fleet=two_pool_fleet,
+            n_slots=1,
+        )
+        allocation = sim._allocate_window(sim.start_slot, 1)
+        assert allocation.server_pools is not None
+        assert set(np.unique(allocation.server_pools)) == {0, 1}
+
+    def test_fixed_opt_pool_matches_per_slot(
+        self, het_dataset, het_predictor, fixed_opt_fleet
+    ):
+        """Pools pinned to the planned frequency keep bit-identity."""
+
+        def run(**kwargs):
+            return DataCenterSimulation(
+                het_dataset,
+                het_predictor,
+                FleetEpactPolicy(),
+                fleet=fixed_opt_fleet,
+                n_slots=10,
+                **kwargs,
+            ).run()
+
+        assert records_equal(
+            run().records, run(window_batch=False).records
+        )
+
+    def test_inspect_slot_matches_engine_on_mixed_fleet(
+        self, het_dataset, het_predictor, two_pool_fleet
+    ):
+        """inspect_slot must price each server with its own pool's
+        tables — its aggregates must equal the engine's record."""
+        from repro.dcsim import inspect_slot
+
+        sim = DataCenterSimulation(
+            het_dataset,
+            het_predictor,
+            FleetEpactPolicy(),
+            fleet=two_pool_fleet,
+            n_slots=1,
+        )
+        record = sim.run().records[0]
+        detail = inspect_slot(sim, sim.start_slot)
+        assert detail.energy_j == record.energy_j
+        assert detail.total_violations == record.violations
+
+    def test_fixed_opt_pool_pins_f_opt_not_f_min(
+        self, het_dataset, het_predictor, fixed_opt_fleet
+    ):
+        """Policies without a planned frequency (planned_freq_ghz=0.0,
+        e.g. the online policies) must pin fixed-opt servers at the
+        pool's F_opt raised to the QoS floor — not quantize 0.0 down
+        to the table's lowest OPP."""
+        from repro.core.types import Allocation, ServerPlan
+
+        sim = DataCenterSimulation(
+            het_dataset,
+            het_predictor,
+            FleetEpactPolicy(),
+            fleet=fixed_opt_fleet,
+            n_slots=1,
+        )
+        n_vms = het_dataset.n_vms
+        allocation = Allocation(
+            policy_name="test",
+            plans=[ServerPlan(vm_ids=list(range(n_vms)))],
+            dynamic_governor=True,
+            violation_cap_pct=100.0,
+            server_pools=np.array([1]),  # the fixed-opt pool
+        )
+        acct = sim._prepare_allocation(allocation)
+        conv_pool = fixed_opt_fleet.pools[1]
+        freqs = np.asarray(conv_pool.opps.frequencies_ghz)
+        assert acct.pool_fixed_opp is not None
+        pinned_freq = freqs[acct.pool_fixed_opp[0]]
+        f_opt = conv_pool.power_model.optimal_frequency_ghz()
+        assert pinned_freq >= f_opt
+        assert pinned_freq >= acct.floors[0]
+
+    def test_max_servers_and_fleet_are_exclusive(
+        self, het_dataset, het_predictor, two_pool_fleet
+    ):
+        with pytest.raises(ConfigurationError, match="max_servers"):
+            DataCenterSimulation(
+                het_dataset,
+                het_predictor,
+                FleetEpactPolicy(),
+                fleet=two_pool_fleet,
+                max_servers=1000,
+            )
+
+    @pytest.mark.parametrize("n_slots", [1, 13])
+    def test_truncated_horizons(
+        self, het_dataset, het_predictor, two_pool_fleet, n_slots
+    ):
+        def run(**kwargs):
+            return DataCenterSimulation(
+                het_dataset,
+                het_predictor,
+                FleetEpactPolicy(),
+                fleet=two_pool_fleet,
+                n_slots=n_slots,
+                **kwargs,
+            ).run()
+
+        assert records_equal(
+            run().records, run(window_batch=False).records
+        )
+
+    @pytest.mark.parametrize(
+        "policy_cls", [FleetEpactPolicy, OnlineReactivePolicy]
+    )
+    def test_churn_superbatch_matches_per_slot(
+        self,
+        het_dataset,
+        het_predictor,
+        het_schedule,
+        two_pool_fleet,
+        policy_cls,
+    ):
+        """Cloud accounting over a mixed fleet keeps both oracles."""
+
+        def run(**kwargs):
+            return CloudSimulation(
+                het_dataset,
+                het_predictor,
+                policy_cls(),
+                het_schedule,
+                fleet=two_pool_fleet,
+                n_slots=24,
+                **kwargs,
+            ).run()
+
+        assert records_equal(
+            run().records, run(window_batch=False).records
+        )
+
+
+class TestPoolAwareMigrations:
+    def test_cross_pool_block_move_counts_as_migrations(self):
+        """A VM block landing on a server of another platform migrated
+        (cross-ISA); pool-blind matching would count it as zero."""
+        from repro.dcsim import MigrationCounter, count_migrations
+
+        prev_map = np.array([0, 0, 0, 1, 1])
+        new_map = np.array([0, 0, 0, 1, 1])
+        prev_pools = np.array([0, 0])
+        new_pools = np.array([1, 0])  # server 0 is now the other pool
+        assert count_migrations(prev_map, new_map) == 0
+        assert (
+            count_migrations(
+                prev_map,
+                new_map,
+                previous_pools=prev_pools,
+                new_pools=new_pools,
+            )
+            == 3
+        )
+        counter = MigrationCounter()
+        assert counter.update(prev_map, prev_pools) == 0
+        assert counter.update(new_map, new_pools) == 3
+
+    def test_same_pool_matching_unchanged(self):
+        from repro.dcsim import count_migrations
+
+        prev_map = np.array([0, 0, 1, 1])
+        new_map = np.array([1, 1, 0, 0])
+        pools = np.array([0, 0])
+        assert count_migrations(prev_map, new_map) == 0
+        assert (
+            count_migrations(
+                prev_map,
+                new_map,
+                previous_pools=pools,
+                new_pools=pools,
+            )
+            == 0
+        )
+
+
+class TestSplitAndPoolAllocators:
+    def _patterns(self, n_vms=30, n_samples=12, seed=3):
+        gen = np.random.default_rng(seed)
+        base = gen.uniform(2.0, 12.0, size=(n_vms, 1))
+        phase = gen.uniform(0, 2 * np.pi, size=(n_vms, 1))
+        t = np.linspace(0, 2 * np.pi, n_samples)[None, :]
+        return base * (1.0 + 0.3 * np.sin(t + phase))
+
+    def test_split_covers_and_partitions(self, two_pool_fleet):
+        cpu = self._patterns(seed=3)
+        mem = self._patterns(seed=4)
+        parts = split_fleet_vms(cpu, mem, two_pool_fleet)
+        joined = np.concatenate(parts)
+        assert len(parts) == 2
+        assert np.array_equal(np.sort(joined), np.arange(30))
+        for part in parts:
+            assert np.array_equal(part, np.sort(part))
+
+    def test_split_single_pool_is_identity(self, single_pool_fleet):
+        cpu = self._patterns(seed=5)
+        mem = self._patterns(seed=6)
+        parts = split_fleet_vms(cpu, mem, single_pool_fleet)
+        assert len(parts) == 1
+        assert np.array_equal(parts[0], np.arange(30))
+
+    def test_allocate_1d_pools_equals_per_pool_runs(self):
+        cpu = self._patterns(seed=7)
+        mem = self._patterns(seed=8)
+        pool_vms = [np.arange(0, 17), np.arange(17, 30)]
+        caps_cpu = [60.0, 80.0]
+        caps_mem = [90.0, 100.0]
+        bounds = [10, 20]
+        plans, pools, forced = allocate_1d_pools(
+            cpu, mem, pool_vms, caps_cpu, caps_mem, bounds
+        )
+        offset = 0
+        total_forced = 0
+        for m, idx in enumerate(pool_vms):
+            ref_plans, ref_forced = allocate_1d(
+                cpu[idx],
+                mem[idx],
+                caps_cpu[m],
+                caps_mem[m],
+                max_servers=bounds[m],
+            )
+            total_forced += ref_forced
+            mine = [
+                plan
+                for plan, pool in zip(plans, pools)
+                if pool == m
+            ]
+            assert len(mine) == len(ref_plans)
+            for plan, ref in zip(mine, ref_plans):
+                assert plan.vm_ids == [int(idx[v]) for v in ref.vm_ids]
+            offset += len(ref_plans)
+        assert forced == total_forced
+        assert len(plans) == offset
+
+    def test_allocate_2d_pools_equals_per_pool_runs(self):
+        cpu = self._patterns(seed=9)
+        mem = self._patterns(seed=10) * 3.0
+        pool_vms = [np.arange(0, 15), np.arange(15, 30)]
+        n_servers = [4, 5]
+        caps_cpu = [70.0, 90.0]
+        caps_mem = [95.0, 100.0]
+        bounds = [12, 14]
+        plans, pools, forced = allocate_2d_pools(
+            cpu, mem, pool_vms, n_servers, caps_cpu, caps_mem, bounds
+        )
+        total_forced = 0
+        for m, idx in enumerate(pool_vms):
+            ref_plans, ref_forced = allocate_2d(
+                cpu[idx],
+                mem[idx],
+                n_servers[m],
+                caps_cpu[m],
+                caps_mem[m],
+                max_servers=bounds[m],
+            )
+            total_forced += ref_forced
+            mine = [
+                plan
+                for plan, pool in zip(plans, pools)
+                if pool == m
+            ]
+            assert len(mine) == len(ref_plans)
+            for plan, ref in zip(mine, ref_plans):
+                assert plan.vm_ids == [int(idx[v]) for v in ref.vm_ids]
+        assert forced == total_forced
+
+    def test_fleet_sizing_fast_matches_reference(self, two_pool_fleet):
+        cpu = self._patterns(seed=11) * 2.0
+        mem = self._patterns(seed=12)
+        parts = split_fleet_vms(cpu, mem, two_pool_fleet)
+        fast = size_fleet_slot(cpu, mem, two_pool_fleet, parts)
+        ref = size_fleet_slot(
+            cpu, mem, two_pool_fleet, parts, fast=False
+        )
+        for s_fast, s_ref in zip(fast.pool_sizings, ref.pool_sizings):
+            assert (s_fast is None) == (s_ref is None)
+            if s_fast is not None:
+                assert s_fast.n_servers == s_ref.n_servers
+                assert s_fast.f_opt_ghz == s_ref.f_opt_ghz
+                assert s_fast.case == s_ref.case
+
+
+class TestFleetValidation:
+    def test_fleet_and_power_model_are_exclusive(
+        self, het_dataset, het_predictor, single_pool_fleet
+    ):
+        with pytest.raises(ConfigurationError):
+            DataCenterSimulation(
+                het_dataset,
+                het_predictor,
+                FleetEpactPolicy(),
+                power_model=ntc_server_power_model(),
+                fleet=single_pool_fleet,
+            )
+
+    def test_multi_pool_needs_server_pools(
+        self, het_dataset, het_predictor, two_pool_fleet
+    ):
+        """Homogeneous policies cannot run untagged on a mixed fleet."""
+        sim = DataCenterSimulation(
+            het_dataset,
+            het_predictor,
+            EpactPolicy(),
+            fleet=two_pool_fleet,
+            n_slots=1,
+        )
+        with pytest.raises(ConfigurationError, match="server_pools"):
+            sim.run()
+
+    def test_pool_capacity_enforced(
+        self, het_dataset, het_predictor
+    ):
+        from repro.core.types import Allocation, ServerPlan
+
+        tight = FleetSpec(
+            pools=(PoolSpec("ntc", ntc_server_power_model(), 1),)
+        )
+        sim = DataCenterSimulation(
+            het_dataset,
+            het_predictor,
+            EpactPolicy(),
+            fleet=tight,
+            n_slots=1,
+        )
+        n_vms = het_dataset.n_vms
+        plans = [
+            ServerPlan(vm_ids=list(range(0, n_vms // 2))),
+            ServerPlan(vm_ids=list(range(n_vms // 2, n_vms))),
+        ]
+        overfull = Allocation(
+            policy_name="test",
+            plans=plans,
+            dynamic_governor=True,
+            violation_cap_pct=100.0,
+            server_pools=np.zeros(2, dtype=int),
+        )
+        with pytest.raises(ConfigurationError, match="capacity"):
+            sim._prepare_allocation(overfull)
+
+    def test_pool_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            PoolSpec("bad", ntc_server_power_model(), 0)
+        with pytest.raises(ConfigurationError):
+            PoolSpec(
+                "bad",
+                ntc_server_power_model(),
+                1,
+                opp_policy="nonsense",
+            )
+        with pytest.raises(ConfigurationError):
+            FleetSpec(pools=())
+        with pytest.raises(ConfigurationError):
+            FleetSpec(
+                pools=(
+                    PoolSpec("dup", ntc_server_power_model(), 1),
+                    PoolSpec("dup", ntc_server_power_model(), 1),
+                )
+            )
+
+
+class TestHybridExperiment:
+    def test_quick_hybrid_runs_and_orders_mixes(self):
+        from repro.experiments.hybrid import render, run_hybrid
+
+        result = run_hybrid(
+            quick=True,
+            mix_names=["all-ntc", "all-conventional"],
+            n_slots=6,
+        )
+        assert set(result.fixed) == {"all-ntc", "all-conventional"}
+        energy = {
+            name: sum(r.energy_j for r in res.records)
+            for name, res in result.fixed.items()
+        }
+        # The paper's Fig. 1 story: the NTC fleet serves the same
+        # traces with substantially less energy.
+        assert energy["all-ntc"] < energy["all-conventional"]
+        text = render(result)
+        assert "all-ntc" in text and "headline" in text
