@@ -48,6 +48,10 @@ Scenarios (deterministic seeds):
   ``hybrid-50/50`` NTC/conventional mix: super-batched per-(chunk,
   model) accounting vs the per-pool per-slot reference, with the
   fleet-aware EPACT allocation stream replayed into both engines.
+* ``faults_120`` — the fault layer's zero-event overhead: the same
+  replayed EPACT week with a zero-event ``FaultSchedule`` threaded
+  through the engine vs no schedule at all.  The recorded
+  ``energy_rel_diff`` must be exactly 0.0 (bit-identity contract).
 
 Each scenario records the fast time, reference time (where tractable)
 and their speedup into ``BENCH_<rev>.json``; ``--baseline`` prints the
@@ -412,6 +416,52 @@ def bench_hybrid(results):
     print(f"    hybrid superbatch-vs-per-slot energy rel diff: {rel:.2e}")
 
 
+def bench_faults(results):
+    """Masked accounting overhead on the zero-event fault path (PR 6).
+
+    The fault layer must be free when nothing fails: a zero-event
+    :class:`FaultSchedule` threads through the engine (window cuts,
+    availability masks, cap terms all gated on ``has_events``) and the
+    run must be bit-identical to no schedule at all — the
+    ``energy_rel_diff`` recorded here is required to be exactly 0.0 —
+    with the overhead held under the CI bench gate.
+    """
+    from repro.cloud.faults import zero_faults
+
+    dataset = default_dataset(n_vms=120, n_days=9, seed=2018)
+    predictor = DayAheadPredictor(dataset)
+    for day in range(7, dataset.n_days):
+        predictor.forecast_day(day)
+
+    replay = ReplayPolicy(EpactPolicy())
+    power = ntc_server_power_model()
+    schedule = zero_faults(80, 0, dataset.n_slots)
+
+    def run(faults):
+        replay.rewind()
+        sim = DataCenterSimulation(
+            dataset,
+            predictor,
+            replay,
+            power_model=power,
+            max_servers=80,
+            faults=faults,
+        )
+        return sum(r.energy_j for r in sim.run().records)
+
+    # The warm-up pair records the allocation stream once and doubles
+    # as the bit-identity witness.
+    energy_masked = run(schedule)
+    energy_plain = run(None)
+    fast, seed = best_of_pair(
+        lambda: run(schedule), lambda: run(None), 5
+    )
+    record(results, "faults_120", fast, seed)
+    rel = abs(energy_masked - energy_plain) / max(abs(energy_plain), 1e-12)
+    results["faults_120"]["energy_rel_diff"] = rel
+    print(f"    zero-event-schedule-vs-none energy rel diff: {rel:.2e}")
+
+
 def bench_cloud(results):
     """Online cloud churn scenario (PR 3)."""
     dataset, schedule = get_scenario("diurnal-burst").build(
@@ -626,6 +676,8 @@ def main():
     bench_superbatch(results)
     print("heterogeneous fleet:")
     bench_hybrid(results)
+    print("fault layer (zero-event overhead):")
+    bench_faults(results)
     print("online cloud churn:")
     bench_cloud(results)
 

@@ -137,6 +137,23 @@ class _ServerTable:
             self.sids = [self.sids[i] for i in keep]
             self.vms = [self.vms[i] for i in keep]
 
+    def drop_positions(self, positions: np.ndarray) -> None:
+        """Drop whole server rows (emergency eviction of failed or
+        capped-out servers), hosted VMs included — callers re-place
+        the victims themselves."""
+        if positions.size == 0:
+            return
+        dropped = {int(p) for p in positions}
+        keep = [i for i in range(len(self.sids)) if i not in dropped]
+        rows = np.asarray(keep, dtype=int)
+        n_prev = len(self.sids)
+        self._cpu[: rows.size] = self._cpu[rows]
+        self._mem[: rows.size] = self._mem[rows]
+        self._cpu[rows.size : n_prev] = 0.0
+        self._mem[rows.size : n_prev] = 0.0
+        self.sids = [self.sids[i] for i in keep]
+        self.vms = [self.vms[i] for i in keep]
+
 
 class OnlineBestFitPolicy(OnlinePolicy):
     """Placement-on-arrival against the current load (no rebalancing).
@@ -150,9 +167,18 @@ class OnlineBestFitPolicy(OnlinePolicy):
         signal: ``"forecast"`` (day-ahead predictions) or ``"reactive"``
             (previous slot's observed utilization, forecast fallback).
         name: report-name override.
+        shed_on_insufficient: under an active fault window, shed VMs
+            that no surviving server can physically host (the
+            least-loaded fallback target would exceed 100% CPU) into
+            SLA debt instead of force-placing them.  Off by default —
+            the reactive policy turns it on.
     """
 
     name = "ONLINE-BF"
+
+    #: Under a fleet power cap, consolidate onto a proportionally
+    #: reduced server budget (reactive subclass behaviour).
+    _cap_consolidate = False
 
     def __init__(
         self,
@@ -161,6 +187,7 @@ class OnlineBestFitPolicy(OnlinePolicy):
         placement: str = "best-fit",
         signal: str = "forecast",
         name: Optional[str] = None,
+        shed_on_insufficient: bool = False,
     ):
         if not (0.0 < cap_cpu_pct <= 100.0):
             raise ConfigurationError("cap_cpu_pct must be in (0, 100]")
@@ -178,6 +205,7 @@ class OnlineBestFitPolicy(OnlinePolicy):
         self._cap_mem = cap_mem_pct
         self._placement = placement
         self._signal_kind = signal
+        self._shed_on_insufficient = shed_on_insufficient
         if name is not None:
             self.name = name
         # global vm id -> (pool index, server id); pool is always 0
@@ -251,26 +279,84 @@ class OnlineBestFitPolicy(OnlinePolicy):
                     positions, carried, sig_cpu[rows], sig_mem[rows]
                 )
 
+        # Fault layer: the engine already reduced the visible capacity
+        # (pool_caps reflect the surviving servers); carried state may
+        # exceed it, and a power cap may ask for an even tighter
+        # consolidation budget.  Evict the overflow servers (highest
+        # ids — deterministically "the failed ones"), re-place their
+        # VMs home-pool-first, and optionally shed what nothing can
+        # physically host.
+        forced = 0
+        shed_global: List[int] = []
+        faults = cloud.faults
+        shed_allowed = False
+        budget_caps = pool_caps
+        if faults is not None:
+            shed_allowed = self._shed_on_insufficient
+            if self._cap_consolidate and faults.cap_frac < 1.0:
+                budget_caps = [
+                    max(1, int(cap * faults.cap_frac))
+                    for cap in pool_caps
+                ]
+            victims: List[Tuple[int, int]] = []  # (home pool, vm id)
+            for m in range(n_pools):
+                excess = tables[m].n_servers - budget_caps[m]
+                if excess <= 0:
+                    continue
+                sid_arr = np.asarray(tables[m].sids, dtype=int)
+                drop = np.sort(
+                    np.argsort(sid_arr, kind="stable")[-excess:]
+                )
+                for pos in drop:
+                    victims.extend(
+                        (m, g) for g in sorted(tables[m].vms[int(pos)])
+                    )
+                tables[m].drop_positions(drop)
+            if victims:
+                peaks = sig_cpu[[pos_of[g] for _, g in victims]].max(
+                    axis=1
+                )
+                for k in np.argsort(-peaks, kind="stable"):
+                    m_home, g = victims[int(k)]
+                    code = self._place(
+                        tables,
+                        g,
+                        sig_cpu[pos_of[g]],
+                        sig_mem[pos_of[g]],
+                        budget_caps,
+                        order,
+                        prefer=m_home,
+                        allow_shed=shed_allowed,
+                    )
+                    if code == 2:
+                        shed_global.append(g)
+                    else:
+                        forced += code
+
         # Arrivals in FFD order (decreasing signal peak, stable ties).
         new_ids = np.array(
             [g for g in map(int, ids) if g not in self._assign], dtype=int
         )
-        forced = 0
         if new_ids.size:
             peaks = sig_cpu[[pos_of[g] for g in new_ids]].max(axis=1)
             for g in new_ids[np.argsort(-peaks, kind="stable")]:
                 g = int(g)
-                forced += self._place(
+                code = self._place(
                     tables,
                     g,
                     sig_cpu[pos_of[g]],
                     sig_mem[pos_of[g]],
-                    pool_caps,
+                    budget_caps,
                     order,
+                    allow_shed=shed_allowed,
                 )
+                if code == 2:
+                    shed_global.append(g)
+                else:
+                    forced += code
 
         self._rebalance(
-            tables, sig_cpu, sig_mem, pos_of, pool_caps, order
+            tables, sig_cpu, sig_mem, pos_of, budget_caps, order
         )
         for table in tables:
             table.drop_empty()
@@ -280,7 +366,9 @@ class OnlineBestFitPolicy(OnlinePolicy):
             for i, hosted in enumerate(tables[m].vms)
             for g in hosted
         }
-        return self._build_allocation(tables, pos_of, forced, fleet)
+        return self._build_allocation(
+            tables, pos_of, forced, fleet, shed_global
+        )
 
     # -- internals ----------------------------------------------------------
 
@@ -333,17 +421,30 @@ class OnlineBestFitPolicy(OnlinePolicy):
         mem: np.ndarray,
         pool_caps: List[int],
         order: List[int],
+        prefer: Optional[int] = None,
+        allow_shed: bool = False,
     ) -> int:
-        """Place one VM; returns 1 if it had to be force-placed.
+        """Place one VM; returns 0 (placed), 1 (force-placed) or 2
+        (shed).
 
         Pools are tried in platform-efficiency order — fit into an
         existing server of the pool, else open a new one under the
         pool's capacity — before falling through to the next pool.
-        Only when every pool is exhausted does the VM get force-placed
-        on the least-loaded server fleet-wide (the day-ahead policies'
-        safety valve).
+        ``prefer`` front-runs one pool (emergency re-placement stays
+        within the failed server's own pool when it can).  Only when
+        every pool is exhausted does the VM get force-placed on the
+        least-loaded server fleet-wide (the day-ahead policies' safety
+        valve) — unless ``allow_shed`` and even that target would
+        exceed physical CPU capacity, in which case the VM is shed
+        (degraded operation: SLA debt instead of an impossible
+        placement).
         """
-        for m in order:
+        pools = (
+            order
+            if prefer is None
+            else [prefer] + [m for m in order if m != prefer]
+        )
+        for m in pools:
             table = tables[m]
             cand, peaks = self._fitting(table, cpu, mem)
             if cand.size:
@@ -360,6 +461,10 @@ class OnlineBestFitPolicy(OnlinePolicy):
             pos = int(np.argmin(loads))
             if best is None or loads[pos] < best[0]:
                 best = (float(loads[pos]), m, pos)
+        if allow_shed and (
+            best is None or best[0] + float(cpu.max()) > 100.0 + _EPS
+        ):
+            return 2
         if best is None:  # unreachable: pool capacities are >= 1
             raise ConfigurationError("no pool can open a server")
         tables[best[1]].add(best[2], vm, cpu, mem)
@@ -382,6 +487,7 @@ class OnlineBestFitPolicy(OnlinePolicy):
         pos_of: Dict[int, int],
         forced: int,
         fleet,
+        shed: Optional[List[int]] = None,
     ) -> Allocation:
         plans: List[ServerPlan] = []
         pools_of: List[int] = []
@@ -409,6 +515,9 @@ class OnlineBestFitPolicy(OnlinePolicy):
                 if fleet is not None
                 else None
             ),
+            shed_vm_ids=(
+                [pos_of[g] for g in sorted(shed)] if shed else []
+            ),
         )
 
 
@@ -423,10 +532,17 @@ class OnlineReactivePolicy(OnlineBestFitPolicy):
         max_migrations_per_slot: optional budget bounding reactive moves
             per slot (arrival placements are not migrations and are
             never limited).
+        shed_on_insufficient: under faults, shed unplaceable VMs into
+            SLA debt instead of force-packing them onto overloaded
+            survivors (defaults on: the reactive policy is the degraded
+            -operation baseline).
         Other arguments as in :class:`OnlineBestFitPolicy`.
     """
 
     name = "ONLINE-REACTIVE"
+    # Under a power-cap window the reactive policy runs forced
+    # consolidation: the per-pool server budget shrinks with cap_frac.
+    _cap_consolidate = True
 
     def __init__(
         self,
@@ -438,6 +554,7 @@ class OnlineReactivePolicy(OnlineBestFitPolicy):
         placement: str = "best-fit",
         signal: str = "reactive",
         name: Optional[str] = None,
+        shed_on_insufficient: bool = True,
     ):
         super().__init__(
             cap_cpu_pct=cap_cpu_pct,
@@ -445,6 +562,7 @@ class OnlineReactivePolicy(OnlineBestFitPolicy):
             placement=placement,
             signal=signal,
             name=name,
+            shed_on_insufficient=shed_on_insufficient,
         )
         if not (0.0 < overload_pct <= 100.0):
             raise ConfigurationError("overload_pct must be in (0, 100]")

@@ -42,6 +42,16 @@ from ..traces.lifecycle import (
     fixed_schedule,
     generate_lifecycle,
 )
+from .faults import (
+    FAULT_SCENARIOS,
+    FaultConfig,
+    FaultScenario,
+    FaultSchedule,
+    generate_faults,
+    get_fault_scenario,
+    list_fault_scenarios,
+    zero_faults,
+)
 from .fleets import FLEETS, FleetMix, get_fleet, list_fleets
 from .scenarios import (
     SCENARIOS,
@@ -49,10 +59,14 @@ from .scenarios import (
     get_scenario,
     list_scenarios,
 )
-from .sla import SlaSummary, sla_table, summarize
+from .sla import SlaSummary, fault_table, sla_table, summarize
 
 __all__ = [
+    "FAULT_SCENARIOS",
     "FLEETS",
+    "FaultConfig",
+    "FaultScenario",
+    "FaultSchedule",
     "FleetMix",
     "SCENARIOS",
     "ChurnConfig",
@@ -64,13 +78,18 @@ __all__ = [
     "OnlinePolicy",
     "OnlineReactivePolicy",
     "SlaSummary",
+    "fault_table",
     "fixed_schedule",
+    "generate_faults",
     "generate_lifecycle",
+    "get_fault_scenario",
     "get_fleet",
     "get_scenario",
+    "list_fault_scenarios",
     "list_fleets",
     "list_scenarios",
     "run_cloud_policies",
     "sla_table",
     "summarize",
+    "zero_faults",
 ]

@@ -23,7 +23,7 @@ from typing import Dict
 
 from ..dcsim.metrics import SimulationResult
 from ..dcsim.reporting import format_table
-from ..units import SAMPLES_PER_SLOT
+from ..units import SAMPLES_PER_SLOT, SLOT_PERIOD_S
 
 
 @dataclass(frozen=True)
@@ -44,6 +44,12 @@ class SlaSummary:
         total_arrivals: VM arrivals over the horizon.
         total_departures: VM departures over the horizon.
         forced_placements: VMs placed outside the policy's caps.
+        shed_vm_minutes: minutes of VM downtime accrued as SLA debt by
+            degraded operation (shed VMs x slot length; 0 without a
+            fault layer).
+        downtime_server_minutes: server-minutes lost to outages.
+        fault_migrations: migrations forced by fault-state changes.
+        capped_samples: samples throttled by a fleet power cap.
     """
 
     policy_name: str
@@ -58,6 +64,10 @@ class SlaSummary:
     total_arrivals: int
     total_departures: int
     forced_placements: int
+    shed_vm_minutes: float = 0.0
+    downtime_server_minutes: float = 0.0
+    fault_migrations: int = 0
+    capped_samples: int = 0
 
 
 def summarize(result: SimulationResult) -> SlaSummary:
@@ -100,6 +110,12 @@ def summarize(result: SimulationResult) -> SlaSummary:
         total_arrivals=result.total_arrivals,
         total_departures=result.total_departures,
         forced_placements=result.total_forced_placements,
+        shed_vm_minutes=result.total_shed_vm_slots * SLOT_PERIOD_S / 60.0,
+        downtime_server_minutes=(
+            result.total_failed_server_slots * SLOT_PERIOD_S / 60.0
+        ),
+        fault_migrations=result.total_fault_migrations,
+        capped_samples=result.total_capped_samples,
     )
 
 
@@ -135,6 +151,40 @@ def sla_table(results: Dict[str, SimulationResult]) -> str:
                 f"{s.mean_active_servers:.1f}",
                 f"{s.mean_active_vms:.1f}",
                 s.forced_placements,
+            ]
+        )
+    return format_table(headers, rows)
+
+
+def fault_table(results: Dict[str, SimulationResult]) -> str:
+    """ASCII table of degraded-operation metrics, one row per policy.
+
+    Complements :func:`sla_table` for runs with a fault layer: how much
+    VM downtime (SLA debt) each policy accrued by shedding, the server
+    downtime the schedule imposed (identical across policies of one
+    scenario), fault-forced migrations, and power-cap throttling.
+    """
+    headers = [
+        "policy",
+        "shed VM-min",
+        "server down-min",
+        "fault migr.",
+        "capped smp.",
+        "forced",
+        "energy (MJ)",
+    ]
+    rows = []
+    for name, result in results.items():
+        s = summarize(result)
+        rows.append(
+            [
+                name,
+                f"{s.shed_vm_minutes:.0f}",
+                f"{s.downtime_server_minutes:.0f}",
+                s.fault_migrations,
+                s.capped_samples,
+                s.forced_placements,
+                f"{s.total_energy_mj:.1f}",
             ]
         )
     return format_table(headers, rows)

@@ -63,15 +63,31 @@ class PoolSpec:
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigurationError("pool name must be non-empty")
+        if not isinstance(self.n_servers, (int, np.integer)):
+            raise ConfigurationError(
+                f"pool n_servers must be an integer server count, got "
+                f"{self.n_servers!r}"
+            )
         if self.n_servers < 1:
-            raise ConfigurationError("pool n_servers must be >= 1")
+            raise ConfigurationError(
+                f"pool {self.name!r} needs n_servers >= 1, got "
+                f"{self.n_servers}"
+            )
         if self.opp_policy not in OPP_POLICIES:
             raise ConfigurationError(
                 f"opp_policy must be one of {OPP_POLICIES}, "
                 f"got {self.opp_policy!r}"
             )
-        if self.qos_floor_ghz is not None and self.qos_floor_ghz <= 0.0:
-            raise ConfigurationError("qos_floor_ghz must be positive")
+        if self.qos_floor_ghz is not None:
+            if self.qos_floor_ghz <= 0.0:
+                raise ConfigurationError("qos_floor_ghz must be positive")
+            if self.qos_floor_ghz > self.f_max_ghz:
+                raise ConfigurationError(
+                    f"pool {self.name!r} qos_floor_ghz "
+                    f"{self.qos_floor_ghz} GHz exceeds the platform's "
+                    f"f_max {self.f_max_ghz} GHz — the floor can never "
+                    f"be met; lower it or pick a faster platform"
+                )
 
     @property
     def spec(self):
@@ -123,6 +139,13 @@ class FleetSpec:
         object.__setattr__(self, "pools", pools)
         if not pools:
             raise ConfigurationError("a fleet needs at least one pool")
+        for i, pool in enumerate(pools):
+            if not isinstance(pool, PoolSpec):
+                raise ConfigurationError(
+                    f"fleet pools[{i}] is {type(pool).__name__!r}, "
+                    "expected a PoolSpec — build pools with "
+                    "PoolSpec(name=..., platform=..., n_servers=...)"
+                )
         names = [pool.name for pool in pools]
         if len(set(names)) != len(names):
             raise ConfigurationError(
@@ -169,6 +192,49 @@ class FleetSpec:
 
 
 @dataclass(frozen=True)
+class FaultWindow:
+    """Fault state the fleet is in for one allocation window.
+
+    A window never straddles a fault-state change: the engines cut
+    allocation windows at every :class:`~repro.cloud.faults.FaultSchedule`
+    change slot, so one ``FaultWindow`` describes the whole window.
+
+    Attributes:
+        available_servers: servers still up (fleet-wide).
+        n_failed: servers currently down.
+        cap_frac: fleet power budget as a fraction of nominal full-load
+            power (1.0 = no cap active).
+        pool_available: per-pool up-server counts for heterogeneous
+            fleets (tuple so windows compare by value), or ``None``.
+    """
+
+    available_servers: int
+    n_failed: int = 0
+    cap_frac: float = 1.0
+    pool_available: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.available_servers < 1:
+            raise ConfigurationError(
+                "a fault window must leave at least one server "
+                "available (the schedule's survivor rule guarantees "
+                "this; explicit schedules must respect it too)"
+            )
+        if self.n_failed < 0:
+            raise ConfigurationError("n_failed must be >= 0")
+        if not 0.0 < self.cap_frac <= 1.0:
+            raise ConfigurationError(
+                f"cap_frac must be in (0, 1], got {self.cap_frac}"
+            )
+        if self.pool_available is not None:
+            object.__setattr__(
+                self,
+                "pool_available",
+                tuple(int(a) for a in self.pool_available),
+            )
+
+
+@dataclass(frozen=True)
 class AllocationContext:
     """Inputs a policy sees at the beginning of a slot.
 
@@ -190,6 +256,11 @@ class AllocationContext:
             total server count; fleet-aware policies must respect the
             per-pool capacities and tag their allocation with
             :attr:`Allocation.server_pools`.
+        faults: the fault state for this window, or ``None`` when no
+            fault layer is active.  ``max_servers`` (and ``fleet``, when
+            set) are already reduced to the available capacity; policies
+            that want to react beyond capacity reduction (power-cap
+            consolidation, shedding) read the details here.
     """
 
     pred_cpu: np.ndarray
@@ -198,6 +269,7 @@ class AllocationContext:
     max_servers: int
     qos_floor_ghz: np.ndarray
     fleet: Optional[FleetSpec] = None
+    faults: Optional[FaultWindow] = None
 
     def __post_init__(self) -> None:
         if self.pred_cpu.ndim != 2 or self.pred_cpu.shape != self.pred_mem.shape:
@@ -273,6 +345,10 @@ class Allocation:
             of pool ``server_pools[i]``), or ``None`` for homogeneous
             allocations.  Heterogeneous engines require it whenever the
             fleet has more than one pool.
+        shed_vm_ids: context-row indices of VMs the policy shed for this
+            window (degraded operation under faults: no surviving server
+            could physically host them).  Shed VMs appear in no plan;
+            the engine accounts them as SLA debt instead of raising.
     """
 
     policy_name: str
@@ -283,17 +359,22 @@ class Allocation:
     f_opt_ghz: Optional[float] = None
     forced_placements: int = 0
     server_pools: Optional[np.ndarray] = None
+    shed_vm_ids: List[int] = field(default_factory=list)
 
     @property
     def n_servers(self) -> int:
         """Number of active (non-empty) servers."""
         return sum(1 for plan in self.plans if plan.vm_ids)
 
-    def vm_to_server(self, n_vms: int) -> np.ndarray:
+    def vm_to_server(self, n_vms: int, missing_ok: bool = False) -> np.ndarray:
         """Dense VM -> server index map (vectorized scatter).
 
+        With ``missing_ok`` unplaced VMs keep ``-1`` (shed VMs under
+        degraded operation); otherwise every VM must be placed.
+
         Raises:
-            ConfigurationError: if any VM is unplaced or placed twice.
+            ConfigurationError: if any VM is placed twice, or unplaced
+                while ``missing_ok`` is false.
         """
         mapping = np.full(n_vms, -1, dtype=int)
         if self.plans:
@@ -312,7 +393,7 @@ class Allocation:
                     )
                 servers = np.repeat(np.arange(len(self.plans)), lengths)
                 mapping[all_ids] = servers
-        if np.any(mapping < 0):
+        if not missing_ok and np.any(mapping < 0):
             missing = int(np.sum(mapping < 0))
             raise ConfigurationError(f"{missing} VMs were not placed")
         return mapping

@@ -103,6 +103,7 @@ class CloudSimulation(DataCenterSimulation):
         prev_ids: Optional[np.ndarray] = None
         prev_map: Optional[np.ndarray] = None
         prev_pools: Optional[np.ndarray] = None
+        prev_fw = None
         # Per window: (n_active_vms, arrivals, departures, records);
         # ``records is None`` marks a window deferred into ``tasks``.
         windows: List[tuple] = []
@@ -114,6 +115,13 @@ class CloudSimulation(DataCenterSimulation):
             n_window = min(
                 period, end - slot, max(1, sched.next_change(slot) - slot)
             )
+            fw = None
+            if self._faults is not None:
+                n_window = min(
+                    n_window,
+                    max(1, self._faults.next_change(slot) - slot),
+                )
+                fw = self._fault_window(slot)
             arrivals = departures = 0
             if prev_ids is not None:
                 arrivals = int(
@@ -135,6 +143,7 @@ class CloudSimulation(DataCenterSimulation):
                         energy_j=0.0,
                         mean_freq_ghz=0.0,
                         f_opt_ghz=0.0,
+                        n_failed_servers=fw.n_failed if fw else 0,
                     )
                     for s in range(slot, slot + n_window)
                 ]
@@ -149,19 +158,27 @@ class CloudSimulation(DataCenterSimulation):
                     if scale is None
                     else (scale[0][active], scale[1][active])
                 )
-                ctx = self._cloud_context(slot, n_window, active, scale_loc)
+                ctx = self._cloud_context(
+                    slot, n_window, active, scale_loc, fw
+                )
                 allocation = self._policy.allocate(ctx)
                 acct = self._prepare_allocation(
-                    allocation, vm_rows=active, scale=scale_loc
+                    allocation,
+                    vm_rows=active,
+                    scale=scale_loc,
+                    fault=fw,
+                    fault_boundary=fw != prev_fw,
                 )
                 migrations = 0
                 if prev_ids is not None and prev_ids.size:
                     # Only VMs present on both sides of the boundary can
                     # migrate; the membership change invalidates any
                     # cached sort, so the stateless counter is used.
+                    # ``acct.vm_rows`` (not ``active``): VMs shed this
+                    # window have no server row in ``acct.vm2srv``.
                     common, ia, ib = np.intersect1d(
                         prev_ids,
-                        active,
+                        acct.vm_rows,
                         assume_unique=True,
                         return_indices=True,
                     )
@@ -199,9 +216,13 @@ class CloudSimulation(DataCenterSimulation):
                 windows.append(
                     (int(active.size), arrivals, departures, records)
                 )
-                prev_ids = active
+                # Shed VMs are excluded from acct.vm_rows (== active
+                # when nothing was shed), so migration counting at the
+                # next boundary only sees actually-placed VMs.
+                prev_ids = acct.vm_rows
                 prev_map = acct.vm2srv
                 prev_pools = acct.pool_idx
+            prev_fw = fw
             slot += n_window
 
         deferred = iter(self._account_horizon(tasks) if tasks else [])
@@ -227,22 +248,30 @@ class CloudSimulation(DataCenterSimulation):
         n_window: int,
         active: np.ndarray,
         scale_loc,
+        fault=None,
     ) -> CloudAllocationContext:
         """Window context restricted to the active VMs (global ids kept)."""
         pred_cpu, pred_mem = self._window_predictions(
             slot, slot + n_window, vm_rows=active, scale=scale_loc
         )
         last_cpu, last_mem = self._last_observed(slot, active)
+        max_servers = self._max_servers
+        fleet = self._fleet
+        if fault is not None:
+            max_servers = fault.available_servers
+            if fleet is not None:
+                fleet = self._reduced_fleet(fault.pool_available)
         return CloudAllocationContext(
             pred_cpu=pred_cpu,
             pred_mem=pred_mem,
             power_model=self._power,
-            max_servers=self._max_servers,
+            max_servers=max_servers,
             qos_floor_ghz=self._vm_floor_ghz[active],
-            fleet=self._fleet,
+            fleet=fleet,
             vm_ids=active,
             last_cpu=last_cpu,
             last_mem=last_mem,
+            faults=fault,
         )
 
     def _last_observed(self, slot: int, active: np.ndarray):

@@ -58,7 +58,7 @@ VM-proportional scatter arrays).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dc_replace
 from functools import lru_cache
 from typing import Dict, Iterable, List, Optional
 
@@ -69,6 +69,7 @@ from ..core.types import (
     Allocation,
     AllocationContext,
     AllocationPolicy,
+    FaultWindow,
     FleetSpec,
 )
 from ..errors import ConfigurationError
@@ -134,6 +135,15 @@ class _AllocationAccounting:
             own pool table* (``-1`` = per-sample governor); set for
             fixed-frequency allocations and ``"fixed-opt"`` pools on
             heterogeneous fleets, ``None`` otherwise.
+        n_failed: servers down during this window (fault layer).
+        cap_frac: fleet power budget fraction for this window (1.0 =
+            uncapped; the accounting tiers throttle samples whose fleet
+            power exceeds ``cap_frac`` times the nominal full-load
+            power).
+        shed_vms: VMs the policy shed for this window (degraded
+            operation; excluded from the covered VM set).
+        fault_boundary: this window starts at a fault-state change, so
+            its boundary migrations are fault-forced.
     """
 
     vm2srv: np.ndarray
@@ -149,6 +159,10 @@ class _AllocationAccounting:
     scale_mem: Optional[np.ndarray] = None
     pool_idx: Optional[np.ndarray] = None
     pool_fixed_opp: Optional[np.ndarray] = None
+    n_failed: int = 0
+    cap_frac: float = 1.0
+    shed_vms: int = 0
+    fault_boundary: bool = False
 
 
 @dataclass(frozen=True)
@@ -207,6 +221,14 @@ class DataCenterSimulation:
             evaluation per (batch, model).  A single-pool fleet
             reproduces the homogeneous engine bit-identically
             (``tests/test_hetero_equivalence.py``).
+        faults: optional :class:`~repro.cloud.faults.FaultSchedule`
+            covering the simulated horizon.  Allocation windows are cut
+            at every fault-state change, policies see the reduced
+            available capacity (``max_servers`` / per-pool sizes) plus
+            a :class:`~repro.core.types.FaultWindow` in their context,
+            and accounting throttles fleet power to the active cap
+            budget.  A zero-event schedule is bit-identical to
+            ``faults=None`` (``tests/test_fault_equivalence.py``).
     """
 
     def __init__(
@@ -224,6 +246,7 @@ class DataCenterSimulation:
         window_batch: bool = True,
         superbatch: bool = True,
         fleet: Optional[FleetSpec] = None,
+        faults=None,
     ):
         if migration_energy_j < 0.0:
             raise ConfigurationError(
@@ -277,6 +300,37 @@ class DataCenterSimulation:
             raise ConfigurationError(
                 f"n_slots must be in [1, {available}], got {self._n_slots}"
             )
+
+        self._faults = faults
+        self._reduced_fleets: Dict[tuple, FleetSpec] = {}
+        self._nominal_power_w = 0.0
+        if faults is not None:
+            if faults.n_servers != self._max_servers:
+                raise ConfigurationError(
+                    f"fault schedule covers {faults.n_servers} servers "
+                    f"but the fleet has {self._max_servers}"
+                )
+            horizon_end = self._start_slot + self._n_slots
+            if (
+                faults.horizon_start > self._start_slot
+                or faults.horizon_end < horizon_end
+            ):
+                raise ConfigurationError(
+                    f"fault schedule covers "
+                    f"[{faults.horizon_start}, {faults.horizon_end}) but "
+                    f"the simulation runs "
+                    f"[{self._start_slot}, {horizon_end})"
+                )
+            if fleet is not None and not fleet.single_pool:
+                expected = tuple(p.n_servers for p in fleet.pools)
+                if faults.pool_sizes != expected:
+                    raise ConfigurationError(
+                        f"fault schedule pool_sizes {faults.pool_sizes} "
+                        f"do not match the fleet's pool sizes "
+                        f"{expected}; build the schedule with the "
+                        f"fleet's per-pool server counts"
+                    )
+            self._nominal_power_w = self._compute_nominal_power()
 
         self._class_masks = self._build_class_masks()
         if fleet is not None:
@@ -383,6 +437,82 @@ class DataCenterSimulation:
         )
         self._vm_floor_ghz = self._vm_floor_by_pool[0]
 
+    def _compute_nominal_power(self) -> float:
+        """Fleet nominal full-load power (the cap budget reference).
+
+        Every server at full load at its pool's ``Fmax``, run through
+        the PSU transform when wall-plug accounting is on — the same
+        per-server arithmetic the accounting tiers apply, so a cap of
+        1.0 can never throttle a physically realizable fleet.
+        """
+        if self._fleet is not None:
+            pools = [
+                (pool.n_servers, pool.power_model, pool.f_max_ghz)
+                for pool in self._fleet.pools
+            ]
+        else:
+            pools = [(self._max_servers, self._power, self._f_max)]
+        total = 0.0
+        for count, model, f_max in pools:
+            p = model.full_load_power_w(f_max)
+            if self._psu is not None:
+                p = (
+                    p
+                    + self._psu.loss_fixed_w
+                    + self._psu.loss_prop * p
+                    + self._psu.loss_sq_per_w * p**2
+                )
+            total += count * p
+        return total
+
+    def _fault_window(self, slot: int) -> Optional[FaultWindow]:
+        """The fault state of the window starting at ``slot``.
+
+        ``None`` both without a schedule and in all-up, uncapped
+        windows — the zero-event path stays on the exact no-fault code.
+        """
+        faults = self._faults
+        if faults is None:
+            return None
+        n_failed = faults.n_failed(slot)
+        cap = faults.cap_frac(slot)
+        if n_failed == 0 and cap >= 1.0:
+            return None
+        pool_available = None
+        if self._fleet is not None:
+            failed = faults.pool_failed(slot)
+            pool_available = tuple(
+                pool.n_servers - down
+                for pool, down in zip(self._fleet.pools, failed)
+            )
+        return FaultWindow(
+            available_servers=self._max_servers - n_failed,
+            n_failed=n_failed,
+            cap_frac=cap,
+            pool_available=pool_available,
+        )
+
+    def _reduced_fleet(self, pool_available: tuple) -> FleetSpec:
+        """The fleet with per-pool capacity reduced to the up servers.
+
+        Cached per availability tuple so repeated windows of one
+        outage hand policies the *same* fleet object —
+        :class:`~repro.core.fleet.FleetEpactPolicy`'s one-entry
+        ``F_opt`` cache keys on fleet identity.
+        """
+        cached = self._reduced_fleets.get(pool_available)
+        if cached is None:
+            cached = FleetSpec(
+                pools=tuple(
+                    dc_replace(pool, n_servers=int(up))
+                    for pool, up in zip(
+                        self._fleet.pools, pool_available
+                    )
+                )
+            )
+            self._reduced_fleets[pool_available] = cached
+        return cached
+
     # -- public API ---------------------------------------------------------
 
     @property
@@ -410,14 +540,56 @@ class DataCenterSimulation:
         result = SimulationResult(policy_name=self._policy.name)
         period = max(1, int(self._policy.reallocation_period_slots))
         counter = MigrationCounter()
+        # Windows under an active fault layer can shed VMs, so the maps
+        # no longer always cover the full population; migrations then
+        # run through the stateless intersect path over commonly-placed
+        # VMs.  The zero-event path keeps the cached counter exactly.
+        stateless = self._faults is not None and self._faults.has_events
+        all_rows: Optional[np.ndarray] = None
+        prev_rows = prev_map = prev_pools = None
+        prev_fw: Optional[FaultWindow] = None
         tasks: List[_WindowTask] = []
         slot = self._start_slot
         end = self._start_slot + self._n_slots
         while slot < end:
-            allocation = self._allocate_window(slot, period)
-            acct = self._prepare_allocation(allocation)
-            migrations = counter.update(acct.vm2srv, acct.pool_idx)
             n_window = min(period, end - slot)
+            fw = None
+            if self._faults is not None:
+                n_window = min(
+                    n_window,
+                    max(1, self._faults.next_change(slot) - slot),
+                )
+                fw = self._fault_window(slot)
+            allocation = self._allocate_window(slot, n_window, fw)
+            acct = self._prepare_allocation(
+                allocation, fault=fw, fault_boundary=fw != prev_fw
+            )
+            prev_fw = fw
+            if stateless:
+                if all_rows is None:
+                    all_rows = np.arange(self._dataset.n_vms)
+                rows = (
+                    acct.vm_rows if acct.vm_rows is not None else all_rows
+                )
+                if prev_rows is None:
+                    migrations = 0
+                else:
+                    _, ia, ib = np.intersect1d(
+                        prev_rows,
+                        rows,
+                        assume_unique=True,
+                        return_indices=True,
+                    )
+                    migrations = count_migrations(
+                        prev_map[ia],
+                        acct.vm2srv[ib],
+                        previous_pools=prev_pools,
+                        new_pools=acct.pool_idx,
+                    )
+                prev_rows, prev_map = rows, acct.vm2srv
+                prev_pools = acct.pool_idx
+            else:
+                migrations = counter.update(acct.vm2srv, acct.pool_idx)
             if self._superbatch:
                 tasks.append(
                     _WindowTask(slot, n_window, allocation, acct, migrations)
@@ -478,21 +650,36 @@ class DataCenterSimulation:
             pred_mem = pred_mem * scale[1][:, None]
         return pred_cpu, pred_mem
 
-    def _allocate_window(self, slot: int, period: int) -> Allocation:
-        """Ask the policy to pack against the window's predicted patterns."""
-        end = min(
-            slot + period,
-            self._start_slot + self._n_slots,
-            self._dataset.n_slots,
-        )
+    def _allocate_window(
+        self,
+        slot: int,
+        n_window: int,
+        fault: Optional[FaultWindow] = None,
+    ) -> Allocation:
+        """Ask the policy to pack against the window's predicted patterns.
+
+        Under a fault window the policy sees the *available* capacity —
+        reduced ``max_servers`` and, on heterogeneous fleets, a reduced
+        per-pool fleet — so every policy's existing packing (including
+        ``force_place_remaining``) becomes its emergency re-placement:
+        VMs of failed servers simply have nowhere else to go.
+        """
+        end = slot + n_window
         pred_cpu, pred_mem = self._window_predictions(slot, end)
+        max_servers = self._max_servers
+        fleet = self._fleet
+        if fault is not None:
+            max_servers = fault.available_servers
+            if fleet is not None:
+                fleet = self._reduced_fleet(fault.pool_available)
         ctx = AllocationContext(
             pred_cpu=pred_cpu,
             pred_mem=pred_mem,
             power_model=self._power,
-            max_servers=self._max_servers,
+            max_servers=max_servers,
             qos_floor_ghz=self._vm_floor_ghz,
-            fleet=self._fleet,
+            fleet=fleet,
+            faults=fault,
         )
         return self._policy.allocate(ctx)
 
@@ -501,6 +688,8 @@ class DataCenterSimulation:
         allocation: Allocation,
         vm_rows: Optional[np.ndarray] = None,
         scale: Optional[tuple] = None,
+        fault: Optional[FaultWindow] = None,
+        fault_boundary: bool = False,
     ) -> "_AllocationAccounting":
         """Hoist allocation-dependent invariants out of the slot loop.
 
@@ -512,7 +701,42 @@ class DataCenterSimulation:
                 means the full fleet, exactly the seed behaviour.
             scale: optional ``(cpu, mem)`` per-covered-VM utilization
                 factors (resize events).
+            fault: the window's fault state (``None`` = no active
+                fault), recorded on the accounting for the cap term and
+                the per-slot fault metrics.
+            fault_boundary: the window starts at a fault-state change.
         """
+        n_ctx = (
+            self._dataset.n_vms if vm_rows is None else int(vm_rows.shape[0])
+        )
+        vm2srv = None
+        shed_vms = 0
+        if allocation.shed_vm_ids:
+            # Degraded operation: the policy shed VMs it could not
+            # place on the surviving capacity.  Accounting covers only
+            # the placed VMs; shed VMs accrue SLA debt via the per-slot
+            # shed count.
+            shed = np.unique(
+                np.asarray(allocation.shed_vm_ids, dtype=int)
+            )
+            mapping = allocation.vm_to_server(n_ctx, missing_ok=True)
+            unplaced = np.flatnonzero(mapping < 0)
+            if unplaced.shape != shed.shape or np.any(unplaced != shed):
+                raise ConfigurationError(
+                    "shed_vm_ids must list exactly the unplaced VMs "
+                    f"(shed {shed.tolist()}, unplaced "
+                    f"{unplaced.tolist()})"
+                )
+            placed = mapping >= 0
+            vm2srv = mapping[placed]
+            vm_rows = (
+                np.flatnonzero(placed)
+                if vm_rows is None
+                else vm_rows[placed]
+            )
+            if scale is not None:
+                scale = (scale[0][placed], scale[1][placed])
+            shed_vms = int(shed.size)
         if vm_rows is None:
             n_vms = self._dataset.n_vms
             vm_floors = self._vm_floor_ghz
@@ -522,7 +746,8 @@ class DataCenterSimulation:
             vm_floors = self._vm_floor_ghz[vm_rows]
             class_masks = [mask[vm_rows] for mask in self._class_masks]
         n_samples = SAMPLES_PER_SLOT
-        vm2srv = allocation.vm_to_server(n_vms)
+        if vm2srv is None:
+            vm2srv = allocation.vm_to_server(n_vms)
         n_srv = len(allocation.plans)
 
         active = np.array(
@@ -642,6 +867,10 @@ class DataCenterSimulation:
             scale_mem=scale_mem,
             pool_idx=pool_idx,
             pool_fixed_opp=pool_fixed_opp,
+            n_failed=fault.n_failed if fault is not None else 0,
+            cap_frac=fault.cap_frac if fault is not None else 1.0,
+            shed_vms=shed_vms,
+            fault_boundary=fault_boundary,
         )
 
     def _resolve_pool_idx(
@@ -881,6 +1110,18 @@ class DataCenterSimulation:
                 + self._psu.loss_prop * power
                 + self._psu.loss_sq_per_w * power**2
             )
+        capped_samples = 0
+        if acct.cap_frac < 1.0:
+            # Fleet power cap: samples whose aggregate draw exceeds the
+            # budget are throttled proportionally (rack-level power
+            # capping clamps every server's limit by the same factor).
+            budget = self._nominal_power_w * acct.cap_frac
+            fleet_w = power.sum(axis=0)
+            scale_cap = np.minimum(
+                1.0, budget / np.maximum(fleet_w, _EPS)
+            )
+            capped_samples = int((scale_cap < 1.0).sum())
+            power = power * scale_cap[None, :]
         energy_j = float(power.sum() * SAMPLE_PERIOD_S)
         energy_j += migrations * self._migration_energy_j
 
@@ -902,6 +1143,12 @@ class DataCenterSimulation:
             mean_freq_ghz=mean_freq,
             f_opt_ghz=allocation.f_opt_ghz or 0.0,
             migrations=migrations,
+            shed_vms=acct.shed_vms,
+            n_failed_servers=acct.n_failed,
+            capped_samples=capped_samples,
+            fault_migrations=(
+                migrations if acct.fault_boundary else 0
+            ),
         )
 
     def _account_window(
@@ -1021,6 +1268,19 @@ class DataCenterSimulation:
                 + self._psu.loss_sq_per_w * power**2
             )
 
+        capped = np.zeros(n_window, dtype=int)
+        if acct.cap_frac < 1.0:
+            # Same per-sample throttle as the per-slot oracle, batched
+            # over the window: the reduction axis (servers) has the
+            # same length and order, so the budgets agree bit-exactly.
+            budget = self._nominal_power_w * acct.cap_frac
+            fleet_w = power.sum(axis=1)
+            scale_cap = np.minimum(
+                1.0, budget / np.maximum(fleet_w, _EPS)
+            )
+            capped = (scale_cap < 1.0).sum(axis=1)
+            power = power * scale_cap[:, None, :]
+
         cap = allocation.violation_cap_pct
         overutilized = (util > cap + _EPS) | (mem_util > 100.0 + _EPS)
         violations = (overutilized & active[None, :, None]).sum(axis=(1, 2))
@@ -1046,6 +1306,14 @@ class DataCenterSimulation:
                     mean_freq_ghz=mean_freq,
                     f_opt_ghz=allocation.f_opt_ghz or 0.0,
                     migrations=migrations if w == 0 else 0,
+                    shed_vms=acct.shed_vms,
+                    n_failed_servers=acct.n_failed,
+                    capped_samples=int(capped[w]),
+                    fault_migrations=(
+                        migrations
+                        if w == 0 and acct.fault_boundary
+                        else 0
+                    ),
                 )
             )
         return records
@@ -1330,6 +1598,31 @@ class DataCenterSimulation:
                 + self._psu.loss_sq_per_w * power**2
             )
 
+        capped = np.zeros(n_total, dtype=int)
+        if any(t.acct.cap_frac < 1.0 for t in tasks):
+            # Per-task throttle over each window's own server prefix:
+            # the fleet-power reduction runs over exactly n_srv rows
+            # (never the padding), the same axis length and order as
+            # the per-window tier, so the budgets and scales agree
+            # bit-exactly; uncapped windows are left untouched.
+            off = 0
+            for task in tasks:
+                if task.acct.cap_frac < 1.0:
+                    sl = slice(off, off + task.n_window)
+                    n_srv = task.acct.n_srv
+                    budget = (
+                        self._nominal_power_w * task.acct.cap_frac
+                    )
+                    fleet_w = power[sl, :n_srv].sum(axis=1)
+                    scale_cap = np.minimum(
+                        1.0, budget / np.maximum(fleet_w, _EPS)
+                    )
+                    capped[sl] = (scale_cap < 1.0).sum(axis=1)
+                    power[sl, :n_srv] = (
+                        power[sl, :n_srv] * scale_cap[:, None, :]
+                    )
+                off += task.n_window
+
         overutilized = (util > caps[:, None, None] + _EPS) | (
             mem_util > 100.0 + _EPS
         )
@@ -1364,6 +1657,14 @@ class DataCenterSimulation:
                         mean_freq_ghz=mean_freq,
                         f_opt_ghz=task.allocation.f_opt_ghz or 0.0,
                         migrations=task.migrations if w == 0 else 0,
+                        shed_vms=acct.shed_vms,
+                        n_failed_servers=acct.n_failed,
+                        capped_samples=int(capped[t]),
+                        fault_migrations=(
+                            task.migrations
+                            if w == 0 and acct.fault_boundary
+                            else 0
+                        ),
                     )
                 )
             records.append(window_records)

@@ -44,6 +44,13 @@ class SlotRecord:
             (cloud engine only; 0 inside a window).
         departures: VMs that departed at this slot's window boundary
             (cloud engine only; 0 inside a window).
+        shed_vms: VMs shed into SLA debt this slot (degraded operation
+            under faults: no surviving server could host them).
+        n_failed_servers: servers down during this slot (fault layer).
+        capped_samples: 5-minute samples whose fleet power was throttled
+            by an active power-cap window.
+        fault_migrations: migrations at this slot that were forced by a
+            fault-state change (subset of ``migrations``).
     """
 
     slot_index: int
@@ -58,6 +65,10 @@ class SlotRecord:
     n_active_vms: int = 0
     arrivals: int = 0
     departures: int = 0
+    shed_vms: int = 0
+    n_failed_servers: int = 0
+    capped_samples: int = 0
+    fault_migrations: int = 0
 
     @property
     def energy_mj(self) -> float:
@@ -142,6 +153,31 @@ class SimulationResult:
     def total_departures(self) -> int:
         """Total VM departures over the horizon (cloud runs)."""
         return int(sum(r.departures for r in self.records))
+
+    @property
+    def shed_vms_per_slot(self) -> np.ndarray:
+        """Shed VMs per slot (all zeros without a fault layer)."""
+        return np.array([r.shed_vms for r in self.records], dtype=int)
+
+    @property
+    def total_shed_vm_slots(self) -> int:
+        """Shed VM-slots over the horizon (each shed VM counts per slot)."""
+        return int(sum(r.shed_vms for r in self.records))
+
+    @property
+    def total_failed_server_slots(self) -> int:
+        """Down server-slots over the horizon (fault layer)."""
+        return int(sum(r.n_failed_servers for r in self.records))
+
+    @property
+    def total_capped_samples(self) -> int:
+        """Power-cap-throttled samples over the horizon."""
+        return int(sum(r.capped_samples for r in self.records))
+
+    @property
+    def total_fault_migrations(self) -> int:
+        """Migrations forced by fault-state changes over the horizon."""
+        return int(sum(r.fault_migrations for r in self.records))
 
     def case_counts(self) -> dict:
         """How many slots used each EPACT case (empty for baselines)."""

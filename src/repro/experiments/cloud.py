@@ -6,10 +6,12 @@ the paper's day-ahead EPACT and the online policies (placement-only
 best-fit, reactive threshold consolidation, forecast-assisted reactive),
 and reports the SLA/energy/migration trade-off per scenario.
 
-With ``jobs > 1`` every (scenario, policy) pair fans out over one
-process pool; the day-ahead predictions are frozen once per scenario and
-shipped to the workers as plain arrays, so results equal the serial run
-exactly.
+With ``jobs > 1`` every (scenario, policy) pair fans out over the
+hardened pool runner (:mod:`repro.experiments.pool`): the day-ahead
+predictions are frozen once per scenario and shipped to the workers as
+plain arrays, so results equal the serial run exactly; a pair that
+times out or crashes is retried once and, failing that, reported as a
+failed run in the output instead of aborting the sweep.
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from ..dcsim import SimulationResult, run_cloud_policies
 from ..dcsim.cloud import _run_one_cloud_policy
 from ..dcsim.engine import shared_predictions
 from ..forecast import DayAheadPredictor
+from .pool import FailedRun, run_tasks
 
 DEFAULT_SCENARIOS = (
     "zero-churn",
@@ -105,40 +108,46 @@ def run_cloud(
             )
         return CloudResult(results=results)
 
-    from concurrent.futures import ProcessPoolExecutor
-
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = {}
-        for name in names:
-            dataset, predictor, schedule = prepared[name]
-            shared = shared_predictions(
-                dataset, predictor, n_slots=n_slots
+    tasks = []
+    for name in names:
+        dataset, predictor, schedule = prepared[name]
+        shared = shared_predictions(dataset, predictor, n_slots=n_slots)
+        tasks.extend(
+            (
+                (name, policy.name),
+                (dataset, shared, policy, schedule, kwargs),
             )
-            for policy in policy_list:
-                futures[(name, policy.name)] = pool.submit(
-                    _run_one_cloud_policy,
-                    dataset,
-                    shared,
-                    policy,
-                    schedule,
-                    kwargs,
-                )
-        for name in names:
-            results[name] = {
-                policy.name: futures[(name, policy.name)].result()
-                for policy in policy_list
-            }
+            for policy in policy_list
+        )
+    runs = run_tasks(_run_one_cloud_policy, tasks, jobs)
+    for name in names:
+        results[name] = {
+            policy.name: runs[(name, policy.name)]
+            for policy in policy_list
+        }
     return CloudResult(results=results)
 
 
 def render(result: CloudResult) -> str:
-    """Per-scenario SLA tables plus the headline trade-off."""
+    """Per-scenario SLA tables plus the headline trade-off.
+
+    (scenario, policy) pairs that failed in a parallel sweep are listed
+    per scenario instead of aborting the report.
+    """
     lines = ["Online cloud — consolidating or not, under churn"]
-    for name, runs in result.results.items():
+    for name, all_runs in result.results.items():
+        runs = {
+            k: v
+            for k, v in all_runs.items()
+            if not isinstance(v, FailedRun)
+        }
         scenario = get_scenario(name)
         lines.append("")
         lines.append(f"scenario {name}: {scenario.description}")
         lines.append(sla_table(runs))
+        for k, v in all_runs.items():
+            if isinstance(v, FailedRun):
+                lines.append(f"  FAILED {k}: {v.error}")
         if "EPACT" in runs and "ONLINE-REACTIVE" in runs:
             epact = summarize(runs["EPACT"])
             react = summarize(runs["ONLINE-REACTIVE"])

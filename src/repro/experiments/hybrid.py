@@ -17,8 +17,11 @@ energy, SLA violation rate and migrations per mix, plus the headline
 all-NTC vs all-conventional delta.
 
 With ``jobs > 1`` every (mix, protocol, policy) triple fans out over
-one process pool; the predictions are frozen once and shipped to the
-workers as plain arrays, so results equal the serial run exactly.
+the hardened pool runner (:mod:`repro.experiments.pool`); the
+predictions are frozen once and shipped to the workers as plain
+arrays, so results equal the serial run exactly, and a triple that
+times out or crashes is retried once then reported as failed instead
+of aborting the sweep.
 """
 
 from __future__ import annotations
@@ -38,6 +41,7 @@ from ..dcsim.engine import (
     shared_predictions,
 )
 from ..forecast import DayAheadPredictor
+from .pool import FailedRun, run_tasks
 
 DEFAULT_MIXES = (
     "all-ntc",
@@ -142,52 +146,57 @@ def run_hybrid(
             fixed=fixed, churn=churn, churn_scenario=churn_scenario
         )
 
-    from concurrent.futures import ProcessPoolExecutor
-
     shared = shared_predictions(dataset, predictor, n_slots=n_slots)
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        fixed_futures = {}
-        churn_futures = {}
-        for name in names:
-            fleet_kwargs = {**kwargs, "fleet": fleets[name]}
-            fixed_futures[name] = pool.submit(
-                _run_one_policy,
-                dataset,
-                shared,
-                FleetEpactPolicy(),
-                fleet_kwargs,
+    fixed_tasks = []
+    churn_tasks = []
+    for name in names:
+        fleet_kwargs = {**kwargs, "fleet": fleets[name]}
+        fixed_tasks.append(
+            (name, (dataset, shared, FleetEpactPolicy(), fleet_kwargs))
+        )
+        churn_tasks.extend(
+            (
+                (name, policy.name),
+                (dataset, shared, policy, schedule, fleet_kwargs),
             )
-            for policy in policy_list:
-                churn_futures[(name, policy.name)] = pool.submit(
-                    _run_one_cloud_policy,
-                    dataset,
-                    shared,
-                    policy,
-                    schedule,
-                    fleet_kwargs,
-                )
-        for name in names:
-            fixed[name] = fixed_futures[name].result()
-            churn[name] = {
-                policy.name: churn_futures[(name, policy.name)].result()
-                for policy in policy_list
-            }
+            for policy in policy_list
+        )
+    fixed_runs = run_tasks(_run_one_policy, fixed_tasks, jobs)
+    churn_runs = run_tasks(_run_one_cloud_policy, churn_tasks, jobs)
+    for name in names:
+        fixed[name] = fixed_runs[name]
+        churn[name] = {
+            policy.name: churn_runs[(name, policy.name)]
+            for policy in policy_list
+        }
     return HybridResult(
         fixed=fixed, churn=churn, churn_scenario=churn_scenario
     )
 
 
 def render(result: HybridResult) -> str:
-    """Per-mix tables plus the headline composition trade-off."""
+    """Per-mix tables plus the headline composition trade-off.
+
+    Triples that failed in a parallel sweep are listed in place of
+    their table rows instead of aborting the report.
+    """
     descriptions = list_fleets()
     lines = [
         "Heterogeneous fleets — consolidating or not, per composition"
     ]
+    fixed_ok = {
+        k: v
+        for k, v in result.fixed.items()
+        if not isinstance(v, FailedRun)
+    }
     lines.append("")
     lines.append(
         "fixed population (day-ahead EPACT split across pools):"
     )
-    lines.append(sla_table(result.fixed))
+    lines.append(sla_table(fixed_ok))
+    for name, res in result.fixed.items():
+        if isinstance(res, FailedRun):
+            lines.append(f"  FAILED {name}: {res.error}")
     for name in result.fixed:
         lines.append(f"  {name}: {descriptions.get(name, '')}")
 
@@ -195,14 +204,22 @@ def render(result: HybridResult) -> str:
     lines.append(
         f"under churn ({result.churn_scenario}), per mix:"
     )
-    for name, runs in result.churn.items():
+    for name, all_runs in result.churn.items():
+        runs = {
+            k: v
+            for k, v in all_runs.items()
+            if not isinstance(v, FailedRun)
+        }
         lines.append("")
         lines.append(f"fleet {name}:")
         lines.append(sla_table(runs))
+        for k, v in all_runs.items():
+            if isinstance(v, FailedRun):
+                lines.append(f"  FAILED {k}: {v.error}")
 
     energies = {
         name: sum(r.energy_j for r in res.records)
-        for name, res in result.fixed.items()
+        for name, res in fixed_ok.items()
     }
     if "all-ntc" in energies and "all-conventional" in energies:
         ntc = energies["all-ntc"]

@@ -1,0 +1,127 @@
+"""Hardened process-pool runner for experiment sweeps.
+
+The experiment drivers fan (scenario, policy) pairs out over a
+``ProcessPoolExecutor``.  The naive pattern — ``future.result()`` with
+no timeout inside a ``with`` block — has two failure modes that kill a
+whole sweep:
+
+* a single wedged worker (e.g. a BLAS deadlock after fork) blocks the
+  sweep forever;
+* one crashed task raises mid-collection and throws away every other
+  finished result.
+
+:func:`run_tasks` fixes both: every task gets a per-wait timeout and
+one bounded retry in a fresh single-worker pool, and tasks that still
+fail come back as :data:`FailedRun` markers *in* the result mapping —
+the sweep completes and reports what it could compute.  Use
+:func:`split_failures` to separate the survivors from the failures.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, TimeoutError
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class FailedRun:
+    """Marker for a task that failed after its retry.
+
+    Attributes:
+        key: the task's key as passed to :func:`run_tasks`.
+        error: a one-line description of the final failure.
+        attempts: how many times the task was tried (always 2: the
+            pooled run plus one retry in a fresh worker).
+    """
+
+    key: Hashable
+    error: str
+    attempts: int
+
+
+def run_tasks(
+    fn: Callable,
+    tasks: Sequence[Tuple[Hashable, Tuple]],
+    jobs: int,
+    timeout_s: float = 900.0,
+) -> Dict[Hashable, Any]:
+    """Run ``fn(*args)`` for every ``(key, args)`` task over a pool.
+
+    Results come back keyed and in task order; a task that times out or
+    raises is retried once in a fresh single-worker pool (a fresh
+    interpreter sidesteps wedged-worker state), and if the retry also
+    fails its slot holds a :class:`FailedRun` instead of raising.
+
+    Args:
+        fn: a picklable callable (module-level function).
+        tasks: ``(key, args)`` pairs; keys must be unique.
+        jobs: worker processes for the shared pool.
+        timeout_s: per-wait timeout; generous by default so only a
+            genuinely wedged worker trips it.
+
+    Returns:
+        ``{key: result-or-FailedRun}`` in task insertion order.
+    """
+    keys = [key for key, _ in tasks]
+    if len(set(keys)) != len(keys):
+        raise ValueError("run_tasks keys must be unique")
+    results: Dict[Hashable, Any] = {}
+    retry: Dict[Hashable, Tuple[Tuple, str]] = {}
+
+    pool = ProcessPoolExecutor(max_workers=max(1, int(jobs)))
+    try:
+        futures = {
+            key: pool.submit(fn, *args) for key, args in tasks
+        }
+        for key, args in tasks:
+            try:
+                results[key] = futures[key].result(timeout=timeout_s)
+            except TimeoutError:
+                futures[key].cancel()
+                retry[key] = (args, f"timed out after {timeout_s:.0f}s")
+                results[key] = None  # placeholder, keeps insertion order
+            except Exception as exc:  # worker died or task raised
+                retry[key] = (args, f"{type(exc).__name__}: {exc}")
+                results[key] = None
+    finally:
+        # A wedged worker would make a waiting shutdown hang forever;
+        # only wait when every task came back clean.
+        pool.shutdown(wait=not retry, cancel_futures=bool(retry))
+
+    for key, (args, first_error) in retry.items():
+        try:
+            solo = ProcessPoolExecutor(max_workers=1)
+            try:
+                results[key] = solo.submit(fn, *args).result(
+                    timeout=timeout_s
+                )
+            finally:
+                solo.shutdown(wait=False, cancel_futures=True)
+        except Exception as exc:
+            results[key] = FailedRun(
+                key=key,
+                error=(
+                    f"first attempt: {first_error}; "
+                    f"retry: {type(exc).__name__}: {exc}"
+                ),
+                attempts=2,
+            )
+    return results
+
+
+def split_failures(
+    results: Dict[Hashable, Any]
+) -> Tuple[Dict[Hashable, Any], Dict[Hashable, FailedRun]]:
+    """Partition a :func:`run_tasks` mapping into (ok, failed)."""
+    ok = {
+        key: value
+        for key, value in results.items()
+        if not isinstance(value, FailedRun)
+    }
+    failed = {
+        key: value
+        for key, value in results.items()
+        if isinstance(value, FailedRun)
+    }
+    return ok, failed

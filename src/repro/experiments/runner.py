@@ -15,7 +15,7 @@ import argparse
 import sys
 from typing import Callable, Dict
 
-from . import cloud, fig1, fig2, fig3, fig456, fig7, hybrid, table1
+from . import cloud, faults, fig1, fig2, fig3, fig456, fig7, hybrid, table1
 
 
 def _run_table1(full: bool, jobs: int) -> str:
@@ -50,6 +50,10 @@ def _run_hybrid(full: bool, jobs: int) -> str:
     return hybrid.render(hybrid.run_hybrid(quick=not full, jobs=jobs))
 
 
+def _run_faults(full: bool, jobs: int) -> str:
+    return faults.render(faults.run_faults(quick=not full, jobs=jobs))
+
+
 def _run_thunderx(full: bool, jobs: int) -> str:
     from . import thunderx
 
@@ -71,6 +75,7 @@ EXPERIMENTS: Dict[str, Callable[[bool, int], str]] = {
     "fig7": _run_fig7,
     "cloud": _run_cloud,
     "hybrid": _run_hybrid,
+    "faults": _run_faults,
     "thunderx": _run_thunderx,
     "validate": _run_validate,
 }
@@ -109,10 +114,10 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help=(
             "worker processes for the data-center experiments: fig456 "
-            "fans its policies, fig7 its sweep points, cloud its "
-            "(scenario, policy) pairs and hybrid its (mix, protocol, "
-            "policy) triples over a process pool, sharing the "
-            "day-ahead predictions (default: serial)"
+            "fans its policies, fig7 its sweep points, cloud and "
+            "faults their (scenario, policy) pairs and hybrid its "
+            "(mix, protocol, policy) triples over a process pool, "
+            "sharing the day-ahead predictions (default: serial)"
         ),
     )
     args = parser.parse_args(argv)

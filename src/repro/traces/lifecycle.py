@@ -86,11 +86,21 @@ class ChurnConfig:
             raise ConfigurationError(
                 "arrival_diurnal_amplitude must be in [0, 1]"
             )
+        if any(int(s) < 0 for s in self.flash_slots):
+            raise ConfigurationError(
+                "flash_slots are horizon-relative and must be >= 0; got "
+                f"{tuple(self.flash_slots)} — offsets count from the "
+                "horizon's first slot"
+            )
         if self.flash_arrivals < 0:
             raise ConfigurationError("flash_arrivals must be >= 0")
         if not (0.0 <= self.short_lived_fraction <= 1.0):
             raise ConfigurationError(
                 "short_lived_fraction must be in [0, 1]"
+            )
+        if self.short_lifetime_mean_slots <= 0.0:
+            raise ConfigurationError(
+                "short_lifetime_mean_slots must be > 0"
             )
         if self.resize_rate_per_slot < 0.0:
             raise ConfigurationError("resize_rate_per_slot must be >= 0")
