@@ -52,6 +52,12 @@ Scenarios (deterministic seeds):
   replayed EPACT week with a zero-event ``FaultSchedule`` threaded
   through the engine vs no schedule at all.  The recorded
   ``energy_rel_diff`` must be exactly 0.0 (bit-identity contract).
+* ``telemetry_120`` — the streaming telemetry layer: decisions from a
+  ``lossy-10pct`` delivered feed (``StreamingCloudSimulation``:
+  collectors, ingest, imputation, fallback ladder) vs the batch engine
+  reading the true traces on the same zero-churn workload.  The
+  warm-up pair streams a *clean* feed instead and witnesses the
+  bit-identity contract: its ``energy_rel_diff`` must be exactly 0.0.
 
 Each scenario records the fast time, reference time (where tractable)
 and their speedup into ``BENCH_<rev>.json``; ``--baseline`` prints the
@@ -462,6 +468,64 @@ def bench_faults(results):
     print(f"    zero-event-schedule-vs-none energy rel diff: {rel:.2e}")
 
 
+def bench_telemetry(results):
+    """Streaming telemetry layer: lossy-feed cost, clean-feed identity.
+
+    Times :class:`StreamingCloudSimulation` deciding from a
+    ``lossy-10pct`` delivered feed (collectors, ingest-side validation,
+    imputation, the forecast-staleness fallback ladder) against the
+    batch engine reading the true traces on the same zero-churn
+    workload.  The warm-up pair streams a *clean* feed instead: it must
+    reproduce the batch run bit-exactly, so the recorded
+    ``energy_rel_diff`` is required to be exactly 0.0.
+    """
+    from repro.cloud import StreamingCloudSimulation
+    from repro.cloud.telemetry import (
+        get_telemetry_scenario,
+        zero_telemetry_faults,
+    )
+
+    dataset, schedule = get_scenario("zero-churn").build(
+        n_vms=120, n_days=9, seed=2018, n_slots=48
+    )
+    predictor = DayAheadPredictor(dataset)
+    for day in range(7, dataset.n_days):
+        predictor.forecast_day(day)
+    clean = zero_telemetry_faults(dataset.n_vms, 0, dataset.n_slots)
+    lossy = get_telemetry_scenario("lossy-10pct").build(
+        dataset.n_vms, 0, dataset.n_slots, seed=2018
+    )
+    kwargs = dict(max_servers=24, n_slots=48)
+
+    def run_batch():
+        sim = CloudSimulation(
+            dataset, predictor, EpactPolicy(), schedule, **kwargs
+        )
+        return sum(r.energy_j for r in sim.run().records)
+
+    def run_stream(telemetry):
+        sim = StreamingCloudSimulation(
+            dataset,
+            predictor,
+            EpactPolicy(),
+            schedule,
+            telemetry=telemetry,
+            **kwargs,
+        )
+        return sum(r.energy_j for r in sim.run().records)
+
+    # The warm-up pair doubles as the clean-feed bit-identity witness.
+    energy_clean = run_stream(clean)
+    energy_batch = run_batch()
+    fast, seed = best_of_pair(
+        lambda: run_stream(lossy), run_batch, 3
+    )
+    record(results, "telemetry_120", fast, seed)
+    rel = abs(energy_clean - energy_batch) / max(abs(energy_batch), 1e-12)
+    results["telemetry_120"]["energy_rel_diff"] = rel
+    print(f"    clean-stream-vs-batch energy rel diff: {rel:.2e}")
+
+
 def bench_cloud(results):
     """Online cloud churn scenario (PR 3)."""
     dataset, schedule = get_scenario("diurnal-burst").build(
@@ -680,6 +744,8 @@ def main():
     bench_faults(results)
     print("online cloud churn:")
     bench_cloud(results)
+    print("telemetry layer (streaming overhead):")
+    bench_telemetry(results)
 
     payload = {
         "rev": rev,

@@ -14,7 +14,12 @@ decisions are made online under SLA pressure.  It ties together
   arrival plus threshold-/forecast-driven reactive consolidation,
   comparable head-to-head with the paper's day-ahead EPACT;
 * the scenario registry (:mod:`repro.cloud.scenarios`) and the SLA
-  metrics layer (:mod:`repro.cloud.sla`).
+  metrics layer (:mod:`repro.cloud.sla`);
+* the degraded-telemetry streaming layer (:mod:`repro.cloud.telemetry`
+  and :mod:`repro.cloud.streaming`) — seeded sample drop/corruption/
+  late-delivery schedules, file-replay collectors with retry/backoff,
+  imputation, the forecast-staleness fallback ladder, and the
+  checkpoint/resume-capable :class:`StreamingCloudSimulation`.
 
 Quick start::
 
@@ -59,7 +64,28 @@ from .scenarios import (
     get_scenario,
     list_scenarios,
 )
-from .sla import SlaSummary, fault_table, sla_table, summarize
+from .sla import (
+    SlaSummary,
+    fault_table,
+    sla_table,
+    summarize,
+    telemetry_table,
+)
+from .telemetry import (
+    TELEMETRY_SCENARIOS,
+    ForecastLadder,
+    TelemetryFaultConfig,
+    TelemetryFaultSchedule,
+    TelemetryIngest,
+    TelemetryScenario,
+    TraceCollector,
+    generate_telemetry_faults,
+    get_telemetry_scenario,
+    list_telemetry_scenarios,
+    poll_with_retry,
+    zero_telemetry_faults,
+)
+from .streaming import StreamingCloudSimulation, run_streaming_policies
 
 __all__ = [
     "FAULT_SCENARIOS",
@@ -68,7 +94,9 @@ __all__ = [
     "FaultScenario",
     "FaultSchedule",
     "FleetMix",
+    "ForecastLadder",
     "SCENARIOS",
+    "TELEMETRY_SCENARIOS",
     "ChurnConfig",
     "CloudAllocationContext",
     "CloudScenario",
@@ -78,18 +106,31 @@ __all__ = [
     "OnlinePolicy",
     "OnlineReactivePolicy",
     "SlaSummary",
+    "StreamingCloudSimulation",
+    "TelemetryFaultConfig",
+    "TelemetryFaultSchedule",
+    "TelemetryIngest",
+    "TelemetryScenario",
+    "TraceCollector",
     "fault_table",
     "fixed_schedule",
     "generate_faults",
     "generate_lifecycle",
+    "generate_telemetry_faults",
     "get_fault_scenario",
     "get_fleet",
     "get_scenario",
+    "get_telemetry_scenario",
     "list_fault_scenarios",
     "list_fleets",
     "list_scenarios",
+    "list_telemetry_scenarios",
+    "poll_with_retry",
     "run_cloud_policies",
+    "run_streaming_policies",
     "sla_table",
     "summarize",
+    "telemetry_table",
+    "zero_telemetry_faults",
     "zero_faults",
 ]

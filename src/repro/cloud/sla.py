@@ -50,6 +50,15 @@ class SlaSummary:
         downtime_server_minutes: server-minutes lost to outages.
         fault_migrations: migrations forced by fault-state changes.
         capped_samples: samples throttled by a fleet power cap.
+        imputed_samples: degraded-telemetry decision-input samples the
+            streaming engine had to impute (0 without a telemetry
+            layer).
+        stale_forecast_windows: windows decided on an aged day-ahead
+            forecast (the fallback ladder's stale rung).
+        collector_downtime_minutes: collector-minutes lost to dropout
+            windows (each down collector counts separately).
+        blind_windows: windows where telemetry was dark past the blind
+            budget and the previous placement was frozen.
     """
 
     policy_name: str
@@ -68,6 +77,10 @@ class SlaSummary:
     downtime_server_minutes: float = 0.0
     fault_migrations: int = 0
     capped_samples: int = 0
+    imputed_samples: int = 0
+    stale_forecast_windows: int = 0
+    collector_downtime_minutes: float = 0.0
+    blind_windows: int = 0
 
 
 def summarize(result: SimulationResult) -> SlaSummary:
@@ -116,6 +129,12 @@ def summarize(result: SimulationResult) -> SlaSummary:
         ),
         fault_migrations=result.total_fault_migrations,
         capped_samples=result.total_capped_samples,
+        imputed_samples=result.total_imputed_samples,
+        stale_forecast_windows=result.total_stale_forecast_windows,
+        collector_downtime_minutes=(
+            result.total_collector_down_slots * SLOT_PERIOD_S / 60.0
+        ),
+        blind_windows=result.total_blind_windows,
     )
 
 
@@ -184,6 +203,42 @@ def fault_table(results: Dict[str, SimulationResult]) -> str:
                 s.fault_migrations,
                 s.capped_samples,
                 s.forced_placements,
+                f"{s.total_energy_mj:.1f}",
+            ]
+        )
+    return format_table(headers, rows)
+
+
+def telemetry_table(results: Dict[str, SimulationResult]) -> str:
+    """ASCII table of degraded-telemetry metrics, one row per policy.
+
+    Complements :func:`sla_table` for streaming runs: how much of each
+    policy's decision input was imputed, how often the forecast ladder
+    fell back to a stale forecast or to a frozen (blind) placement, and
+    the collector downtime the schedule imposed (identical across
+    policies of one scenario) — next to the energy bill those
+    degradations produced.
+    """
+    headers = [
+        "policy",
+        "imputed smp.",
+        "stale wins.",
+        "blind wins.",
+        "coll. down-min",
+        "viol.",
+        "energy (MJ)",
+    ]
+    rows = []
+    for name, result in results.items():
+        s = summarize(result)
+        rows.append(
+            [
+                name,
+                s.imputed_samples,
+                s.stale_forecast_windows,
+                s.blind_windows,
+                f"{s.collector_downtime_minutes:.0f}",
+                s.total_violations,
                 f"{s.total_energy_mj:.1f}",
             ]
         )

@@ -1,0 +1,1030 @@
+"""Degraded-telemetry model: seeded corruption, collectors, imputation.
+
+The robustness counterpart of :mod:`repro.cloud.faults` for the
+*monitoring* plane: the engines' decisions are only as good as the
+telemetry stream feeding them, and real streams drop samples, deliver
+them late and out of order, corrupt them into NaNs or absurd spikes,
+and go entirely dark while a collector restarts.  This module provides
+
+* :class:`TelemetryFaultSchedule` — a deterministic, pre-materialized
+  degradation timeline (per-VM sample drops, NaN/spike corruption,
+  bounded late delivery, per-collector dropout windows), generated from
+  a seed by :func:`generate_telemetry_faults` exactly like
+  :func:`repro.cloud.faults.generate_faults`: one ``numpy`` generator,
+  fixed draw order, same seed ⇒ identical corruption.  Unlike the
+  fault layer it never cuts allocation windows — telemetry degrades
+  *information*, not capacity;
+* :class:`TraceCollector` — the file-replay collector (the trace
+  dataset played back as a delivery stream) behind the collector
+  abstraction: per-poll timeout (a dropout window raises
+  :class:`~repro.errors.CollectorTimeoutError`) with the bounded
+  retry/backoff hardening pattern of :mod:`repro.experiments.pool`
+  (:func:`poll_with_retry`);
+* :class:`TelemetryIngest` — the imputation/quality stage: delivered
+  samples are validated (finite, within [0, 100]) into observation
+  buffers; reads fill gaps by last-observation-carried-forward at
+  window edges and linear interpolation inside, and every sample
+  carries a :meth:`~TelemetryIngest.sample_quality` mark;
+* :class:`ForecastLadder` — the forecast-staleness fallback ladder the
+  streaming engine plans from::
+
+      fresh        day-ahead Hannan-Rissanen/companion-matrix ARMA fit
+        |          on the imputed history (history imputed fraction
+        |          <= max_imputed_frac)
+      stale        last good day-ahead forecast, re-used while its age
+        |          stays within the staleness budget
+      persistence  flat last-observed-value patterns (no usable fit)
+        |
+      reactive-only  telemetry entirely dark: keep the previous
+                     placement, no re-planning (the engine's "blind
+                     window" freeze)
+
+A zero-degradation schedule is exact: every consumer gates on
+:attr:`TelemetryFaultSchedule.has_degradation`, and the equivalence
+suite asserts bit-identity against runs without the telemetry layer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CollectorTimeoutError, ConfigurationError
+from ..forecast import DayAheadPredictor
+from ..traces.dataset import TraceDataset
+from ..units import SAMPLES_PER_DAY, SAMPLES_PER_SLOT, SLOTS_PER_DAY
+
+#: (collector_id, start_slot, end_slot) — collector down for slots
+#: [start, end); polls during the window time out.
+CollectorOutage = Tuple[int, int, int]
+
+#: :meth:`TelemetryIngest.sample_quality` marks.
+QUALITY_OBSERVED = 1
+QUALITY_IMPUTED = 2
+
+
+@dataclass(frozen=True)
+class TelemetryFaultConfig:
+    """Stochastic parameters for :func:`generate_telemetry_faults`.
+
+    All probabilities are per 5-minute sample; a zero probability (or
+    rate) disables that degradation class, so the default config
+    degrades nothing at all.
+
+    Attributes:
+        drop_prob: probability a sample is permanently lost.
+        nan_prob: probability a sample is delivered as NaN.
+        spike_prob: probability a sample is delivered as a garbage
+            spike of ``spike_pct`` percent.
+        spike_pct: the corrupted reading's value; must exceed 100 so a
+            spike is detectably invalid (utilization cannot leave
+            [0, 100]) rather than silently plausible.
+        late_prob: probability a sample is delivered late.
+        max_delay_slots: bound on the late-delivery delay (uniform in
+            ``[1, max_delay_slots]`` slots); late samples from one slot
+            interleave with on-time samples from later slots, giving
+            out-of-order delivery.
+        outage_rate_per_slot: Poisson rate of dropout-window starts,
+            per collector per slot.
+        outage_duration_mean_slots: mean dropout-window length
+            (exponential, rounded, at least one slot).
+    """
+
+    drop_prob: float = 0.0
+    nan_prob: float = 0.0
+    spike_prob: float = 0.0
+    spike_pct: float = 400.0
+    late_prob: float = 0.0
+    max_delay_slots: int = 2
+    outage_rate_per_slot: float = 0.0
+    outage_duration_mean_slots: float = 4.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_prob", "nan_prob", "spike_prob", "late_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"TelemetryFaultConfig.{name} is a probability and "
+                    f"must be in [0, 1], got {value}"
+                )
+        for name in ("outage_rate_per_slot", "outage_duration_mean_slots"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigurationError(
+                    f"TelemetryFaultConfig.{name} must be >= 0, got {value}"
+                )
+        if self.spike_pct <= 100.0:
+            raise ConfigurationError(
+                f"TelemetryFaultConfig.spike_pct must exceed 100 so a "
+                f"spike is detectably invalid (got {self.spike_pct}); a "
+                f"value inside [0, 100] would be indistinguishable from "
+                f"a real reading"
+            )
+        if self.max_delay_slots < 1:
+            raise ConfigurationError(
+                f"TelemetryFaultConfig.max_delay_slots must be >= 1, got "
+                f"{self.max_delay_slots} — a late sample is delayed by "
+                f"at least one slot"
+            )
+
+
+class TelemetryFaultSchedule:
+    """A materialized degradation timeline over ``[horizon_start, horizon_end)``.
+
+    The sample-granular mirror of
+    :class:`~repro.cloud.faults.FaultSchedule`: boolean corruption
+    masks and delay counts of shape ``(n_vms, horizon_samples)`` plus
+    per-collector dropout windows, all fixed at construction so the
+    same schedule object always produces the same degraded stream.
+
+    VM rows are striped across collectors round-robin
+    (:meth:`collector_of` — VM ``v`` reports through collector
+    ``v % n_collectors``), matching how fleet monitoring shards
+    per-host agents over aggregation points.
+
+    Args:
+        n_vms: VM-pool size the mask rows refer to.
+        horizon_start: first covered slot.
+        horizon_end: one past the last covered slot.
+        n_collectors: number of collectors the VM rows stripe over.
+        drop: ``(n_vms, horizon_samples)`` bool — sample permanently
+            lost (``None`` = no drops).
+        corrupt_nan: same shape — sample delivered as NaN.
+        corrupt_spike: same shape — sample delivered as ``spike_pct``.
+            Precedence on overlap: drop > NaN > spike.
+        delay_slots: same shape, int — delivery delay in slots
+            (0 = on time).
+        collector_outages: ``(collector_id, start, end)`` dropout
+            windows (half-open slots, clamped to the horizon).
+        spike_pct: the spike reading's value (must exceed 100).
+
+    Raises:
+        ConfigurationError: on shape mismatches, negative delays,
+            out-of-range collector ids, or empty horizons/windows.
+    """
+
+    def __init__(
+        self,
+        n_vms: int,
+        horizon_start: int,
+        horizon_end: int,
+        n_collectors: int = 1,
+        drop: Optional[np.ndarray] = None,
+        corrupt_nan: Optional[np.ndarray] = None,
+        corrupt_spike: Optional[np.ndarray] = None,
+        delay_slots: Optional[np.ndarray] = None,
+        collector_outages: Sequence[CollectorOutage] = (),
+        spike_pct: float = 400.0,
+    ) -> None:
+        if n_vms < 1:
+            raise ConfigurationError("n_vms must be >= 1")
+        if horizon_end <= horizon_start:
+            raise ConfigurationError(
+                f"empty telemetry horizon [{horizon_start}, {horizon_end})"
+            )
+        if n_collectors < 1:
+            raise ConfigurationError(
+                f"n_collectors must be >= 1, got {n_collectors}"
+            )
+        if spike_pct <= 100.0:
+            raise ConfigurationError(
+                f"spike_pct must exceed 100 so a spike is detectably "
+                f"invalid, got {spike_pct}"
+            )
+        self._n_vms = int(n_vms)
+        self._start = int(horizon_start)
+        self._end = int(horizon_end)
+        self._n_collectors = int(n_collectors)
+        self._spike_pct = float(spike_pct)
+        horizon = self._end - self._start
+        shape = (self._n_vms, horizon * SAMPLES_PER_SLOT)
+
+        def _mask(value, name: str) -> np.ndarray:
+            if value is None:
+                return np.zeros(shape, dtype=bool)
+            arr = np.asarray(value, dtype=bool)
+            if arr.shape != shape:
+                raise ConfigurationError(
+                    f"{name} must have shape {shape} "
+                    f"(n_vms x horizon samples), got {arr.shape}"
+                )
+            return arr
+
+        self._drop = _mask(drop, "drop")
+        self._nan = _mask(corrupt_nan, "corrupt_nan")
+        self._spike = _mask(corrupt_spike, "corrupt_spike")
+        if delay_slots is None:
+            self._delay = np.zeros(shape, dtype=np.int64)
+        else:
+            self._delay = np.asarray(delay_slots, dtype=np.int64)
+            if self._delay.shape != shape:
+                raise ConfigurationError(
+                    f"delay_slots must have shape {shape}, got "
+                    f"{self._delay.shape}"
+                )
+            if np.any(self._delay < 0):
+                raise ConfigurationError(
+                    "delay_slots must be >= 0 (samples cannot arrive "
+                    "before they are measured)"
+                )
+
+        down = np.zeros((self._n_collectors, horizon), dtype=bool)
+        outages: List[CollectorOutage] = []
+        for cid, s0, s1 in collector_outages:
+            cid, s0, s1 = int(cid), int(s0), int(s1)
+            if not 0 <= cid < self._n_collectors:
+                raise ConfigurationError(
+                    f"collector id {cid} out of range "
+                    f"[0, {self._n_collectors})"
+                )
+            if s1 <= s0:
+                raise ConfigurationError(
+                    f"collector outage interval [{s0}, {s1}) is empty"
+                )
+            lo = max(s0, self._start) - self._start
+            hi = min(s1, self._end) - self._start
+            if hi <= lo:
+                continue  # entirely outside the horizon
+            down[cid, lo:hi] = True
+            outages.append((cid, lo + self._start, hi + self._start))
+        self._down = down
+        self._collector_outages = tuple(outages)
+
+        self._has_degradation = bool(
+            self._drop.any()
+            or self._nan.any()
+            or self._spike.any()
+            or self._delay.any()
+            or down.any()
+        )
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def n_vms(self) -> int:
+        """VM-pool size the schedule describes."""
+        return self._n_vms
+
+    @property
+    def horizon_start(self) -> int:
+        """First covered slot."""
+        return self._start
+
+    @property
+    def horizon_end(self) -> int:
+        """One past the last covered slot."""
+        return self._end
+
+    @property
+    def n_collectors(self) -> int:
+        """Number of collectors the VM rows stripe over."""
+        return self._n_collectors
+
+    @property
+    def spike_pct(self) -> float:
+        """The corrupted spike reading's value."""
+        return self._spike_pct
+
+    @property
+    def has_degradation(self) -> bool:
+        """False for a lossless, on-time, always-up schedule."""
+        return self._has_degradation
+
+    @property
+    def collector_outages(self) -> Tuple[CollectorOutage, ...]:
+        """Horizon-clamped ``(collector_id, start, end)`` windows."""
+        return self._collector_outages
+
+    def collector_of(self, vm_id: int) -> int:
+        """The collector VM ``vm_id`` reports through."""
+        return int(vm_id) % self._n_collectors
+
+    def collector_vm_rows(self, collector_id: int) -> np.ndarray:
+        """Global VM rows assigned to one collector (round-robin)."""
+        if not 0 <= collector_id < self._n_collectors:
+            raise ConfigurationError(
+                f"collector id {collector_id} out of range "
+                f"[0, {self._n_collectors})"
+            )
+        return np.flatnonzero(
+            np.arange(self._n_vms) % self._n_collectors == collector_id
+        )
+
+    # -- per-slot queries ----------------------------------------------
+
+    def _offset(self, slot: int) -> int:
+        if not self._start <= slot < self._end:
+            raise ConfigurationError(
+                f"slot {slot} outside telemetry horizon "
+                f"[{self._start}, {self._end})"
+            )
+        return slot - self._start
+
+    def collector_down(self, collector_id: int, slot: int) -> bool:
+        """True when a collector is inside a dropout window at ``slot``."""
+        return bool(self._down[collector_id, self._offset(slot)])
+
+    def down_collectors(self, slot: int) -> int:
+        """Number of collectors down at ``slot``."""
+        return int(self._down[:, self._offset(slot)].sum())
+
+    # -- sample-granular access (collector internals) ------------------
+
+    def _sample_masks(self, vm_rows: np.ndarray):
+        """Per-sample (drop, nan, spike, delay) for a set of VM rows."""
+        return (
+            self._drop[vm_rows],
+            self._nan[vm_rows],
+            self._spike[vm_rows],
+            self._delay[vm_rows],
+        )
+
+
+def zero_telemetry_faults(
+    n_vms: int,
+    horizon_start: int,
+    horizon_end: int,
+    n_collectors: int = 1,
+) -> TelemetryFaultSchedule:
+    """A degradation-free schedule (the bit-identity control)."""
+    return TelemetryFaultSchedule(
+        n_vms, horizon_start, horizon_end, n_collectors=n_collectors
+    )
+
+
+def generate_telemetry_faults(
+    n_vms: int,
+    horizon_start: int,
+    horizon_end: int,
+    config: Optional[TelemetryFaultConfig] = None,
+    seed: int = 0,
+    n_collectors: int = 1,
+) -> TelemetryFaultSchedule:
+    """Draw a seeded degradation timeline from the config's parameters.
+
+    One ``default_rng(seed)`` drives a fixed draw order (drop mask, NaN
+    mask, spike mask, delays, then collector outages in slot order), so
+    the same seed yields the identical schedule regardless of the
+    consumer — the house determinism convention.
+    """
+    cfg = config or TelemetryFaultConfig()
+    if n_vms < 1:
+        raise ConfigurationError("n_vms must be >= 1")
+    if horizon_end <= horizon_start:
+        raise ConfigurationError(
+            f"empty telemetry horizon [{horizon_start}, {horizon_end})"
+        )
+    if n_collectors < 1:
+        raise ConfigurationError(
+            f"n_collectors must be >= 1, got {n_collectors}"
+        )
+    rng = np.random.default_rng(seed)
+    horizon = horizon_end - horizon_start
+    shape = (n_vms, horizon * SAMPLES_PER_SLOT)
+
+    drop = nan = spike = delay = None
+    if cfg.drop_prob > 0.0:
+        drop = rng.random(shape) < cfg.drop_prob
+    if cfg.nan_prob > 0.0:
+        nan = rng.random(shape) < cfg.nan_prob
+    if cfg.spike_prob > 0.0:
+        spike = rng.random(shape) < cfg.spike_prob
+    if cfg.late_prob > 0.0:
+        late = rng.random(shape) < cfg.late_prob
+        delay = np.where(
+            late,
+            rng.integers(1, cfg.max_delay_slots + 1, size=shape),
+            0,
+        )
+
+    outages: List[CollectorOutage] = []
+    if cfg.outage_rate_per_slot > 0.0:
+        rate = cfg.outage_rate_per_slot * n_collectors
+        for off in range(horizon):
+            for _ in range(int(rng.poisson(rate))):
+                cid = int(rng.integers(n_collectors))
+                dur = max(
+                    1,
+                    int(
+                        round(
+                            rng.exponential(cfg.outage_duration_mean_slots)
+                        )
+                    ),
+                )
+                outages.append(
+                    (
+                        cid,
+                        off + horizon_start,
+                        min(off + dur, horizon) + horizon_start,
+                    )
+                )
+
+    return TelemetryFaultSchedule(
+        n_vms,
+        horizon_start,
+        horizon_end,
+        n_collectors=n_collectors,
+        drop=drop,
+        corrupt_nan=nan,
+        corrupt_spike=spike,
+        delay_slots=delay,
+        collector_outages=outages,
+        spike_pct=cfg.spike_pct,
+    )
+
+
+@dataclass(frozen=True)
+class TelemetryScenario:
+    """A named degradation regime of the registry.
+
+    Attributes:
+        name: registry key.
+        description: one-line summary for reports.
+        config: the stochastic parameters (``None`` = lossless).
+        n_collectors: collectors the VM rows stripe over.
+        seed_offset: added to the build seed so scenarios sharing a
+            sweep seed still draw independent corruption.
+    """
+
+    name: str
+    description: str
+    config: Optional[TelemetryFaultConfig] = None
+    n_collectors: int = 1
+    seed_offset: int = 0
+
+    def build(
+        self,
+        n_vms: int,
+        horizon_start: int,
+        horizon_end: int,
+        seed: int = 2018,
+    ) -> TelemetryFaultSchedule:
+        """Materialize the schedule for one VM pool and horizon."""
+        if self.config is None:
+            return zero_telemetry_faults(
+                n_vms,
+                horizon_start,
+                horizon_end,
+                n_collectors=self.n_collectors,
+            )
+        return generate_telemetry_faults(
+            n_vms,
+            horizon_start,
+            horizon_end,
+            config=self.config,
+            seed=seed + self.seed_offset,
+            n_collectors=self.n_collectors,
+        )
+
+
+TELEMETRY_SCENARIOS: Dict[str, TelemetryScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        TelemetryScenario(
+            name="clean",
+            description="lossless telemetry (bit-identity control)",
+        ),
+        TelemetryScenario(
+            name="lossy-1pct",
+            description="1% sample drops, occasional NaN corruption",
+            config=TelemetryFaultConfig(drop_prob=0.01, nan_prob=0.002),
+            seed_offset=1,
+        ),
+        TelemetryScenario(
+            name="lossy-10pct",
+            description="10% sample drops, 1% NaN corruption",
+            config=TelemetryFaultConfig(drop_prob=0.10, nan_prob=0.01),
+            seed_offset=2,
+        ),
+        TelemetryScenario(
+            name="collector-outage",
+            description="two collectors with recurring dropout windows",
+            config=TelemetryFaultConfig(
+                outage_rate_per_slot=0.02,
+                outage_duration_mean_slots=5.0,
+            ),
+            n_collectors=2,
+            seed_offset=3,
+        ),
+        TelemetryScenario(
+            name="late-burst",
+            description="30% of samples arrive up to 4 slots late",
+            config=TelemetryFaultConfig(late_prob=0.30, max_delay_slots=4),
+            seed_offset=4,
+        ),
+        TelemetryScenario(
+            name="corrupt-spikes",
+            description="garbage 400% spikes plus NaN corruption",
+            config=TelemetryFaultConfig(spike_prob=0.02, nan_prob=0.01),
+            seed_offset=5,
+        ),
+    )
+}
+
+
+def get_telemetry_scenario(name: str) -> TelemetryScenario:
+    """Look up a telemetry scenario by registry name."""
+    try:
+        return TELEMETRY_SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(TELEMETRY_SCENARIOS))
+        raise ConfigurationError(
+            f"unknown telemetry scenario {name!r}; known: {known}"
+        ) from None
+
+
+def list_telemetry_scenarios() -> Dict[str, str]:
+    """Name -> description for every registered telemetry scenario."""
+    return {
+        name: scenario.description
+        for name, scenario in TELEMETRY_SCENARIOS.items()
+    }
+
+
+# -- collectors --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TelemetryBatch:
+    """One poll's deliveries: parallel arrays, one entry per sample.
+
+    Attributes:
+        vm_rows: global VM row of each delivered sample.
+        samples: absolute sample index of each delivered sample.
+        cpu: the delivered CPU reading (NaN/spike corruption applied).
+        mem: the delivered memory reading (same corruption marks).
+    """
+
+    vm_rows: np.ndarray
+    samples: np.ndarray
+    cpu: np.ndarray
+    mem: np.ndarray
+
+    @property
+    def n_samples(self) -> int:
+        """Number of delivered samples in the batch."""
+        return int(self.vm_rows.size)
+
+
+class TraceCollector:
+    """File-replay collector: the trace dataset as a delivery stream.
+
+    A sample measured during slot ``s`` becomes available at the poll
+    of slot ``s + 1`` (monitoring reports trail the interval they
+    cover) plus its scheduled delay; dropped samples never become
+    available.  Deliveries come back sorted by availability, so a
+    delayed sample from slot ``s`` arrives *after* on-time samples
+    from slots ``s+1 .. s+delay`` — genuine out-of-order delivery —
+    and everything that queued up during a dropout window arrives as
+    one burst at the first successful poll after recovery.
+
+    The cursor (how far the availability stream has been consumed,
+    plus the last successful poll slot) is the only mutable state —
+    exactly what :meth:`state` snapshots for checkpoint/resume.
+
+    Args:
+        collector_id: this collector's id within the schedule.
+        dataset: the true traces to replay.
+        schedule: the degradation timeline.
+
+    Raises:
+        ConfigurationError: if the schedule's VM pool does not match
+            the dataset.
+    """
+
+    def __init__(
+        self,
+        collector_id: int,
+        dataset: TraceDataset,
+        schedule: TelemetryFaultSchedule,
+    ) -> None:
+        if schedule.n_vms != dataset.n_vms:
+            raise ConfigurationError(
+                f"telemetry schedule covers {schedule.n_vms} VMs, "
+                f"dataset has {dataset.n_vms}"
+            )
+        self._id = int(collector_id)
+        self._schedule = schedule
+        vm_rows = schedule.collector_vm_rows(collector_id)
+        drop, nan, spike, delay = schedule._sample_masks(vm_rows)
+        n_local, n_samp = drop.shape
+        first_sample = schedule.horizon_start * SAMPLES_PER_SLOT
+
+        # Availability slot per (local VM, sample): measured during
+        # slot_of + delivered at the next poll + scheduled delay;
+        # dropped samples are pushed past every reachable poll slot.
+        slot_of = (
+            schedule.horizon_start + np.arange(n_samp) // SAMPLES_PER_SLOT
+        )
+        avail = slot_of[None, :] + 1 + delay
+        never = schedule.horizon_end + int(delay.max(initial=0)) + 2
+        avail = np.where(drop, never, avail)
+
+        # Flatten to a single availability-ordered delivery stream
+        # (stable sort: ties deliver in (VM row, sample) order).
+        flat_avail = avail.ravel()
+        order = np.argsort(flat_avail, kind="stable")
+        self._avail = flat_avail[order]
+        local_idx, sample_idx = np.unravel_index(order, (n_local, n_samp))
+        self._vm_rows = vm_rows[local_idx]
+        self._samples = sample_idx + first_sample
+
+        cpu = dataset.cpu_pct[self._vm_rows, self._samples]
+        mem = dataset.mem_pct[self._vm_rows, self._samples]
+        nan_f = nan.ravel()[order]
+        spike_f = spike.ravel()[order] & ~nan_f
+        cpu = np.where(nan_f, np.nan, cpu)
+        mem = np.where(nan_f, np.nan, mem)
+        cpu = np.where(spike_f, schedule.spike_pct, cpu)
+        mem = np.where(spike_f, schedule.spike_pct, mem)
+        self._cpu = cpu
+        self._mem = mem
+
+        self._cursor = 0
+        self._last_success = schedule.horizon_start
+
+    @property
+    def collector_id(self) -> int:
+        """This collector's id within the schedule."""
+        return self._id
+
+    def poll(self, slot: int) -> TelemetryBatch:
+        """Everything that became available by the poll at ``slot``.
+
+        Raises:
+            CollectorTimeoutError: when the collector is inside a
+                dropout window at ``slot`` (nothing is consumed; the
+                queued samples arrive at the next successful poll).
+        """
+        schedule = self._schedule
+        if (
+            schedule.horizon_start <= slot < schedule.horizon_end
+            and schedule.collector_down(self._id, slot)
+        ):
+            raise CollectorTimeoutError(
+                f"collector {self._id} timed out polling slot {slot} "
+                f"(inside a dropout window)"
+            )
+        lo = self._cursor
+        hi = int(np.searchsorted(self._avail, slot, side="right"))
+        self._cursor = max(lo, hi)
+        self._last_success = max(self._last_success, int(slot))
+        return TelemetryBatch(
+            vm_rows=self._vm_rows[lo : self._cursor],
+            samples=self._samples[lo : self._cursor],
+            cpu=self._cpu[lo : self._cursor],
+            mem=self._mem[lo : self._cursor],
+        )
+
+    # -- checkpoint ----------------------------------------------------
+
+    def state(self) -> Tuple[int, int]:
+        """Cursor snapshot: ``(stream position, last successful poll)``."""
+        return (self._cursor, self._last_success)
+
+    def restore(self, state: Tuple[int, int]) -> None:
+        """Reset the cursor to a :meth:`state` snapshot."""
+        cursor, last_success = state
+        self._cursor = int(cursor)
+        self._last_success = int(last_success)
+
+
+def poll_with_retry(
+    collector: TraceCollector,
+    slot: int,
+    retries: int = 2,
+    backoff_s: float = 0.0,
+    sleep: Optional[Callable[[float], None]] = None,
+) -> Optional[TelemetryBatch]:
+    """Poll with bounded retries and exponential backoff.
+
+    The :mod:`repro.experiments.pool` hardening pattern applied to a
+    poll: a :class:`~repro.errors.CollectorTimeoutError` is retried up
+    to ``retries`` times, sleeping ``backoff_s * 2**attempt`` between
+    attempts (``backoff_s=0`` — the default — keeps simulated replay
+    instant and deterministic).  ``None`` means the collector stayed
+    down through every attempt: the caller records downtime and moves
+    on instead of losing the whole run.
+
+    Args:
+        collector: the collector to poll.
+        slot: the poll slot.
+        retries: additional attempts after the first (>= 0).
+        backoff_s: base backoff delay in seconds (>= 0).
+        sleep: injectable sleep for tests; defaults to ``time.sleep``.
+    """
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    if backoff_s < 0:
+        raise ConfigurationError(
+            f"backoff_s must be >= 0, got {backoff_s}"
+        )
+    wait = sleep if sleep is not None else time.sleep
+    for attempt in range(retries + 1):
+        try:
+            return collector.poll(slot)
+        except CollectorTimeoutError:
+            if attempt < retries and backoff_s > 0.0:
+                wait(backoff_s * (2.0**attempt))
+    return None
+
+
+# -- ingestion / imputation -------------------------------------------
+
+
+class TelemetryIngest:
+    """Observation buffers with gap-filling reads and quality marks.
+
+    Delivered samples are validated — finite and inside [0, 100];
+    NaN/spike corruption fails validation and the sample stays missing
+    — into dataset-shaped observation buffers.  Reads fill the gaps:
+    last observation carried forward into a window's leading edge,
+    linear interpolation between observed samples inside, carry-forward
+    past the last observed sample, and the cold-start value for VMs
+    never observed at all.  :meth:`fill_into` additionally materializes
+    the filled window into the shared *imputed* buffers that back the
+    observed :class:`~repro.traces.dataset.TraceDataset` the
+    :class:`ForecastLadder` fits on.
+
+    The all-valid fast path (clean telemetry) is a plain copy, which is
+    what makes clean streaming runs bit-identical to the batch engine.
+    """
+
+    def __init__(
+        self, dataset: TraceDataset, cold_start_util_pct: float = 50.0
+    ) -> None:
+        if not 0.0 <= cold_start_util_pct <= 100.0:
+            raise ConfigurationError(
+                f"cold_start_util_pct must be in [0, 100], got "
+                f"{cold_start_util_pct}"
+            )
+        shape = dataset.cpu_pct.shape
+        self._cold = float(cold_start_util_pct)
+        self.obs_cpu = np.zeros(shape)
+        self.obs_mem = np.zeros(shape)
+        self.valid = np.zeros(shape, dtype=bool)
+        # Imputed buffers double as the observed dataset's storage:
+        # TraceDataset is frozen but holds references, so in-place
+        # fills are visible to the predictor without rebuilding it.
+        self.imp_cpu = np.zeros(shape)
+        self.imp_mem = np.zeros(shape)
+        self.observed_dataset = TraceDataset(
+            specs=dataset.specs,
+            cpu_pct=self.imp_cpu,
+            mem_pct=self.imp_mem,
+        )
+        #: Newest slot with at least one validly delivered sample
+        #: (-1 until first delivery): the blind-window detector.
+        self.newest_delivery_slot = -1
+
+    def ingest(self, batch: TelemetryBatch) -> None:
+        """Validate and store one poll's deliveries."""
+        if batch.n_samples == 0:
+            return
+        with np.errstate(invalid="ignore"):
+            ok = (
+                np.isfinite(batch.cpu)
+                & np.isfinite(batch.mem)
+                & (batch.cpu >= 0.0)
+                & (batch.cpu <= 100.0)
+                & (batch.mem >= 0.0)
+                & (batch.mem <= 100.0)
+            )
+        if not ok.any():
+            return
+        rows = batch.vm_rows[ok]
+        samples = batch.samples[ok]
+        self.obs_cpu[rows, samples] = batch.cpu[ok]
+        self.obs_mem[rows, samples] = batch.mem[ok]
+        self.valid[rows, samples] = True
+        newest = int(samples.max()) // SAMPLES_PER_SLOT
+        if newest > self.newest_delivery_slot:
+            self.newest_delivery_slot = newest
+
+    # -- quality -------------------------------------------------------
+
+    def sample_quality(self, lo: int, hi: int) -> np.ndarray:
+        """Per-VM quality marks for sample range ``[lo, hi)``.
+
+        ``QUALITY_OBSERVED`` where a valid reading was delivered,
+        ``QUALITY_IMPUTED`` everywhere a read would have to fill in.
+        """
+        return np.where(
+            self.valid[:, lo:hi], QUALITY_OBSERVED, QUALITY_IMPUTED
+        ).astype(np.int8)
+
+    def missing_fraction(self, lo: int, hi: int) -> float:
+        """Fraction of ``[lo, hi)`` samples without a valid reading."""
+        window = self.valid[:, lo:hi]
+        return float(1.0 - window.mean()) if window.size else 0.0
+
+    def missing_count(self, rows: np.ndarray, lo: int, hi: int) -> int:
+        """Samples of ``rows`` in ``[lo, hi)`` without a valid reading."""
+        return int((~self.valid[rows, lo:hi]).sum())
+
+    # -- gap-filling reads ---------------------------------------------
+
+    def _carry_before(self, lo: int):
+        """Last valid value (and its existence) before sample ``lo``."""
+        n_vms = self.valid.shape[0]
+        if lo <= 0:
+            has = np.zeros(n_vms, dtype=bool)
+            return has, np.zeros(n_vms), np.zeros(n_vms)
+        prefix = self.valid[:, :lo]
+        has = prefix.any(axis=1)
+        last = lo - 1 - np.argmax(prefix[:, ::-1], axis=1)
+        rows = np.arange(n_vms)
+        cpu = np.where(has, self.obs_cpu[rows, last], self._cold)
+        mem = np.where(has, self.obs_mem[rows, last], self._cold)
+        return has, cpu, mem
+
+    def last_values(self, before_sample: int):
+        """Per-VM last observed (cpu, mem) before ``before_sample``.
+
+        VMs never observed get the cold-start value — the persistence
+        rung's flat pattern source.
+        """
+        _, cpu, mem = self._carry_before(before_sample)
+        return cpu, mem
+
+    def filled_window(self, lo: int, hi: int):
+        """LOCF/linear-filled copies of ``[lo, hi)`` (buffers untouched)."""
+        return self._fill(lo, hi)
+
+    def fill_into(self, lo: int, hi: int) -> None:
+        """Fill ``[lo, hi)`` into the shared imputed buffers."""
+        cpu, mem = self._fill(lo, hi)
+        self.imp_cpu[:, lo:hi] = cpu
+        self.imp_mem[:, lo:hi] = mem
+
+    def _fill(self, lo: int, hi: int):
+        window_valid = self.valid[:, lo:hi]
+        cpu = self.obs_cpu[:, lo:hi].copy()
+        mem = self.obs_mem[:, lo:hi].copy()
+        if window_valid.all():
+            return cpu, mem  # clean fast path: nothing to fill
+        has_carry, carry_cpu, carry_mem = self._carry_before(lo)
+        n = hi - lo
+        grid = np.arange(n)
+        for row in np.flatnonzero(~window_valid.all(axis=1)):
+            idx = np.flatnonzero(window_valid[row])
+            if idx.size == 0:
+                # No observation inside the window: carry the last
+                # value across it wholesale (cold start if none ever).
+                cpu[row] = carry_cpu[row]
+                mem[row] = carry_mem[row]
+                continue
+            # np.interp: linear inside, edge-value (carry/backfill)
+            # outside; exact at the observed nodes.
+            cpu[row] = np.interp(grid, idx, cpu[row, idx])
+            mem[row] = np.interp(grid, idx, mem[row, idx])
+            if idx[0] > 0 and has_carry[row]:
+                # The leading gap has history: carry it forward
+                # instead of backfilling from the window's first
+                # observation.
+                cpu[row, : idx[0]] = carry_cpu[row]
+                mem[row, : idx[0]] = carry_mem[row]
+        return cpu, mem
+
+    # -- checkpoint ----------------------------------------------------
+
+    def state(self) -> Dict[str, object]:
+        """Deep snapshot of every mutable buffer."""
+        return {
+            "obs_cpu": self.obs_cpu.copy(),
+            "obs_mem": self.obs_mem.copy(),
+            "valid": self.valid.copy(),
+            "imp_cpu": self.imp_cpu.copy(),
+            "imp_mem": self.imp_mem.copy(),
+            "newest_delivery_slot": self.newest_delivery_slot,
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state` snapshot (in place, so the observed
+        dataset's array references stay valid)."""
+        self.obs_cpu[:] = state["obs_cpu"]
+        self.obs_mem[:] = state["obs_mem"]
+        self.valid[:] = state["valid"]
+        self.imp_cpu[:] = state["imp_cpu"]
+        self.imp_mem[:] = state["imp_mem"]
+        self.newest_delivery_slot = int(state["newest_delivery_slot"])
+
+
+# -- the fallback ladder ----------------------------------------------
+
+#: Ladder rung labels, freshest first.
+RUNG_FRESH = "fresh"
+RUNG_STALE = "stale"
+RUNG_PERSISTENCE = "persistence"
+RUNG_BLIND = "reactive-only"
+
+
+class ForecastLadder:
+    """Day-ahead forecasts with staleness-aware fallback (see module
+    docstring for the ladder diagram).
+
+    Day-level decisions (fresh vs stale vs no usable forecast) are
+    cached **at decision time**: a later-arriving backfill of history
+    must not retroactively change a forecast that was already used —
+    that property is what makes checkpoint/resume bit-exact.
+
+    Args:
+        ingest: the ingestion stage whose imputed buffers back the
+            observed dataset.
+        history_days: the fit window (mirrors the batch predictor).
+        max_imputed_frac: highest imputed fraction of the history
+            window that still counts as a fresh fit.
+        staleness_budget_slots: how long a last-good day forecast may
+            be re-used, in slots (day-granular: a day-ahead forecast
+            ages in whole days, so the budget must be at least
+            ``SLOTS_PER_DAY`` or the stale rung is unreachable).
+        factory: forecaster factory for the internal predictor
+            (``None`` = the house Hannan-Rissanen/companion-matrix
+            default); pass the batch predictor's factory so clean
+            telemetry reproduces its forecasts bit-exactly.
+        clip_range: forecast clip range of the internal predictor.
+    """
+
+    def __init__(
+        self,
+        ingest: TelemetryIngest,
+        history_days: int = 7,
+        max_imputed_frac: float = 0.25,
+        staleness_budget_slots: int = 3 * SLOTS_PER_DAY,
+        factory=None,
+        clip_range: Tuple[float, float] = (0.0, 100.0),
+    ) -> None:
+        if not 0.0 <= max_imputed_frac <= 1.0:
+            raise ConfigurationError(
+                f"max_imputed_frac must be in [0, 1], got "
+                f"{max_imputed_frac}"
+            )
+        if staleness_budget_slots < SLOTS_PER_DAY:
+            raise ConfigurationError(
+                f"staleness_budget_slots must be >= {SLOTS_PER_DAY} "
+                f"(one day): a day-ahead forecast ages in whole days, "
+                f"so a budget of {staleness_budget_slots} slots makes "
+                f"the stale rung unreachable — raise the budget or "
+                f"drop straight to persistence"
+            )
+        self._ingest = ingest
+        self._max_imputed = float(max_imputed_frac)
+        self._budget = int(staleness_budget_slots)
+        self._history_days = int(history_days)
+        self._predictor = DayAheadPredictor(
+            ingest.observed_dataset,
+            history_days=history_days,
+            factory=factory,
+            clip_range=clip_range,
+        )
+        # day -> (rung, cpu_day, mem_day); arrays are None on the
+        # "no usable forecast" rung.
+        self._days: Dict[int, Tuple[str, object, object]] = {}
+        self._last_fresh_day = -1
+
+    def day_decision(self, day: int) -> Tuple[str, object, object]:
+        """The ladder's (rung, cpu, mem) for one forecast day (cached)."""
+        cached = self._days.get(day)
+        if cached is not None:
+            return cached
+        lo = (day - self._history_days) * SAMPLES_PER_DAY
+        hi = day * SAMPLES_PER_DAY
+        frac = self._ingest.missing_fraction(max(lo, 0), hi)
+        if frac <= self._max_imputed:
+            self._ingest.fill_into(max(lo, 0), hi)
+            cpu, mem = self._predictor.forecast_day(day)
+            decision = (RUNG_FRESH, cpu, mem)
+            self._last_fresh_day = day
+        elif (
+            self._last_fresh_day >= 0
+            and (day - self._last_fresh_day) * SLOTS_PER_DAY
+            <= self._budget
+        ):
+            _, cpu, mem = self._days[self._last_fresh_day]
+            decision = (RUNG_STALE, cpu, mem)
+        else:
+            decision = (RUNG_PERSISTENCE, None, None)
+        self._days[day] = decision
+        return decision
+
+    # -- checkpoint ----------------------------------------------------
+
+    def state(self) -> Dict[str, object]:
+        """Snapshot of the day-decision cache."""
+        return {
+            "days": dict(self._days),
+            "last_fresh_day": self._last_fresh_day,
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state` snapshot.
+
+        The day cache carries the decision-time forecast arrays, so
+        the internal predictor is never re-consulted for restored days
+        — late backfills cannot rewrite history after a resume.
+        """
+        self._days = dict(state["days"])
+        self._last_fresh_day = int(state["last_fresh_day"])

@@ -51,6 +51,18 @@ class SlotRecord:
             by an active power-cap window.
         fault_migrations: migrations at this slot that were forced by a
             fault-state change (subset of ``migrations``).
+        imputed_samples: degraded-telemetry samples the slot's window
+            decision had to impute (streaming engine; counted on the
+            window's first slot over the previous slot's active-VM
+            readings, 0 elsewhere and without a telemetry layer).
+        collectors_down: telemetry collectors inside a dropout window
+            during this slot.
+        stale_forecast: 1 on a window's first slot when the decision
+            re-used an aged day-ahead forecast (the ladder's stale
+            rung).
+        blind_window: 1 on a window's first slot when telemetry was
+            dark past the blind budget and the previous placement was
+            frozen (the ladder's reactive-only rung).
     """
 
     slot_index: int
@@ -69,6 +81,10 @@ class SlotRecord:
     n_failed_servers: int = 0
     capped_samples: int = 0
     fault_migrations: int = 0
+    imputed_samples: int = 0
+    collectors_down: int = 0
+    stale_forecast: int = 0
+    blind_window: int = 0
 
     @property
     def energy_mj(self) -> float:
@@ -178,6 +194,26 @@ class SimulationResult:
     def total_fault_migrations(self) -> int:
         """Migrations forced by fault-state changes over the horizon."""
         return int(sum(r.fault_migrations for r in self.records))
+
+    @property
+    def total_imputed_samples(self) -> int:
+        """Imputed decision-input samples over the horizon (telemetry)."""
+        return int(sum(r.imputed_samples for r in self.records))
+
+    @property
+    def total_collector_down_slots(self) -> int:
+        """Collector-slots lost to dropout windows over the horizon."""
+        return int(sum(r.collectors_down for r in self.records))
+
+    @property
+    def total_stale_forecast_windows(self) -> int:
+        """Windows decided on an aged (stale-rung) forecast."""
+        return int(sum(r.stale_forecast for r in self.records))
+
+    @property
+    def total_blind_windows(self) -> int:
+        """Windows frozen because telemetry was dark (reactive-only)."""
+        return int(sum(r.blind_window for r in self.records))
 
     def case_counts(self) -> dict:
         """How many slots used each EPACT case (empty for baselines)."""

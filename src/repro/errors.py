@@ -55,3 +55,14 @@ class ForecastError(ReproError):
     Examples: fitting an ARIMA model on a series shorter than the seasonal
     period, or requesting a forecast horizon of zero samples.
     """
+
+
+class CollectorTimeoutError(ReproError):
+    """A telemetry collector did not answer a poll in time.
+
+    Raised by :meth:`repro.cloud.telemetry.TraceCollector.poll` while the
+    collector sits inside a scheduled dropout window.  Callers are expected
+    to retry with bounded backoff
+    (:func:`repro.cloud.telemetry.poll_with_retry`) and, when the collector
+    stays dark, degrade to stale data instead of crashing the run.
+    """

@@ -19,6 +19,7 @@ the sweep completes and reports what it could compute.  Use
 
 from __future__ import annotations
 
+import dataclasses
 from concurrent.futures import ProcessPoolExecutor, TimeoutError
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, Sequence, Tuple
@@ -125,3 +126,26 @@ def split_failures(
         if isinstance(value, FailedRun)
     }
     return ok, failed
+
+
+def count_failures(value: Any) -> int:
+    """Count :class:`FailedRun` markers anywhere inside a result.
+
+    Experiment drivers return nested containers (dicts of dicts,
+    dataclasses holding result mappings); this walks dicts, lists,
+    tuples and dataclass fields so the CLI can turn "any run failed
+    after retry" into a non-zero exit code without each driver growing
+    its own traversal.
+    """
+    if isinstance(value, FailedRun):
+        return 1
+    if isinstance(value, dict):
+        return sum(count_failures(v) for v in value.values())
+    if isinstance(value, (list, tuple)):
+        return sum(count_failures(v) for v in value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return sum(
+            count_failures(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        )
+    return 0

@@ -7,66 +7,93 @@ Usage (installed as the ``repro-experiments`` console script)::
     repro-experiments table1 fig2    # a subset
     repro-experiments --jobs 4       # fan the data-center policy runs
                                      # and sweep points over 4 processes
+
+The exit code reflects sweep health: any run that the hardened pool
+runner could not complete (a ``FailedRun`` surviving its retry) makes
+the process exit non-zero, so CI catches partial sweeps instead of
+green-lighting a report full of ``FAILED`` lines.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, Tuple
 
-from . import cloud, faults, fig1, fig2, fig3, fig456, fig7, hybrid, table1
-
-
-def _run_table1(full: bool, jobs: int) -> str:
-    return table1.render(table1.run_table1())
-
-
-def _run_fig1(full: bool, jobs: int) -> str:
-    return fig1.render(fig1.run_fig1())
-
-
-def _run_fig2(full: bool, jobs: int) -> str:
-    return fig2.render(fig2.run_fig2())
-
-
-def _run_fig3(full: bool, jobs: int) -> str:
-    return fig3.render(fig3.run_fig3())
+from . import (
+    cloud,
+    faults,
+    fig1,
+    fig2,
+    fig3,
+    fig456,
+    fig7,
+    hybrid,
+    table1,
+    telemetry,
+)
+from .pool import count_failures
 
 
-def _run_fig456(full: bool, jobs: int) -> str:
-    return fig456.render(fig456.run_fig456(quick=not full, jobs=jobs))
+def _run_table1(full: bool, jobs: int) -> Tuple[str, int]:
+    return table1.render(table1.run_table1()), 0
 
 
-def _run_fig7(full: bool, jobs: int) -> str:
-    return fig7.render(fig7.run_fig7(quick=not full, jobs=jobs))
+def _run_fig1(full: bool, jobs: int) -> Tuple[str, int]:
+    return fig1.render(fig1.run_fig1()), 0
 
 
-def _run_cloud(full: bool, jobs: int) -> str:
-    return cloud.render(cloud.run_cloud(quick=not full, jobs=jobs))
+def _run_fig2(full: bool, jobs: int) -> Tuple[str, int]:
+    return fig2.render(fig2.run_fig2()), 0
 
 
-def _run_hybrid(full: bool, jobs: int) -> str:
-    return hybrid.render(hybrid.run_hybrid(quick=not full, jobs=jobs))
+def _run_fig3(full: bool, jobs: int) -> Tuple[str, int]:
+    return fig3.render(fig3.run_fig3()), 0
 
 
-def _run_faults(full: bool, jobs: int) -> str:
-    return faults.render(faults.run_faults(quick=not full, jobs=jobs))
+def _run_fig456(full: bool, jobs: int) -> Tuple[str, int]:
+    result = fig456.run_fig456(quick=not full, jobs=jobs)
+    return fig456.render(result), count_failures(result)
 
 
-def _run_thunderx(full: bool, jobs: int) -> str:
+def _run_fig7(full: bool, jobs: int) -> Tuple[str, int]:
+    result = fig7.run_fig7(quick=not full, jobs=jobs)
+    return fig7.render(result), count_failures(result)
+
+
+def _run_cloud(full: bool, jobs: int) -> Tuple[str, int]:
+    result = cloud.run_cloud(quick=not full, jobs=jobs)
+    return cloud.render(result), count_failures(result)
+
+
+def _run_hybrid(full: bool, jobs: int) -> Tuple[str, int]:
+    result = hybrid.run_hybrid(quick=not full, jobs=jobs)
+    return hybrid.render(result), count_failures(result)
+
+
+def _run_faults(full: bool, jobs: int) -> Tuple[str, int]:
+    result = faults.run_faults(quick=not full, jobs=jobs)
+    return faults.render(result), count_failures(result)
+
+
+def _run_telemetry(full: bool, jobs: int) -> Tuple[str, int]:
+    result = telemetry.run_telemetry(quick=not full, jobs=jobs)
+    return telemetry.render(result), count_failures(result)
+
+
+def _run_thunderx(full: bool, jobs: int) -> Tuple[str, int]:
     from . import thunderx
 
-    return thunderx.render(thunderx.run_thunderx())
+    return thunderx.render(thunderx.run_thunderx()), 0
 
 
-def _run_validate(full: bool, jobs: int) -> str:
+def _run_validate(full: bool, jobs: int) -> Tuple[str, int]:
     from ..validation import validate_reproduction
 
-    return validate_reproduction().summary()
+    return validate_reproduction().summary(), 0
 
 
-EXPERIMENTS: Dict[str, Callable[[bool, int], str]] = {
+EXPERIMENTS: Dict[str, Callable[[bool, int], Tuple[str, int]]] = {
     "table1": _run_table1,
     "fig1": _run_fig1,
     "fig2": _run_fig2,
@@ -76,6 +103,7 @@ EXPERIMENTS: Dict[str, Callable[[bool, int], str]] = {
     "cloud": _run_cloud,
     "hybrid": _run_hybrid,
     "faults": _run_faults,
+    "telemetry": _run_telemetry,
     "thunderx": _run_thunderx,
     "validate": _run_validate,
 }
@@ -114,23 +142,33 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help=(
             "worker processes for the data-center experiments: fig456 "
-            "fans its policies, fig7 its sweep points, cloud and "
-            "faults their (scenario, policy) pairs and hybrid its "
-            "(mix, protocol, policy) triples over a process pool, "
+            "fans its policies, fig7 its sweep points, cloud, faults "
+            "and telemetry their (scenario, policy) pairs and hybrid "
+            "its (mix, protocol, policy) triples over a process pool, "
             "sharing the day-ahead predictions (default: serial)"
         ),
     )
     args = parser.parse_args(argv)
     names = args.experiments or list(EXPERIMENTS)
+    failures = 0
     for name in names:
         print("=" * 72)
-        print(EXPERIMENTS[name](args.full, args.jobs))
+        output, n_failed = EXPERIMENTS[name](args.full, args.jobs)
+        print(output)
         print()
+        failures += n_failed
     if args.csv is not None:
         from .export import export_all
 
         paths = export_all(args.csv, quick=not args.full)
         print(f"wrote {len(paths)} CSV files to {args.csv}")
+    if failures:
+        print(
+            f"{failures} run(s) FAILED after retry — see the report "
+            f"above",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

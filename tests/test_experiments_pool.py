@@ -1,0 +1,96 @@
+"""Pool retry path, failure counting, and the CLI's exit code.
+
+Complements the hardened-pool tests in ``test_fault_equivalence.py``:
+those prove failures are *isolated*; these prove the retry actually
+*recovers* transient failures (fail once, succeed on the fresh-pool
+retry), that a persistent timeout burns both attempts, and that any
+surviving :class:`FailedRun` anywhere in an experiment result makes
+``repro-experiments`` exit non-zero.
+"""
+
+import time
+
+from repro.experiments import runner
+from repro.experiments.pool import (
+    FailedRun,
+    count_failures,
+    run_tasks,
+    split_failures,
+)
+
+
+def _fail_once(sentinel_path):
+    # Transient failure: the first attempt plants the sentinel and
+    # crashes; the fresh-pool retry sees it and succeeds.  The sentinel
+    # lives on disk because the retry runs in a different process.
+    import os
+
+    if os.path.exists(sentinel_path):
+        return "recovered"
+    with open(sentinel_path, "w") as fh:
+        fh.write("tried")
+    raise RuntimeError("transient telemetry hiccup")
+
+
+def _sleep_forever(x):
+    time.sleep(2.0)
+    return x
+
+
+class TestRetryPath:
+    def test_transient_failure_recovers_on_retry(self, tmp_path):
+        sentinel = str(tmp_path / "attempted")
+        results = run_tasks(
+            _fail_once, [("flaky", (sentinel,))], jobs=1
+        )
+        assert results["flaky"] == "recovered"
+        ok, failed = split_failures(results)
+        assert not failed
+
+    def test_double_timeout_reports_both_attempts(self):
+        results = run_tasks(
+            _sleep_forever, [("t", (1,))], jobs=1, timeout_s=0.3
+        )
+        failed = results["t"]
+        assert isinstance(failed, FailedRun)
+        assert failed.attempts == 2
+        assert "timed out" in failed.error
+        assert "retry:" in failed.error
+
+
+class TestCountFailures:
+    def test_walks_nested_containers_and_dataclasses(self):
+        boom = FailedRun(key="k", error="e", attempts=2)
+        from repro.experiments.telemetry import TelemetryResult
+
+        nested = TelemetryResult(
+            results={
+                "clean": {"EPACT": object(), "R": boom},
+                "lossy": {"EPACT": boom},
+            },
+            schedules={},
+        )
+        assert count_failures(boom) == 1
+        assert count_failures({"a": [boom, boom], "b": 3}) == 2
+        assert count_failures(nested) == 2
+        assert count_failures({"fine": [1, 2, (3,)]}) == 0
+        assert count_failures(None) == 0
+        # The FailedRun *class* (vs an instance) is not a failure.
+        assert count_failures(FailedRun) == 0
+
+
+class TestRunnerExitCode:
+    def test_failures_make_exit_nonzero(self, monkeypatch, capsys):
+        monkeypatch.setitem(
+            runner.EXPERIMENTS, "fake", lambda full, jobs: ("boom", 2)
+        )
+        assert runner.main(["fake"]) == 1
+        captured = capsys.readouterr()
+        assert "2 run(s) FAILED after retry" in captured.err
+
+    def test_clean_sweep_exits_zero(self, monkeypatch, capsys):
+        monkeypatch.setitem(
+            runner.EXPERIMENTS, "fake", lambda full, jobs: ("fine", 0)
+        )
+        assert runner.main(["fake"]) == 0
+        assert "FAILED" not in capsys.readouterr().err
