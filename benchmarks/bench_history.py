@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Merge every committed ``BENCH_*.json`` into one trajectory table.
+
+Each revision's benchmark run records a ``benchmarks/BENCH_<rev>.json``
+snapshot; this tool lines them up chronologically (git commit order of
+the files, mtime fallback outside a checkout) and renders one table per
+metric — scenarios as rows, revisions as columns — so performance
+trends across the PR stack are readable at a glance instead of spread
+over a pile of JSON files.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_history.py            # table
+    PYTHONPATH=src python benchmarks/bench_history.py \\
+        --json bench_history.json                                # + JSON
+
+The nightly benchmark workflow runs this after the full suite and
+uploads the merged JSON as an artifact, so the whole trajectory travels
+with every nightly record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+
+def discover_records():
+    """All ``BENCH_*.json`` snapshots, oldest first.
+
+    Commit order (``git log --reverse`` over the files) is
+    authoritative: baselines are append-only, one per revision, and
+    file mtimes lie after fresh checkouts.  Files git has never seen
+    (e.g. the snapshot a bench run just wrote) sort last by mtime.
+    """
+    candidates = {
+        path
+        for path in HERE.glob("BENCH_*.json")
+        if not path.name.endswith(".pytest.json")
+    }
+    ordered = []
+    try:
+        out = subprocess.run(
+            [
+                "git",
+                "log",
+                "--reverse",
+                "--format=",
+                "--name-only",
+                "--diff-filter=A",
+                "--",
+                "benchmarks/BENCH_*.json",
+            ],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=HERE.parent,
+        ).stdout
+    except Exception:  # noqa: BLE001 - no git: mtime order below
+        out = ""
+    for line in out.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        path = HERE.parent / line
+        if path in candidates:
+            ordered.append(path)
+            candidates.discard(path)
+    ordered.extend(sorted(candidates, key=lambda p: p.stat().st_mtime))
+    return ordered
+
+
+def merge_history(paths):
+    """One ``{"revisions": [...], "scenarios": {...}}`` payload.
+
+    ``scenarios`` maps each scenario name to its per-revision entry
+    list (``None`` where a revision predates the scenario), aligned
+    with ``revisions``.
+    """
+    revisions = []
+    payloads = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        revisions.append(payload.get("rev", path.stem.replace("BENCH_", "")))
+        payloads.append(payload.get("scenarios", {}))
+    names = []
+    for scenarios in payloads:
+        for name in scenarios:
+            if name not in names:
+                names.append(name)
+    merged = {
+        name: [scenarios.get(name) for scenarios in payloads]
+        for name in names
+    }
+    return {"revisions": revisions, "scenarios": merged}
+
+
+def render_history(history, metric="fast_s"):
+    """Scenario-by-revision table of one recorded metric."""
+    from repro.dcsim.reporting import format_table
+
+    revisions = history["revisions"]
+    rows = []
+    for name, entries in history["scenarios"].items():
+        cells = []
+        for entry in entries:
+            value = (entry or {}).get(metric)
+            cells.append("-" if value is None else f"{value:.3f}")
+        rows.append([name] + cells)
+    header = [f"{metric} by rev"] + list(revisions)
+    return format_table(header, rows)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--metric",
+        default="fast_s",
+        help="recorded scenario metric to tabulate (default: fast_s)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the merged history as JSON (CI artifact)",
+    )
+    args = parser.parse_args(argv)
+    paths = discover_records()
+    if not paths:
+        print("no benchmarks/BENCH_*.json records found", file=sys.stderr)
+        return 1
+    history = merge_history(paths)
+    print(
+        f"{len(paths)} benchmark record(s): "
+        + " -> ".join(history["revisions"])
+    )
+    print()
+    print(render_history(history, metric=args.metric))
+    if args.json is not None:
+        args.json.write_text(json.dumps(history, indent=2) + "\n")
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

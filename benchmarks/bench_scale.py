@@ -52,6 +52,12 @@ Scenarios (deterministic seeds):
   replayed EPACT week with a zero-event ``FaultSchedule`` threaded
   through the engine vs no schedule at all.  The recorded
   ``energy_rel_diff`` must be exactly 0.0 (bit-identity contract).
+* ``obs_overhead_120`` — the observability layer's cost: the same
+  replayed EPACT week untraced (``NULL_TRACER`` default) vs fully
+  traced (``RunTracer`` JSONL channels + ``MetricsRegistry`` phase
+  timers).  Asserted, not just recorded: ``energy_rel_diff`` must be
+  exactly 0.0 and the tracing overhead must stay under 5% (one
+  re-measure retry), else the bench exits non-zero.
 * ``telemetry_120`` — the streaming telemetry layer: decisions from a
   ``lossy-10pct`` delivered feed (``StreamingCloudSimulation``:
   collectors, ingest, imputation, fallback ladder) vs the batch engine
@@ -468,6 +474,80 @@ def bench_faults(results):
     print(f"    zero-event-schedule-vs-none energy rel diff: {rel:.2e}")
 
 
+def bench_obs(results):
+    """Tracing overhead: RunTracer + metrics vs the NullTracer default.
+
+    The observability layer (PR 8) must be effectively free when off
+    and cheap when on: the full reduced-week pipeline (day-ahead
+    prediction, EPACT allocation, power accounting — the
+    ``simulate_week_120`` shape) runs untraced (``NULL_TRACER`` /
+    ``NULL_METRICS`` defaults, the fast side) and fully traced (a real
+    :class:`RunTracer` writing both JSONL channels plus a
+    :class:`MetricsRegistry` timing every phase, the reference side).
+    Two contracts are asserted, not just recorded:
+
+    * ``energy_rel_diff`` must be exactly 0.0 — tracing is observation
+      only, bit-identical outputs on or off;
+    * traced time must stay within 5% of untraced (one re-measure
+      retry absorbs a noisy-neighbour first sample before failing).
+    """
+    import shutil
+    import tempfile
+
+    from repro.obs import MetricsRegistry, RunTracer
+
+    dataset = default_dataset(n_vms=120, n_days=9, seed=2018)
+    tmp = Path(tempfile.mkdtemp(prefix="bench_obs_"))
+
+    def run(traced):
+        kwargs = {}
+        tracer = None
+        if traced:
+            tracer = RunTracer.for_run_dir(tmp)
+            kwargs = {"tracer": tracer, "metrics": MetricsRegistry()}
+        predictor = DayAheadPredictor(dataset)
+        sim = DataCenterSimulation(
+            dataset, predictor, EpactPolicy(), max_servers=80, **kwargs
+        )
+        energy = sum(r.energy_j for r in sim.run().records)
+        if tracer is not None:
+            tracer.close()
+        return energy
+
+    try:
+        # Warm-up pair doubles as the bit-identity witness.
+        energy_traced = run(True)
+        energy_plain = run(False)
+        fast, seed = best_of_pair(lambda: run(False), lambda: run(True), 5)
+        overhead = (seed - fast) / fast * 100.0
+        if overhead > 5.0:
+            print(
+                f"    tracing overhead {overhead:+.1f}% > 5% — "
+                f"re-measuring once"
+            )
+            fast, seed = best_of_pair(
+                lambda: run(False), lambda: run(True), 5
+            )
+            overhead = (seed - fast) / fast * 100.0
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    record(results, "obs_overhead_120", fast, seed)
+    rel = abs(energy_traced - energy_plain) / max(abs(energy_plain), 1e-12)
+    results["obs_overhead_120"]["energy_rel_diff"] = rel
+    results["obs_overhead_120"]["overhead_pct"] = round(overhead, 2)
+    print(f"    traced-vs-untraced energy rel diff: {rel:.2e}")
+    print(f"    tracing overhead: {overhead:+.1f}%")
+    if rel != 0.0:
+        print("BENCH CONTRACT FAILED: tracing changed the energy result")
+        sys.exit(1)
+    if overhead > 5.0:
+        print(
+            f"BENCH CONTRACT FAILED: tracing overhead {overhead:+.1f}% "
+            f"exceeds 5%"
+        )
+        sys.exit(1)
+
+
 def bench_telemetry(results):
     """Streaming telemetry layer: lossy-feed cost, clean-feed identity.
 
@@ -742,6 +822,8 @@ def main():
     bench_hybrid(results)
     print("fault layer (zero-event overhead):")
     bench_faults(results)
+    print("observability layer (tracing overhead):")
+    bench_obs(results)
     print("online cloud churn:")
     bench_cloud(results)
     print("telemetry layer (streaming overhead):")

@@ -264,6 +264,39 @@ class FaultSchedule:
         """Horizon-clamped ``(start, end, cap_frac)`` cap windows."""
         return self._cap_windows
 
+    # -- observability --------------------------------------------------
+
+    def trace_events(self, tracer) -> None:
+        """Emit the schedule as ``fault_event`` preamble events.
+
+        Outages sharing a ``(start, end)`` interval collapse into one
+        event carrying the affected server count (a rack failure is one
+        event, not 20); cap windows emit one event each.  Ordering is
+        deterministic (sorted by interval), so same-seed schedules
+        trace byte-identically.
+        """
+        if not getattr(tracer, "enabled", False):
+            return
+        grouped: Dict[Tuple[int, int], int] = {}
+        for _sid, s0, s1 in self._server_outages:
+            grouped[(s0, s1)] = grouped.get((s0, s1), 0) + 1
+        for (s0, s1), count in sorted(grouped.items()):
+            tracer.emit(
+                "fault_event",
+                kind="outage",
+                start_slot=s0,
+                end_slot=s1,
+                n_servers=count,
+            )
+        for s0, s1, frac in sorted(self._cap_windows):
+            tracer.emit(
+                "fault_event",
+                kind="cap",
+                start_slot=s0,
+                end_slot=s1,
+                cap_frac=frac,
+            )
+
     # -- per-slot queries ----------------------------------------------
 
     def _offset(self, slot: int) -> int:

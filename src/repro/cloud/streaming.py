@@ -157,6 +157,8 @@ class StreamingCloudSimulation(CloudSimulation):
             tiers are bit-identical, so results do not change).
     """
 
+    _ENGINE_NAME = "streaming"
+
     def __init__(
         self,
         dataset: TraceDataset,
@@ -240,6 +242,7 @@ class StreamingCloudSimulation(CloudSimulation):
             factory=getattr(predictor, "_factory", None),
             clip_range=getattr(predictor, "_clip", (0.0, 100.0)),
         )
+        self._ladder.tracer = self._tracer
         self._collectors = [
             TraceCollector(cid, dataset, telemetry)
             for cid in range(telemetry.n_collectors)
@@ -263,6 +266,7 @@ class StreamingCloudSimulation(CloudSimulation):
                     retries=self._poll_retries,
                     backoff_s=self._poll_backoff_s,
                     sleep=self._sleep,
+                    tracer=self._tracer,
                 )
                 if batch is not None:
                     self._ingest.ingest(batch)
@@ -451,6 +455,7 @@ class StreamingCloudSimulation(CloudSimulation):
             prev_active = prev_alloc = None
             prev_ids = prev_map = prev_pools = prev_fw = None
 
+        self._trace_run_start()
         period = max(1, int(self._policy.reallocation_period_slots))
         sched = self._schedule
         end = self._start_slot + self._n_slots
@@ -540,6 +545,17 @@ class StreamingCloudSimulation(CloudSimulation):
                     if scale is None
                     else (scale[0][active], scale[1][active])
                 )
+                if telemetry and self._tracer.enabled:
+                    self._tracer.emit(
+                        "telemetry_window",
+                        slot=slot,
+                        rung=(
+                            "reactive-only" if blind else self._window_rung
+                        ),
+                        imputed_samples=imputed,
+                        collectors_down=down[0],
+                        blind=blind,
+                    )
                 if blind:
                     allocation = self._blind_allocation(
                         prev_alloc, prev_active, active
@@ -549,14 +565,16 @@ class StreamingCloudSimulation(CloudSimulation):
                     ctx = self._cloud_context(
                         slot, n_window, active, scale_loc, fw
                     )
-                    allocation = self._policy.allocate(ctx)
-                acct = self._prepare_allocation(
-                    allocation,
-                    vm_rows=active,
-                    scale=scale_loc,
-                    fault=fw,
-                    fault_boundary=fw != prev_fw,
-                )
+                    with self._metrics.phase("policy"):
+                        allocation = self._policy.allocate(ctx)
+                with self._metrics.phase("allocate"):
+                    acct = self._prepare_allocation(
+                        allocation,
+                        vm_rows=active,
+                        scale=scale_loc,
+                        fault=fw,
+                        fault_boundary=fw != prev_fw,
+                    )
                 migrations = 0
                 if prev_ids is not None and prev_ids.size:
                     common, ia, ib = np.intersect1d(
@@ -572,20 +590,31 @@ class StreamingCloudSimulation(CloudSimulation):
                             previous_pools=prev_pools,
                             new_pools=acct.pool_idx,
                         )
-                if self._window_batch:
-                    window_records = self._account_window(
-                        slot, n_window, allocation, acct, migrations
-                    )
-                else:
-                    window_records = [
-                        self._account_slot(
-                            s,
-                            allocation,
-                            acct,
-                            migrations if s == slot else 0,
+                self._trace_window(
+                    slot,
+                    n_window,
+                    allocation,
+                    acct,
+                    migrations,
+                    n_active_vms=int(active.size),
+                    arrivals=arrivals,
+                    departures=departures,
+                )
+                with self._metrics.phase("account"):
+                    if self._window_batch:
+                        window_records = self._account_window(
+                            slot, n_window, allocation, acct, migrations
                         )
-                        for s in range(slot, slot + n_window)
-                    ]
+                    else:
+                        window_records = [
+                            self._account_slot(
+                                s,
+                                allocation,
+                                acct,
+                                migrations if s == slot else 0,
+                            )
+                            for s in range(slot, slot + n_window)
+                        ]
                 n_active_vms = int(active.size)
                 prev_ids = acct.vm_rows
                 prev_map = acct.vm2srv
@@ -605,6 +634,8 @@ class StreamingCloudSimulation(CloudSimulation):
                 )
                 for i, rec in enumerate(window_records)
             )
+            if fw != prev_fw:
+                self._trace_fault_transition(slot, fw)
             prev_fw = fw
             slot += n_window
             if self._ckpt_every is not None and slot >= next_ckpt:
@@ -621,12 +652,20 @@ class StreamingCloudSimulation(CloudSimulation):
                 self.checkpoints.append(state)
                 if self._ckpt_path is not None:
                     self._write_checkpoint(state)
+                if self._tracer.enabled:
+                    self._tracer.emit(
+                        "checkpoint",
+                        slot=slot,
+                        n_records=len(records),
+                        persisted=self._ckpt_path is not None,
+                    )
                 next_ckpt = (
                     self._start_slot
                     + every * ((slot - self._start_slot) // every + 1)
                 )
         result = SimulationResult(policy_name=self._policy.name)
         result.records.extend(records)
+        self._trace_run_end(result)
         return result
 
 
@@ -673,6 +712,11 @@ def run_streaming_policies(
 
     from concurrent.futures import ProcessPoolExecutor
 
+    # Tracers/metric registries don't pickle into workers; the
+    # parallel fan drops them (pool task events cover the sweep).
+    kwargs = {
+        k: v for k, v in kwargs.items() if k not in ("tracer", "metrics")
+    }
     shipped = predictor
     if telemetry is None:
         shipped = shared_predictions(

@@ -698,6 +698,7 @@ def poll_with_retry(
     retries: int = 2,
     backoff_s: float = 0.0,
     sleep: Optional[Callable[[float], None]] = None,
+    tracer=None,
 ) -> Optional[TelemetryBatch]:
     """Poll with bounded retries and exponential backoff.
 
@@ -715,6 +716,10 @@ def poll_with_retry(
         retries: additional attempts after the first (>= 0).
         backoff_s: base backoff delay in seconds (>= 0).
         sleep: injectable sleep for tests; defaults to ``time.sleep``.
+        tracer: optional :class:`~repro.obs.tracer.RunTracer`; every
+            failed attempt emits a ``poll_retry`` event (``gave_up``
+            marks the final one).  Outages are seeded-schedule facts,
+            so the events are deterministic.
     """
     if retries < 0:
         raise ConfigurationError(f"retries must be >= 0, got {retries}")
@@ -722,11 +727,20 @@ def poll_with_retry(
         raise ConfigurationError(
             f"backoff_s must be >= 0, got {backoff_s}"
         )
+    traced = tracer is not None and getattr(tracer, "enabled", False)
     wait = sleep if sleep is not None else time.sleep
     for attempt in range(retries + 1):
         try:
             return collector.poll(slot)
         except CollectorTimeoutError:
+            if traced:
+                tracer.emit(
+                    "poll_retry",
+                    collector=collector._id,
+                    slot=slot,
+                    attempt=attempt,
+                    gave_up=attempt == retries,
+                )
             if attempt < retries and backoff_s > 0.0:
                 wait(backoff_s * (2.0**attempt))
     return None
@@ -984,6 +998,11 @@ class ForecastLadder:
         # "no usable forecast" rung.
         self._days: Dict[int, Tuple[str, object, object]] = {}
         self._last_fresh_day = -1
+        #: Optional :class:`~repro.obs.tracer.RunTracer`; when set,
+        #: every *new* day decision (a cache miss) emits a
+        #: ``ladder_rung`` event.  Restored (checkpointed) decisions
+        #: do not re-emit — they were already traced when made.
+        self.tracer = None
 
     def day_decision(self, day: int) -> Tuple[str, object, object]:
         """The ladder's (rung, cpu, mem) for one forecast day (cached)."""
@@ -1008,6 +1027,8 @@ class ForecastLadder:
         else:
             decision = (RUNG_PERSISTENCE, None, None)
         self._days[day] = decision
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit("ladder_rung", day=day, rung=decision[0])
         return decision
 
     # -- checkpoint ----------------------------------------------------

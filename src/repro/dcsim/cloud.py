@@ -61,6 +61,8 @@ class CloudSimulation(DataCenterSimulation):
         **kwargs: forwarded to :class:`DataCenterSimulation`.
     """
 
+    _ENGINE_NAME = "cloud"
+
     def __init__(
         self,
         dataset: TraceDataset,
@@ -98,6 +100,7 @@ class CloudSimulation(DataCenterSimulation):
         if isinstance(self._policy, OnlinePolicy):
             self._policy.reset()
         result = SimulationResult(policy_name=self._policy.name)
+        self._trace_run_start()
         period = max(1, int(self._policy.reallocation_period_slots))
         sched = self._schedule
         prev_ids: Optional[np.ndarray] = None
@@ -161,14 +164,16 @@ class CloudSimulation(DataCenterSimulation):
                 ctx = self._cloud_context(
                     slot, n_window, active, scale_loc, fw
                 )
-                allocation = self._policy.allocate(ctx)
-                acct = self._prepare_allocation(
-                    allocation,
-                    vm_rows=active,
-                    scale=scale_loc,
-                    fault=fw,
-                    fault_boundary=fw != prev_fw,
-                )
+                with self._metrics.phase("policy"):
+                    allocation = self._policy.allocate(ctx)
+                with self._metrics.phase("allocate"):
+                    acct = self._prepare_allocation(
+                        allocation,
+                        vm_rows=active,
+                        scale=scale_loc,
+                        fault=fw,
+                        fault_boundary=fw != prev_fw,
+                    )
                 migrations = 0
                 if prev_ids is not None and prev_ids.size:
                     # Only VMs present on both sides of the boundary can
@@ -192,6 +197,16 @@ class CloudSimulation(DataCenterSimulation):
                             previous_pools=prev_pools,
                             new_pools=acct.pool_idx,
                         )
+                self._trace_window(
+                    slot,
+                    n_window,
+                    allocation,
+                    acct,
+                    migrations,
+                    n_active_vms=int(active.size),
+                    arrivals=arrivals,
+                    departures=departures,
+                )
                 if self._superbatch:
                     tasks.append(
                         _WindowTask(
@@ -200,19 +215,21 @@ class CloudSimulation(DataCenterSimulation):
                     )
                     records = None
                 elif self._window_batch:
-                    records = self._account_window(
-                        slot, n_window, allocation, acct, migrations
-                    )
-                else:
-                    records = [
-                        self._account_slot(
-                            s,
-                            allocation,
-                            acct,
-                            migrations if s == slot else 0,
+                    with self._metrics.phase("account"):
+                        records = self._account_window(
+                            slot, n_window, allocation, acct, migrations
                         )
-                        for s in range(slot, slot + n_window)
-                    ]
+                else:
+                    with self._metrics.phase("account"):
+                        records = [
+                            self._account_slot(
+                                s,
+                                allocation,
+                                acct,
+                                migrations if s == slot else 0,
+                            )
+                            for s in range(slot, slot + n_window)
+                        ]
                 windows.append(
                     (int(active.size), arrivals, departures, records)
                 )
@@ -222,22 +239,26 @@ class CloudSimulation(DataCenterSimulation):
                 prev_ids = acct.vm_rows
                 prev_map = acct.vm2srv
                 prev_pools = acct.pool_idx
+            if fw != prev_fw:
+                self._trace_fault_transition(slot, fw)
             prev_fw = fw
             slot += n_window
 
-        deferred = iter(self._account_horizon(tasks) if tasks else [])
-        for n_active_vms, arrivals, departures, records in windows:
-            if records is None:
-                records = next(deferred)
-            result.records.extend(
-                replace(
-                    rec,
-                    n_active_vms=n_active_vms,
-                    arrivals=arrivals if i == 0 else 0,
-                    departures=departures if i == 0 else 0,
+        with self._metrics.phase("account"):
+            deferred = iter(self._account_horizon(tasks) if tasks else [])
+            for n_active_vms, arrivals, departures, records in windows:
+                if records is None:
+                    records = next(deferred)
+                result.records.extend(
+                    replace(
+                        rec,
+                        n_active_vms=n_active_vms,
+                        arrivals=arrivals if i == 0 else 0,
+                        departures=departures if i == 0 else 0,
+                    )
+                    for i, rec in enumerate(records)
                 )
-                for i, rec in enumerate(records)
-            )
+        self._trace_run_end(result)
         return result
 
     # -- internals ----------------------------------------------------------
@@ -251,9 +272,10 @@ class CloudSimulation(DataCenterSimulation):
         fault=None,
     ) -> CloudAllocationContext:
         """Window context restricted to the active VMs (global ids kept)."""
-        pred_cpu, pred_mem = self._window_predictions(
-            slot, slot + n_window, vm_rows=active, scale=scale_loc
-        )
+        with self._metrics.phase("forecast"):
+            pred_cpu, pred_mem = self._window_predictions(
+                slot, slot + n_window, vm_rows=active, scale=scale_loc
+            )
         last_cpu, last_mem = self._last_observed(slot, active)
         max_servers = self._max_servers
         fleet = self._fleet
@@ -339,6 +361,11 @@ def run_cloud_policies(
 
     from concurrent.futures import ProcessPoolExecutor
 
+    # As in run_policies: tracers/metric registries don't pickle into
+    # workers; the parallel fan drops them.
+    kwargs = {
+        k: v for k, v in kwargs.items() if k not in ("tracer", "metrics")
+    }
     shared = shared_predictions(
         dataset,
         predictor,

@@ -73,6 +73,8 @@ from ..core.types import (
     FleetSpec,
 )
 from ..errors import ConfigurationError
+from ..obs.metrics import NULL_METRICS
+from ..obs.tracer import NULL_TRACER
 from ..perf.simulator import PerformanceSimulator, traffic_coefficients
 from ..perf.workload import ALL_MEMORY_CLASSES
 from ..power.server_power import ServerPowerModel, ntc_server_power_model
@@ -229,6 +231,14 @@ class DataCenterSimulation:
             and accounting throttles fleet power to the active cap
             budget.  A zero-event schedule is bit-identical to
             ``faults=None`` (``tests/test_fault_equivalence.py``).
+        tracer: optional :class:`~repro.obs.tracer.RunTracer` receiving
+            structured run/window/fault events.  The default is the
+            no-op ``NULL_TRACER``; tracers only observe, so results are
+            bit-identical with tracing on or off
+            (``tests/test_obs_equivalence.py``).
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            accumulating counters plus forecast / policy / allocate /
+            account phase timings.  Same only-observes guarantee.
     """
 
     def __init__(
@@ -247,7 +257,11 @@ class DataCenterSimulation:
         superbatch: bool = True,
         fleet: Optional[FleetSpec] = None,
         faults=None,
+        tracer=None,
+        metrics=None,
     ):
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._metrics = metrics if metrics is not None else NULL_METRICS
         if migration_energy_j < 0.0:
             raise ConfigurationError(
                 "migration_energy_j must be non-negative"
@@ -538,6 +552,7 @@ class DataCenterSimulation:
         one batched pass.
         """
         result = SimulationResult(policy_name=self._policy.name)
+        self._trace_run_start()
         period = max(1, int(self._policy.reallocation_period_slots))
         counter = MigrationCounter()
         # Windows under an active fault layer can shed VMs, so the maps
@@ -561,9 +576,12 @@ class DataCenterSimulation:
                 )
                 fw = self._fault_window(slot)
             allocation = self._allocate_window(slot, n_window, fw)
-            acct = self._prepare_allocation(
-                allocation, fault=fw, fault_boundary=fw != prev_fw
-            )
+            with self._metrics.phase("allocate"):
+                acct = self._prepare_allocation(
+                    allocation, fault=fw, fault_boundary=fw != prev_fw
+                )
+            if fw != prev_fw:
+                self._trace_fault_transition(slot, fw)
             prev_fw = fw
             if stateless:
                 if all_rows is None:
@@ -590,31 +608,130 @@ class DataCenterSimulation:
                 prev_pools = acct.pool_idx
             else:
                 migrations = counter.update(acct.vm2srv, acct.pool_idx)
+            self._trace_window(slot, n_window, allocation, acct, migrations)
             if self._superbatch:
                 tasks.append(
                     _WindowTask(slot, n_window, allocation, acct, migrations)
                 )
             elif self._window_batch:
-                result.records.extend(
-                    self._account_window(
-                        slot, n_window, allocation, acct, migrations
-                    )
-                )
-            else:
-                for s in range(slot, slot + n_window):
-                    result.records.append(
-                        self._account_slot(
-                            s,
-                            allocation,
-                            acct,
-                            migrations if s == slot else 0,
+                with self._metrics.phase("account"):
+                    result.records.extend(
+                        self._account_window(
+                            slot, n_window, allocation, acct, migrations
                         )
                     )
+            else:
+                with self._metrics.phase("account"):
+                    for s in range(slot, slot + n_window):
+                        result.records.append(
+                            self._account_slot(
+                                s,
+                                allocation,
+                                acct,
+                                migrations if s == slot else 0,
+                            )
+                        )
             slot += n_window
         if tasks:
-            for window_records in self._account_horizon(tasks):
-                result.records.extend(window_records)
+            with self._metrics.phase("account"):
+                for window_records in self._account_horizon(tasks):
+                    result.records.extend(window_records)
+        self._trace_run_end(result)
         return result
+
+    # -- tracing ------------------------------------------------------------
+    #
+    # Tracers only observe: every emitted field is computed from state
+    # the run produces anyway, so results are bit-identical with
+    # tracing on or off, and same-seed event streams are byte-identical
+    # (asserted by tests/test_obs_equivalence.py).
+
+    #: Tag carried by ``run_start`` events; subclasses override.
+    _ENGINE_NAME = "fixed"
+
+    def _trace_run_start(self, n_vms: Optional[int] = None) -> None:
+        tracer = self._tracer
+        if not tracer.enabled:
+            return
+        tracer.emit(
+            "run_start",
+            policy=self._policy.name,
+            engine=self._ENGINE_NAME,
+            start_slot=self._start_slot,
+            n_slots=self._n_slots,
+            n_servers=self._max_servers,
+            n_vms=self._dataset.n_vms if n_vms is None else n_vms,
+            n_pools=(
+                self._fleet.n_pools if self._fleet is not None else 1
+            ),
+        )
+        if self._faults is not None:
+            self._faults.trace_events(tracer)
+
+    def _trace_window(
+        self, slot, n_window, allocation, acct, migrations, **extra
+    ) -> None:
+        tracer = self._tracer
+        if self._metrics.enabled:
+            self._metrics.counter("windows")
+            self._metrics.counter("migrations", migrations)
+        if not tracer.enabled:
+            return
+        fields = dict(
+            slot=slot,
+            n_window=n_window,
+            case=allocation.case,
+            n_servers=acct.n_srv,
+            active_servers=int(np.count_nonzero(acct.active)),
+            migrations=migrations,
+            forced_placements=allocation.forced_placements,
+            **extra,
+        )
+        if self._faults is not None:
+            fields["fault_migrations"] = (
+                migrations if acct.fault_boundary else 0
+            )
+            fields["shed_vms"] = acct.shed_vms
+        if acct.pool_idx is not None:
+            n_pools = self._fleet.n_pools if self._fleet is not None else 1
+            fields["pool_active"] = np.bincount(
+                acct.pool_idx[acct.active], minlength=n_pools
+            )
+        tracer.emit("allocation_window", **fields)
+
+    def _trace_fault_transition(self, slot: int, fw) -> None:
+        tracer = self._tracer
+        if not tracer.enabled or self._faults is None:
+            return
+        if fw is None:
+            tracer.emit(
+                "fault_transition",
+                slot=slot,
+                n_failed=0,
+                cap_frac=1.0,
+                available_servers=self._max_servers,
+            )
+        else:
+            tracer.emit(
+                "fault_transition",
+                slot=slot,
+                n_failed=fw.n_failed,
+                cap_frac=fw.cap_frac,
+                available_servers=fw.available_servers,
+            )
+
+    def _trace_run_end(self, result: SimulationResult) -> None:
+        tracer = self._tracer
+        if not tracer.enabled:
+            return
+        tracer.emit(
+            "run_end",
+            policy=self._policy.name,
+            n_records=len(result.records),
+            energy_mj=result.total_energy_mj,
+            violations=result.total_violations,
+            migrations=result.total_migrations,
+        )
 
     # -- internals ----------------------------------------------------------
 
@@ -665,7 +782,8 @@ class DataCenterSimulation:
         VMs of failed servers simply have nowhere else to go.
         """
         end = slot + n_window
-        pred_cpu, pred_mem = self._window_predictions(slot, end)
+        with self._metrics.phase("forecast"):
+            pred_cpu, pred_mem = self._window_predictions(slot, end)
         max_servers = self._max_servers
         fleet = self._fleet
         if fault is not None:
@@ -681,7 +799,8 @@ class DataCenterSimulation:
             fleet=fleet,
             faults=fault,
         )
-        return self._policy.allocate(ctx)
+        with self._metrics.phase("policy"):
+            return self._policy.allocate(ctx)
 
     def _prepare_allocation(
         self,
@@ -1920,6 +2039,13 @@ def run_policies(
 
     from concurrent.futures import ProcessPoolExecutor
 
+    # Tracers hold open file handles and metric registries accumulate
+    # in the parent process; neither crosses a pickle boundary.  The
+    # parallel fan drops them — sweep-level task events come from the
+    # experiments pool layer instead.
+    kwargs = {
+        k: v for k, v in kwargs.items() if k not in ("tracer", "metrics")
+    }
     shared = shared_predictions(
         dataset,
         predictor,

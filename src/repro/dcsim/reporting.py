@@ -75,6 +75,56 @@ def series_block(
     return f"{name:<12} |{sparkline(arr, width)}| {stats}"
 
 
+#: Grade bins for :func:`score_letter`, as (max ratio-to-best, grade).
+#: Anything beyond the last bin is an "F".
+_SCORE_BINS = (
+    (1.02, "A+"),
+    (1.05, "A"),
+    (1.15, "B"),
+    (1.35, "C"),
+    (1.75, "D"),
+)
+
+
+def score_letter(value: float, best: float) -> str:
+    """Grade a lower-is-better metric relative to the best in its group.
+
+    The audit report scores each policy's energy/SLA-debt against the
+    best policy of the same table: within 2% of best is an "A+", out to
+    75% over best for a "D", beyond that "F".  Degenerate cases: a NaN
+    scores "?", and when the best value is 0 only an exact 0 keeps the
+    "A+" (any positive value against a zero best is an "F").
+    """
+    value = float(value)
+    best = float(best)
+    if np.isnan(value) or np.isnan(best):
+        return "?"
+    if best == 0.0:
+        return "A+" if value == 0.0 else "F"
+    ratio = value / best
+    for bound, grade in _SCORE_BINS:
+        if ratio <= bound:
+            return grade
+    return "F"
+
+
+def scored_rows(
+    names: Sequence[str], values: Sequence[float]
+) -> List[List[object]]:
+    """Pair each (name, value) with its :func:`score_letter` grade.
+
+    Grades are relative to the group's best (minimum non-NaN) value;
+    an all-NaN group grades every row "?".
+    """
+    arr = np.asarray(list(values), dtype=float)
+    finite = arr[~np.isnan(arr)]
+    best = float(finite.min()) if finite.size else float("nan")
+    return [
+        [name, float(value), score_letter(value, best)]
+        for name, value in zip(names, arr)
+    ]
+
+
 def comparison_table(results) -> str:
     """Summary table over a ``{name: SimulationResult}`` mapping.
 

@@ -27,7 +27,7 @@ from ..dcsim import SimulationResult, run_cloud_policies
 from ..dcsim.cloud import _run_one_cloud_policy
 from ..dcsim.engine import shared_predictions
 from ..forecast import DayAheadPredictor
-from .pool import FailedRun, run_tasks
+from .pool import FailedRun, failed_line, run_tasks
 
 DEFAULT_SCENARIOS = (
     "zero-churn",
@@ -69,6 +69,8 @@ def run_cloud(
     seed: int = 2018,
     max_servers: int = 600,
     policies: Optional[Sequence[AllocationPolicy]] = None,
+    tracer=None,
+    metrics=None,
 ) -> CloudResult:
     """Run the cloud scenario fan (see module docstring).
 
@@ -82,6 +84,10 @@ def run_cloud(
         max_servers: fleet bound.
         policies: policies to compare (fresh instances are required for
             stateful online policies; the defaults are fresh).
+        tracer / metrics: optional observability hooks
+            (:mod:`repro.obs`).  Serial runs trace at engine level;
+            parallel sweeps emit pool task events only (tracers do not
+            cross the pickle boundary).  Results are identical.
     """
     if quick:
         n_vms, n_days, max_servers = 120, 9, 120
@@ -104,7 +110,13 @@ def run_cloud(
         for name in names:
             dataset, predictor, schedule = prepared[name]
             results[name] = run_cloud_policies(
-                dataset, predictor, policy_list, schedule, **kwargs
+                dataset,
+                predictor,
+                policy_list,
+                schedule,
+                tracer=tracer,
+                metrics=metrics,
+                **kwargs,
             )
         return CloudResult(results=results)
 
@@ -119,7 +131,9 @@ def run_cloud(
             )
             for policy in policy_list
         )
-    runs = run_tasks(_run_one_cloud_policy, tasks, jobs)
+    runs = run_tasks(
+        _run_one_cloud_policy, tasks, jobs, tracer=tracer, metrics=metrics
+    )
     for name in names:
         results[name] = {
             policy.name: runs[(name, policy.name)]
@@ -147,7 +161,7 @@ def render(result: CloudResult) -> str:
         lines.append(sla_table(runs))
         for k, v in all_runs.items():
             if isinstance(v, FailedRun):
-                lines.append(f"  FAILED {k}: {v.error}")
+                lines.append(failed_line(k, v))
         if "EPACT" in runs and "ONLINE-REACTIVE" in runs:
             epact = summarize(runs["EPACT"])
             react = summarize(runs["ONLINE-REACTIVE"])

@@ -37,7 +37,7 @@ from ..dcsim import SimulationResult
 from ..dcsim.cloud import CloudSimulation, _run_one_cloud_policy
 from ..dcsim.engine import shared_predictions
 from ..forecast import DayAheadPredictor
-from .pool import FailedRun, run_tasks
+from .pool import FailedRun, failed_line, run_tasks
 
 DEFAULT_FAULT_SCENARIOS = (
     "none",
@@ -78,6 +78,8 @@ def run_faults(
     seed: int = 2018,
     max_servers: int = 120,
     policies: Optional[Sequence[AllocationPolicy]] = None,
+    tracer=None,
+    metrics=None,
 ) -> FaultsResult:
     """Run the fault-scenario sweep (see module docstring).
 
@@ -94,6 +96,11 @@ def run_faults(
         max_servers: fleet bound (= the fault schedule's server count).
         policies: policies to compare (fresh instances are required for
             stateful online policies; the defaults are fresh).
+        tracer / metrics: optional observability hooks
+            (:mod:`repro.obs`).  Serial runs trace at engine level
+            (fault preambles, transitions, windows); parallel sweeps
+            emit pool task events only (tracers do not cross the
+            pickle boundary).  Results are identical.
     """
     if quick:
         # A deliberately tight fleet (vs the 120-server cloud quick
@@ -131,6 +138,8 @@ def run_faults(
                 n_slots=n_slots,
                 max_servers=max_servers,
                 faults=schedules[name],
+                tracer=tracer,
+                metrics=metrics,
             )
             results[name] = {
                 policy.name: CloudSimulation(
@@ -155,7 +164,9 @@ def run_faults(
             )
             for policy in policy_list
         )
-    runs = run_tasks(_run_one_cloud_policy, tasks, jobs)
+    runs = run_tasks(
+        _run_one_cloud_policy, tasks, jobs, tracer=tracer, metrics=metrics
+    )
     for name in names:
         results[name] = {
             policy.name: runs[(name, policy.name)]
@@ -186,7 +197,7 @@ def render(result: FaultsResult) -> str:
             lines.append(fault_table(runs))
         for k, v in all_runs.items():
             if isinstance(v, FailedRun):
-                lines.append(f"  FAILED {k}: {v.error}")
+                lines.append(failed_line(k, v))
     return "\n".join(lines)
 
 

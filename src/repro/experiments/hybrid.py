@@ -41,7 +41,7 @@ from ..dcsim.engine import (
     shared_predictions,
 )
 from ..forecast import DayAheadPredictor
-from .pool import FailedRun, run_tasks
+from .pool import FailedRun, failed_line, run_tasks
 
 DEFAULT_MIXES = (
     "all-ntc",
@@ -196,7 +196,7 @@ def render(result: HybridResult) -> str:
     lines.append(sla_table(fixed_ok))
     for name, res in result.fixed.items():
         if isinstance(res, FailedRun):
-            lines.append(f"  FAILED {name}: {res.error}")
+            lines.append(failed_line(name, res))
     for name in result.fixed:
         lines.append(f"  {name}: {descriptions.get(name, '')}")
 
@@ -215,7 +215,7 @@ def render(result: HybridResult) -> str:
         lines.append(sla_table(runs))
         for k, v in all_runs.items():
             if isinstance(v, FailedRun):
-                lines.append(f"  FAILED {k}: {v.error}")
+                lines.append(failed_line(k, v))
 
     energies = {
         name: sum(r.energy_j for r in res.records)

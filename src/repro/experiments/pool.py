@@ -15,11 +15,21 @@ one bounded retry in a fresh single-worker pool, and tasks that still
 fail come back as :data:`FailedRun` markers *in* the result mapping —
 the sweep completes and reports what it could compute.  Use
 :func:`split_failures` to separate the survivors from the failures.
+
+Every task is also timed: successes wall-clock their own execution in
+the worker, failures accumulate submit-to-final-failure time in the
+parent, and :class:`FailedRun` carries both the elapsed seconds and
+the attempt count so a FAILED summary line (:func:`failed_line`) says
+how much was burned before giving up.  With a tracer, task lifecycle
+events (``task_start`` / ``task_done`` / ``task_retry`` /
+``task_failed``) land on the event channel and per-task wall times on
+the timing channel.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import time
 from concurrent.futures import ProcessPoolExecutor, TimeoutError
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, Sequence, Tuple
@@ -32,13 +42,42 @@ class FailedRun:
     Attributes:
         key: the task's key as passed to :func:`run_tasks`.
         error: a one-line description of the final failure.
-        attempts: how many times the task was tried (always 2: the
-            pooled run plus one retry in a fresh worker).
+        attempts: how many times the task was actually tried (2 for
+            the pooled run plus its retry; 1 when the retry could not
+            even be submitted).
+        elapsed_s: wall-clock seconds from first submission to the
+            final failure, timeouts and retry included.
     """
 
     key: Hashable
     error: str
     attempts: int
+    elapsed_s: float = 0.0
+
+
+def failed_line(key: Hashable, failure: FailedRun) -> str:
+    """The house FAILED summary line for one :class:`FailedRun`.
+
+    Shared by the experiment renderers so every report surfaces the
+    same facts: what failed, how often it was tried, how long it
+    burned, and the final error.
+    """
+    return (
+        f"  FAILED {key} after {failure.attempts} attempt(s) in "
+        f"{failure.elapsed_s:.1f}s: {failure.error}"
+    )
+
+
+def _timed_call(fn: Callable, *args) -> Tuple[float, Any]:
+    """Worker-side wrapper: ``(own wall seconds, fn(*args))``.
+
+    Timing inside the worker excludes queueing, so a successful task's
+    ``elapsed_s`` measures the task, not the pool's backlog.
+    Module-level so it pickles.
+    """
+    start = time.perf_counter()
+    result = fn(*args)
+    return time.perf_counter() - start, result
 
 
 def run_tasks(
@@ -46,6 +85,8 @@ def run_tasks(
     tasks: Sequence[Tuple[Hashable, Tuple]],
     jobs: int,
     timeout_s: float = 900.0,
+    tracer=None,
+    metrics=None,
 ) -> Dict[Hashable, Any]:
     """Run ``fn(*args)`` for every ``(key, args)`` task over a pool.
 
@@ -60,6 +101,13 @@ def run_tasks(
         jobs: worker processes for the shared pool.
         timeout_s: per-wait timeout; generous by default so only a
             genuinely wedged worker trips it.
+        tracer: optional :class:`~repro.obs.tracer.RunTracer`; emits
+            task lifecycle events in the parent (tracers never cross
+            the pickle boundary into workers) plus per-task wall times
+            on the timing channel.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            accumulates a ``task_elapsed_s`` histogram and
+            ``tasks`` / ``task_retries`` / ``task_failures`` counters.
 
     Returns:
         ``{key: result-or-FailedRun}`` in task insertion order.
@@ -67,17 +115,27 @@ def run_tasks(
     keys = [key for key, _ in tasks]
     if len(set(keys)) != len(keys):
         raise ValueError("run_tasks keys must be unique")
+    traced = tracer is not None and getattr(tracer, "enabled", False)
+    measured = metrics is not None and getattr(metrics, "enabled", False)
     results: Dict[Hashable, Any] = {}
+    elapsed: Dict[Hashable, float] = {}
+    retried: set = set()
     retry: Dict[Hashable, Tuple[Tuple, str]] = {}
+    submitted_at: Dict[Hashable, float] = {}
 
     pool = ProcessPoolExecutor(max_workers=max(1, int(jobs)))
     try:
-        futures = {
-            key: pool.submit(fn, *args) for key, args in tasks
-        }
+        futures = {}
+        for key, args in tasks:
+            if traced:
+                tracer.emit("task_start", key=str(key))
+            submitted_at[key] = time.perf_counter()
+            futures[key] = pool.submit(_timed_call, fn, *args)
         for key, args in tasks:
             try:
-                results[key] = futures[key].result(timeout=timeout_s)
+                elapsed[key], results[key] = futures[key].result(
+                    timeout=timeout_s
+                )
             except TimeoutError:
                 futures[key].cancel()
                 retry[key] = (args, f"timed out after {timeout_s:.0f}s")
@@ -91,23 +149,68 @@ def run_tasks(
         pool.shutdown(wait=not retry, cancel_futures=bool(retry))
 
     for key, (args, first_error) in retry.items():
+        retried.add(key)
+        if traced:
+            tracer.emit("task_retry", key=str(key), error=first_error)
+        if measured:
+            metrics.counter("task_retries")
+        attempts = 1
         try:
             solo = ProcessPoolExecutor(max_workers=1)
             try:
-                results[key] = solo.submit(fn, *args).result(
-                    timeout=timeout_s
-                )
+                attempts = 2
+                elapsed[key], results[key] = solo.submit(
+                    _timed_call, fn, *args
+                ).result(timeout=timeout_s)
             finally:
                 solo.shutdown(wait=False, cancel_futures=True)
         except Exception as exc:
+            # Failures never report a clean in-worker time; what they
+            # cost the sweep is everything since first submission.
+            burn = time.perf_counter() - submitted_at[key]
             results[key] = FailedRun(
                 key=key,
                 error=(
                     f"first attempt: {first_error}; "
                     f"retry: {type(exc).__name__}: {exc}"
                 ),
-                attempts=2,
+                attempts=attempts,
+                elapsed_s=burn,
             )
+
+    for key, _ in tasks:
+        value = results[key]
+        failed = isinstance(value, FailedRun)
+        task_s = value.elapsed_s if failed else elapsed[key]
+        if measured:
+            metrics.counter("tasks")
+            metrics.histogram("task_elapsed_s", task_s)
+            if failed:
+                metrics.counter("task_failures")
+        if not traced:
+            continue
+        if failed:
+            tracer.emit(
+                "task_failed",
+                key=str(key),
+                error=value.error,
+                attempts=value.attempts,
+            )
+        else:
+            tracer.emit(
+                "task_done", key=str(key), retried=key in retried
+            )
+        tracer.timing(
+            "task_time",
+            key=str(key),
+            elapsed_s=task_s,
+            attempts=(
+                value.attempts
+                if failed
+                else (2 if key in retried else 1)
+            ),
+            failed=failed,
+        )
     return results
 
 

@@ -7,18 +7,34 @@ Usage (installed as the ``repro-experiments`` console script)::
     repro-experiments table1 fig2    # a subset
     repro-experiments --jobs 4       # fan the data-center policy runs
                                      # and sweep points over 4 processes
+    repro-experiments cloud --out runs/today
+                                     # also write run artifacts: manifest,
+                                     # JSONL trace + timing channels,
+                                     # metrics snapshot, per-experiment
+                                     # text reports, summary.json
+    repro-experiments report runs/today
+                                     # scored audit report from a run dir
 
 The exit code reflects sweep health: any run that the hardened pool
 runner could not complete (a ``FailedRun`` surviving its retry) makes
 the process exit non-zero, so CI catches partial sweeps instead of
 green-lighting a report full of ``FAILED`` lines.
+
+Observability (``--out DIR``) never changes results: tracing is
+engine-level for serial runs and task-level for parallel sweeps, and
+the simulation outputs are bit-identical either way (see
+:mod:`repro.obs`).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
+import os
 import sys
-from typing import Callable, Dict, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from . import (
     cloud,
@@ -32,68 +48,113 @@ from . import (
     table1,
     telemetry,
 )
-from .pool import count_failures
+from .pool import FailedRun, count_failures
 
 
-def _run_table1(full: bool, jobs: int) -> Tuple[str, int]:
-    return table1.render(table1.run_table1()), 0
+@dataclass(frozen=True)
+class ObsOptions:
+    """Observability knobs the CLI threads into experiment wrappers.
+
+    Attributes:
+        tracer: optional :class:`~repro.obs.tracer.RunTracer`.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`.
+        scenarios: optional scenario-name subset for the scenario-sweep
+            experiments (cloud / faults / telemetry).  Names are
+            registry-specific, so this is meant for single-experiment
+            invocations (e.g. the CI smoke run).
+    """
+
+    tracer: Any = None
+    metrics: Any = None
+    scenarios: Optional[List[str]] = None
 
 
-def _run_fig1(full: bool, jobs: int) -> Tuple[str, int]:
-    return fig1.render(fig1.run_fig1()), 0
+_NO_OBS = ObsOptions()
+
+#: One wrapper per experiment: (full, jobs, obs) -> (text, n_failed,
+#: result-or-None).  The result feeds the ``--out`` summary walker.
+ExperimentFn = Callable[[bool, int, ObsOptions], Tuple[str, int, Any]]
 
 
-def _run_fig2(full: bool, jobs: int) -> Tuple[str, int]:
-    return fig2.render(fig2.run_fig2()), 0
+def _run_table1(full: bool, jobs: int, obs: ObsOptions) -> Tuple[str, int, Any]:
+    return table1.render(table1.run_table1()), 0, None
 
 
-def _run_fig3(full: bool, jobs: int) -> Tuple[str, int]:
-    return fig3.render(fig3.run_fig3()), 0
+def _run_fig1(full: bool, jobs: int, obs: ObsOptions) -> Tuple[str, int, Any]:
+    return fig1.render(fig1.run_fig1()), 0, None
 
 
-def _run_fig456(full: bool, jobs: int) -> Tuple[str, int]:
+def _run_fig2(full: bool, jobs: int, obs: ObsOptions) -> Tuple[str, int, Any]:
+    return fig2.render(fig2.run_fig2()), 0, None
+
+
+def _run_fig3(full: bool, jobs: int, obs: ObsOptions) -> Tuple[str, int, Any]:
+    return fig3.render(fig3.run_fig3()), 0, None
+
+
+def _run_fig456(full: bool, jobs: int, obs: ObsOptions) -> Tuple[str, int, Any]:
     result = fig456.run_fig456(quick=not full, jobs=jobs)
-    return fig456.render(result), count_failures(result)
+    return fig456.render(result), count_failures(result), result
 
 
-def _run_fig7(full: bool, jobs: int) -> Tuple[str, int]:
+def _run_fig7(full: bool, jobs: int, obs: ObsOptions) -> Tuple[str, int, Any]:
     result = fig7.run_fig7(quick=not full, jobs=jobs)
-    return fig7.render(result), count_failures(result)
+    return fig7.render(result), count_failures(result), result
 
 
-def _run_cloud(full: bool, jobs: int) -> Tuple[str, int]:
-    result = cloud.run_cloud(quick=not full, jobs=jobs)
-    return cloud.render(result), count_failures(result)
+def _run_cloud(full: bool, jobs: int, obs: ObsOptions) -> Tuple[str, int, Any]:
+    result = cloud.run_cloud(
+        quick=not full,
+        jobs=jobs,
+        scenario_names=obs.scenarios,
+        tracer=obs.tracer,
+        metrics=obs.metrics,
+    )
+    return cloud.render(result), count_failures(result), result
 
 
-def _run_hybrid(full: bool, jobs: int) -> Tuple[str, int]:
+def _run_hybrid(full: bool, jobs: int, obs: ObsOptions) -> Tuple[str, int, Any]:
     result = hybrid.run_hybrid(quick=not full, jobs=jobs)
-    return hybrid.render(result), count_failures(result)
+    return hybrid.render(result), count_failures(result), result
 
 
-def _run_faults(full: bool, jobs: int) -> Tuple[str, int]:
-    result = faults.run_faults(quick=not full, jobs=jobs)
-    return faults.render(result), count_failures(result)
+def _run_faults(full: bool, jobs: int, obs: ObsOptions) -> Tuple[str, int, Any]:
+    result = faults.run_faults(
+        quick=not full,
+        jobs=jobs,
+        fault_names=obs.scenarios,
+        tracer=obs.tracer,
+        metrics=obs.metrics,
+    )
+    return faults.render(result), count_failures(result), result
 
 
-def _run_telemetry(full: bool, jobs: int) -> Tuple[str, int]:
-    result = telemetry.run_telemetry(quick=not full, jobs=jobs)
-    return telemetry.render(result), count_failures(result)
+def _run_telemetry(
+    full: bool, jobs: int, obs: ObsOptions
+) -> Tuple[str, int, Any]:
+    result = telemetry.run_telemetry(
+        quick=not full,
+        jobs=jobs,
+        scenario_names=obs.scenarios,
+        tracer=obs.tracer,
+        metrics=obs.metrics,
+    )
+    return telemetry.render(result), count_failures(result), result
 
 
-def _run_thunderx(full: bool, jobs: int) -> Tuple[str, int]:
+def _run_thunderx(full: bool, jobs: int, obs: ObsOptions) -> Tuple[str, int, Any]:
     from . import thunderx
 
-    return thunderx.render(thunderx.run_thunderx()), 0
+    return thunderx.render(thunderx.run_thunderx()), 0, None
 
 
-def _run_validate(full: bool, jobs: int) -> Tuple[str, int]:
+def _run_validate(full: bool, jobs: int, obs: ObsOptions) -> Tuple[str, int, Any]:
     from ..validation import validate_reproduction
 
-    return validate_reproduction().summary(), 0
+    return validate_reproduction().summary(), 0, None
 
 
-EXPERIMENTS: Dict[str, Callable[[bool, int], Tuple[str, int]]] = {
+EXPERIMENTS: Dict[str, ExperimentFn] = {
     "table1": _run_table1,
     "fig1": _run_fig1,
     "fig2": _run_fig2,
@@ -109,8 +170,63 @@ EXPERIMENTS: Dict[str, Callable[[bool, int], Tuple[str, int]]] = {
 }
 
 
+def collect_summaries(value: Any) -> Any:
+    """Reduce an experiment result to a JSON-able summary tree.
+
+    Walks dicts and dataclass fields, turning every
+    :class:`~repro.dcsim.SimulationResult` leaf into its
+    :func:`~repro.cloud.sla.summarize` dict and every
+    :class:`~repro.experiments.pool.FailedRun` into a failure marker;
+    everything else (schedules, raw arrays, rendered strings) is
+    dropped.  Returns ``None`` when nothing summarizable remains, so
+    figure experiments without simulation runs simply don't appear in
+    ``summary.json``.
+    """
+    from ..cloud.sla import summarize
+    from ..dcsim import SimulationResult
+
+    if isinstance(value, SimulationResult):
+        return dataclasses.asdict(summarize(value))
+    if isinstance(value, FailedRun):
+        return {
+            "failed": True,
+            "error": value.error,
+            "attempts": value.attempts,
+            "elapsed_s": value.elapsed_s,
+        }
+    if isinstance(value, dict):
+        out = {}
+        for key, child in value.items():
+            reduced = collect_summaries(child)
+            if reduced is not None:
+                out[str(key)] = reduced
+        return out or None
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out = {}
+        for field in dataclasses.fields(value):
+            reduced = collect_summaries(getattr(value, field.name))
+            if reduced is not None:
+                out[field.name] = reduced
+        # A dataclass with exactly one summarizable field (the usual
+        # `results` mapping) collapses to that field, keeping the
+        # summary tree shallow.
+        if len(out) == 1:
+            return next(iter(out.values()))
+        return out or None
+    return None
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    arg_list = list(sys.argv[1:]) if argv is None else list(argv)
+    if arg_list and arg_list[0] == "report":
+        # The audit-report subcommand has its own tiny CLI; dispatch
+        # before argparse so `report` never collides with experiment
+        # names.
+        from ..obs.report import main as report_main
+
+        return report_main(arg_list[1:])
+
     parser = argparse.ArgumentParser(
         description=(
             "Regenerate the tables and figures of 'Energy Proportionality "
@@ -136,6 +252,29 @@ def main(argv: list[str] | None = None) -> int:
         help="also export every experiment's rows/series as CSV files",
     )
     parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help=(
+            "write run artifacts to DIR: manifest.json (seed, config "
+            "hash, git rev, versions), trace.jsonl + timing.jsonl "
+            "(structured events; deterministic and wall-clock channels), "
+            "metrics.json, per-experiment text reports and summary.json; "
+            "render them later with `repro-experiments report DIR`"
+        ),
+    )
+    parser.add_argument(
+        "--scenarios",
+        metavar="NAMES",
+        default=None,
+        help=(
+            "comma-separated scenario subset for the cloud / faults / "
+            "telemetry sweeps (registry-specific names — combine with a "
+            "single experiment, e.g. `telemetry --scenarios lossy-10pct` "
+            "for a tiny traced smoke run)"
+        ),
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -148,15 +287,78 @@ def main(argv: list[str] | None = None) -> int:
             "sharing the day-ahead predictions (default: serial)"
         ),
     )
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arg_list)
     names = args.experiments or list(EXPERIMENTS)
+    scenarios = (
+        [s for s in args.scenarios.split(",") if s]
+        if args.scenarios
+        else None
+    )
+
+    tracer = None
+    metrics = None
+    if args.out is not None:
+        from ..obs import MetricsRegistry, RunTracer, write_manifest
+
+        os.makedirs(args.out, exist_ok=True)
+        write_manifest(
+            args.out,
+            config={
+                "experiments": names,
+                "full": args.full,
+                "jobs": args.jobs,
+                "scenarios": scenarios,
+            },
+            seed=2018,
+        )
+        tracer = RunTracer.for_run_dir(args.out)
+        metrics = MetricsRegistry()
+    obs = ObsOptions(tracer=tracer, metrics=metrics, scenarios=scenarios)
+
     failures = 0
-    for name in names:
-        print("=" * 72)
-        output, n_failed = EXPERIMENTS[name](args.full, args.jobs)
-        print(output)
-        print()
-        failures += n_failed
+    summaries: Dict[str, Any] = {}
+    try:
+        for name in names:
+            print("=" * 72)
+            if tracer is not None:
+                tracer.emit(
+                    "experiment_start",
+                    name=name,
+                    full=args.full,
+                    jobs=args.jobs,
+                )
+            output, n_failed, result = EXPERIMENTS[name](
+                args.full, args.jobs, obs
+            )
+            print(output)
+            print()
+            failures += n_failed
+            if tracer is not None:
+                tracer.emit("experiment_end", name=name, failures=n_failed)
+            if args.out is not None:
+                with open(
+                    os.path.join(args.out, f"{name}.txt"),
+                    "w",
+                    encoding="utf-8",
+                ) as fh:
+                    fh.write(output + "\n")
+                summary = collect_summaries(result)
+                if summary is not None:
+                    summaries[name] = summary
+    finally:
+        if args.out is not None:
+            metrics.emit_timing(tracer)
+            metrics.write(os.path.join(args.out, "metrics.json"))
+            tracer.close()
+            with open(
+                os.path.join(args.out, "summary.json"),
+                "w",
+                encoding="utf-8",
+            ) as fh:
+                json.dump(summaries, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote run artifacts to {args.out}")
+
     if args.csv is not None:
         from .export import export_all
 

@@ -42,7 +42,7 @@ from ..core import EpactPolicy
 from ..core.types import AllocationPolicy
 from ..dcsim import SimulationResult
 from ..forecast import DayAheadPredictor
-from .pool import FailedRun, run_tasks
+from .pool import FailedRun, failed_line, run_tasks
 
 DEFAULT_TELEMETRY_SCENARIOS = tuple(TELEMETRY_SCENARIOS)
 
@@ -75,6 +75,8 @@ def run_telemetry(
     seed: int = 2018,
     max_servers: int = 120,
     policies: Optional[Sequence[AllocationPolicy]] = None,
+    tracer=None,
+    metrics=None,
 ) -> TelemetryResult:
     """Run the telemetry-scenario sweep (see module docstring).
 
@@ -91,6 +93,11 @@ def run_telemetry(
         max_servers: fleet bound.
         policies: policies to compare (fresh instances are required for
             stateful online policies; the defaults are fresh).
+        tracer / metrics: optional observability hooks
+            (:mod:`repro.obs`).  Serial runs trace at engine level
+            (windows, ladder rungs, degradations); parallel sweeps
+            emit pool task events only, because tracers do not cross
+            the pickle boundary.  Results are identical either way.
     """
     if quick:
         n_vms, n_days, max_servers = 120, 9, 24
@@ -122,6 +129,7 @@ def run_telemetry(
 
     results: Dict[str, Dict[str, SimulationResult]] = {}
     if jobs is None or jobs <= 1:
+        serial_kwargs = dict(kwargs, tracer=tracer, metrics=metrics)
         for name in names:
             results[name] = {
                 policy.name: _run_one_streaming_policy(
@@ -130,7 +138,7 @@ def run_telemetry(
                     policy,
                     schedule,
                     schedules[name],
-                    kwargs,
+                    serial_kwargs,
                 )
                 for policy in policy_list
             }
@@ -152,7 +160,13 @@ def run_telemetry(
             )
             for policy in policy_list
         )
-    runs = run_tasks(_run_one_streaming_policy, tasks, jobs)
+    runs = run_tasks(
+        _run_one_streaming_policy,
+        tasks,
+        jobs,
+        tracer=tracer,
+        metrics=metrics,
+    )
     for name in names:
         results[name] = {
             policy.name: runs[(name, policy.name)]
@@ -183,7 +197,7 @@ def render(result: TelemetryResult) -> str:
             lines.append(telemetry_table(runs))
         for k, v in all_runs.items():
             if isinstance(v, FailedRun):
-                lines.append(f"  FAILED {k}: {v.error}")
+                lines.append(failed_line(k, v))
     return "\n".join(lines)
 
 

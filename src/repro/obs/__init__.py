@@ -1,0 +1,73 @@
+"""Observability: structured tracing, metrics, manifests, audit reports.
+
+The package answers "how did this run get its answer" without ever
+changing the answer: tracers and metric registries only observe, the
+no-op defaults (:data:`NULL_TRACER`, :data:`NULL_METRICS`) cost one
+attribute read per would-be event, and every wall-clock quantity lives
+on a separate timing channel so deterministic event streams stay
+byte-identical across same-seed runs.
+
+Submodules:
+
+* :mod:`~repro.obs.tracer` — :class:`RunTracer` / :class:`NullTracer`,
+  JSONL channels, event schemas and validation;
+* :mod:`~repro.obs.metrics` — :class:`MetricsRegistry` /
+  :class:`NullMetrics`, phase timers, tracemalloc peak capture;
+* :mod:`~repro.obs.manifest` — run manifests (seed, config hash, git
+  rev, library versions);
+* :mod:`~repro.obs.report` — the ``repro-experiments report`` renderer
+  (imported lazily by the CLI; not re-exported here because it pulls
+  in :mod:`repro.dcsim`, which itself imports this package).
+"""
+
+from .manifest import (
+    MANIFEST_FILENAME,
+    build_manifest,
+    config_hash,
+    load_manifest,
+    write_manifest,
+)
+from .metrics import (
+    METRICS_FILENAME,
+    PHASES,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetrics,
+    load_metrics,
+)
+from .tracer import (
+    EVENT_SCHEMAS,
+    NULL_TRACER,
+    NullTracer,
+    RunTracer,
+    TIMING_FILENAME,
+    TRACE_FILENAME,
+    TraceSchemaError,
+    iter_trace_file,
+    validate_event,
+    validate_trace_file,
+)
+
+__all__ = [
+    "EVENT_SCHEMAS",
+    "MANIFEST_FILENAME",
+    "METRICS_FILENAME",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "PHASES",
+    "TIMING_FILENAME",
+    "TRACE_FILENAME",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NullTracer",
+    "RunTracer",
+    "TraceSchemaError",
+    "build_manifest",
+    "config_hash",
+    "iter_trace_file",
+    "load_manifest",
+    "load_metrics",
+    "validate_event",
+    "validate_trace_file",
+    "write_manifest",
+]

@@ -1,0 +1,102 @@
+"""Run manifests: enough provenance to reproduce a run directory.
+
+A manifest records the command-equivalent configuration (experiment
+names, seed, sweep sizes), a stable hash of that configuration, the
+git revision the code ran at, and the library versions that shaped the
+numerics.  It is written as ``manifest.json`` alongside every
+``repro-experiments --out`` run, and the ``report`` command leads with
+it so any audit table is traceable to an exact (rev, config, seed).
+
+Wall-clock creation time is recorded (a manifest is provenance, not a
+determinism artifact) but kept out of the config hash, so the hash of
+"the same run" is stable across days.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+from datetime import datetime, timezone
+from hashlib import sha256
+from typing import Optional
+
+MANIFEST_FILENAME = "manifest.json"
+
+#: Manifest schema version; bump on incompatible layout changes.
+MANIFEST_VERSION = 1
+
+
+def config_hash(config: dict) -> str:
+    """A short stable hash of a JSON-serializable config dict.
+
+    Canonical JSON (sorted keys, compact separators) in, first 12 hex
+    chars of SHA-256 out — enough to compare runs, short enough to
+    read aloud.
+    """
+    canonical = json.dumps(
+        config, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def git_rev() -> str:
+    """The current short git revision, or ``"unknown"`` outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def build_manifest(config: dict, seed: Optional[int] = None) -> dict:
+    """Assemble a manifest for one run.
+
+    Args:
+        config: the JSON-serializable run configuration (experiment
+            names, flags, sweep sizes...).  Hashed canonically.
+        seed: the run's base seed, surfaced top-level next to the
+            hash because it is the first thing a reproducer needs.
+    """
+    import numpy
+
+    return {
+        "manifest_version": MANIFEST_VERSION,
+        "config": config,
+        "config_hash": config_hash(config),
+        "seed": seed,
+        "git_rev": git_rev(),
+        "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "created_utc": datetime.now(timezone.utc).isoformat(),
+    }
+
+
+def write_manifest(run_dir, config: dict, seed: Optional[int] = None) -> dict:
+    """Build and write ``manifest.json`` into a run directory."""
+    os.makedirs(run_dir, exist_ok=True)
+    manifest = build_manifest(config, seed=seed)
+    path = os.path.join(run_dir, MANIFEST_FILENAME)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return manifest
+
+
+def load_manifest(run_dir) -> Optional[dict]:
+    """Read ``manifest.json`` from a run directory; ``None`` if absent."""
+    path = os.path.join(run_dir, MANIFEST_FILENAME)
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)

@@ -1,0 +1,270 @@
+"""Counter/gauge/histogram registry and perf_counter phase timers.
+
+The registry answers "where did the time go and how much work was
+done": counters accumulate event counts (windows allocated, migrations
+counted, polls retried), gauges record last-seen values, histograms
+keep streaming summary statistics (count/sum/min/max) without storing
+samples, and :meth:`MetricsRegistry.phase` times named phases
+(``forecast`` / ``allocate`` / ``account`` / ``policy``) with
+``time.perf_counter``.
+
+Like the tracer, the default everywhere is a no-op
+(:data:`NULL_METRICS`) and registries only observe — simulation
+outputs are bit-identical with metrics on or off.  All wall-clock
+readings live here or on the timing channel, never in the
+deterministic event stream.
+
+``tracemalloc`` peak capture is opt-in (:meth:`start_memory_capture`)
+because tracing allocations costs real time; when enabled the snapshot
+gains a ``peak_mem_bytes`` entry.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import tracemalloc
+from typing import Dict, Optional
+
+#: Phase names the engines use; others are allowed (the registry is
+#: generic) but these are the documented breakdown.
+PHASES = ("forecast", "allocate", "account", "policy")
+
+METRICS_FILENAME = "metrics.json"
+
+
+class _PhaseStat:
+    __slots__ = ("calls", "total_s", "max_s")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+    def add(self, elapsed: float) -> None:
+        self.calls += 1
+        self.total_s += elapsed
+        if elapsed > self.max_s:
+            self.max_s = elapsed
+
+
+class _HistStat:
+    __slots__ = ("count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def as_dict(self) -> dict:
+        mean = self.sum / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+class _NullPhase:
+    """Shared do-nothing context manager (cheaper than a generator)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class _PhaseTimer:
+    """Reusable ``with`` timer bound to one :class:`_PhaseStat`.
+
+    One instance per phase name, cached by the registry, so the hot
+    loop pays two ``perf_counter`` calls and an attribute store per
+    window instead of a fresh generator frame.  Not re-entrant with
+    itself (nesting a phase inside the same phase double-counts).
+    """
+
+    __slots__ = ("_stat", "_start")
+
+    def __init__(self, stat: _PhaseStat) -> None:
+        self._stat = stat
+        self._start = 0.0
+
+    def __enter__(self) -> "_PhaseTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._stat.add(time.perf_counter() - self._start)
+        return False
+
+
+class NullMetrics:
+    """No-op registry: the default of every instrumented constructor."""
+
+    enabled = False
+
+    def counter(self, name: str, amount: int = 1) -> None:
+        """Discard a count."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """Discard a gauge reading."""
+
+    def histogram(self, name: str, value: float) -> None:
+        """Discard a sample."""
+
+    def phase(self, name: str) -> _NullPhase:
+        """Time nothing."""
+        return _NULL_PHASE
+
+    def start_memory_capture(self) -> None:
+        """Capture nothing."""
+
+    def snapshot(self) -> dict:
+        """An empty snapshot."""
+        return {"counters": {}, "gauges": {}, "histograms": {}, "phases": {}}
+
+    def write(self, path) -> None:
+        """Write nothing."""
+
+
+#: Shared no-op registry.
+NULL_METRICS = NullMetrics()
+
+
+class MetricsRegistry:
+    """Accumulates counters, gauges, histograms and phase timings.
+
+    A registry may be shared across several simulation runs (e.g. all
+    policies of one experiment); phase times then aggregate across
+    runs, which is what the report's phase-breakdown table wants.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._hists: Dict[str, _HistStat] = {}
+        self._phases: Dict[str, _PhaseStat] = {}
+        self._timers: Dict[str, _PhaseTimer] = {}
+        self._mem_capture = False
+        self._peak_mem = 0
+
+    # -- accumulation --------------------------------------------------
+
+    def counter(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to a named counter (created at zero)."""
+        self._counters[name] = self._counters.get(name, 0) + int(amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the last-seen value of a named gauge."""
+        self._gauges[name] = float(value)
+
+    def histogram(self, name: str, value: float) -> None:
+        """Add one sample to a streaming histogram summary."""
+        stat = self._hists.get(name)
+        if stat is None:
+            stat = self._hists[name] = _HistStat()
+        stat.add(float(value))
+
+    def phase(self, name: str) -> _PhaseTimer:
+        """A ``with`` timer for a named phase (``perf_counter``).
+
+        Timers are cached per name, so this is cheap to call per
+        window.  Nested different-named phases both count; don't nest
+        a phase inside itself.
+        """
+        timer = self._timers.get(name)
+        if timer is None:
+            stat = self._phases.get(name)
+            if stat is None:
+                stat = self._phases[name] = _PhaseStat()
+            timer = self._timers[name] = _PhaseTimer(stat)
+        return timer
+
+    # -- memory --------------------------------------------------------
+
+    def start_memory_capture(self) -> None:
+        """Begin tracemalloc peak tracking (idempotent, opt-in)."""
+        if not self._mem_capture:
+            self._mem_capture = True
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+
+    def _read_peak(self) -> None:
+        if self._mem_capture and tracemalloc.is_tracing():
+            _, peak = tracemalloc.get_traced_memory()
+            if peak > self._peak_mem:
+                self._peak_mem = peak
+
+    # -- export --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-serializable view of everything accumulated so far."""
+        self._read_peak()
+        out = {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {
+                name: stat.as_dict()
+                for name, stat in sorted(self._hists.items())
+            },
+            "phases": {
+                name: {
+                    "calls": stat.calls,
+                    "total_s": stat.total_s,
+                    "max_s": stat.max_s,
+                }
+                for name, stat in sorted(self._phases.items())
+            },
+        }
+        if self._mem_capture:
+            out["peak_mem_bytes"] = self._peak_mem
+        return out
+
+    def write(self, path) -> None:
+        """Write the snapshot as pretty-printed JSON."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def emit_timing(self, tracer) -> None:
+        """Mirror accumulated phase times onto a tracer's timing
+        channel (one ``phase_time`` event per phase)."""
+        if not getattr(tracer, "enabled", False):
+            return
+        for name, stat in sorted(self._phases.items()):
+            tracer.timing(
+                "phase_time",
+                phase=name,
+                calls=stat.calls,
+                total_s=stat.total_s,
+                max_s=stat.max_s,
+            )
+
+
+def load_metrics(path) -> Optional[dict]:
+    """Read a metrics snapshot JSON; ``None`` if absent."""
+    import os
+
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)

@@ -3,9 +3,11 @@
 Complements the hardened-pool tests in ``test_fault_equivalence.py``:
 those prove failures are *isolated*; these prove the retry actually
 *recovers* transient failures (fail once, succeed on the fresh-pool
-retry), that a persistent timeout burns both attempts, and that any
-surviving :class:`FailedRun` anywhere in an experiment result makes
-``repro-experiments`` exit non-zero.
+retry), that a persistent timeout burns both attempts, that failures
+carry their cost (elapsed seconds, attempt count) into the FAILED
+summary line, that the pool emits task lifecycle events when traced,
+and that any surviving :class:`FailedRun` anywhere in an experiment
+result makes ``repro-experiments`` exit non-zero.
 """
 
 import time
@@ -14,6 +16,7 @@ from repro.experiments import runner
 from repro.experiments.pool import (
     FailedRun,
     count_failures,
+    failed_line,
     run_tasks,
     split_failures,
 )
@@ -56,6 +59,53 @@ class TestRetryPath:
         assert failed.attempts == 2
         assert "timed out" in failed.error
         assert "retry:" in failed.error
+        # Both attempts burned at least their timeouts; the failure
+        # carries the submit-to-final-failure wall time.
+        assert failed.elapsed_s >= 0.6
+
+    def test_failed_line_carries_attempts_and_elapsed(self):
+        failure = FailedRun(
+            key=("s", "P"), error="boom", attempts=2, elapsed_s=12.34
+        )
+        line = failed_line(("s", "P"), failure)
+        assert "FAILED ('s', 'P')" in line
+        assert "2 attempt(s)" in line
+        assert "12.3s" in line
+        assert "boom" in line
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestTaskEvents:
+    def test_traced_pool_emits_lifecycle_and_timing(self, tmp_path):
+        from repro.obs import MetricsRegistry, RunTracer
+
+        tracer = RunTracer.for_run_dir(tmp_path)
+        metrics = MetricsRegistry()
+        results = run_tasks(
+            _double,
+            [("a", (1,)), ("b", (2,))],
+            jobs=1,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        tracer.close()
+        assert results == {"a": 2, "b": 4}
+        starts = tracer.of_type("task_start")
+        dones = tracer.of_type("task_done")
+        assert [e["key"] for e in starts] == ["a", "b"]
+        assert [e["key"] for e in dones] == ["a", "b"]
+        assert all(not e["retried"] for e in dones)
+        snap = metrics.snapshot()
+        assert snap["counters"]["tasks"] == 2
+        assert "task_failures" not in snap["counters"]
+        assert snap["histograms"]["task_elapsed_s"]["count"] == 2
+
+    def test_untraced_pool_emits_nothing(self, tmp_path):
+        results = run_tasks(_double, [("a", (3,))], jobs=1)
+        assert results == {"a": 6}
 
 
 class TestCountFailures:
@@ -82,7 +132,9 @@ class TestCountFailures:
 class TestRunnerExitCode:
     def test_failures_make_exit_nonzero(self, monkeypatch, capsys):
         monkeypatch.setitem(
-            runner.EXPERIMENTS, "fake", lambda full, jobs: ("boom", 2)
+            runner.EXPERIMENTS,
+            "fake",
+            lambda full, jobs, obs: ("boom", 2, None),
         )
         assert runner.main(["fake"]) == 1
         captured = capsys.readouterr()
@@ -90,7 +142,9 @@ class TestRunnerExitCode:
 
     def test_clean_sweep_exits_zero(self, monkeypatch, capsys):
         monkeypatch.setitem(
-            runner.EXPERIMENTS, "fake", lambda full, jobs: ("fine", 0)
+            runner.EXPERIMENTS,
+            "fake",
+            lambda full, jobs, obs: ("fine", 0, None),
         )
         assert runner.main(["fake"]) == 0
         assert "FAILED" not in capsys.readouterr().err

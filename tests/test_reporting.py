@@ -1,0 +1,158 @@
+"""The plain-text reporting helpers behind every experiment table.
+
+``format_table`` / ``sparkline`` / ``series_block`` render every
+experiment's output and the audit report; ``score_letter`` /
+``scored_rows`` grade the audit tables.  These pin the edge cases the
+renderers hit in practice — empty series, NaN cells, single-value and
+flat sparklines, zero-best grading — so report formatting can't
+silently regress into exceptions or garbage glyphs.
+"""
+
+import math
+
+import numpy as np
+
+from repro.dcsim.reporting import (
+    _SPARK_LEVELS,
+    comparison_table,
+    format_table,
+    score_letter,
+    scored_rows,
+    series_block,
+    sparkline,
+)
+
+
+class TestFormatTable:
+    def test_basic_alignment_and_rule(self):
+        out = format_table(["name", "x"], [["a", 1], ["long-name", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        # Separator rule matches the widest cell per column.
+        assert lines[1] == "---------  --"
+        assert lines[2].startswith("a")
+        # Cells are padded to one aligned grid.
+        assert lines[3].index("22") == lines[2].index("1")
+
+    def test_no_rows_renders_header_only(self):
+        out = format_table(["a", "b"], [])
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_nan_cells_render_as_nan_text(self):
+        out = format_table(["v"], [[float("nan")], [1.25]])
+        assert "nan" in out
+        # Floats go through the fixed three-decimal format.
+        assert "1.250" in out
+
+    def test_mixed_types_stringify(self):
+        out = format_table(["k", "v"], [[("a", 1), None]])
+        assert "('a', 1)" in out
+        assert "None" in out
+
+
+class TestSparkline:
+    def test_empty_series_is_empty_string(self):
+        assert sparkline([]) == ""
+
+    def test_single_value_is_flat_glyph(self):
+        # One sample has no range; the flat-series glyph (second ramp
+        # level) is used, one character per sample.
+        assert sparkline([3.2]) == _SPARK_LEVELS[1]
+
+    def test_flat_series_repeats_flat_glyph(self):
+        assert sparkline([5.0, 5.0, 5.0]) == _SPARK_LEVELS[1] * 3
+
+    def test_range_spans_ramp(self):
+        line = sparkline(np.linspace(0.0, 1.0, 10))
+        assert line[0] == _SPARK_LEVELS[0]
+        assert line[-1] == _SPARK_LEVELS[-1]
+        assert len(line) == 10
+
+    def test_downsamples_to_width(self):
+        assert len(sparkline(np.arange(1000.0), width=60)) == 60
+
+
+class TestSeriesBlock:
+    def test_empty_series_is_marked_empty(self):
+        assert series_block("cpu", []) == "cpu: (empty)"
+
+    def test_stats_annotated(self):
+        block = series_block("cpu", [1.0, 2.0, 3.0], unit="GHz")
+        assert "min=1.0" in block
+        assert "mean=2.0" in block
+        assert "max=3.0" in block
+        assert block.endswith("GHz")
+
+    def test_single_value_block(self):
+        block = series_block("x", [4.0])
+        assert f"|{_SPARK_LEVELS[1]}|" in block
+
+
+class TestScoreLetter:
+    def test_grades_follow_ratio_bins(self):
+        assert score_letter(100.0, 100.0) == "A+"
+        assert score_letter(101.9, 100.0) == "A+"
+        assert score_letter(104.0, 100.0) == "A"
+        assert score_letter(110.0, 100.0) == "B"
+        assert score_letter(130.0, 100.0) == "C"
+        assert score_letter(170.0, 100.0) == "D"
+        assert score_letter(200.0, 100.0) == "F"
+
+    def test_nan_scores_question_mark(self):
+        assert score_letter(float("nan"), 1.0) == "?"
+        assert score_letter(1.0, float("nan")) == "?"
+
+    def test_zero_best_only_exact_zero_passes(self):
+        assert score_letter(0.0, 0.0) == "A+"
+        assert score_letter(0.001, 0.0) == "F"
+
+
+class TestScoredRows:
+    def test_grades_relative_to_group_minimum(self):
+        rows = scored_rows(["a", "b", "c"], [10.0, 10.4, 20.0])
+        assert [r[2] for r in rows] == ["A+", "A", "F"]
+
+    def test_nan_value_in_group(self):
+        rows = scored_rows(["a", "b"], [float("nan"), 5.0])
+        assert rows[0][2] == "?"
+        assert math.isnan(rows[0][1])
+        # The NaN does not poison the group's best.
+        assert rows[1][2] == "A+"
+
+    def test_all_nan_group_grades_unknown(self):
+        rows = scored_rows(["a", "b"], [float("nan"), float("nan")])
+        assert [r[2] for r in rows] == ["?", "?"]
+
+    def test_empty_group(self):
+        assert scored_rows([], []) == []
+
+
+class _FakeRecord:
+    def __init__(self, freq):
+        self.mean_freq_ghz = freq
+
+
+class _FakeResult:
+    def __init__(self):
+        self.records = [_FakeRecord(0.8), _FakeRecord(1.0)]
+        self.total_energy_mj = 12.5
+        self.total_violations = 3
+        self.mean_active_servers = 40.0
+        self.total_migrations = 7
+
+
+class TestComparisonTable:
+    def test_renders_per_policy_rows(self):
+        out = comparison_table({"EPACT": _FakeResult()})
+        assert "EPACT" in out
+        assert "12.5" in out
+        assert "0.90" in out  # mean of the two record frequencies
+
+    def test_result_with_no_records(self):
+        result = _FakeResult()
+        result.records = []
+        out = comparison_table({"P": result})
+        assert "0.00" in out  # mean frequency falls back to zero
