@@ -58,6 +58,14 @@ Scenarios (deterministic seeds):
   timers).  Asserted, not just recorded: ``energy_rel_diff`` must be
   exactly 0.0 and the tracing overhead must stay under 5% (one
   re-measure retry), else the bench exits non-zero.
+* ``sharded_5k`` — the sharding layer at scale: 5000 VMs simulated
+  through :class:`ShardedPolicy` (8 pattern-similar shards, each packed
+  independently against its proportional server budget — the
+  O(n²) → O(n²/k) axis) vs the unsharded engine on the identical
+  dataset.  The witness pair runs the *same* sharded configuration
+  serially and through a 2-worker process pool: ``energy_rel_diff``
+  is their relative difference and must be exactly 0.0 (the jobs=N ==
+  serial contract), else the bench exits non-zero.
 * ``telemetry_120`` — the streaming telemetry layer: decisions from a
   ``lossy-10pct`` delivered feed (``StreamingCloudSimulation``:
   collectors, ingest, imputation, fallback ladder) vs the batch engine
@@ -548,6 +556,62 @@ def bench_obs(results):
         sys.exit(1)
 
 
+def bench_sharded(results):
+    """Sharded 5k-VM simulation vs the unsharded engine.
+
+    The fast side wraps EPACT in :class:`ShardedPolicy` (8 shards,
+    serial): clustering is O(n·k) and each shard packs O((n/k)²), so
+    the allocation work drops by roughly the shard count.  The seed
+    side is the plain unsharded engine on the identical dataset and
+    budget.  Before timing, the same sharded configuration runs once
+    serially and once over a 2-worker process pool (zero-copy shared
+    window segment); their energies must match bit-exactly — that
+    relative difference is the recorded ``energy_rel_diff`` and the
+    asserted jobs=N == serial contract.
+    """
+    from repro.experiments.hyperscale import synthetic_dataset
+    from repro.forecast.predictor import PerfectPredictor
+    from repro.shard import ShardedPolicy
+
+    dataset = synthetic_dataset(5000, n_days=1, seed=2018)
+
+    def run(shards, jobs=1):
+        policy = EpactPolicy()
+        wrapper = None
+        if shards > 1:
+            wrapper = ShardedPolicy(policy, shards=shards, jobs=jobs)
+            policy = wrapper
+        try:
+            sim = DataCenterSimulation(
+                dataset,
+                PerfectPredictor(dataset),
+                policy,
+                max_servers=1000,
+                n_slots=2,
+            )
+            return sum(r.energy_j for r in sim.run().records)
+        finally:
+            if wrapper is not None:
+                wrapper.close()
+
+    # Warm-up doubles as the parallel-equivalence witness.
+    energy_serial = run(8, jobs=1)
+    energy_parallel = run(8, jobs=2)
+    fast, seed = best_of_pair(lambda: run(8), lambda: run(1), 3)
+    record(results, "sharded_5k", fast, seed)
+    rel = abs(energy_parallel - energy_serial) / max(
+        abs(energy_serial), 1e-12
+    )
+    results["sharded_5k"]["energy_rel_diff"] = rel
+    print(f"    sharded jobs=2 vs serial energy rel diff: {rel:.2e}")
+    if rel != 0.0:
+        print(
+            "BENCH CONTRACT FAILED: the sharded process fan changed "
+            "the energy result"
+        )
+        sys.exit(1)
+
+
 def bench_telemetry(results):
     """Streaming telemetry layer: lossy-feed cost, clean-feed identity.
 
@@ -828,6 +892,8 @@ def main():
     bench_cloud(results)
     print("telemetry layer (streaming overhead):")
     bench_telemetry(results)
+    print("sharded allocation (5k VMs):")
+    bench_sharded(results)
 
     payload = {
         "rev": rev,

@@ -54,7 +54,7 @@ from ..traces.dataset import TraceDataset
 from ..traces.lifecycle import LifecycleSchedule
 from ..units import SAMPLES_PER_SLOT, SLOTS_PER_DAY
 from ..dcsim.cloud import CloudSimulation
-from ..dcsim.engine import count_migrations, shared_predictions
+from ..dcsim.engine import count_migrations
 from ..dcsim.metrics import SimulationResult, SlotRecord
 from .telemetry import (
     RUNG_STALE,
@@ -670,16 +670,27 @@ class StreamingCloudSimulation(CloudSimulation):
 
 
 def _run_one_streaming_policy(
-    dataset: TraceDataset,
+    dataset,
     predictor,
     policy: AllocationPolicy,
     schedule: LifecycleSchedule,
     telemetry: Optional[TelemetryFaultSchedule],
     kwargs: Dict,
 ) -> SimulationResult:
-    """Worker entry point: one policy's full streaming run (picklable)."""
+    """Worker entry point: one policy's full streaming run (picklable).
+
+    ``dataset`` may be a :class:`~repro.shard.shm.SharedTraces` handle
+    (mapped zero-copy) or a plain :class:`TraceDataset`.
+    """
+    from ..shard.shm import materialize
+
     return StreamingCloudSimulation(
-        dataset, predictor, policy, schedule, telemetry=telemetry, **kwargs
+        materialize(dataset),
+        predictor,
+        policy,
+        schedule,
+        telemetry=telemetry,
+        **kwargs,
     ).run()
 
 
@@ -690,56 +701,77 @@ def run_streaming_policies(
     schedule: LifecycleSchedule,
     telemetry: Optional[TelemetryFaultSchedule] = None,
     jobs: int = 1,
+    tracer=None,
+    metrics=None,
+    shared=None,
     **kwargs,
 ) -> Dict[str, SimulationResult]:
     """Run several policies over the same degraded stream.
 
     The streaming counterpart of
-    :func:`repro.dcsim.cloud.run_cloud_policies`.  With telemetry the
-    workers ship the *configured* predictor — each run re-fits on its
-    own observed stream, deterministically, so parallel equals serial
-    exactly; without telemetry the day-ahead predictions are frozen
-    once and shared as in the batch runner.
+    :func:`repro.dcsim.cloud.run_cloud_policies`, sharing the common
+    runner surface (``jobs`` / ``tracer`` / ``metrics`` / ``shared``).
+    With telemetry the workers ship the *configured* predictor — each
+    run re-fits on its own observed stream, deterministically, so
+    parallel equals serial exactly — and only the traces go through a
+    zero-copy shared-memory buffer; without telemetry the day-ahead
+    predictions are frozen into shared memory too, as in the batch
+    runners.  Serial runs thread ``tracer`` / ``metrics`` into every
+    engine; parallel fans drop them (pool task events cover the sweep).
     """
     policy_list = list(policies)
     if jobs is None or jobs <= 1 or len(policy_list) <= 1:
+        serial_kwargs = dict(kwargs, tracer=tracer, metrics=metrics)
         results: Dict[str, SimulationResult] = {}
         for policy in policy_list:
             results[policy.name] = _run_one_streaming_policy(
-                dataset, predictor, policy, schedule, telemetry, kwargs
+                dataset, predictor, policy, schedule, telemetry,
+                serial_kwargs,
             )
         return results
 
     from concurrent.futures import ProcessPoolExecutor
 
-    # Tracers/metric registries don't pickle into workers; the
-    # parallel fan drops them (pool task events cover the sweep).
-    kwargs = {
-        k: v for k, v in kwargs.items() if k not in ("tracer", "metrics")
-    }
-    shipped = predictor
-    if telemetry is None:
-        shipped = shared_predictions(
+    from ..shard.shm import SharedRunInputs, SharedTraces
+
+    owned = []
+    if shared is not None:
+        traces = shared.traces
+        shipped = shared.predictions if telemetry is None else predictor
+    elif telemetry is None:
+        handle = SharedRunInputs.create(
             dataset,
             predictor,
             start_slot=kwargs.get("start_slot"),
             n_slots=kwargs.get("n_slots"),
         )
-    workers = min(jobs, len(policy_list))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            pool.submit(
-                _run_one_streaming_policy,
-                dataset,
-                shipped,
-                policy,
-                schedule,
-                telemetry,
-                kwargs,
-            )
-            for policy in policy_list
-        ]
-        return {
-            policy.name: future.result()
-            for policy, future in zip(policy_list, futures)
-        }
+        owned.append(handle)
+        traces = handle.traces
+        shipped = handle.predictions
+    else:
+        traces = SharedTraces.from_dataset(dataset)
+        owned.append(traces)
+        shipped = predictor
+    try:
+        workers = min(jobs, len(policy_list))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _run_one_streaming_policy,
+                    traces,
+                    shipped,
+                    policy,
+                    schedule,
+                    telemetry,
+                    kwargs,
+                )
+                for policy in policy_list
+            ]
+            return {
+                policy.name: future.result()
+                for policy, future in zip(policy_list, futures)
+            }
+    finally:
+        for handle in owned:
+            handle.close()
+            handle.unlink()

@@ -112,6 +112,38 @@ class AllocationWorkspace:
         self.cpu_cnorm = cnorm
         self.cpu_cnorm2 = cnorm * cnorm
 
+    def shard(self, rows: np.ndarray) -> "AllocationWorkspace":
+        """A workspace restricted to ``rows`` (the sharding seam).
+
+        Every statistic is row-local (mean/centered/norm/extrema of one
+        VM's own pattern), so slicing the parent's arrays is bitwise
+        identical to rebuilding a workspace on the sliced predictions —
+        which is what makes per-shard allocation an exact decomposition.
+        Eager statistics and any lazy group the parent has already
+        materialized are sliced; untouched groups stay lazy in the
+        child.
+
+        Raises:
+            DomainError: if ``rows`` contains out-of-range indices.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.ndim != 1 or (
+            rows.size > 0
+            and (int(rows.min()) < 0 or int(rows.max()) >= self.n_vms)
+        ):
+            raise DomainError("rows must be a 1-D array of valid VM ids")
+        child = object.__new__(AllocationWorkspace)
+        child.cpu = np.ascontiguousarray(self.cpu[rows])
+        child.mem = np.ascontiguousarray(self.mem[rows])
+        child.n_vms, child.n_samples = child.cpu.shape
+        sliced = ["cpu_mean", "cpu_centered", "cpu_cnorm", "cpu_cnorm2"]
+        for attrs in AllocationWorkspace._LAZY_GROUPS.values():
+            if attrs[0] in self.__dict__:
+                sliced.extend(attrs)
+        for name in sliced:
+            setattr(child, name, self.__dict__[name][rows])
+        return child
+
     def __getattr__(self, name: str):
         for group, attrs in AllocationWorkspace._LAZY_GROUPS.items():
             if name in attrs:

@@ -42,7 +42,6 @@ from .engine import (
     DataCenterSimulation,
     _WindowTask,
     count_migrations,
-    shared_predictions,
 )
 from .metrics import SimulationResult, SlotRecord
 
@@ -321,15 +320,21 @@ class CloudSimulation(DataCenterSimulation):
 
 
 def _run_one_cloud_policy(
-    dataset: TraceDataset,
+    dataset,
     predictor,
     policy: AllocationPolicy,
     schedule: LifecycleSchedule,
     kwargs: Dict,
 ) -> SimulationResult:
-    """Worker entry point: one policy's full cloud run (picklable)."""
+    """Worker entry point: one policy's full cloud run (picklable).
+
+    ``dataset`` may be a :class:`~repro.shard.shm.SharedTraces` handle
+    (mapped zero-copy) or a plain :class:`TraceDataset`.
+    """
+    from ..shard.shm import materialize
+
     return CloudSimulation(
-        dataset, predictor, policy, schedule, **kwargs
+        materialize(dataset), predictor, policy, schedule, **kwargs
     ).run()
 
 
@@ -339,53 +344,71 @@ def run_cloud_policies(
     policies: Iterable[AllocationPolicy],
     schedule: LifecycleSchedule,
     jobs: int = 1,
+    tracer=None,
+    metrics=None,
+    shared=None,
     **kwargs,
 ) -> Dict[str, SimulationResult]:
     """Run several policies over the same churning traces.
 
-    The cloud counterpart of :func:`repro.dcsim.engine.run_policies`:
-    with ``jobs > 1`` the policies fan out over a
-    ``ProcessPoolExecutor`` with the day-ahead predictions frozen once
-    (:func:`shared_predictions`), so workers re-fit nothing and results
-    equal the serial run exactly (online policies are reset per run).
+    The cloud counterpart of :func:`repro.dcsim.engine.run_policies`,
+    with the same runner surface (``jobs`` / ``tracer`` / ``metrics`` /
+    ``shared``): with ``jobs > 1`` the policies fan out over a
+    ``ProcessPoolExecutor`` reading traces and frozen day-ahead
+    predictions from zero-copy shared-memory buffers
+    (:class:`~repro.shard.shm.SharedRunInputs`), so workers re-fit and
+    copy nothing and results equal the serial run exactly (online
+    policies are reset per run).  Serial runs thread ``tracer`` /
+    ``metrics`` into every engine; parallel fans drop them, as in
+    :func:`~repro.dcsim.engine.run_policies`.
     """
     policy_list = list(policies)
     if jobs is None or jobs <= 1 or len(policy_list) <= 1:
         results: Dict[str, SimulationResult] = {}
         for policy in policy_list:
             sim = CloudSimulation(
-                dataset, predictor, policy, schedule, **kwargs
+                dataset,
+                predictor,
+                policy,
+                schedule,
+                tracer=tracer,
+                metrics=metrics,
+                **kwargs,
             )
             results[policy.name] = sim.run()
         return results
 
     from concurrent.futures import ProcessPoolExecutor
 
-    # As in run_policies: tracers/metric registries don't pickle into
-    # workers; the parallel fan drops them.
-    kwargs = {
-        k: v for k, v in kwargs.items() if k not in ("tracer", "metrics")
-    }
-    shared = shared_predictions(
-        dataset,
-        predictor,
-        start_slot=kwargs.get("start_slot"),
-        n_slots=kwargs.get("n_slots"),
-    )
-    workers = min(jobs, len(policy_list))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            pool.submit(
-                _run_one_cloud_policy,
-                dataset,
-                shared,
-                policy,
-                schedule,
-                kwargs,
-            )
-            for policy in policy_list
-        ]
-        return {
-            policy.name: future.result()
-            for policy, future in zip(policy_list, futures)
-        }
+    from ..shard.shm import SharedRunInputs
+
+    owned = shared is None
+    if owned:
+        shared = SharedRunInputs.create(
+            dataset,
+            predictor,
+            start_slot=kwargs.get("start_slot"),
+            n_slots=kwargs.get("n_slots"),
+        )
+    try:
+        workers = min(jobs, len(policy_list))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _run_one_cloud_policy,
+                    shared.traces,
+                    shared.predictions,
+                    policy,
+                    schedule,
+                    kwargs,
+                )
+                for policy in policy_list
+            ]
+            return {
+                policy.name: future.result()
+                for policy, future in zip(policy_list, futures)
+            }
+    finally:
+        if owned:
+            shared.close()
+            shared.unlink()

@@ -363,6 +363,31 @@ class DataCenterSimulation:
                 [coeffs[mc] for mc in ALL_MEMORY_CLASSES]
             )
 
+    @classmethod
+    def from_config(cls, dataset, predictor, policy, *args, config=None):
+        """Build a simulation from a :class:`SimulationConfig`.
+
+        A thin pass-through — ``cls(dataset, predictor, policy, *args,
+        **config.kwargs())`` — so a config-built simulation is
+        bit-identical to the equivalent keyword call.  Subclasses with
+        extra positional arguments inherit it unchanged
+        (``CloudSimulation.from_config(dataset, predictor, policy,
+        schedule, config=...)``).
+
+        Args:
+            dataset: the VM utilization traces.
+            predictor: shared day-ahead predictor.
+            policy: the allocation policy.
+            *args: extra positional constructor arguments of ``cls``.
+            config: a :class:`~repro.dcsim.config.SimulationConfig`
+                (default: all engine defaults).
+        """
+        from .config import SimulationConfig
+
+        if config is None:
+            config = SimulationConfig()
+        return cls(dataset, predictor, policy, *args, **config.kwargs())
+
     # -- precomputation -----------------------------------------------------
 
     def _build_class_masks(self) -> List[np.ndarray]:
@@ -1975,34 +2000,55 @@ def shared_predictions(
     predictor,
     start_slot: Optional[int] = None,
     n_slots: Optional[int] = None,
+    shm: bool = False,
 ):
     """Freeze the predictions a simulation horizon needs into arrays.
 
-    Computes (once) every day-ahead forecast the horizon touches and
-    wraps them in a :class:`~repro.forecast.predictor
-    .PrecomputedPredictor` — plain arrays that pickle cheaply into
-    worker processes and read back with zero fitting cost.  The defaults
-    mirror :class:`DataCenterSimulation`'s horizon derivation.
+    Computes (once) every day-ahead forecast the horizon touches.  The
+    defaults mirror :class:`DataCenterSimulation`'s horizon derivation.
+
+    With ``shm=False`` (default) the result is a
+    :class:`~repro.forecast.predictor.PrecomputedPredictor`: plain
+    per-day arrays that pickle **by value** into worker processes — one
+    copy per worker, no cleanup, garbage-collected like any object.
+
+    With ``shm=True`` the result is a :class:`~repro.shard.shm
+    .SharedPredictions`: the same forecasts in one
+    ``multiprocessing.shared_memory`` segment that workers map
+    zero-copy.  The segment is a kernel object with an explicit
+    lifetime — the caller owns it and must ``close()`` and ``unlink()``
+    it (or use the ``with`` form) when every consumer is done; see
+    :mod:`repro.shard.shm` for the full protocol.  Both forms expose
+    the same predictor interface and identical values.
     """
-    first = predictor.first_predictable_day * SLOTS_PER_DAY
-    start = start_slot if start_slot is not None else first
-    count = n_slots if n_slots is not None else dataset.n_slots - start
-    if count < 1:
-        raise ConfigurationError("horizon must cover at least one slot")
+    from ..shard.shm import prediction_days
+
+    days = prediction_days(dataset, predictor, start_slot, n_slots)
+    if shm:
+        from ..shard.shm import SharedPredictions
+
+        return SharedPredictions.from_predictor(predictor, days)
     from ..forecast.predictor import PrecomputedPredictor
 
-    days = range(start // SLOTS_PER_DAY, (start + count - 1) // SLOTS_PER_DAY + 1)
     return PrecomputedPredictor.from_predictor(predictor, days)
 
 
 def _run_one_policy(
-    dataset: TraceDataset,
+    dataset,
     predictor,
     policy: AllocationPolicy,
     kwargs: Dict,
 ) -> SimulationResult:
-    """Worker entry point: one policy's full simulation (picklable)."""
-    return DataCenterSimulation(dataset, predictor, policy, **kwargs).run()
+    """Worker entry point: one policy's full simulation (picklable).
+
+    ``dataset`` may be a :class:`~repro.shard.shm.SharedTraces` handle
+    (mapped zero-copy) or a plain :class:`TraceDataset`.
+    """
+    from ..shard.shm import materialize
+
+    return DataCenterSimulation(
+        materialize(dataset), predictor, policy, **kwargs
+    ).run()
 
 
 def run_policies(
@@ -2010,55 +2056,88 @@ def run_policies(
     predictor,
     policies: Iterable[AllocationPolicy],
     jobs: int = 1,
+    tracer=None,
+    metrics=None,
+    shared=None,
     **kwargs,
 ) -> Dict[str, SimulationResult]:
     """Run several policies over the same traces and predictions.
 
     Sharing the predictor across policies both matches the paper's
-    protocol and amortizes the ARIMA fitting cost.
+    protocol and amortizes the ARIMA fitting cost.  This is the common
+    runner surface — :func:`~repro.dcsim.cloud.run_cloud_policies` and
+    :func:`~repro.cloud.streaming.run_streaming_policies` take the same
+    ``jobs`` / ``tracer`` / ``metrics`` / ``shared`` keywords.
 
     Args:
         dataset: the VM utilization traces.
         predictor: shared day-ahead predictor.
         policies: the policies to compare.
         jobs: number of worker processes.  With ``jobs > 1`` the
-            policies fan out over a ``ProcessPoolExecutor``; the
-            day-ahead predictions are computed once up front and shipped
-            to the workers as plain arrays
-            (:func:`shared_predictions`), so no worker re-fits the
-            forecaster.  Results are identical to the serial run.
+            policies fan out over a ``ProcessPoolExecutor``; traces and
+            the horizon's day-ahead predictions are written once into
+            shared-memory segments that every worker maps zero-copy
+            (:class:`~repro.shard.shm.SharedRunInputs`), so no worker
+            re-fits the forecaster or receives pickled matrices.
+            Results are identical to the serial run.
+        tracer: optional :class:`~repro.obs.tracer.RunTracer`.  Serial
+            runs thread it into every engine; parallel fans drop it
+            (open file handles don't cross pickle boundaries) —
+            sweep-level task events come from the experiments pool
+            layer instead.  Same for ``metrics``.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`.
+        shared: optional caller-owned :class:`~repro.shard.shm
+            .SharedRunInputs` to reuse across several runner calls.
+            When omitted, a parallel run creates (and disposes) its
+            own; the caller-owned handle's ``close()``/``unlink()``
+            stays the caller's job.
         **kwargs: forwarded to :class:`DataCenterSimulation`.
     """
     policy_list = list(policies)
     if jobs is None or jobs <= 1 or len(policy_list) <= 1:
         results: Dict[str, SimulationResult] = {}
         for policy in policy_list:
-            sim = DataCenterSimulation(dataset, predictor, policy, **kwargs)
+            sim = DataCenterSimulation(
+                dataset,
+                predictor,
+                policy,
+                tracer=tracer,
+                metrics=metrics,
+                **kwargs,
+            )
             results[policy.name] = sim.run()
         return results
 
     from concurrent.futures import ProcessPoolExecutor
 
-    # Tracers hold open file handles and metric registries accumulate
-    # in the parent process; neither crosses a pickle boundary.  The
-    # parallel fan drops them — sweep-level task events come from the
-    # experiments pool layer instead.
-    kwargs = {
-        k: v for k, v in kwargs.items() if k not in ("tracer", "metrics")
-    }
-    shared = shared_predictions(
-        dataset,
-        predictor,
-        start_slot=kwargs.get("start_slot"),
-        n_slots=kwargs.get("n_slots"),
-    )
-    workers = min(jobs, len(policy_list))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            pool.submit(_run_one_policy, dataset, shared, policy, kwargs)
-            for policy in policy_list
-        ]
-        return {
-            policy.name: future.result()
-            for policy, future in zip(policy_list, futures)
-        }
+    from ..shard.shm import SharedRunInputs
+
+    owned = shared is None
+    if owned:
+        shared = SharedRunInputs.create(
+            dataset,
+            predictor,
+            start_slot=kwargs.get("start_slot"),
+            n_slots=kwargs.get("n_slots"),
+        )
+    try:
+        workers = min(jobs, len(policy_list))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _run_one_policy,
+                    shared.traces,
+                    shared.predictions,
+                    policy,
+                    kwargs,
+                )
+                for policy in policy_list
+            ]
+            return {
+                policy.name: future.result()
+                for policy, future in zip(policy_list, futures)
+            }
+    finally:
+        if owned:
+            shared.close()
+            shared.unlink()

@@ -142,6 +142,29 @@ def _run_telemetry(
     return telemetry.render(result), count_failures(result), result
 
 
+def _run_hyperscale(
+    full: bool, jobs: int, obs: ObsOptions
+) -> Tuple[str, int, Any]:
+    from . import hyperscale
+
+    # The scenario knob doubles as the profile selector here (the
+    # hyperscale registry is its profile ladder): `--scenarios tiny`
+    # is the CI smoke run, the default is the 50k-VM quick rung and
+    # `--full` the 100k-VM, 4-region rung.
+    profile = (
+        obs.scenarios[0]
+        if obs.scenarios
+        else ("full" if full else "quick")
+    )
+    result = hyperscale.run_hyperscale(
+        profile=profile,
+        jobs=jobs,
+        tracer=obs.tracer,
+        metrics=obs.metrics,
+    )
+    return hyperscale.render(result), 0, result[1]
+
+
 def _run_thunderx(full: bool, jobs: int, obs: ObsOptions) -> Tuple[str, int, Any]:
     from . import thunderx
 
@@ -165,6 +188,7 @@ EXPERIMENTS: Dict[str, ExperimentFn] = {
     "hybrid": _run_hybrid,
     "faults": _run_faults,
     "telemetry": _run_telemetry,
+    "hyperscale": _run_hyperscale,
     "thunderx": _run_thunderx,
     "validate": _run_validate,
 }

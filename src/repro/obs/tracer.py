@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterator, List
 
 from ..errors import ConfigurationError
 
@@ -171,6 +171,28 @@ EVENT_SCHEMAS: Dict[str, dict] = {
             "persisted": _BOOL,
         },
         "required": ["slot", "n_records", "persisted"],
+    },
+    "shard_window": {
+        "doc": "One sharded allocation window: shard shapes and budgets.",
+        "fields": {
+            "n_shards": _INT,
+            "n_vms": _INT,
+            "shard_sizes": _INT_ARRAY,
+            "server_budgets": _INT_ARRAY,
+            "forced": _INT,
+        },
+        "required": ["n_shards", "n_vms", "shard_sizes"],
+    },
+    "region_route": {
+        "doc": "The geo router assigned one region its VM share.",
+        "fields": {
+            "region": _STR,
+            "n_vms": _INT,
+            "n_servers": _INT,
+            "seed": _INT,
+            "weight": _NUMBER,
+        },
+        "required": ["region", "n_vms", "n_servers"],
     },
     "experiment_start": {
         "doc": "The CLI began one experiment.",

@@ -1,0 +1,345 @@
+"""Sharded allocation: any policy, shard by shard, optionally parallel.
+
+:class:`ShardedPolicy` wraps an ordinary
+:class:`~repro.core.types.AllocationPolicy` and splits each allocation
+window into pattern-similar VM shards (:func:`repro.shard.cluster
+.cluster_vms`), runs the wrapped policy on each shard against a
+proportional slice of the server budget, and concatenates the per-shard
+plans shard-major through the same
+:func:`~repro.core.alloc1d.run_allocator_pools` seam the heterogeneous
+fleet layer already uses — shards compose exactly like pools.
+
+Per the house conventions:
+
+* ``shards=1`` bypasses the whole layer (``allocate`` delegates straight
+  to the wrapped policy) and is therefore **bit-identical** to the
+  unsharded engine;
+* ``jobs=N`` fans the per-shard allocations over a persistent process
+  pool but gathers them in shard order, so parallel results equal the
+  serial ones **exactly** — each shard's sub-problem is independent by
+  construction.
+
+Worker processes do not receive pickled prediction matrices: the parent
+writes the window's predictions once into an ephemeral
+``multiprocessing.shared_memory`` segment, each worker maps it, copies
+out only its own shard's rows, and drops the mapping before allocating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from multiprocessing import shared_memory
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.alloc1d import run_allocator_pools
+from ..core.types import (
+    Allocation,
+    AllocationContext,
+    AllocationPolicy,
+    FleetSpec,
+)
+from ..core.workspace import AllocationWorkspace
+from ..errors import ConfigurationError
+from .cluster import cluster_vms, shard_server_budgets
+
+_WEIGHT_FLOOR = 1.0e-9
+
+
+def _shard_context(
+    pred_cpu: np.ndarray,
+    pred_mem: np.ndarray,
+    rows: np.ndarray,
+    max_servers: int,
+    qos_floor_ghz: np.ndarray,
+    power_model,
+    fleet: Optional[FleetSpec],
+) -> AllocationContext:
+    """The window context restricted to one shard's VMs and budget."""
+    return AllocationContext(
+        pred_cpu=np.ascontiguousarray(pred_cpu[rows]),
+        pred_mem=np.ascontiguousarray(pred_mem[rows]),
+        power_model=power_model,
+        max_servers=max_servers,
+        qos_floor_ghz=qos_floor_ghz,
+        fleet=fleet,
+    )
+
+
+def _allocate_shard(
+    policy: AllocationPolicy,
+    segment_name: str,
+    shape,
+    rows: np.ndarray,
+    max_servers: int,
+    qos_floor_ghz: np.ndarray,
+    power_model,
+    fleet: Optional[FleetSpec],
+) -> Allocation:
+    """Worker entry point: map the window segment, allocate one shard.
+
+    The segment lives only for this window, so it is attached and
+    closed per task (not cached): the worker copies out its shard's
+    rows, drops the views, and closes the mapping before the (much
+    longer) allocation runs.
+    """
+    segment = shared_memory.SharedMemory(name=segment_name)
+    try:
+        arr = np.ndarray(shape, dtype=np.float64, buffer=segment.buf)
+        pred_cpu = np.ascontiguousarray(arr[0, rows])
+        pred_mem = np.ascontiguousarray(arr[1, rows])
+        del arr
+    finally:
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - views always dropped
+            pass
+    ctx = AllocationContext(
+        pred_cpu=pred_cpu,
+        pred_mem=pred_mem,
+        power_model=power_model,
+        max_servers=max_servers,
+        qos_floor_ghz=qos_floor_ghz,
+        fleet=fleet,
+    )
+    return policy.allocate(ctx)
+
+
+class ShardedPolicy(AllocationPolicy):
+    """Run a wrapped policy shard by shard (see module docstring).
+
+    The wrapper is transparent in reports and records: it advertises the
+    wrapped policy's ``name`` and ``reallocation_period_slots``.
+
+    Args:
+        policy: the policy to run per shard.
+        shards: requested shard count (clamped to the window's VM
+            count); ``1`` delegates straight to the wrapped policy.
+        jobs: worker processes for the per-shard fan; ``1`` runs the
+            shards serially in-process.  Results are identical either
+            way.
+        tracer: optional :class:`~repro.obs.tracer.RunTracer`; when set,
+            every sharded window emits a ``shard_window`` event.
+
+    Raises:
+        ConfigurationError: for ``shards < 1`` or ``jobs < 1``.
+    """
+
+    def __init__(
+        self,
+        policy: AllocationPolicy,
+        shards: int = 1,
+        jobs: int = 1,
+        tracer=None,
+    ):
+        if shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        if jobs < 1:
+            raise ConfigurationError("jobs must be >= 1")
+        self._inner = policy
+        self._shards = int(shards)
+        self._jobs = int(jobs)
+        self._tracer = tracer
+        self._pool = None
+        self.name = policy.name
+        self.reallocation_period_slots = policy.reallocation_period_slots
+
+    # The persistent worker pool and the tracer (open file handles)
+    # never cross a pickle boundary; an unpickled wrapper lazily builds
+    # its own pool on first parallel use.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        state["_tracer"] = None
+        return state
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self._jobs)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _sub_fleets(
+        self, fleet: FleetSpec, weights: np.ndarray
+    ) -> List[Optional[FleetSpec]]:
+        """Per-shard sub-fleets: every pool split by the shard weights.
+
+        Pool order is preserved and every positive-weight shard gets at
+        least one server of every pool, so a shard allocation's
+        ``server_pools`` indices are valid parent-fleet pool indices and
+        concatenate directly.
+        """
+        budgets = np.stack(
+            [
+                shard_server_budgets(weights, pool.n_servers)
+                for pool in fleet.pools
+            ],
+            axis=1,
+        )
+        return [
+            FleetSpec(
+                pools=tuple(
+                    replace(pool, n_servers=int(budgets[s, p]))
+                    for p, pool in enumerate(fleet.pools)
+                )
+            )
+            if weights[s] > 0.0
+            else None
+            for s in range(weights.shape[0])
+        ]
+
+    def allocate(self, ctx: AllocationContext) -> Allocation:
+        """Cluster, split the budget, allocate per shard, concatenate."""
+        if self._shards <= 1:
+            return self._inner.allocate(ctx)
+        if ctx.faults is not None:
+            raise ConfigurationError(
+                "sharded allocation does not compose with the fault "
+                "layer yet — run faulted scenarios with shards=1"
+            )
+        workspace = AllocationWorkspace(ctx.pred_cpu, ctx.pred_mem)
+        shard_rows = cluster_vms(ctx.pred_cpu, self._shards, workspace)
+        if len(shard_rows) <= 1:
+            return self._inner.allocate(ctx)
+
+        # Per-shard load weights: the sum of predicted CPU peaks, with a
+        # tiny floor so even an all-idle (but non-empty) shard draws a
+        # server; empty shards weigh nothing and get nothing.
+        peaks = workspace.cpu_peak
+        weights = np.array(
+            [
+                max(float(peaks[rows].sum()), _WEIGHT_FLOOR)
+                if rows.size
+                else 0.0
+                for rows in shard_rows
+            ]
+        )
+        if ctx.fleet is not None:
+            fleets = self._sub_fleets(ctx.fleet, weights)
+            budgets = np.array(
+                [
+                    fleet.total_servers if fleet is not None else 0
+                    for fleet in fleets
+                ],
+                dtype=np.int64,
+            )
+        else:
+            fleets = [None] * len(shard_rows)
+            budgets = shard_server_budgets(weights, ctx.max_servers)
+
+        occupied = [s for s, rows in enumerate(shard_rows) if rows.size]
+        allocations = self._run_shards(
+            ctx, shard_rows, budgets, fleets, occupied
+        )
+
+        def reuse(m: int, idx: np.ndarray):
+            allocation = allocations[m]
+            return allocation.plans, allocation.forced_placements
+
+        plans, _, forced = run_allocator_pools(reuse, shard_rows)
+        server_pools = None
+        if ctx.fleet is not None:
+            parts = [allocations[s].server_pools for s in occupied]
+            if all(part is not None for part in parts):
+                # Sub-fleets preserve the parent's pool order, so shard
+                # pool indices are parent pool indices and concatenate
+                # directly alongside the plans.
+                server_pools = np.concatenate(parts)
+            elif ctx.fleet.n_pools > 1:
+                raise ConfigurationError(
+                    f"policy {self._inner.name!r} left server_pools "
+                    "unset on a multi-pool fleet — wrap a fleet-aware "
+                    "policy (e.g. FleetEpactPolicy) instead"
+                )
+        shed: List[int] = []
+        for s in occupied:
+            shed.extend(
+                int(shard_rows[s][v]) for v in allocations[s].shed_vm_ids
+            )
+        first = allocations[occupied[0]]
+        cases = {allocations[s].case for s in occupied}
+        f_opts = {allocations[s].f_opt_ghz for s in occupied}
+        if self._tracer is not None:
+            self._tracer.emit(
+                "shard_window",
+                n_shards=len(shard_rows),
+                n_vms=ctx.n_vms,
+                shard_sizes=[int(rows.size) for rows in shard_rows],
+                server_budgets=[int(b) for b in budgets],
+                forced=int(forced),
+            )
+        return Allocation(
+            policy_name=self.name,
+            plans=plans,
+            dynamic_governor=first.dynamic_governor,
+            violation_cap_pct=first.violation_cap_pct,
+            case=cases.pop() if len(cases) == 1 else "mixed",
+            f_opt_ghz=f_opts.pop() if len(f_opts) == 1 else None,
+            forced_placements=forced,
+            server_pools=server_pools,
+            shed_vm_ids=shed,
+        )
+
+    def _run_shards(
+        self,
+        ctx: AllocationContext,
+        shard_rows: List[np.ndarray],
+        budgets: np.ndarray,
+        fleets: List[Optional[FleetSpec]],
+        occupied: List[int],
+    ) -> dict:
+        """Allocate every occupied shard, serially or across the pool."""
+        if self._jobs <= 1 or len(occupied) <= 1:
+            return {
+                s: self._inner.allocate(
+                    _shard_context(
+                        ctx.pred_cpu,
+                        ctx.pred_mem,
+                        shard_rows[s],
+                        int(budgets[s]),
+                        ctx.qos_floor_ghz[shard_rows[s]],
+                        ctx.power_model,
+                        fleets[s],
+                    )
+                )
+                for s in occupied
+            }
+        # One ephemeral segment holds the whole window's predictions;
+        # each worker copies out only its shard's rows.
+        shape = (2, ctx.n_vms, ctx.n_samples)
+        segment = shared_memory.SharedMemory(
+            create=True, size=2 * ctx.n_vms * ctx.n_samples * 8
+        )
+        try:
+            arr = np.ndarray(shape, dtype=np.float64, buffer=segment.buf)
+            arr[0] = ctx.pred_cpu
+            arr[1] = ctx.pred_mem
+            del arr
+            pool = self._ensure_pool()
+            futures = {
+                s: pool.submit(
+                    _allocate_shard,
+                    self._inner,
+                    segment.name,
+                    shape,
+                    shard_rows[s],
+                    int(budgets[s]),
+                    ctx.qos_floor_ghz[shard_rows[s]],
+                    ctx.power_model,
+                    fleets[s],
+                )
+                for s in occupied
+            }
+            # Gathered in shard order: jobs=N equals serial exactly.
+            return {s: futures[s].result() for s in occupied}
+        finally:
+            segment.close()
+            segment.unlink()

@@ -1,0 +1,436 @@
+"""Zero-copy shared-memory buffers for multi-process simulation runs.
+
+The process-pool runners used to ship traces and frozen day-ahead
+predictions to every worker by pickling the arrays — at 100k VMs that is
+gigabytes copied per worker.  This module puts both behind
+``multiprocessing.shared_memory`` instead: the parent writes each array
+**once** into a named segment, workers receive only the segment name and
+map the same physical pages read-only.  Unpickling costs one ``mmap``
+per process, not one copy per task.
+
+Buffer lifetime protocol
+------------------------
+
+Shared segments are kernel objects, not Python objects — they outlive
+the process unless explicitly removed.  The rules:
+
+* The **creating process owns** the segment.  It must call
+  :meth:`close` (drop the local mapping) and :meth:`unlink` (remove the
+  segment system-wide) when the run is done; the ``with`` form does both
+  on exit.  :func:`repro.dcsim.run_policies` and friends create and
+  dispose buffers internally unless the caller passes an explicit
+  :class:`SharedRunInputs` handle, in which case disposal is the
+  caller's job (one buffer set can then serve many runner calls).
+* **Worker processes attach, never own.**  Unpickling attaches the
+  named segment once per process (cached in :data:`_ATTACHED`); a
+  process-exit hook closes the cached mappings.  Workers never call
+  ``unlink``, and their attach registrations resolve against the
+  resource tracker the forked children share with the parent, so an
+  owner that closes and unlinks leaves nothing for the tracker to
+  reclaim — runs are ResourceWarning-clean under ``-W error``.
+* ``close()`` and ``unlink()`` are idempotent; using a handle after
+  ``close()`` raises :class:`~repro.errors.DomainError`.
+"""
+
+from __future__ import annotations
+
+import atexit
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, DomainError
+from ..traces.dataset import TraceDataset
+from ..traces.vm import VmSpec
+from ..units import SAMPLES_PER_DAY, SAMPLES_PER_SLOT, SLOTS_PER_DAY
+
+#: Worker-side cache: one attached segment per (process, segment name).
+#: Keeps repeat unpicklings of the same buffer from re-mapping it and
+#: gives the exit hook a single place to close every mapping.
+_ATTACHED: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Map an existing segment, reusing this process's cached mapping."""
+    segment = _ATTACHED.get(name)
+    if segment is None:
+        segment = shared_memory.SharedMemory(name=name)
+        _ATTACHED[name] = segment
+    return segment
+
+
+@atexit.register
+def _close_attached() -> None:
+    """Close every cached worker-side mapping at process exit."""
+    for segment in _ATTACHED.values():
+        try:
+            segment.close()
+        except BufferError:  # a live view pins the mapping; OS reclaims
+            pass
+    _ATTACHED.clear()
+
+
+def prediction_days(
+    dataset: TraceDataset,
+    predictor,
+    start_slot: Optional[int] = None,
+    n_slots: Optional[int] = None,
+) -> range:
+    """The day indices a simulation horizon touches.
+
+    Mirrors :class:`~repro.dcsim.engine.DataCenterSimulation`'s horizon
+    derivation, so freezing exactly these days reproduces what the
+    engine would have requested live.
+
+    Raises:
+        ConfigurationError: if the derived horizon is empty.
+    """
+    first = predictor.first_predictable_day * SLOTS_PER_DAY
+    start = start_slot if start_slot is not None else first
+    count = n_slots if n_slots is not None else dataset.n_slots - start
+    if count < 1:
+        raise ConfigurationError("horizon must cover at least one slot")
+    return range(
+        start // SLOTS_PER_DAY, (start + count - 1) // SLOTS_PER_DAY + 1
+    )
+
+
+class SharedPredictions:
+    """Frozen day-ahead forecasts in one shared-memory segment.
+
+    Drop-in for :class:`~repro.forecast.predictor.PrecomputedPredictor`
+    (same ``first_predictable_day`` / ``fallback_count`` /
+    ``forecast_day`` / ``predicted_slot`` surface) but the per-day
+    ``(n_vms, 288)`` arrays are read-only views into a single segment of
+    layout ``(n_days, 2, n_vms, 288)`` float64.  Pickling transmits the
+    segment *name*; unpickling in a worker maps the same pages.
+
+    See the module docstring for the buffer lifetime protocol.
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        day_ids: Sequence[int],
+        n_vms: int,
+        first_predictable_day: int,
+        owner: bool,
+    ):
+        self._shm = segment
+        self._owner = owner
+        self._closed = False
+        self._unlinked = False
+        self._day_ids = tuple(int(d) for d in day_ids)
+        self._n_vms = int(n_vms)
+        self._first = int(first_predictable_day)
+        arr = np.ndarray(
+            (len(self._day_ids), 2, self._n_vms, SAMPLES_PER_DAY),
+            dtype=np.float64,
+            buffer=segment.buf,
+        )
+        arr.flags.writeable = False
+        self._days = {
+            day: (arr[i, 0], arr[i, 1])
+            for i, day in enumerate(self._day_ids)
+        }
+
+    @classmethod
+    def from_predictor(
+        cls, predictor, days: "range | Sequence[int]"
+    ) -> "SharedPredictions":
+        """Freeze ``predictor``'s forecasts for ``days`` into a segment."""
+        day_ids = sorted({int(d) for d in days})
+        if not day_ids:
+            raise ConfigurationError(
+                "at least one forecast day is required"
+            )
+        forecasts = [predictor.forecast_day(day) for day in day_ids]
+        n_vms = forecasts[0][0].shape[0]
+        for (cpu, mem), day in zip(forecasts, day_ids):
+            if cpu.shape != (n_vms, SAMPLES_PER_DAY) or mem.shape != (
+                n_vms,
+                SAMPLES_PER_DAY,
+            ):
+                raise DomainError(
+                    f"day {day}: forecast shape {cpu.shape} != "
+                    f"({n_vms}, {SAMPLES_PER_DAY})"
+                )
+        segment = shared_memory.SharedMemory(
+            create=True,
+            size=len(day_ids) * 2 * n_vms * SAMPLES_PER_DAY * 8,
+        )
+        arr = np.ndarray(
+            (len(day_ids), 2, n_vms, SAMPLES_PER_DAY),
+            dtype=np.float64,
+            buffer=segment.buf,
+        )
+        for i, (cpu, mem) in enumerate(forecasts):
+            arr[i, 0] = cpu
+            arr[i, 1] = mem
+        del arr
+        return cls(
+            segment,
+            day_ids,
+            n_vms,
+            predictor.first_predictable_day,
+            owner=True,
+        )
+
+    def __reduce__(self):
+        if self._closed:
+            raise DomainError(
+                "cannot pickle a closed shared prediction buffer"
+            )
+        return (
+            _attach_predictions,
+            (self._shm.name, self._day_ids, self._n_vms, self._first),
+        )
+
+    # -- predictor interface -------------------------------------------------
+
+    @property
+    def first_predictable_day(self) -> int:
+        """First day index the frozen predictor could predict."""
+        return self._first
+
+    @property
+    def fallback_count(self) -> int:
+        """Frozen forecasts carry no fitting, hence no fallbacks."""
+        return 0
+
+    def forecast_day(self, day_index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The frozen ``(cpu, mem)`` forecasts of one day (read-only views).
+
+        Raises:
+            DomainError: if the day was not frozen, or after ``close()``.
+        """
+        if self._closed:
+            raise DomainError("shared prediction buffer is closed")
+        try:
+            return self._days[day_index]
+        except KeyError:
+            raise DomainError(
+                f"day {day_index} was not precomputed"
+            ) from None
+
+    def predicted_slot(
+        self, slot_index: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Predicted CPU/memory for one 1-hour slot, ``(n_vms, 12)`` each."""
+        cpu_day, mem_day = self.forecast_day(slot_index // SLOTS_PER_DAY)
+        offset = (slot_index % SLOTS_PER_DAY) * SAMPLES_PER_SLOT
+        return (
+            cpu_day[:, offset : offset + SAMPLES_PER_SLOT],
+            mem_day[:, offset : offset + SAMPLES_PER_SLOT],
+        )
+
+    # -- lifetime ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop the views; the owner also closes its local mapping.
+
+        Worker-side (unpickled) handles leave the per-process cached
+        mapping open — other handles in the same worker may still use
+        it; the process-exit hook closes it.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._days = {}
+        if self._owner:
+            try:
+                self._shm.close()
+            except BufferError:  # caller kept a view; OS reclaims at exit
+                pass
+
+    def unlink(self) -> None:
+        """Remove the segment system-wide (owner only, idempotent)."""
+        if self._owner and not self._unlinked:
+            self._unlinked = True
+            self._shm.unlink()
+
+    def __enter__(self) -> "SharedPredictions":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        self.unlink()
+
+
+def _attach_predictions(name, day_ids, n_vms, first):
+    """Unpickle hook: rebuild a worker-side view of a named segment."""
+    return SharedPredictions(
+        _attach_segment(name), day_ids, n_vms, first, owner=False
+    )
+
+
+class SharedTraces:
+    """A :class:`TraceDataset`'s utilization matrices in one segment.
+
+    Layout ``(2, n_vms, n_samples)`` float64 (CPU then memory); the VM
+    specs travel by value (they are tiny).  :attr:`dataset` rebuilds a
+    :class:`TraceDataset` whose matrices are read-only views into the
+    segment — construction validates shapes but copies nothing, so the
+    round-trip stays zero-copy.
+
+    See the module docstring for the buffer lifetime protocol.
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        specs: Sequence[VmSpec],
+        n_samples: int,
+        owner: bool,
+    ):
+        self._shm = segment
+        self._owner = owner
+        self._closed = False
+        self._unlinked = False
+        self._specs = tuple(specs)
+        self._n_samples = int(n_samples)
+        arr = np.ndarray(
+            (2, len(self._specs), self._n_samples),
+            dtype=np.float64,
+            buffer=segment.buf,
+        )
+        arr.flags.writeable = False
+        self._dataset = TraceDataset(self._specs, arr[0], arr[1])
+
+    @classmethod
+    def from_dataset(cls, dataset: TraceDataset) -> "SharedTraces":
+        """Copy ``dataset``'s matrices into a fresh shared segment."""
+        segment = shared_memory.SharedMemory(
+            create=True, size=2 * dataset.n_vms * dataset.n_samples * 8
+        )
+        arr = np.ndarray(
+            (2, dataset.n_vms, dataset.n_samples),
+            dtype=np.float64,
+            buffer=segment.buf,
+        )
+        arr[0] = dataset.cpu_pct
+        arr[1] = dataset.mem_pct
+        del arr
+        return cls(segment, dataset.specs, dataset.n_samples, owner=True)
+
+    def __reduce__(self):
+        if self._closed:
+            raise DomainError("cannot pickle a closed shared trace buffer")
+        return (
+            _attach_traces,
+            (self._shm.name, self._specs, self._n_samples),
+        )
+
+    @property
+    def dataset(self) -> TraceDataset:
+        """The shared-memory-backed dataset (matrices are read-only views).
+
+        Raises:
+            DomainError: after ``close()``.
+        """
+        if self._closed:
+            raise DomainError("shared trace buffer is closed")
+        return self._dataset
+
+    def close(self) -> None:
+        """Drop the dataset view; the owner also closes its mapping."""
+        if self._closed:
+            return
+        self._closed = True
+        self._dataset = None
+        if self._owner:
+            try:
+                self._shm.close()
+            except BufferError:  # caller kept a view; OS reclaims at exit
+                pass
+
+    def unlink(self) -> None:
+        """Remove the segment system-wide (owner only, idempotent)."""
+        if self._owner and not self._unlinked:
+            self._unlinked = True
+            self._shm.unlink()
+
+    def __enter__(self) -> "SharedTraces":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        self.unlink()
+
+
+def _attach_traces(name, specs, n_samples):
+    """Unpickle hook: rebuild a worker-side view of a named segment."""
+    return SharedTraces(_attach_segment(name), specs, n_samples, owner=False)
+
+
+def materialize(dataset) -> TraceDataset:
+    """Unwrap a :class:`SharedTraces` handle into its dataset.
+
+    Worker entry points call this on whatever they were shipped: a
+    shared-memory handle maps to its zero-copy dataset view, a plain
+    :class:`TraceDataset` passes through untouched.
+    """
+    if isinstance(dataset, SharedTraces):
+        return dataset.dataset
+    return dataset
+
+
+class SharedRunInputs:
+    """The trace + prediction buffer pair one multi-process run needs.
+
+    Created once by the parent (:meth:`create`), handed to the runner's
+    ``shared=`` keyword, and shipped to workers by name.  The handle is
+    a context manager; leaving the ``with`` block closes **and unlinks**
+    both segments:
+
+    >>> with SharedRunInputs.create(dataset, predictor) as shared:
+    ...     run_policies(dataset, predictor, policies, jobs=4,
+    ...                  shared=shared)
+
+    Reusing one handle across several runner calls amortizes the freeze
+    cost; the runners only create (and dispose) a private handle when
+    ``shared`` is not given.
+    """
+
+    def __init__(self, traces: SharedTraces, predictions: SharedPredictions):
+        self.traces = traces
+        self.predictions = predictions
+
+    @classmethod
+    def create(
+        cls,
+        dataset: TraceDataset,
+        predictor,
+        start_slot: Optional[int] = None,
+        n_slots: Optional[int] = None,
+    ) -> "SharedRunInputs":
+        """Freeze ``dataset`` and the horizon's forecasts into segments."""
+        traces = SharedTraces.from_dataset(dataset)
+        try:
+            predictions = SharedPredictions.from_predictor(
+                predictor,
+                prediction_days(dataset, predictor, start_slot, n_slots),
+            )
+        except BaseException:
+            traces.close()
+            traces.unlink()
+            raise
+        return cls(traces, predictions)
+
+    def close(self) -> None:
+        """Close both buffers (idempotent)."""
+        self.traces.close()
+        self.predictions.close()
+
+    def unlink(self) -> None:
+        """Unlink both segments (owner only, idempotent)."""
+        self.traces.unlink()
+        self.predictions.unlink()
+
+    def __enter__(self) -> "SharedRunInputs":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        self.unlink()

@@ -1,0 +1,126 @@
+"""Geo-routing determinism and multi-region run suite.
+
+The router is the determinism-critical piece of the geo layer: the same
+seed, spec and population must always produce the identical regional
+split, and the split must partition the fleet.  The run layer's trace
+events must validate against the observability schemas.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import EpactPolicy, FleetSpec, PoolSpec
+from repro.errors import ConfigurationError
+from repro.forecast.predictor import PerfectPredictor
+from repro.obs.tracer import _coerce, validate_event
+from repro.power.server_power import ntc_server_power_model
+from repro.shard import GeoFleetSpec, RegionSpec, route_vms, run_geo_policies
+from repro.traces import default_dataset
+
+
+def region(name, n_servers, weight=None):
+    return RegionSpec(
+        name=name,
+        fleet=FleetSpec(
+            pools=(PoolSpec("ntc", ntc_server_power_model(), n_servers),)
+        ),
+        weight=weight,
+    )
+
+
+@pytest.fixture(scope="module")
+def geo():
+    return GeoFleetSpec(regions=(region("eu", 30), region("us", 10)))
+
+
+class TestRouterDeterminism:
+    def test_same_seed_identical_routes(self, geo):
+        first = route_vms(100, geo, seed=7)
+        second = route_vms(100, geo, seed=7)
+        assert len(first) == len(second) == 2
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_different_seed_differs(self, geo):
+        first = route_vms(100, geo, seed=7)
+        second = route_vms(100, geo, seed=8)
+        assert any(
+            not np.array_equal(a, b) for a, b in zip(first, second)
+        )
+
+    def test_routes_partition_population(self, geo):
+        routes = route_vms(100, geo, seed=3)
+        joined = np.concatenate(routes)
+        assert np.array_equal(np.sort(joined), np.arange(100))
+        for rows in routes:
+            assert np.array_equal(rows, np.sort(rows))
+
+    def test_capacity_proportional_split(self, geo):
+        """Default weights are server counts: 30/10 ⇒ a 75/25 split."""
+        routes = route_vms(100, geo, seed=1)
+        assert routes[0].size == 75
+        assert routes[1].size == 25
+
+    def test_explicit_weights_override_capacity(self):
+        weighted = GeoFleetSpec(
+            regions=(
+                region("eu", 30, weight=1.0),
+                region("us", 10, weight=1.0),
+            )
+        )
+        routes = route_vms(100, weighted, seed=1)
+        assert routes[0].size == routes[1].size == 50
+
+    def test_every_region_gets_a_vm(self, geo):
+        routes = route_vms(2, geo, seed=5)
+        assert all(rows.size == 1 for rows in routes)
+
+    def test_too_few_vms_rejected(self, geo):
+        with pytest.raises(ConfigurationError, match="at least one VM"):
+            route_vms(1, geo)
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError, match="unique"):
+            GeoFleetSpec(regions=(region("dup", 4), region("dup", 4)))
+        with pytest.raises(ConfigurationError, match="at least one"):
+            GeoFleetSpec(regions=())
+        with pytest.raises(ConfigurationError, match="positive"):
+            region("bad", 4, weight=0.0)
+
+
+class TestGeoRun:
+    def test_run_geo_policies_and_events(self):
+        """A tiny two-region run: per-region results, valid events."""
+        dataset = default_dataset(n_vms=24, n_days=1, seed=808)
+        geo = GeoFleetSpec(regions=(region("eu", 12), region("us", 12)))
+
+        events = []
+
+        class Recorder:
+            enabled = True
+
+            def timing(self, event, **fields):
+                pass
+
+            def emit(self, event, **fields):
+                record = {"seq": len(events), "event": event}
+                for name, value in fields.items():
+                    record[name] = _coerce(value)
+                validate_event(record)
+                events.append(event)
+
+        result = run_geo_policies(
+            dataset,
+            PerfectPredictor,
+            [EpactPolicy()],
+            geo,
+            seed=11,
+            shards=2,
+            tracer=Recorder(),
+            n_slots=2,
+        )
+        assert set(result.results["EPACT"]) == {"eu", "us"}
+        assert sum(result.routes.values()) == 24
+        assert result.total_energy_j("EPACT") > 0.0
+        assert events.count("region_route") == 2
+        assert events.count("shard_window") >= 1

@@ -1,0 +1,267 @@
+"""Sharded-allocation and zero-copy-buffer equivalence suite.
+
+The house guarantees for the :mod:`repro.shard` layer:
+
+* ``shards=1`` is **bit-identical** to the unsharded engine;
+* the per-shard process fan is invisible: ``jobs=N`` equals serial
+  exactly, for :class:`ShardedPolicy` and for the runner trio's
+  shared-memory path;
+* the clustering/budget machinery survives its degenerate corners
+  (one-VM shards, more shards than VMs, empty shards);
+* the shared-memory buffers are value-faithful, lifetime-safe and
+  :class:`ResourceWarning`-clean.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import EpactPolicy
+from repro.core.workspace import AllocationWorkspace
+from repro.dcsim import DataCenterSimulation, run_policies
+from repro.errors import ConfigurationError, DomainError
+from repro.forecast import DayAheadPredictor
+from repro.shard import (
+    ShardedPolicy,
+    SharedPredictions,
+    SharedRunInputs,
+    SharedTraces,
+    cluster_vms,
+    materialize,
+    prediction_days,
+    shard_server_budgets,
+)
+from repro.traces import default_dataset
+
+
+def records_equal(a, b):
+    """Exact (bitwise for floats) equality of two record lists."""
+    return len(a) == len(b) and all(ra == rb for ra, rb in zip(a, b))
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return default_dataset(n_vms=40, n_days=9, seed=707)
+
+
+@pytest.fixture(scope="module")
+def predictor(dataset):
+    predictor = DayAheadPredictor(dataset)
+    for day in range(7, dataset.n_days):
+        predictor.forecast_day(day)
+    return predictor
+
+
+def run_sim(dataset, predictor, policy, **kwargs):
+    kwargs.setdefault("max_servers", 40)
+    kwargs.setdefault("n_slots", 8)
+    return DataCenterSimulation(
+        dataset, predictor, policy, **kwargs
+    ).run()
+
+
+class TestShardBitIdentity:
+    def test_one_shard_matches_unsharded(self, dataset, predictor):
+        """shards=1 delegates straight through: bit-identical."""
+        plain = run_sim(dataset, predictor, EpactPolicy())
+        sharded = run_sim(
+            dataset, predictor, ShardedPolicy(EpactPolicy(), shards=1)
+        )
+        assert records_equal(plain.records, sharded.records)
+
+    def test_parallel_shards_match_serial(self, dataset, predictor):
+        """jobs=2 gathers in shard order: equals serial exactly."""
+        serial = run_sim(
+            dataset, predictor, ShardedPolicy(EpactPolicy(), shards=4)
+        )
+        wrapper = ShardedPolicy(EpactPolicy(), shards=4, jobs=2)
+        try:
+            parallel = run_sim(dataset, predictor, wrapper)
+        finally:
+            wrapper.close()
+        assert records_equal(serial.records, parallel.records)
+
+    def test_more_shards_than_vms_clamps(self, dataset, predictor):
+        """shards > n_vms clamps to one VM per shard and still runs."""
+        small = dataset.subset(np.arange(3))
+        small_predictor = DayAheadPredictor(small)
+        for day in range(7, small.n_days):
+            small_predictor.forecast_day(day)
+        result = run_sim(
+            small,
+            small_predictor,
+            ShardedPolicy(EpactPolicy(), shards=10),
+            max_servers=6,
+        )
+        assert result.n_slots == 8
+
+    def test_single_vm_dataset(self, dataset, predictor):
+        """A one-VM window degenerates to a single shard: identical."""
+        one = dataset.subset(np.arange(1))
+        one_predictor = DayAheadPredictor(one)
+        for day in range(7, one.n_days):
+            one_predictor.forecast_day(day)
+        plain = run_sim(
+            one, one_predictor, EpactPolicy(), max_servers=2
+        )
+        sharded = run_sim(
+            one,
+            one_predictor,
+            ShardedPolicy(EpactPolicy(), shards=4),
+            max_servers=2,
+        )
+        assert records_equal(plain.records, sharded.records)
+
+    def test_shards_partition_the_fleet(self, dataset):
+        """Every VM lands in exactly one shard, order-preserving."""
+        pred = dataset.cpu_pct[:, :288]
+        shards = cluster_vms(pred, 5)
+        joined = np.concatenate(shards)
+        assert np.array_equal(np.sort(joined), np.arange(pred.shape[0]))
+        for rows in shards:
+            assert np.array_equal(rows, np.sort(rows))
+
+    def test_workspace_shard_matches_fresh(self, dataset):
+        """A sharded workspace's stats are bitwise a fresh one's."""
+        cpu = dataset.cpu_pct[:, :288]
+        mem = dataset.mem_pct[:, :288]
+        parent = AllocationWorkspace(cpu, mem)
+        parent.cpu_peak  # force a lazy group before slicing
+        rows = np.array([3, 7, 11, 30])
+        child = parent.shard(rows)
+        fresh = AllocationWorkspace(
+            np.ascontiguousarray(cpu[rows]),
+            np.ascontiguousarray(mem[rows]),
+        )
+        assert np.array_equal(child.cpu_peak, fresh.cpu_peak)
+        assert np.array_equal(child.cpu_centered, fresh.cpu_centered)
+        assert np.array_equal(child.cpu_cnorm, fresh.cpu_cnorm)
+
+    def test_workspace_shard_rejects_bad_rows(self, dataset):
+        parent = AllocationWorkspace(
+            dataset.cpu_pct[:, :288], dataset.mem_pct[:, :288]
+        )
+        with pytest.raises(DomainError):
+            parent.shard(np.array([0, dataset.n_vms]))
+
+
+class TestBudgetSplit:
+    def test_budgets_sum_and_cover(self):
+        weights = np.array([5.0, 1.0, 0.0, 3.0])
+        budgets = shard_server_budgets(weights, 20)
+        assert budgets.sum() == 20
+        assert budgets[2] == 0
+        assert all(b >= 1 for b in budgets[[0, 1, 3]])
+
+    def test_tiny_budget_still_covers_positive_shards(self):
+        weights = np.array([100.0, 1e-6, 1e-6])
+        budgets = shard_server_budgets(weights, 3)
+        assert budgets.sum() == 3
+        assert all(budgets >= 1)
+
+    def test_budget_smaller_than_shards_rejected(self):
+        with pytest.raises(ConfigurationError, match="fewer shards"):
+            shard_server_budgets(np.array([1.0, 1.0, 1.0]), 2)
+
+    def test_empty_shard_gets_nothing(self):
+        budgets = shard_server_budgets(np.array([0.0, 0.0]), 5)
+        assert np.array_equal(budgets, np.zeros(2, dtype=np.int64))
+
+    def test_cluster_rejects_bad_args(self, dataset):
+        pred = dataset.cpu_pct[:, :288]
+        with pytest.raises(ConfigurationError):
+            cluster_vms(pred, 0)
+        with pytest.raises(ConfigurationError):
+            cluster_vms(pred[0], 2)
+
+
+class TestSharedBuffers:
+    def test_predictions_match_predictor(self, dataset, predictor):
+        """Values read back from shared memory equal the source."""
+        days = prediction_days(dataset, predictor)
+        with SharedPredictions.from_predictor(predictor, days) as shared:
+            for day in days:
+                src_cpu, src_mem = predictor.forecast_day(day)
+                dst_cpu, dst_mem = shared.forecast_day(day)
+                assert np.array_equal(src_cpu, dst_cpu)
+                assert np.array_equal(src_mem, dst_mem)
+                assert not dst_cpu.flags.writeable
+
+    def test_traces_round_trip_zero_copy(self, dataset):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ResourceWarning)
+            shared = SharedTraces.from_dataset(dataset)
+            try:
+                view = shared.dataset
+                assert np.array_equal(view.cpu_pct, dataset.cpu_pct)
+                assert np.array_equal(view.mem_pct, dataset.mem_pct)
+                assert not view.cpu_pct.flags.writeable
+                assert materialize(shared) is not shared
+                assert materialize(dataset) is dataset
+            finally:
+                shared.close()
+                shared.unlink()
+
+    def test_close_and_unlink_idempotent(self, dataset, predictor):
+        shared = SharedRunInputs.create(dataset, predictor)
+        shared.close()
+        shared.close()
+        shared.unlink()
+        shared.unlink()
+
+    def test_forecast_after_close_raises(self, dataset, predictor):
+        days = prediction_days(dataset, predictor)
+        shared = SharedPredictions.from_predictor(predictor, days)
+        shared.close()
+        shared.unlink()
+        with pytest.raises(DomainError):
+            shared.forecast_day(days[0])
+
+    def test_run_policies_parallel_matches_serial(
+        self, dataset, predictor
+    ):
+        """The zero-copy fan equals serial, ResourceWarning-clean."""
+        policies = [EpactPolicy()]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ResourceWarning)
+            serial = run_policies(
+                dataset, predictor, policies, n_slots=8
+            )
+            parallel = run_policies(
+                dataset, predictor, policies, jobs=2, n_slots=8
+            )
+        assert records_equal(
+            serial["EPACT"].records, parallel["EPACT"].records
+        )
+
+    def test_run_policies_caller_owned_buffers(
+        self, dataset, predictor
+    ):
+        """A caller-owned SharedRunInputs survives the run and can be
+        reused; run_policies must not close what it did not open."""
+        policies = [EpactPolicy()]
+        serial = run_policies(dataset, predictor, policies, n_slots=8)
+        with SharedRunInputs.create(dataset, predictor) as shared:
+            first = run_policies(
+                dataset,
+                predictor,
+                policies,
+                jobs=2,
+                n_slots=8,
+                shared=shared,
+            )
+            second = run_policies(
+                dataset,
+                predictor,
+                policies,
+                jobs=2,
+                n_slots=8,
+                shared=shared,
+            )
+        assert records_equal(
+            serial["EPACT"].records, first["EPACT"].records
+        )
+        assert records_equal(
+            serial["EPACT"].records, second["EPACT"].records
+        )
