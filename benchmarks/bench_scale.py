@@ -72,6 +72,14 @@ Scenarios (deterministic seeds):
   reading the true traces on the same zero-churn workload.  The
   warm-up pair streams a *clean* feed instead and witnesses the
   bit-identity contract: its ``energy_rel_diff`` must be exactly 0.0.
+* ``serve_replay_120`` — the ``repro-serve`` operator loop: the same
+  zero-churn week driven window-by-window through
+  :func:`repro.serve.serve` over a clean replay feed vs the batch
+  engine on the true traces.  Asserted, not just recorded:
+  ``energy_rel_diff`` must be exactly 0.0 (the decision stream is
+  observation, not perturbation), else the bench exits non-zero.  Also
+  records the incremental Hannan-Rissanen refresh vs the daily full
+  re-fit (``incremental_speedup``).
 
 Each scenario records the fast time, reference time (where tractable)
 and their speedup into ``BENCH_<rev>.json``; ``--baseline`` prints the
@@ -670,6 +678,92 @@ def bench_telemetry(results):
     print(f"    clean-stream-vs-batch energy rel diff: {rel:.2e}")
 
 
+def bench_serve(results):
+    """Service loop: clean-replay identity, incremental-refresh speedup.
+
+    Drives the zero-churn 120-VM week through the ``repro-serve``
+    operator loop (:func:`repro.serve.serve` draining ``windows()``
+    over a clean replay feed) against the batch engine on the true
+    traces — the decision stream must not change the answer, so the
+    recorded ``energy_rel_diff`` is required to be exactly 0.0 and the
+    bench exits non-zero otherwise.  Also times the incremental
+    Hannan-Rissanen refresh (:class:`IncrementalDayAheadForecaster`,
+    ``refit_every_days=7``) against the daily full re-fit
+    (``refit_every_days=1``) over the forecastable days and records
+    the ``incremental_speedup``.
+    """
+    from repro.serve import IncrementalDayAheadForecaster
+    from repro.serve.service import ServeConfig, serve
+
+    config = ServeConfig(
+        workload="zero-churn",
+        telemetry_scenario="clean",
+        policy="epact",
+        n_vms=120,
+        n_days=9,
+        seed=2018,
+        n_slots=48,
+        max_servers=24,
+    )
+    dataset, schedule = get_scenario(config.workload).build(
+        n_vms=config.n_vms,
+        n_days=config.n_days,
+        seed=config.seed,
+        n_slots=config.n_slots,
+    )
+    predictor = DayAheadPredictor(dataset)
+    for day in range(7, dataset.n_days):
+        predictor.forecast_day(day)
+
+    def run_serve():
+        return sum(r.energy_j for r in serve(config).records)
+
+    def run_batch():
+        sim = CloudSimulation(
+            dataset,
+            predictor,
+            EpactPolicy(),
+            schedule,
+            max_servers=config.max_servers,
+            n_slots=config.n_slots,
+        )
+        return sum(r.energy_j for r in sim.run().records)
+
+    # The warm-up pair doubles as the bit-identity witness.
+    energy_serve = run_serve()
+    energy_batch = run_batch()
+    fast, seed = best_of_pair(run_serve, run_batch, 3)
+    record(results, "serve_replay_120", fast, seed)
+    rel = abs(energy_serve - energy_batch) / max(abs(energy_batch), 1e-12)
+    results["serve_replay_120"]["energy_rel_diff"] = rel
+    print(f"    serve-replay-vs-batch energy rel diff: {rel:.2e}")
+    if rel != 0.0:
+        print(
+            "FAIL: serve_replay_120 clean replay is not bit-identical "
+            "to the batch engine"
+        )
+        sys.exit(1)
+
+    def forecast_all(refit_every):
+        inc = IncrementalDayAheadForecaster(
+            dataset, refit_every_days=refit_every
+        )
+        for day in range(7, dataset.n_days):
+            inc.forecast_day(day)
+
+    inc_s, refit_s = best_of_pair(
+        lambda: forecast_all(7), lambda: forecast_all(1), 3
+    )
+    speedup = round(refit_s / inc_s, 2)
+    results["serve_replay_120"]["incremental_s"] = round(inc_s, 4)
+    results["serve_replay_120"]["daily_refit_s"] = round(refit_s, 4)
+    results["serve_replay_120"]["incremental_speedup"] = speedup
+    print(
+        f"    incremental refresh {inc_s:8.3f}s vs daily re-fit "
+        f"{refit_s:8.3f}s  ({speedup:.2f}x)"
+    )
+
+
 def bench_cloud(results):
     """Online cloud churn scenario (PR 3)."""
     dataset, schedule = get_scenario("diurnal-burst").build(
@@ -892,6 +986,8 @@ def main():
     bench_cloud(results)
     print("telemetry layer (streaming overhead):")
     bench_telemetry(results)
+    print("service loop (serve replay + incremental forecasts):")
+    bench_serve(results)
     print("sharded allocation (5k VMs):")
     bench_sharded(results)
 

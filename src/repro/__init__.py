@@ -14,8 +14,16 @@ The package is organized by substrate (see DESIGN.md):
 * :mod:`repro.baselines` — COAT, COAT-OPT, FFD, load-balancing
 * :mod:`repro.dcsim` — the slot/sample data-center simulator
 * :mod:`repro.cloud` — online cloud simulation (VM churn, reactive
-  consolidation, scenario registry, SLA metrics)
+  consolidation, scenario registry, SLA metrics, degraded-telemetry
+  streaming)
+* :mod:`repro.serve` — live-operator service mode (incremental
+  forecasts, collector adapters, the ``repro-serve`` decision stream)
 * :mod:`repro.experiments` — one module per paper table/figure
+
+``from repro import ...`` is the documented import path for the
+supported surface below (engines, configs, policies, runners, serve
+entry points); moved names keep working through deprecation-warning
+shims at their old locations.
 
 Quick start::
 
@@ -46,13 +54,18 @@ from .core import (
     EpactPolicy,
     OnlinePolicy,
 )
+from .cloud.streaming import StreamingCloudSimulation, WindowDecision
 from .dcsim import (
     CloudSimulation,
     DataCenterSimulation,
+    SimulationConfig,
     SimulationResult,
+    StreamingConfig,
     inspect_slot,
     run_cloud_policies,
+    run_geo_policies,
     run_policies,
+    run_streaming_policies,
     total_energy_savings_pct,
 )
 from .errors import (
@@ -73,6 +86,8 @@ from .power import (
     ntc_psu,
     ntc_server_power_model,
 )
+from .serve import IncrementalDayAheadForecaster
+from .serve.service import ServeConfig, serve
 from .traces import (
     ClusterTraceGenerator,
     GeneratorConfig,
@@ -105,6 +120,7 @@ __all__ = [
     "FfdPolicy",
     "ForecastError",
     "GeneratorConfig",
+    "IncrementalDayAheadForecaster",
     "InfeasibleError",
     "LoadBalancePolicy",
     "MemoryClass",
@@ -115,17 +131,25 @@ __all__ = [
     "PsuModel",
     "QosModel",
     "ReproError",
+    "ServeConfig",
     "ServerPowerModel",
+    "SimulationConfig",
     "SimulationResult",
+    "StreamingCloudSimulation",
+    "StreamingConfig",
     "TraceDataset",
+    "WindowDecision",
     "conventional_server_power_model",
     "inspect_slot",
     "load_dataset",
     "ntc_psu",
     "ntc_server_power_model",
     "run_cloud_policies",
+    "run_geo_policies",
     "run_policies",
+    "run_streaming_policies",
     "save_dataset",
+    "serve",
     "total_energy_savings_pct",
     "validate_reproduction",
 ]

@@ -41,6 +41,7 @@ Quick start::
 from ..baselines.online import OnlineBestFitPolicy, OnlineReactivePolicy
 from ..core.online import CloudAllocationContext, OnlinePolicy
 from ..dcsim.cloud import CloudSimulation, run_cloud_policies
+from ..serve.adapters import poll_with_retry
 from ..traces.lifecycle import (
     ChurnConfig,
     LifecycleSchedule,
@@ -82,10 +83,13 @@ from .telemetry import (
     generate_telemetry_faults,
     get_telemetry_scenario,
     list_telemetry_scenarios,
-    poll_with_retry,
     zero_telemetry_faults,
 )
-from .streaming import StreamingCloudSimulation, run_streaming_policies
+from .streaming import (
+    StreamingCloudSimulation,
+    WindowDecision,
+    run_streaming_policies,
+)
 
 __all__ = [
     "FAULT_SCENARIOS",
@@ -112,6 +116,7 @@ __all__ = [
     "TelemetryIngest",
     "TelemetryScenario",
     "TraceCollector",
+    "WindowDecision",
     "fault_table",
     "fixed_schedule",
     "generate_faults",

@@ -35,6 +35,22 @@ collector cursors, ingest buffers, ladder cache — is a picklable
 snapshot.  A run resumed from a snapshot is bit-identical to the
 uninterrupted run, because nothing downstream of the snapshot consults
 a clock or an unseeded RNG.
+
+Two service-mode extensions (PR 10) ride on the same loop:
+
+* **live collectors** — ``collectors=`` accepts any sequence of
+  :class:`~repro.serve.adapters.CollectorAdapter` implementations
+  (synthetic push, HTTP feed, ...) in place of the replay
+  ``telemetry=`` schedule; poll/timeout/retry semantics are unchanged.
+* **incremental forecasts** — ``incremental_forecasts=True`` swaps the
+  ladder's internal batch predictor for the
+  :class:`~repro.serve.incremental.IncrementalDayAheadForecaster`,
+  which refreshes the Hannan-Rissanen fit day-over-day instead of
+  re-fitting from scratch (full re-fit kept callable as the oracle).
+
+:meth:`StreamingCloudSimulation.windows` exposes the loop one decision
+at a time for operator front ends (``repro.serve.service``); ``run()``
+simply drains it.
 """
 
 from __future__ import annotations
@@ -42,14 +58,16 @@ from __future__ import annotations
 import copy
 import os
 import pickle
-from dataclasses import replace
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.online import OnlinePolicy
 from ..core.types import Allocation, AllocationPolicy, ServerPlan
 from ..errors import ConfigurationError
+from ..serve.adapters import CollectorAdapter, poll_with_retry
+from ..serve.incremental import IncrementalDayAheadForecaster
 from ..traces.dataset import TraceDataset
 from ..traces.lifecycle import LifecycleSchedule
 from ..units import SAMPLES_PER_SLOT, SLOTS_PER_DAY
@@ -62,8 +80,59 @@ from .telemetry import (
     TelemetryFaultSchedule,
     TelemetryIngest,
     TraceCollector,
-    poll_with_retry,
 )
+
+
+@dataclass(frozen=True)
+class WindowDecision:
+    """One allocation window's decision, as seen by an operator.
+
+    Yielded by :meth:`StreamingCloudSimulation.windows` after the
+    window has been planned *and* accounted — every field is final.
+    This is the payload the ``repro.serve`` service loop turns into
+    ``decision_*`` tracer events.
+
+    Attributes:
+        slot: first slot of the window.
+        n_window: window length in slots.
+        case: the engine case chosen (``"blind-freeze"`` on the
+            reactive-only rung; ``""`` for an empty cloud).
+        rung: the forecast ladder rung this window planned from
+            (``None`` when the telemetry layer is disabled or the
+            cloud is empty — no ladder consultation happened).
+        blind: the window froze the previous placement.
+        stale: the window planned from an aged forecast.
+        n_active_vms: VMs active in the window.
+        arrivals: VMs that arrived at the window boundary.
+        departures: VMs that departed at the window boundary.
+        migrations: VM moves relative to the previous placement.
+        active_servers: servers powered on.
+        forced_placements: placements that violated the policy's
+            preferred packing (capacity pressure).
+        collectors_down: collectors dark at the window's first slot.
+        imputed_samples: imputed samples in the last observed slot.
+        energy_j: total energy accounted to the window.
+        violations: SLA violation count accounted to the window.
+        checkpointed: a run snapshot was taken at this boundary.
+    """
+
+    slot: int
+    n_window: int
+    case: str
+    rung: Optional[str]
+    blind: bool
+    stale: bool
+    n_active_vms: int
+    arrivals: int
+    departures: int
+    migrations: int
+    active_servers: int
+    forced_placements: int
+    collectors_down: int
+    imputed_samples: int
+    energy_j: float
+    violations: int
+    checkpointed: bool
 
 
 class _LadderPredictor:
@@ -151,6 +220,18 @@ class StreamingCloudSimulation(CloudSimulation):
             ``checkpoint_path`` is set, pickled there atomically
             (last snapshot wins).
         checkpoint_path: where to persist the latest snapshot.
+        collectors: live :class:`~repro.serve.adapters.CollectorAdapter`
+            feed — polled with the same once-per-elapsed-slot
+            retry/backoff loop the replay collectors use.  Mutually
+            exclusive with ``telemetry`` (replay builds its own
+            :class:`~repro.cloud.telemetry.TraceCollector` set).
+        incremental_forecasts: route the ladder's fresh rung through
+            the :class:`~repro.serve.incremental.IncrementalDayAheadForecaster`
+            (day-over-day Hannan-Rissanen refresh) instead of the full
+            daily re-fit.  Requires a telemetry stream (``telemetry=``
+            or ``collectors=``).
+        refit_every_days: incremental mode's epoch length — a full
+            oracle re-fit at least this often (see the forecaster).
         **kwargs: forwarded to the batch engine.  ``superbatch`` is
             forced off — streaming accounts windows eagerly so a
             checkpoint never holds deferred accounting (the accounting
@@ -175,6 +256,9 @@ class StreamingCloudSimulation(CloudSimulation):
         sleep=None,
         checkpoint_every_slots: Optional[int] = None,
         checkpoint_path: Optional[str] = None,
+        collectors: Optional[Sequence[CollectorAdapter]] = None,
+        incremental_forecasts: bool = False,
+        refit_every_days: int = 7,
         **kwargs,
     ):
         kwargs["superbatch"] = False
@@ -198,6 +282,20 @@ class StreamingCloudSimulation(CloudSimulation):
                 f"checkpoint_every_slots must be >= 1, got "
                 f"{checkpoint_every_slots}"
             )
+        if telemetry is not None and collectors is not None:
+            raise ConfigurationError(
+                "telemetry= and collectors= are mutually exclusive: a "
+                "replay degradation schedule builds its own "
+                "TraceCollector set, a live feed brings its own "
+                "adapters"
+            )
+        if incremental_forecasts and telemetry is None and collectors is None:
+            raise ConfigurationError(
+                "incremental_forecasts requires a telemetry stream "
+                "(telemetry= or collectors=): without one the engine "
+                "plans from the caller's batch predictor, which has "
+                "nothing to update day-over-day"
+            )
         self._telemetry = telemetry
         self._blind_after = int(blind_after_slots)
         self._poll_retries = int(poll_retries)
@@ -209,31 +307,54 @@ class StreamingCloudSimulation(CloudSimulation):
         #: checkpoint boundary); pass one to :meth:`restore`.
         self.checkpoints: List[dict] = []
         self._resume_state: Optional[dict] = None
+        self._result: Optional[SimulationResult] = None
 
-        self._collectors: List[TraceCollector] = []
+        self._collectors: List[CollectorAdapter] = []
         self._ingest: Optional[TelemetryIngest] = None
         self._ladder: Optional[ForecastLadder] = None
         self._window_rung: Optional[str] = None
-        if telemetry is None:
+        if telemetry is None and collectors is None:
             self._ingested_until = 0
             return
 
-        end = self._start_slot + self._n_slots
-        if telemetry.n_vms != dataset.n_vms:
-            raise ConfigurationError(
-                f"telemetry schedule covers {telemetry.n_vms} VMs, "
-                f"dataset has {dataset.n_vms}"
-            )
-        if telemetry.horizon_start != 0 or telemetry.horizon_end < end:
-            raise ConfigurationError(
-                f"telemetry schedule must cover the full trace horizon "
-                f"[0, {end}) — the forecaster's history streams in from "
-                f"slot 0 — got [{telemetry.horizon_start}, "
-                f"{telemetry.horizon_end})"
-            )
+        if telemetry is not None:
+            end = self._start_slot + self._n_slots
+            if telemetry.n_vms != dataset.n_vms:
+                raise ConfigurationError(
+                    f"telemetry schedule covers {telemetry.n_vms} VMs, "
+                    f"dataset has {dataset.n_vms}"
+                )
+            if telemetry.horizon_start != 0 or telemetry.horizon_end < end:
+                raise ConfigurationError(
+                    f"telemetry schedule must cover the full trace horizon "
+                    f"[0, {end}) — the forecaster's history streams in from "
+                    f"slot 0 — got [{telemetry.horizon_start}, "
+                    f"{telemetry.horizon_end})"
+                )
+            self._collectors = [
+                TraceCollector(cid, dataset, telemetry)
+                for cid in range(telemetry.n_collectors)
+            ]
+            self._ingested_until = telemetry.horizon_start
+        else:
+            self._collectors = list(collectors)
+            if not self._collectors:
+                raise ConfigurationError(
+                    "collectors= must name at least one adapter"
+                )
+            self._ingested_until = 0
         self._ingest = TelemetryIngest(
             dataset, cold_start_util_pct=cold_start_util_pct
         )
+        ladder_predictor = None
+        if incremental_forecasts:
+            ladder_predictor = IncrementalDayAheadForecaster(
+                self._ingest.observed_dataset,
+                history_days=getattr(predictor, "history_days", 7),
+                factory=getattr(predictor, "_factory", None),
+                clip_range=getattr(predictor, "_clip", (0.0, 100.0)),
+                refit_every_days=refit_every_days,
+            )
         self._ladder = ForecastLadder(
             self._ingest,
             history_days=getattr(predictor, "history_days", 7),
@@ -241,13 +362,9 @@ class StreamingCloudSimulation(CloudSimulation):
             staleness_budget_slots=staleness_budget_slots,
             factory=getattr(predictor, "_factory", None),
             clip_range=getattr(predictor, "_clip", (0.0, 100.0)),
+            predictor=ladder_predictor,
         )
         self._ladder.tracer = self._tracer
-        self._collectors = [
-            TraceCollector(cid, dataset, telemetry)
-            for cid in range(telemetry.n_collectors)
-        ]
-        self._ingested_until = telemetry.horizon_start
         # The engine plans through the ladder from here on; the user's
         # predictor contributed start slot + fit configuration above.
         self._predictor = _LadderPredictor(
@@ -283,7 +400,7 @@ class StreamingCloudSimulation(CloudSimulation):
 
     def _last_observed(self, slot: int, active: np.ndarray):
         """The reactive signal as *delivered*: imputed where degraded."""
-        if self._telemetry is None:
+        if self._ingest is None:
             return super()._last_observed(slot, active)
         prev = slot - 1
         if prev < 0:
@@ -387,7 +504,7 @@ class StreamingCloudSimulation(CloudSimulation):
         prev_pools,
         prev_fw,
     ) -> dict:
-        telemetry = self._telemetry is not None
+        stream = self._ingest is not None
         return {
             "next_slot": int(next_slot),
             "records": list(records),
@@ -400,10 +517,10 @@ class StreamingCloudSimulation(CloudSimulation):
             "policy": copy.deepcopy(self._policy),
             "ingested_until": self._ingested_until,
             "collectors": (
-                [c.state() for c in self._collectors] if telemetry else None
+                [c.state() for c in self._collectors] if stream else None
             ),
-            "ingest": self._ingest.state() if telemetry else None,
-            "ladder": self._ladder.state() if telemetry else None,
+            "ingest": self._ingest.state() if stream else None,
+            "ladder": self._ladder.state() if stream else None,
         }
 
     def _write_checkpoint(self, state: dict) -> None:
@@ -413,15 +530,15 @@ class StreamingCloudSimulation(CloudSimulation):
         os.replace(tmp, self._ckpt_path)
 
     def _apply_state(self, state: dict) -> None:
-        telemetry = self._telemetry is not None
-        if telemetry != (state["collectors"] is not None):
+        stream = self._ingest is not None
+        if stream != (state["collectors"] is not None):
             raise ConfigurationError(
                 "checkpoint and simulation disagree about the telemetry "
                 "layer (one has it, the other does not)"
             )
         self._policy = copy.deepcopy(state["policy"])
         self._ingested_until = int(state["ingested_until"])
-        if telemetry:
+        if stream:
             for collector, cstate in zip(
                 self._collectors, state["collectors"]
             ):
@@ -431,12 +548,41 @@ class StreamingCloudSimulation(CloudSimulation):
 
     # -- the windowed driver -------------------------------------------
 
+    @property
+    def result(self) -> SimulationResult:
+        """The last completed run's result.
+
+        Available after :meth:`run` returns or after a
+        :meth:`windows` generator has been exhausted.
+        """
+        if self._result is None:
+            raise ConfigurationError(
+                "no completed run: the result is available after run() "
+                "returns or the windows() generator is exhausted"
+            )
+        return self._result
+
     def run(self) -> SimulationResult:
         """Stream the horizon: ingest, decide, account, checkpoint."""
-        telemetry = self._telemetry is not None
+        for _ in self.windows():
+            pass
+        return self.result
+
+    def windows(self) -> Iterator[WindowDecision]:
+        """Stream the horizon one allocation window at a time.
+
+        Yields a final (planned *and* accounted) :class:`WindowDecision`
+        per window — the operator-facing form of the loop :meth:`run`
+        drains.  Checkpoints are taken at the same boundaries, so a
+        consumer may stop mid-stream and resume later.  When the
+        generator is exhausted the full :class:`SimulationResult` is
+        available on :attr:`result`.
+        """
+        stream = self._ingest is not None
         resume = self._resume_state
         self._resume_state = None
         self.checkpoints = []
+        self._result = None
         if resume is not None:
             self._apply_state(resume)
             records: List[SlotRecord] = list(resume["records"])
@@ -477,7 +623,7 @@ class StreamingCloudSimulation(CloudSimulation):
                     max(1, self._faults.next_change(slot) - slot),
                 )
                 fw = self._fault_window(slot)
-            if telemetry:
+            if stream:
                 self._ingest_to(slot)
             arrivals = departures = 0
             if prev_ids is not None:
@@ -491,12 +637,14 @@ class StreamingCloudSimulation(CloudSimulation):
             blind = False
             imputed = 0
             stale = False
-            if telemetry:
+            if self._telemetry is not None:
                 down = [
                     self._telemetry.down_collectors(s)
                     for s in range(slot, slot + n_window)
                 ]
             else:
+                # A live feed has no fault schedule to consult; dropout
+                # shows up as timeouts (poll_retry events), not here.
                 down = [0] * n_window
 
             if active.size == 0:
@@ -516,13 +664,16 @@ class StreamingCloudSimulation(CloudSimulation):
                     for s in range(slot, slot + n_window)
                 ]
                 n_active_vms = 0
+                migrations = 0
+                case = ""
+                active_servers = forced = 0
                 prev_ids = active
                 prev_map = np.empty(0, dtype=int)
                 prev_pools = None
                 prev_active = active
                 prev_alloc = None
             else:
-                if telemetry:
+                if stream:
                     self._ladder_begin(slot)
                     stale = self._window_rung == RUNG_STALE
                     if slot >= 1:
@@ -545,7 +696,7 @@ class StreamingCloudSimulation(CloudSimulation):
                     if scale is None
                     else (scale[0][active], scale[1][active])
                 )
-                if telemetry and self._tracer.enabled:
+                if stream and self._tracer.enabled:
                     self._tracer.emit(
                         "telemetry_window",
                         slot=slot,
@@ -616,6 +767,9 @@ class StreamingCloudSimulation(CloudSimulation):
                             for s in range(slot, slot + n_window)
                         ]
                 n_active_vms = int(active.size)
+                case = allocation.case
+                active_servers = window_records[0].n_active_servers
+                forced = window_records[0].forced_placements
                 prev_ids = acct.vm_rows
                 prev_map = acct.vm2srv
                 prev_pools = acct.pool_idx
@@ -637,7 +791,9 @@ class StreamingCloudSimulation(CloudSimulation):
             if fw != prev_fw:
                 self._trace_fault_transition(slot, fw)
             prev_fw = fw
+            window_start = slot
             slot += n_window
+            checkpointed = False
             if self._ckpt_every is not None and slot >= next_ckpt:
                 state = self._snapshot(
                     slot,
@@ -650,6 +806,7 @@ class StreamingCloudSimulation(CloudSimulation):
                     prev_fw,
                 )
                 self.checkpoints.append(state)
+                checkpointed = True
                 if self._ckpt_path is not None:
                     self._write_checkpoint(state)
                 if self._tracer.enabled:
@@ -663,10 +820,33 @@ class StreamingCloudSimulation(CloudSimulation):
                     self._start_slot
                     + every * ((slot - self._start_slot) // every + 1)
                 )
+            yield WindowDecision(
+                slot=window_start,
+                n_window=n_window,
+                case=case,
+                rung=(
+                    ("reactive-only" if blind else self._window_rung)
+                    if stream and n_active_vms
+                    else None
+                ),
+                blind=blind,
+                stale=stale,
+                n_active_vms=n_active_vms,
+                arrivals=arrivals,
+                departures=departures,
+                migrations=migrations,
+                active_servers=active_servers,
+                forced_placements=forced,
+                collectors_down=down[0],
+                imputed_samples=imputed,
+                energy_j=float(sum(r.energy_j for r in window_records)),
+                violations=int(sum(r.violations for r in window_records)),
+                checkpointed=checkpointed,
+            )
         result = SimulationResult(policy_name=self._policy.name)
         result.records.extend(records)
+        self._result = result
         self._trace_run_end(result)
-        return result
 
 
 def _run_one_streaming_policy(
@@ -720,6 +900,11 @@ def run_streaming_policies(
     engine; parallel fans drop them (pool task events cover the sweep).
     """
     policy_list = list(policies)
+    if kwargs.get("collectors") is not None and jobs is not None and jobs > 1:
+        raise ConfigurationError(
+            "live collectors cannot fan out across processes — a feed "
+            "is consumed once; run live policies with jobs=1"
+        )
     if jobs is None or jobs <= 1 or len(policy_list) <= 1:
         serial_kwargs = dict(kwargs, tracer=tracer, metrics=metrics)
         results: Dict[str, SimulationResult] = {}

@@ -19,7 +19,11 @@ and go entirely dark while a collector restarts.  This module provides
   abstraction: per-poll timeout (a dropout window raises
   :class:`~repro.errors.CollectorTimeoutError`) with the bounded
   retry/backoff hardening pattern of :mod:`repro.experiments.pool`
-  (:func:`poll_with_retry`);
+  (:func:`repro.serve.adapters.poll_with_retry`).  The protocol it
+  pioneered — ``collector_id`` / ``poll`` / ``state`` / ``restore`` —
+  is now :class:`repro.serve.adapters.CollectorAdapter`, home of the
+  live (non-replay) adapters and of ``TelemetryBatch`` /
+  ``poll_with_retry`` (deprecation shims here re-export both);
 * :class:`TelemetryIngest` — the imputation/quality stage: delivered
   samples are validated (finite, within [0, 100]) into observation
   buffers; reads fill gaps by last-observation-carried-forward at
@@ -46,16 +50,39 @@ suite asserts bit-identity against runs without the telemetry layer.
 
 from __future__ import annotations
 
-import time
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import CollectorTimeoutError, ConfigurationError
 from ..forecast import DayAheadPredictor
+from ..serve.adapters import TelemetryBatch as _TelemetryBatch
 from ..traces.dataset import TraceDataset
 from ..units import SAMPLES_PER_DAY, SAMPLES_PER_SLOT, SLOTS_PER_DAY
+
+#: Names that moved to :mod:`repro.serve.adapters` when the collector
+#: protocol grew live (non-replay) implementations; module
+#: ``__getattr__`` below keeps the old import path working with a
+#: :class:`DeprecationWarning`.
+_MOVED_TO_SERVE = ("TelemetryBatch", "poll_with_retry")
+
+
+def __getattr__(name: str):
+    if name in _MOVED_TO_SERVE:
+        warnings.warn(
+            f"repro.cloud.telemetry.{name} moved to repro.serve.adapters"
+            f" — update the import; this shim will be removed",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from ..serve import adapters
+
+        return getattr(adapters, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
 #: (collector_id, start_slot, end_slot) — collector down for slots
 #: [start, end); polls during the window time out.
@@ -547,30 +574,12 @@ def list_telemetry_scenarios() -> Dict[str, str]:
 # -- collectors --------------------------------------------------------
 
 
-@dataclass(frozen=True)
-class TelemetryBatch:
-    """One poll's deliveries: parallel arrays, one entry per sample.
-
-    Attributes:
-        vm_rows: global VM row of each delivered sample.
-        samples: absolute sample index of each delivered sample.
-        cpu: the delivered CPU reading (NaN/spike corruption applied).
-        mem: the delivered memory reading (same corruption marks).
-    """
-
-    vm_rows: np.ndarray
-    samples: np.ndarray
-    cpu: np.ndarray
-    mem: np.ndarray
-
-    @property
-    def n_samples(self) -> int:
-        """Number of delivered samples in the batch."""
-        return int(self.vm_rows.size)
-
-
 class TraceCollector:
     """File-replay collector: the trace dataset as a delivery stream.
+
+    The reference implementation of the
+    :class:`repro.serve.adapters.CollectorAdapter` protocol (live
+    adapters live there).
 
     A sample measured during slot ``s`` becomes available at the poll
     of slot ``s + 1`` (monitoring reports trail the interval they
@@ -651,7 +660,7 @@ class TraceCollector:
         """This collector's id within the schedule."""
         return self._id
 
-    def poll(self, slot: int) -> TelemetryBatch:
+    def poll(self, slot: int) -> "_TelemetryBatch":
         """Everything that became available by the poll at ``slot``.
 
         Raises:
@@ -672,7 +681,7 @@ class TraceCollector:
         hi = int(np.searchsorted(self._avail, slot, side="right"))
         self._cursor = max(lo, hi)
         self._last_success = max(self._last_success, int(slot))
-        return TelemetryBatch(
+        return _TelemetryBatch(
             vm_rows=self._vm_rows[lo : self._cursor],
             samples=self._samples[lo : self._cursor],
             cpu=self._cpu[lo : self._cursor],
@@ -690,60 +699,6 @@ class TraceCollector:
         cursor, last_success = state
         self._cursor = int(cursor)
         self._last_success = int(last_success)
-
-
-def poll_with_retry(
-    collector: TraceCollector,
-    slot: int,
-    retries: int = 2,
-    backoff_s: float = 0.0,
-    sleep: Optional[Callable[[float], None]] = None,
-    tracer=None,
-) -> Optional[TelemetryBatch]:
-    """Poll with bounded retries and exponential backoff.
-
-    The :mod:`repro.experiments.pool` hardening pattern applied to a
-    poll: a :class:`~repro.errors.CollectorTimeoutError` is retried up
-    to ``retries`` times, sleeping ``backoff_s * 2**attempt`` between
-    attempts (``backoff_s=0`` — the default — keeps simulated replay
-    instant and deterministic).  ``None`` means the collector stayed
-    down through every attempt: the caller records downtime and moves
-    on instead of losing the whole run.
-
-    Args:
-        collector: the collector to poll.
-        slot: the poll slot.
-        retries: additional attempts after the first (>= 0).
-        backoff_s: base backoff delay in seconds (>= 0).
-        sleep: injectable sleep for tests; defaults to ``time.sleep``.
-        tracer: optional :class:`~repro.obs.tracer.RunTracer`; every
-            failed attempt emits a ``poll_retry`` event (``gave_up``
-            marks the final one).  Outages are seeded-schedule facts,
-            so the events are deterministic.
-    """
-    if retries < 0:
-        raise ConfigurationError(f"retries must be >= 0, got {retries}")
-    if backoff_s < 0:
-        raise ConfigurationError(
-            f"backoff_s must be >= 0, got {backoff_s}"
-        )
-    traced = tracer is not None and getattr(tracer, "enabled", False)
-    wait = sleep if sleep is not None else time.sleep
-    for attempt in range(retries + 1):
-        try:
-            return collector.poll(slot)
-        except CollectorTimeoutError:
-            if traced:
-                tracer.emit(
-                    "poll_retry",
-                    collector=collector._id,
-                    slot=slot,
-                    attempt=attempt,
-                    gave_up=attempt == retries,
-                )
-            if attempt < retries and backoff_s > 0.0:
-                wait(backoff_s * (2.0**attempt))
-    return None
 
 
 # -- ingestion / imputation -------------------------------------------
@@ -794,7 +749,7 @@ class TelemetryIngest:
         #: (-1 until first delivery): the blind-window detector.
         self.newest_delivery_slot = -1
 
-    def ingest(self, batch: TelemetryBatch) -> None:
+    def ingest(self, batch: _TelemetryBatch) -> None:
         """Validate and store one poll's deliveries."""
         if batch.n_samples == 0:
             return
@@ -960,6 +915,14 @@ class ForecastLadder:
             default); pass the batch predictor's factory so clean
             telemetry reproduces its forecasts bit-exactly.
         clip_range: forecast clip range of the internal predictor.
+        predictor: optional pre-built predictor over
+            ``ingest.observed_dataset`` — e.g. the incremental
+            :class:`repro.serve.incremental.IncrementalDayAheadForecaster`
+            — used instead of constructing a
+            :class:`~repro.forecast.DayAheadPredictor` (``history_days``
+            is then taken from it; ``factory`` / ``clip_range`` are
+            ignored).  If it exposes ``state()`` / ``restore()``, its
+            rolling state rides the ladder's checkpoint snapshots.
     """
 
     def __init__(
@@ -970,6 +933,7 @@ class ForecastLadder:
         staleness_budget_slots: int = 3 * SLOTS_PER_DAY,
         factory=None,
         clip_range: Tuple[float, float] = (0.0, 100.0),
+        predictor=None,
     ) -> None:
         if not 0.0 <= max_imputed_frac <= 1.0:
             raise ConfigurationError(
@@ -987,13 +951,19 @@ class ForecastLadder:
         self._ingest = ingest
         self._max_imputed = float(max_imputed_frac)
         self._budget = int(staleness_budget_slots)
-        self._history_days = int(history_days)
-        self._predictor = DayAheadPredictor(
-            ingest.observed_dataset,
-            history_days=history_days,
-            factory=factory,
-            clip_range=clip_range,
-        )
+        if predictor is not None:
+            self._predictor = predictor
+            self._history_days = int(
+                getattr(predictor, "history_days", history_days)
+            )
+        else:
+            self._history_days = int(history_days)
+            self._predictor = DayAheadPredictor(
+                ingest.observed_dataset,
+                history_days=history_days,
+                factory=factory,
+                clip_range=clip_range,
+            )
         # day -> (rung, cpu_day, mem_day); arrays are None on the
         # "no usable forecast" rung.
         self._days: Dict[int, Tuple[str, object, object]] = {}
@@ -1034,11 +1004,20 @@ class ForecastLadder:
     # -- checkpoint ----------------------------------------------------
 
     def state(self) -> Dict[str, object]:
-        """Snapshot of the day-decision cache."""
-        return {
+        """Snapshot of the day-decision cache.
+
+        When the predictor itself is stateful (the incremental
+        forecaster's rolling epoch), its snapshot rides along so a
+        resumed run refits exactly where the original would have.
+        """
+        state: Dict[str, object] = {
             "days": dict(self._days),
             "last_fresh_day": self._last_fresh_day,
         }
+        pred_state = getattr(self._predictor, "state", None)
+        if callable(pred_state):
+            state["predictor"] = pred_state()
+        return state
 
     def restore(self, state: Dict[str, object]) -> None:
         """Restore a :meth:`state` snapshot.
@@ -1049,3 +1028,8 @@ class ForecastLadder:
         """
         self._days = dict(state["days"])
         self._last_fresh_day = int(state["last_fresh_day"])
+        pred_state = state.get("predictor")
+        if pred_state is not None:
+            restore = getattr(self._predictor, "restore", None)
+            if callable(restore):
+                restore(pred_state)

@@ -3,17 +3,17 @@
 Implements the paper's Section VI-C evaluation protocol over the trace,
 forecast, policy and power substrates.
 
-This package is also the single entry point for the multi-policy runner
-trio — :func:`run_policies` (fixed population),
-:func:`run_cloud_policies` (churning population) and
-:func:`run_streaming_policies` (degraded telemetry streams) — which
-share one keyword surface: ``jobs``, ``tracer``, ``metrics`` and a
-``shared`` zero-copy buffer handle
-(:class:`~repro.shard.shm.SharedRunInputs`).
+This package is also the single entry point for the multi-policy
+runners — :func:`run_policies` (fixed population),
+:func:`run_cloud_policies` (churning population),
+:func:`run_streaming_policies` (degraded telemetry streams) and
+:func:`run_geo_policies` (sharded multi-region fleets) — which share
+one keyword surface: ``jobs``, ``tracer``, ``metrics`` and a ``shared``
+zero-copy buffer handle (:class:`~repro.shard.shm.SharedRunInputs`).
 """
 
 from .cloud import CloudSimulation, run_cloud_policies
-from .config import SimulationConfig
+from .config import SimulationConfig, StreamingConfig
 from .engine import (
     DataCenterSimulation,
     MigrationCounter,
@@ -37,10 +37,11 @@ from .reporting import (
     sparkline,
 )
 
-# Imported last: repro.cloud.streaming itself imports the engine and
-# cloud submodules above, which are complete by this point even while
-# this package module is still initializing.
+# Imported last: repro.cloud.streaming and repro.shard.geo themselves
+# import the engine and cloud submodules above, which are complete by
+# this point even while this package module is still initializing.
 from ..cloud.streaming import run_streaming_policies  # noqa: E402
+from ..shard.geo import run_geo_policies  # noqa: E402
 
 __all__ = [
     "CloudSimulation",
@@ -48,7 +49,9 @@ __all__ = [
     "MigrationCounter",
     "SimulationConfig",
     "SimulationResult",
+    "StreamingConfig",
     "run_cloud_policies",
+    "run_geo_policies",
     "run_streaming_policies",
     "SlotDetail",
     "SlotRecord",

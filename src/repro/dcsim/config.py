@@ -32,6 +32,7 @@ from typing import Any, Dict, Optional
 
 from ..core.types import FleetSpec
 from ..errors import ConfigurationError
+from ..units import SLOTS_PER_DAY
 
 
 @dataclass(frozen=True)
@@ -105,3 +106,108 @@ class SimulationConfig:
     def replace(self, **changes) -> "SimulationConfig":
         """A copy with ``changes`` applied (re-validated)."""
         return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class StreamingConfig(SimulationConfig):
+    """:class:`SimulationConfig` plus the streaming/serve layer's knobs.
+
+    Built for
+    :meth:`~repro.cloud.streaming.StreamingCloudSimulation.from_config`
+    (inherited from the engine base, so a config-built streaming run is
+    bit-identical to the keyword call).  ``superbatch`` is inherited but
+    irrelevant — the streaming engine forces it off either way.  The
+    ``sleep`` test hook stays a constructor-only argument.
+
+    Attributes:
+        telemetry: replay degradation timeline
+            (:class:`~repro.cloud.telemetry.TelemetryFaultSchedule`);
+            mutually exclusive with ``collectors``.
+        collectors: live
+            :class:`~repro.serve.adapters.CollectorAdapter` sequence.
+        max_imputed_frac: fresh-fit threshold of the forecast ladder.
+        staleness_budget_slots: stale-forecast re-use budget.
+        blind_after_slots: dark-stream budget before placements freeze.
+        cold_start_util_pct: assumed utilization for unseen VMs.
+        poll_retries / poll_backoff_s: collector retry policy.
+        checkpoint_every_slots / checkpoint_path: snapshot cadence and
+            persistence target.
+        incremental_forecasts: day-over-day Hannan-Rissanen refresh
+            instead of the full daily re-fit.
+        refit_every_days: incremental mode's oracle re-fit cadence.
+    """
+
+    telemetry: Optional[Any] = None
+    collectors: Optional[Any] = None
+    max_imputed_frac: float = 0.25
+    staleness_budget_slots: int = 3 * SLOTS_PER_DAY
+    blind_after_slots: int = 2
+    cold_start_util_pct: float = 50.0
+    poll_retries: int = 2
+    poll_backoff_s: float = 0.0
+    checkpoint_every_slots: Optional[int] = None
+    checkpoint_path: Optional[str] = None
+    incremental_forecasts: bool = False
+    refit_every_days: int = 7
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.max_imputed_frac <= 1.0:
+            raise ConfigurationError(
+                f"max_imputed_frac must be in [0, 1], got "
+                f"{self.max_imputed_frac}"
+            )
+        if self.staleness_budget_slots < SLOTS_PER_DAY:
+            raise ConfigurationError(
+                f"staleness_budget_slots must be >= {SLOTS_PER_DAY} "
+                f"(one day): a day-ahead forecast ages in whole days, "
+                f"so a budget of {self.staleness_budget_slots} slots "
+                f"makes the stale rung unreachable — raise the budget "
+                f"or drop straight to persistence"
+            )
+        if self.blind_after_slots < 1:
+            raise ConfigurationError(
+                f"blind_after_slots must be >= 1, got "
+                f"{self.blind_after_slots}"
+                " — under normal operation the newest delivery is "
+                "exactly one slot old"
+            )
+        if self.poll_retries < 0:
+            raise ConfigurationError(
+                f"poll_retries must be >= 0, got {self.poll_retries}"
+            )
+        if self.poll_backoff_s < 0:
+            raise ConfigurationError(
+                f"poll_backoff_s must be >= 0, got {self.poll_backoff_s}"
+            )
+        if (
+            self.checkpoint_every_slots is not None
+            and self.checkpoint_every_slots < 1
+        ):
+            raise ConfigurationError(
+                f"checkpoint_every_slots must be >= 1, got "
+                f"{self.checkpoint_every_slots}"
+            )
+        if self.telemetry is not None and self.collectors is not None:
+            raise ConfigurationError(
+                "telemetry= and collectors= are mutually exclusive: a "
+                "replay degradation schedule builds its own "
+                "TraceCollector set, a live feed brings its own "
+                "adapters"
+            )
+        if self.refit_every_days < 1:
+            raise ConfigurationError(
+                f"refit_every_days must be >= 1, got "
+                f"{self.refit_every_days}"
+            )
+        if (
+            self.incremental_forecasts
+            and self.telemetry is None
+            and self.collectors is None
+        ):
+            raise ConfigurationError(
+                "incremental_forecasts requires a telemetry stream "
+                "(telemetry= or collectors=): without one the engine "
+                "plans from the caller's batch predictor, which has "
+                "nothing to update day-over-day"
+            )

@@ -60,9 +60,10 @@ class ForecastError(ReproError):
 class CollectorTimeoutError(ReproError):
     """A telemetry collector did not answer a poll in time.
 
-    Raised by :meth:`repro.cloud.telemetry.TraceCollector.poll` while the
-    collector sits inside a scheduled dropout window.  Callers are expected
-    to retry with bounded backoff
-    (:func:`repro.cloud.telemetry.poll_with_retry`) and, when the collector
-    stays dark, degrade to stale data instead of crashing the run.
+    Raised by :meth:`repro.cloud.telemetry.TraceCollector.poll` (and any
+    other :class:`repro.serve.adapters.CollectorAdapter`) while the
+    collector sits inside a dropout window.  Callers are expected to retry
+    with bounded backoff (:func:`repro.serve.adapters.poll_with_retry`)
+    and, when the collector stays dark, degrade to stale data instead of
+    crashing the run.
     """

@@ -172,6 +172,59 @@ EVENT_SCHEMAS: Dict[str, dict] = {
         },
         "required": ["slot", "n_records", "persisted"],
     },
+    # -- operator decision stream (repro.serve) ------------------------
+    "decision_placement": {
+        "doc": "The service loop committed one window's placement.",
+        "fields": {
+            "slot": _INT,
+            "n_window": _INT,
+            "case": _STR,
+            "n_active_vms": _INT,
+            "active_servers": _INT,
+            "forced_placements": _INT,
+            "arrivals": _INT,
+            "departures": _INT,
+            "blind": _BOOL,
+            "checkpointed": _BOOL,
+        },
+        "required": ["slot", "n_window", "case", "active_servers"],
+    },
+    "decision_migration": {
+        "doc": "A window's placement moved VMs off their servers.",
+        "fields": {
+            "slot": _INT,
+            "migrations": _INT,
+        },
+        "required": ["slot", "migrations"],
+    },
+    "decision_rung": {
+        "doc": "The forecast rung a window's decision planned from.",
+        "fields": {
+            "slot": _INT,
+            "rung": {
+                "type": "string",
+                "enum": [
+                    "fresh",
+                    "stale",
+                    "persistence",
+                    "reactive-only",
+                ],
+            },
+            "stale": _BOOL,
+            "imputed_samples": _INT,
+            "collectors_down": _INT,
+        },
+        "required": ["slot", "rung"],
+    },
+    "decision_sla": {
+        "doc": "A window's accounted SLA debt and energy cost.",
+        "fields": {
+            "slot": _INT,
+            "violations": _INT,
+            "energy_j": _NUMBER,
+        },
+        "required": ["slot", "violations", "energy_j"],
+    },
     "shard_window": {
         "doc": "One sharded allocation window: shard shapes and budgets.",
         "fields": {

@@ -1,0 +1,500 @@
+"""Incremental day-ahead forecasting: sliding-window Hannan-Rissanen.
+
+The batched forecaster (:mod:`repro.forecast.batch`, PR 2) assembles
+both Hannan-Rissanen regressions from shared lag statistics, so a
+day's full re-fit decomposes into clearly priced stages: the
+exponentially weighted seasonal profiles (two cheap reductions), the
+**long-AR innovation stage** — ``max(m, p) + 1`` whole-window lag
+autocorrelations, a batched ``(1+m)``-dimensional eigen-tested solve,
+and the AR(m) filter pass — and the small final ARMA solve.  The long-
+AR stage exists only to *estimate innovations*; its coefficients move
+slowly as the window slides one day.  :class:`IncrementalDayAheadForecaster`
+therefore freezes exactly that stage across an epoch of consecutive
+days and re-derives everything else fresh:
+
+* seasonal profiles and the remainder matrix are recomputed exactly as
+  the oracle computes them (same reductions, bit-identical values);
+* the frozen AR(m) coefficients filter the refreshed remainder into
+  innovation estimates (one vectorized pass, no re-estimation);
+* only the ``p + 1`` lag autocorrelations the final ARMA stage reads
+  are formed — not the ``max(m, p) + 1`` the long-AR stage would need
+  — and the small ``(1+p+q)``-dimensional normal equations are
+  re-solved from them through the shared
+  :func:`~repro.forecast.batch._ar_normal_equations` /
+  :func:`~repro.forecast.batch._extend_with_innovations` /
+  :func:`~repro.forecast.batch._solve_normal` helpers;
+* the companion-matrix evaluator
+  (:func:`~repro.forecast.batch.batched_arma_forecast`) is reused for
+  every re-forecast.
+
+Epochs and the oracle
+---------------------
+
+An *epoch* is up to ``refit_every_days`` consecutive forecast days.
+The epoch start is a full fit — operation-for-operation the batched
+:class:`~repro.forecast.predictor.DayAheadPredictor` path, and
+bit-identical to it whenever the batched solver accepts every row —
+which *is* the house-convention oracle, kept callable as
+:meth:`~IncrementalDayAheadForecaster.oracle_forecast_day` (and as
+``refit_every_days=1``, which degenerates to a daily full re-fit).
+Within an epoch the frozen innovation filter is the **only**
+approximation versus the oracle; the tolerance is asserted in
+``tests/test_serve_equivalence.py``.  A non-consecutive day request
+(the forecast ladder skipped a day on a stale or persistence rung) or
+an epoch reaching ``refit_every_days`` starts a fresh epoch, so the
+approximation cannot accumulate.  Rows the incremental solve
+rank-rejects carry the previous day's coefficients; rows the *full*
+fit rejects degrade to the seasonal profile — both counted in
+``fallback_count``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..errors import ConfigurationError, DomainError, ForecastError
+from ..forecast.batch import (
+    BatchArmaFit,
+    _ar_normal_equations,
+    _extend_with_innovations,
+    _solve_normal,
+    batched_arma_forecast,
+)
+from ..forecast.decomposed import DecomposedArimaForecaster
+from ..forecast.predictor import ForecasterFactory, default_forecaster_factory
+from ..traces.dataset import TraceDataset
+from ..units import SAMPLES_PER_DAY, SAMPLES_PER_SLOT, SLOTS_PER_DAY
+
+# Constant-series collapse rule, identical to batched_arma_fit (numpy's
+# default rtol/atol spelt out).
+_CONST_RTOL = 1.0e-5
+_CONST_ATOL = 1.0e-8
+
+
+def _day_type(day: int) -> int:
+    """Weekday (0) / weekend (1) label, the predictor's 7-day rule."""
+    return 1 if day % 7 >= 5 else 0
+
+
+class _Epoch:
+    """Frozen long-AR stage plus the previous day's accepted ARMA fit."""
+
+    __slots__ = ("day", "age", "c1", "a1", "const", "ar", "ma")
+
+    def __init__(
+        self,
+        day: int,
+        age: int,
+        c1: np.ndarray,
+        a1: np.ndarray,
+        const: np.ndarray,
+        ar: np.ndarray,
+        ma: np.ndarray,
+    ) -> None:
+        self.day = day
+        self.age = age
+        self.c1 = c1
+        self.a1 = a1
+        self.const = const
+        self.ar = ar
+        self.ma = ma
+
+
+class IncrementalDayAheadForecaster:
+    """Sliding-window day-ahead forecasts, interface-compatible with
+    :class:`~repro.forecast.predictor.DayAheadPredictor`.
+
+    Args:
+        dataset: the utilization traces (for the streaming engine, the
+            ingest layer's imputed ``observed_dataset`` — reads see the
+            stream's current best knowledge).
+        history_days: trailing training window in days (>= 2).
+        factory: forecaster factory; must produce a
+            :class:`~repro.forecast.decomposed.DecomposedArimaForecaster`
+            with ``d == 0`` and a one-day period — the incremental
+            update is derived for exactly that model family.
+        clip_range: forecasts are clipped into this range.
+        refit_every_days: epoch length — a full (oracle) re-fit runs
+            every this many consecutive days (>= 1; 1 disables the
+            incremental path entirely).
+
+    Raises:
+        DomainError: for a too-short history window (message matches
+            :class:`~repro.forecast.predictor.DayAheadPredictor`).
+        ConfigurationError: for an unsupported model family or a bad
+            ``refit_every_days``.
+    """
+
+    def __init__(
+        self,
+        dataset: TraceDataset,
+        history_days: int = 7,
+        factory: Optional[ForecasterFactory] = None,
+        clip_range: Tuple[float, float] = (0.0, 100.0),
+        refit_every_days: int = 7,
+    ):
+        if history_days < 2:
+            raise DomainError("history_days must be >= 2 (seasonal fit)")
+        if refit_every_days < 1:
+            raise ConfigurationError(
+                f"refit_every_days must be >= 1, got {refit_every_days}"
+            )
+        factory = factory if factory is not None else default_forecaster_factory
+        probe = factory()
+        if not (
+            isinstance(probe, DecomposedArimaForecaster)
+            and probe.order.d == 0
+            and probe.period == SAMPLES_PER_DAY
+        ):
+            raise ConfigurationError(
+                "incremental forecasting requires a DecomposedArimaForecaster "
+                f"with d=0 and period={SAMPLES_PER_DAY} (one day); "
+                "use DayAheadPredictor for other model families"
+            )
+        self._dataset = dataset
+        self._history_days = int(history_days)
+        self._order = probe.order
+        self._decay = probe.decay
+        self._clip = clip_range
+        self._refit_every = int(refit_every_days)
+        self._epoch: Optional[_Epoch] = None
+        self._cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._fallback_count = 0
+        self._full_fit_count = 0
+        self._incremental_count = 0
+
+    # -- properties ----------------------------------------------------
+
+    @property
+    def history_days(self) -> int:
+        """Trailing training-window length in days."""
+        return self._history_days
+
+    @property
+    def first_predictable_day(self) -> int:
+        """First day index with a full training window behind it."""
+        return self._history_days
+
+    @property
+    def fallback_count(self) -> int:
+        """Rows that degraded (profile-only or carried coefficients)."""
+        return self._fallback_count
+
+    @property
+    def full_fit_count(self) -> int:
+        """Days forecast through the full (oracle) re-fit."""
+        return self._full_fit_count
+
+    @property
+    def incremental_count(self) -> int:
+        """Days forecast through the incremental sliding update."""
+        return self._incremental_count
+
+    # -- forecasting ---------------------------------------------------
+
+    def forecast_day(self, day_index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Predicted CPU/memory for a day, shape ``(n_vms, 288)`` each.
+
+        Consecutive day requests inside an epoch ride the incremental
+        update; everything else starts an epoch with a full re-fit.
+
+        Raises:
+            DomainError: if the day lacks a full training window or is
+                outside the dataset.
+        """
+        if day_index in self._cache:
+            return self._cache[day_index]
+        self._check_day(day_index)
+        epoch = self._epoch
+        refit = not (
+            epoch is not None
+            and day_index == epoch.day + 1
+            and epoch.age + 1 < self._refit_every
+        )
+        forecasts = self._fit_forecast(day_index, refit=refit)
+        if refit:
+            self._full_fit_count += 1
+        else:
+            self._incremental_count += 1
+        cpu_pred, mem_pred = self._split_clip(forecasts)
+        self._cache[day_index] = (cpu_pred, mem_pred)
+        return self._cache[day_index]
+
+    def predicted_slot(
+        self, slot_index: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Predicted CPU/memory for one 1-hour slot, ``(n_vms, 12)`` each."""
+        day_index = slot_index // SLOTS_PER_DAY
+        cpu_day, mem_day = self.forecast_day(day_index)
+        offset = (slot_index % SLOTS_PER_DAY) * SAMPLES_PER_SLOT
+        return (
+            cpu_day[:, offset : offset + SAMPLES_PER_SLOT],
+            mem_day[:, offset : offset + SAMPLES_PER_SLOT],
+        )
+
+    def oracle_forecast_day(
+        self, day_index: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The full re-fit (oracle) forecast for a day.
+
+        Runs the epoch-start path without touching the rolling state,
+        the cache or the counters — the reference the incremental
+        update is tolerance-tested against.
+        """
+        self._check_day(day_index)
+        forecasts = self._fit_forecast(
+            day_index, refit=True, update_state=False, count=False
+        )
+        return self._split_clip(forecasts)
+
+    # -- checkpoint ----------------------------------------------------
+
+    def state(self) -> dict:
+        """Picklable snapshot of the rolling epoch and counters."""
+        epoch = self._epoch
+        epoch_state = None
+        if epoch is not None:
+            epoch_state = {
+                "day": epoch.day,
+                "age": epoch.age,
+                "c1": epoch.c1.copy(),
+                "a1": epoch.a1.copy(),
+                "const": epoch.const.copy(),
+                "ar": epoch.ar.copy(),
+                "ma": epoch.ma.copy(),
+            }
+        return {
+            "epoch": epoch_state,
+            "fallback_count": self._fallback_count,
+            "full_fit_count": self._full_fit_count,
+            "incremental_count": self._incremental_count,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reset the rolling state to a :meth:`state` snapshot."""
+        epoch_state = state["epoch"]
+        if epoch_state is None:
+            self._epoch = None
+        else:
+            self._epoch = _Epoch(
+                day=int(epoch_state["day"]),
+                age=int(epoch_state["age"]),
+                c1=np.array(epoch_state["c1"]),
+                a1=np.array(epoch_state["a1"]),
+                const=np.array(epoch_state["const"]),
+                ar=np.array(epoch_state["ar"]),
+                ma=np.array(epoch_state["ma"]),
+            )
+        self._fallback_count = int(state["fallback_count"])
+        self._full_fit_count = int(state["full_fit_count"])
+        self._incremental_count = int(state["incremental_count"])
+        self._cache.clear()
+
+    # -- internals -----------------------------------------------------
+
+    def _check_day(self, day_index: int) -> None:
+        if day_index < self._history_days:
+            raise DomainError(
+                f"day {day_index} has no full {self._history_days}-day "
+                f"training window"
+            )
+        if day_index >= self._dataset.n_days:
+            raise DomainError(f"day {day_index} outside the dataset")
+
+    def _split_clip(
+        self, forecasts: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        n_vms = self._dataset.n_vms
+        cpu_pred = forecasts[:n_vms]
+        mem_pred = forecasts[n_vms:]
+        np.clip(cpu_pred, *self._clip, out=cpu_pred)
+        np.clip(mem_pred, *self._clip, out=mem_pred)
+        return cpu_pred, mem_pred
+
+    def _fit_forecast(
+        self,
+        day_index: int,
+        refit: bool,
+        update_state: bool = True,
+        count: bool = True,
+    ) -> np.ndarray:
+        """Fit (full or incremental) and forecast one day, unclipped.
+
+        With ``refit`` this mirrors the oracle pipeline
+        (:func:`~repro.forecast.batch.batched_decomposed_forecast`)
+        while retaining the long-AR coefficients; without it the frozen
+        coefficients stand in for the long-AR stage and only the final
+        ARMA system is re-solved.
+        """
+        h = self._history_days
+        period = SAMPLES_PER_DAY
+        p, q = self._order.p, self._order.q
+        start = max(p, q)
+        m = max(10, 2 * (p + q)) if q > 0 else 0
+
+        lo = (day_index - h) * period
+        hi = day_index * period
+        data = np.vstack(
+            [
+                self._dataset.cpu_pct[:, lo:hi],
+                self._dataset.mem_pct[:, lo:hi],
+            ]
+        )
+        if not np.all(np.isfinite(data)):
+            raise ForecastError("series contains non-finite values")
+        batch, n = data.shape
+        types = np.array(
+            [_day_type(day) for day in range(day_index - h, day_index)],
+            dtype=int,
+        )
+        seasons = data.reshape(batch, h, period)
+
+        # Seasonal profiles: recomputed fresh every day, the same
+        # reductions as the oracle — the profiles are never stale.
+        def weighted(mask: Optional[np.ndarray]) -> np.ndarray:
+            selected = seasons[:, mask] if mask is not None else seasons
+            count_ = selected.shape[1]
+            weights = self._decay ** np.arange(count_ - 1, -1, -1)
+            weights = weights / weights.sum()
+            return np.einsum("s,bsp->bp", weights, selected)
+
+        profiles = {int(t): weighted(types == t) for t in np.unique(types)}
+        target = profiles.get(_day_type(day_index))
+        if target is None:
+            target = weighted(None)
+        season_profiles = np.stack(
+            [profiles[int(t)] for t in types], axis=1
+        )
+        w = (seasons - season_profiles).reshape(batch, -1)
+
+        first = w[:, :1]
+        constant = (
+            np.abs(w - first) <= _CONST_ATOL + _CONST_RTOL * np.abs(first)
+        ).all(axis=1)
+
+        const = np.where(constant, first[:, 0], 0.0)
+        ar = np.zeros((batch, p))
+        ma = np.zeros((batch, q))
+        e = np.zeros_like(w)
+        c1_full = np.zeros(batch)
+        a1_full = np.zeros((batch, max(m, 1)))
+        epoch = self._epoch
+
+        active = np.flatnonzero(~constant)
+        if active.size:
+            wa = w[active]
+            # Only the ARMA stage's p + 1 lags on the incremental path;
+            # the long-AR stage needs max(m, p) + 1 when re-fitting.
+            max_lag = max(m, p) if refit and q > 0 else p
+            autocorr = np.empty((active.size, max_lag + 1))
+            for d in range(max_lag + 1):
+                autocorr[:, d] = np.einsum(
+                    "bi,bi->b", wa[:, d:], wa[:, : n - d]
+                )
+            cumsum = np.cumsum(wa, axis=1)
+            ok_a = np.ones(active.size, dtype=bool)
+            res: Optional[np.ndarray] = None
+            if q > 0:
+                if refit:
+                    gram1, rhs1 = _ar_normal_equations(
+                        wa, m, m, autocorr=autocorr, cumsum=cumsum
+                    )
+                    coef1, ok1 = _solve_normal(gram1, rhs1)
+                    ok_a &= ok1
+                    c1a = coef1[:, 0]
+                    a1a = coef1[:, 1:]
+                else:
+                    # The frozen filter: the only approximation versus
+                    # the oracle.
+                    c1a = epoch.c1[active]
+                    a1a = epoch.a1[active]
+                lag_view = sliding_window_view(wa, m, axis=1)[:, : n - m, :]
+                fitted = np.einsum("btk,bk->bt", lag_view, a1a[:, ::-1])
+                fitted += c1a[:, None]
+                res = np.zeros_like(wa)
+                res[:, m:] = wa[:, m:] - fitted
+                e[active] = res
+                c1_full[active] = c1a
+                a1_full[active] = a1a
+            gram2, rhs2 = _ar_normal_equations(
+                wa, p, start, autocorr=autocorr, cumsum=cumsum
+            )
+            if q > 0:
+                gram2, rhs2 = _extend_with_innovations(
+                    gram2, rhs2, wa, res, p, q, start, m
+                )
+            coef2, ok2 = _solve_normal(gram2, rhs2)
+            ok_a &= ok2
+            if not ok_a.all():
+                if refit or epoch is None:
+                    # Full-fit rejects degrade to the seasonal profile
+                    # (zero coefficients).
+                    coef2[~ok_a] = 0.0
+                else:
+                    # Incremental rejects carry the previous day's
+                    # accepted coefficients.
+                    bad = active[~ok_a]
+                    coef2[~ok_a, 0] = epoch.const[bad]
+                    coef2[~ok_a, 1 : 1 + p] = epoch.ar[bad]
+                    coef2[~ok_a, 1 + p :] = epoch.ma[bad]
+                if count:
+                    self._fallback_count += int(np.count_nonzero(~ok_a))
+            const[active] = coef2[:, 0]
+            if p > 0:
+                ar[active] = coef2[:, 1 : 1 + p]
+            if q > 0:
+                ma[active] = coef2[:, 1 + p :]
+
+        # Forecast: companion-matrix evaluation of the remainder on top
+        # of the target day-type profile.
+        w_tail = w[:, -max(p, 1) :].copy()
+        e_tail = np.zeros((batch, max(q, 1)))
+        if q > 0:
+            for k, t in enumerate(range(n - q, n)):
+                value = w[:, t] - const
+                for lag in range(1, p + 1):
+                    value = value - ar[:, lag - 1] * w[:, t - lag]
+                for lag in range(1, q + 1):
+                    value = value - ma[:, lag - 1] * e[:, t - lag]
+                e_tail[:, k] = value
+            # Constant rows collapse exactly (the oracle never evaluates
+            # their residuals).
+            e_tail[constant] = 0.0
+        fit = BatchArmaFit(
+            order=self._order,
+            const=const,
+            ar=ar,
+            ma=ma,
+            w_tail=w_tail,
+            e_tail=e_tail,
+            ok=np.ones(batch, dtype=bool),
+        )
+        rem = batched_arma_forecast(fit, period)
+        forecasts = target + rem
+        bad_rows = ~np.isfinite(forecasts).all(axis=1)
+        if bad_rows.any():
+            forecasts[bad_rows] = target[bad_rows]
+            if count:
+                self._fallback_count += int(np.count_nonzero(bad_rows))
+
+        if update_state:
+            if refit or epoch is None:
+                self._epoch = _Epoch(
+                    day=day_index,
+                    age=0,
+                    c1=c1_full,
+                    a1=a1_full,
+                    const=const,
+                    ar=ar,
+                    ma=ma,
+                )
+            else:
+                epoch.day = day_index
+                epoch.age += 1
+                epoch.const = const
+                epoch.ar = ar
+                epoch.ma = ma
+        return forecasts

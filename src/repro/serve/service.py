@@ -1,0 +1,261 @@
+"""Operator service loop: windowed decisions as a structured stream.
+
+This is the consolidation controller the paper's question implies —
+monitor → forecast → place → migrate, once per allocation window —
+packaged as a callable service.  :func:`serve` builds a
+:class:`~repro.cloud.streaming.StreamingCloudSimulation` from a frozen
+:class:`ServeConfig`, drives its :meth:`windows` generator, and turns
+every :class:`~repro.cloud.streaming.WindowDecision` into ``decision_*``
+events on the run tracer (schemas in
+:data:`repro.obs.tracer.EVENT_SCHEMAS`):
+
+* ``decision_placement`` — the committed placement's shape (case,
+  servers, churn, blind/checkpoint flags), once per window;
+* ``decision_migration`` — only when the window moved VMs;
+* ``decision_rung`` — the forecast-ladder rung planned from, with the
+  degradation context (only when a telemetry stream is attached);
+* ``decision_sla`` — the window's accounted energy and SLA debt.
+
+Replay mode re-plays a registered degradation scenario over the seeded
+workload (the ``clean`` scenario is the batch-engine bit-identity
+control); live mode plugs any
+:class:`~repro.serve.adapters.CollectorAdapter` set into the same loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+from ..core.types import AllocationPolicy
+from ..errors import ConfigurationError
+
+__all__ = [
+    "POLICIES",
+    "ServeConfig",
+    "build_simulation",
+    "emit_decision_events",
+    "serve",
+]
+
+
+def _policy_registry() -> Dict[str, Callable[[], AllocationPolicy]]:
+    from ..baselines import OnlineBestFitPolicy, OnlineReactivePolicy
+    from ..core import EpactPolicy
+
+    return {
+        "epact": EpactPolicy,
+        "reactive": OnlineReactivePolicy,
+        "bestfit": OnlineBestFitPolicy,
+    }
+
+
+#: Policy names :class:`ServeConfig` accepts (fresh instance per run).
+POLICIES = ("epact", "reactive", "bestfit")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything one service run needs, validated up front.
+
+    Attributes:
+        workload: cloud scenario name (:data:`repro.cloud.SCENARIOS`).
+        telemetry_scenario: degradation scenario name
+            (:data:`repro.cloud.TELEMETRY_SCENARIOS`) for replay mode;
+            ignored when live collectors are passed to :func:`serve`.
+        policy: policy name from :data:`POLICIES`.
+        n_vms / n_days / seed: workload build configuration.
+        n_slots: evaluated slots (``None`` = everything after the
+            forecaster's training window).
+        max_servers: fleet bound.
+        incremental_forecasts: route the fresh rung through the
+            incremental Hannan-Rissanen refresh
+            (:class:`~repro.serve.incremental.IncrementalDayAheadForecaster`).
+        refit_every_days: incremental mode's full-re-fit epoch length.
+        checkpoint_every_slots: window-boundary snapshot cadence
+            (``None`` disables checkpointing).
+        checkpoint_path: where the latest snapshot is persisted; also
+            the source of a ``resume=True`` run.
+    """
+
+    workload: str = "zero-churn"
+    telemetry_scenario: str = "clean"
+    policy: str = "epact"
+    n_vms: int = 120
+    n_days: int = 9
+    seed: int = 2018
+    n_slots: Optional[int] = None
+    max_servers: int = 24
+    incremental_forecasts: bool = False
+    refit_every_days: int = 7
+    checkpoint_every_slots: Optional[int] = None
+    checkpoint_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown policy {self.policy!r}; pick one of "
+                f"{', '.join(POLICIES)}"
+            )
+        if self.n_vms < 1:
+            raise ConfigurationError("n_vms must be >= 1")
+        if self.n_days < 2:
+            raise ConfigurationError(
+                "n_days must be >= 2 (a forecast history plus at "
+                "least one evaluated day)"
+            )
+        if self.n_slots is not None and self.n_slots < 1:
+            raise ConfigurationError("n_slots must be >= 1")
+        if self.max_servers < 1:
+            raise ConfigurationError("max_servers must be >= 1")
+        if self.refit_every_days < 1:
+            raise ConfigurationError(
+                f"refit_every_days must be >= 1, got "
+                f"{self.refit_every_days}"
+            )
+        if (
+            self.checkpoint_every_slots is not None
+            and self.checkpoint_every_slots < 1
+        ):
+            raise ConfigurationError(
+                f"checkpoint_every_slots must be >= 1, got "
+                f"{self.checkpoint_every_slots}"
+            )
+
+
+def build_simulation(
+    config: ServeConfig,
+    collectors: Optional[Sequence] = None,
+    tracer=None,
+    metrics=None,
+):
+    """The configured streaming engine behind one service run.
+
+    With ``collectors`` the engine polls the live adapters; without
+    them the configured degradation scenario is replayed over the
+    seeded workload's file collectors.
+    """
+    from ..cloud import get_scenario, get_telemetry_scenario
+    from ..cloud.streaming import StreamingCloudSimulation
+    from ..forecast import DayAheadPredictor
+
+    dataset, schedule = get_scenario(config.workload).build(
+        n_vms=config.n_vms,
+        n_days=config.n_days,
+        seed=config.seed,
+        n_slots=config.n_slots,
+    )
+    predictor = DayAheadPredictor(dataset)
+    telemetry = None
+    if collectors is None:
+        telemetry = get_telemetry_scenario(config.telemetry_scenario).build(
+            n_vms=dataset.n_vms,
+            horizon_start=0,
+            horizon_end=dataset.n_slots,
+            seed=config.seed,
+        )
+    policy = _policy_registry()[config.policy]()
+    kwargs = dict(
+        telemetry=telemetry,
+        collectors=collectors,
+        incremental_forecasts=config.incremental_forecasts,
+        refit_every_days=config.refit_every_days,
+        checkpoint_every_slots=config.checkpoint_every_slots,
+        checkpoint_path=config.checkpoint_path,
+        n_slots=config.n_slots,
+        max_servers=config.max_servers,
+    )
+    if tracer is not None:
+        kwargs["tracer"] = tracer
+    if metrics is not None:
+        kwargs["metrics"] = metrics
+    return StreamingCloudSimulation(
+        dataset, predictor, policy, schedule, **kwargs
+    )
+
+
+def emit_decision_events(tracer, decision) -> None:
+    """One window's :class:`WindowDecision` → ``decision_*`` events."""
+    if tracer is None or not tracer.enabled:
+        return
+    tracer.emit(
+        "decision_placement",
+        slot=decision.slot,
+        n_window=decision.n_window,
+        case=decision.case,
+        n_active_vms=decision.n_active_vms,
+        active_servers=decision.active_servers,
+        forced_placements=decision.forced_placements,
+        arrivals=decision.arrivals,
+        departures=decision.departures,
+        blind=decision.blind,
+        checkpointed=decision.checkpointed,
+    )
+    if decision.migrations:
+        tracer.emit(
+            "decision_migration",
+            slot=decision.slot,
+            migrations=decision.migrations,
+        )
+    if decision.rung is not None:
+        tracer.emit(
+            "decision_rung",
+            slot=decision.slot,
+            rung=decision.rung,
+            stale=decision.stale,
+            imputed_samples=decision.imputed_samples,
+            collectors_down=decision.collectors_down,
+        )
+    tracer.emit(
+        "decision_sla",
+        slot=decision.slot,
+        violations=decision.violations,
+        energy_j=decision.energy_j,
+    )
+
+
+def serve(
+    config: ServeConfig,
+    collectors: Optional[Sequence] = None,
+    tracer=None,
+    metrics=None,
+    resume: bool = False,
+    on_decision=None,
+):
+    """Run the service loop to the end of the horizon.
+
+    Args:
+        config: the frozen run configuration.
+        collectors: live :class:`~repro.serve.adapters.CollectorAdapter`
+            set (``None`` = replay the configured degradation
+            scenario).
+        tracer: optional :class:`~repro.obs.tracer.RunTracer`; receives
+            the engine's streaming events *and* the ``decision_*``
+            stream.
+        metrics: optional metrics registry (phase timings).
+        resume: restore the latest snapshot from
+            ``config.checkpoint_path`` before streaming (bit-identical
+            continuation).
+        on_decision: optional callback invoked with every
+            :class:`~repro.cloud.streaming.WindowDecision` after its
+            events are emitted (operator hooks, progress displays).
+
+    Returns:
+        The run's :class:`~repro.dcsim.SimulationResult` — identical to
+        :meth:`StreamingCloudSimulation.run` with the same inputs.
+    """
+    sim = build_simulation(
+        config, collectors=collectors, tracer=tracer, metrics=metrics
+    )
+    if resume:
+        if config.checkpoint_path is None:
+            raise ConfigurationError(
+                "resume=True needs checkpoint_path set — there is no "
+                "snapshot to restore"
+            )
+        sim.restore(config.checkpoint_path)
+    for decision in sim.windows():
+        emit_decision_events(tracer, decision)
+        if on_decision is not None:
+            on_decision(decision)
+    return sim.result

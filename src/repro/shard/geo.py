@@ -150,6 +150,46 @@ class GeoRunResult:
         )
 
 
+def _run_one_geo_region(
+    dataset,
+    rows,
+    predictor_factory,
+    policy,
+    fleet: FleetSpec,
+    shards: int,
+    shard_jobs: int,
+    kwargs: Dict,
+) -> object:
+    """Worker entry point: one (policy, region) run (picklable).
+
+    ``dataset`` may be a :class:`~repro.shard.shm.SharedTraces` handle
+    (mapped zero-copy) or a plain dataset.
+    """
+    from ..dcsim.engine import DataCenterSimulation
+    from .shm import materialize
+
+    sub_dataset = materialize(dataset).subset(rows)
+    predictor = predictor_factory(sub_dataset)
+    run_policy = policy
+    wrapper = None
+    if shards > 1:
+        wrapper = ShardedPolicy(
+            policy,
+            shards=shards,
+            jobs=shard_jobs,
+            tracer=kwargs.get("tracer"),
+        )
+        run_policy = wrapper
+    try:
+        sim = DataCenterSimulation(
+            sub_dataset, predictor, run_policy, fleet=fleet, **kwargs
+        )
+        return sim.run()
+    finally:
+        if wrapper is not None:
+            wrapper.close()
+
+
 def run_geo_policies(
     dataset,
     predictor_factory,
@@ -158,11 +198,23 @@ def run_geo_policies(
     seed: int = 2018,
     shards: int = 1,
     jobs: int = 1,
+    shard_jobs: int = 1,
     tracer=None,
     metrics=None,
+    shared=None,
     **kwargs,
 ) -> GeoRunResult:
     """Run several policies over a routed multi-region fleet.
+
+    Shares the common runner surface (``jobs`` / ``tracer`` /
+    ``metrics`` / ``shared``) with the other multi-policy runners in
+    :mod:`repro.dcsim`: ``jobs`` fans the independent (policy, region)
+    runs over a process pool — regions share only the routed traces, so
+    parallel equals serial exactly — while ``shard_jobs`` keeps the
+    within-region per-shard fan.  Serial runs thread ``tracer`` /
+    ``metrics`` into every engine; parallel fans drop them
+    (``region_route`` events are part of the deterministic preamble and
+    are emitted serially either way).
 
     Args:
         dataset: the full VM population's traces.
@@ -170,15 +222,24 @@ def run_geo_policies(
             per region (regions predict over their own sub-population;
             predictor classes like
             :class:`~repro.forecast.predictor.PerfectPredictor` work
-            directly).
+            directly).  Must be picklable when ``jobs > 1``.
         policies: the policies to compare (each runs in every region).
         geo: the regional fleets.
         seed: routing seed (see :func:`route_vms`).
         shards: per-region shard count (``1`` = unsharded engine).
-        jobs: worker processes for the per-shard fan within a region.
+        jobs: worker processes for the (policy, region) fan.
+        shard_jobs: worker processes for the per-shard fan *within*
+            each region's sharded policy.
         tracer: optional tracer; each region emits a ``region_route``
-            event, and sharded windows emit ``shard_window`` events.
-        metrics: optional metrics registry, forwarded to the engines.
+            event, and (serial) sharded windows emit ``shard_window``
+            events.
+        metrics: optional metrics registry, forwarded to the engines
+            on serial runs.
+        shared: optional zero-copy traces handle
+            (:class:`~repro.shard.shm.SharedTraces` or anything with a
+            ``traces`` attribute, e.g.
+            :class:`~repro.shard.shm.SharedRunInputs`); reused instead
+            of copying the dataset into shared memory per call.
         **kwargs: forwarded to every
             :class:`~repro.dcsim.DataCenterSimulation` (horizon bounds,
             migration energy, ...).
@@ -186,8 +247,6 @@ def run_geo_policies(
     Returns:
         A :class:`GeoRunResult`.
     """
-    from ..dcsim.engine import DataCenterSimulation
-
     policy_list: List[AllocationPolicy] = list(policies)
     routes = route_vms(dataset.n_vms, geo, seed)
     results: Dict[str, Dict[str, object]] = {
@@ -205,28 +264,58 @@ def run_geo_policies(
                 seed=int(seed),
                 weight=float(region.routing_weight),
             )
-        sub_dataset = dataset.subset(rows)
-        predictor = predictor_factory(sub_dataset)
-        for policy in policy_list:
-            run_policy = policy
-            wrapper = None
-            if shards > 1:
-                wrapper = ShardedPolicy(
-                    policy, shards=shards, jobs=jobs, tracer=tracer
+
+    pairs = [
+        (region, rows, policy)
+        for region, rows in zip(geo.regions, routes)
+        for policy in policy_list
+    ]
+    if jobs is None or jobs <= 1 or len(pairs) <= 1:
+        serial_kwargs = dict(kwargs, tracer=tracer, metrics=metrics)
+        for region, rows, policy in pairs:
+            results[policy.name][region.name] = _run_one_geo_region(
+                dataset,
+                rows,
+                predictor_factory,
+                policy,
+                region.fleet,
+                shards,
+                shard_jobs,
+                serial_kwargs,
+            )
+        return GeoRunResult(results=results, routes=route_sizes, seed=seed)
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    from .shm import SharedTraces
+
+    owned = []
+    if shared is not None:
+        traces = getattr(shared, "traces", shared)
+    else:
+        traces = SharedTraces.from_dataset(dataset)
+        owned.append(traces)
+    try:
+        workers = min(jobs, len(pairs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _run_one_geo_region,
+                    traces,
+                    rows,
+                    predictor_factory,
+                    policy,
+                    region.fleet,
+                    shards,
+                    shard_jobs,
+                    kwargs,
                 )
-                run_policy = wrapper
-            try:
-                sim = DataCenterSimulation(
-                    sub_dataset,
-                    predictor,
-                    run_policy,
-                    fleet=region.fleet,
-                    tracer=tracer,
-                    metrics=metrics,
-                    **kwargs,
-                )
-                results[policy.name][region.name] = sim.run()
-            finally:
-                if wrapper is not None:
-                    wrapper.close()
+                for region, rows, policy in pairs
+            ]
+            for (region, _, policy), future in zip(pairs, futures):
+                results[policy.name][region.name] = future.result()
+    finally:
+        for handle in owned:
+            handle.close()
+            handle.unlink()
     return GeoRunResult(results=results, routes=route_sizes, seed=seed)

@@ -124,3 +124,22 @@ class TestGeoRun:
         assert result.total_energy_j("EPACT") > 0.0
         assert events.count("region_route") == 2
         assert events.count("shard_window") >= 1
+
+    def test_jobs_fan_equals_serial(self):
+        """The (policy, region) process fan reproduces the serial run."""
+        dataset = default_dataset(n_vms=24, n_days=1, seed=808)
+        geo = GeoFleetSpec(regions=(region("eu", 12), region("us", 12)))
+        serial = run_geo_policies(
+            dataset, PerfectPredictor, [EpactPolicy()], geo,
+            seed=11, n_slots=2,
+        )
+        fanned = run_geo_policies(
+            dataset, PerfectPredictor, [EpactPolicy()], geo,
+            seed=11, n_slots=2, jobs=2,
+        )
+        assert fanned.routes == serial.routes
+        for name in serial.results["EPACT"]:
+            assert (
+                fanned.results["EPACT"][name].records
+                == serial.results["EPACT"][name].records
+            )

@@ -1,0 +1,432 @@
+"""Service-mode equivalence suite (repro.serve).
+
+Four guarantees:
+
+* the incremental Hannan-Rissanen refresh tracks the full re-fit
+  oracle within a documented tolerance (and is bit-identical at epoch
+  starts / with ``refit_every_days=1``);
+* a clean replay feed driven through the ``repro-serve`` loop is
+  bit-identical to the batch :class:`~repro.dcsim.CloudSimulation`;
+* a run resumed from a mid-serve checkpoint equals the uninterrupted
+  run, incremental mode included;
+* every ``decision_*`` event the service emits validates against
+  :data:`repro.obs.tracer.EVENT_SCHEMAS`.
+
+Plus the collector adapters themselves: push semantics, dropout
+timeouts, the HTTP round-trip, and the deprecation shims for the names
+that moved out of ``repro.cloud.telemetry``.
+"""
+
+import itertools
+import os
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    CloudSimulation,
+    StreamingCloudSimulation,
+    get_scenario,
+    zero_telemetry_faults,
+)
+from repro.cloud.telemetry import TraceCollector
+from repro.core import EpactPolicy
+from repro.dcsim.config import StreamingConfig
+from repro.errors import (
+    CollectorTimeoutError,
+    ConfigurationError,
+    DomainError,
+)
+from repro.forecast import DayAheadPredictor
+from repro.obs.tracer import RunTracer, validate_event
+from repro.serve import (
+    HttpCollector,
+    IncrementalDayAheadForecaster,
+    PushCollector,
+    TelemetryFeedServer,
+)
+from repro.serve.service import ServeConfig, build_simulation, serve
+from repro.traces import default_dataset
+from repro.traces.lifecycle import fixed_schedule
+from repro.units import SAMPLES_PER_DAY, SAMPLES_PER_SLOT
+
+#: Documented tolerance of the incremental refresh vs the oracle, in
+#: absolute utilization points (traces live on a 0-100 scale).  The
+#: frozen long-AR filter is the only approximation; everything else is
+#: recomputed exactly each day.
+INCREMENTAL_TOL_PCT = 2.0
+
+
+def records_equal(a, b):
+    """Exact (bitwise for floats) equality of two record lists."""
+    return len(a) == len(b) and all(ra == rb for ra, rb in zip(a, b))
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return default_dataset(n_vms=30, n_days=14, seed=77)
+
+
+@pytest.fixture(scope="module")
+def serve_config(tmp_path_factory):
+    return ServeConfig(n_vms=40, n_days=9, seed=2018, n_slots=24)
+
+
+# -- incremental forecaster vs the oracle -----------------------------------
+
+
+class TestIncrementalForecaster:
+    def test_epoch_start_matches_batch_predictor(self, ds):
+        """A full-re-fit day is bit-identical to DayAheadPredictor."""
+        inc = IncrementalDayAheadForecaster(ds)
+        batch = DayAheadPredictor(ds)
+        cpu_i, mem_i = inc.forecast_day(7)
+        cpu_b, mem_b = batch.forecast_day(7)
+        np.testing.assert_array_equal(cpu_i, cpu_b)
+        np.testing.assert_array_equal(mem_i, mem_b)
+        assert inc.full_fit_count == 1 and inc.incremental_count == 0
+
+    def test_incremental_tracks_oracle(self, ds):
+        """Every epoch day stays within the documented tolerance."""
+        inc = IncrementalDayAheadForecaster(ds, refit_every_days=7)
+        worst = 0.0
+        for day in range(7, ds.n_days):
+            cpu_i, mem_i = inc.forecast_day(day)
+            cpu_o, mem_o = inc.oracle_forecast_day(day)
+            worst = max(
+                worst,
+                float(np.abs(cpu_i - cpu_o).max()),
+                float(np.abs(mem_i - mem_o).max()),
+            )
+        assert inc.incremental_count == ds.n_days - 8
+        assert worst < INCREMENTAL_TOL_PCT
+
+    def test_refit_every_1_is_the_oracle(self, ds):
+        """refit_every_days=1 degenerates to the daily full re-fit."""
+        inc = IncrementalDayAheadForecaster(ds, refit_every_days=1)
+        batch = DayAheadPredictor(ds)
+        for day in (7, 8, 9):
+            cpu_i, mem_i = inc.forecast_day(day)
+            cpu_b, mem_b = batch.forecast_day(day)
+            np.testing.assert_array_equal(cpu_i, cpu_b)
+            np.testing.assert_array_equal(mem_i, mem_b)
+        assert inc.incremental_count == 0
+
+    def test_non_consecutive_day_refits(self, ds):
+        inc = IncrementalDayAheadForecaster(ds)
+        inc.forecast_day(7)
+        inc.forecast_day(9)  # skipped day 8 -> new epoch
+        assert inc.full_fit_count == 2
+
+    def test_state_restore_round_trip(self, ds):
+        """A restored forecaster continues the epoch bit-identically."""
+        inc = IncrementalDayAheadForecaster(ds)
+        inc.forecast_day(7)
+        snapshot = inc.state()
+        expected = inc.forecast_day(8)
+        other = IncrementalDayAheadForecaster(ds)
+        other.restore(snapshot)
+        got = other.forecast_day(8)
+        np.testing.assert_array_equal(got[0], expected[0])
+        np.testing.assert_array_equal(got[1], expected[1])
+        assert other.incremental_count == 1
+
+    def test_validation(self, ds):
+        with pytest.raises(DomainError, match="history_days"):
+            IncrementalDayAheadForecaster(ds, history_days=1)
+        with pytest.raises(ConfigurationError, match="refit_every_days"):
+            IncrementalDayAheadForecaster(ds, refit_every_days=0)
+        with pytest.raises(DomainError, match="training window"):
+            IncrementalDayAheadForecaster(ds).forecast_day(3)
+
+
+# -- collector adapters -----------------------------------------------------
+
+
+class TestPushCollector:
+    def test_push_then_poll_in_order(self):
+        c = PushCollector(0)
+        c.push([1], [10], [50.0], [60.0], available_at=3)
+        c.push([2], [11], [40.0], [30.0], available_at=2)
+        assert c.poll(1).n_samples == 0
+        batch = c.poll(3)
+        # Both ready by slot 3, availability order first.
+        assert list(batch.vm_rows) == [2, 1]
+        assert c.poll(4).n_samples == 0
+
+    def test_offline_times_out_then_bursts(self):
+        c = PushCollector(5)
+        c.push([0], [0], [10.0], [20.0], available_at=1)
+        c.set_offline(True)
+        with pytest.raises(CollectorTimeoutError, match="collector 5"):
+            c.poll(1)
+        c.set_offline(False)
+        assert c.poll(2).n_samples == 1
+
+    def test_retroactive_push_still_delivers(self):
+        c = PushCollector(0)
+        c.push([1], [0], [1.0], [2.0], available_at=1)
+        assert c.poll(5).n_samples == 1
+        c.push([2], [1], [3.0], [4.0], available_at=0)  # already past
+        assert list(c.poll(6).vm_rows) == [2]
+
+    def test_restore_replays_unconsumed(self):
+        c = PushCollector(0)
+        state = c.state()
+        c.push([1], [0], [1.0], [2.0], available_at=1)
+        assert c.poll(1).n_samples == 1
+        c.restore(state)
+        assert c.poll(1).n_samples == 1
+
+
+class TestHttpFeed:
+    def test_round_trip_matches_backing_collector(self):
+        dataset = default_dataset(n_vms=8, n_days=1, seed=3)
+        schedule = zero_telemetry_faults(8, 0, dataset.n_slots)
+        direct = TraceCollector(0, dataset, schedule)
+        backing = TraceCollector(0, dataset, schedule)
+        with TelemetryFeedServer([backing]) as feed:
+            http = HttpCollector(0, feed.url)
+            for slot in (1, 2, 3):
+                want = direct.poll(slot)
+                got = http.poll(slot)
+                np.testing.assert_array_equal(got.vm_rows, want.vm_rows)
+                np.testing.assert_array_equal(got.samples, want.samples)
+                np.testing.assert_array_equal(got.cpu, want.cpu)
+                np.testing.assert_array_equal(got.mem, want.mem)
+
+    def test_dead_feed_is_a_timeout(self):
+        http = HttpCollector(0, "http://127.0.0.1:9", timeout_s=0.2)
+        with pytest.raises(CollectorTimeoutError):
+            http.poll(1)
+
+
+class TestMovedNameShims:
+    def test_deprecation_warning_and_same_object(self):
+        import repro.cloud.telemetry as old
+        from repro.serve import adapters as new
+
+        for name in ("TelemetryBatch", "poll_with_retry"):
+            with pytest.warns(DeprecationWarning, match="repro.serve"):
+                assert getattr(old, name) is getattr(new, name)
+
+    def test_unknown_name_still_raises(self):
+        import repro.cloud.telemetry as old
+
+        with pytest.raises(AttributeError):
+            old.does_not_exist
+
+
+# -- serve replay vs the batch engine ---------------------------------------
+
+
+class TestServeReplayEquivalence:
+    def test_clean_replay_bit_identical_to_batch(self, serve_config):
+        result = serve(serve_config)
+        dataset, schedule = get_scenario(serve_config.workload).build(
+            n_vms=serve_config.n_vms,
+            n_days=serve_config.n_days,
+            seed=serve_config.seed,
+            n_slots=serve_config.n_slots,
+        )
+        batch = CloudSimulation(
+            dataset,
+            DayAheadPredictor(dataset),
+            EpactPolicy(),
+            schedule,
+            n_slots=serve_config.n_slots,
+            max_servers=serve_config.max_servers,
+        ).run()
+        assert records_equal(result.records, batch.records)
+
+    def test_live_push_feed_matches_replay(self, serve_config):
+        """A PushCollector fed the true traces equals the clean replay."""
+        replay = serve(serve_config)
+        dataset, _ = get_scenario(serve_config.workload).build(
+            n_vms=serve_config.n_vms,
+            n_days=serve_config.n_days,
+            seed=serve_config.seed,
+            n_slots=serve_config.n_slots,
+        )
+        push = PushCollector(0)
+        rows = np.arange(dataset.n_vms)
+        for slot in range(dataset.n_slots):
+            lo = slot * SAMPLES_PER_SLOT
+            for k in range(SAMPLES_PER_SLOT):
+                push.push(
+                    rows,
+                    np.full(rows.size, lo + k),
+                    dataset.cpu_pct[:, lo + k],
+                    dataset.mem_pct[:, lo + k],
+                    available_at=slot + 1,
+                )
+        live = serve(serve_config, collectors=[push])
+        assert records_equal(live.records, replay.records)
+
+    def test_incremental_serve_runs_and_stays_close(self, serve_config):
+        config = serve_config.__class__(
+            **{
+                **serve_config.__dict__,
+                "incremental_forecasts": True,
+            }
+        )
+        incremental = serve(config)
+        exact = serve(serve_config)
+        assert len(incremental.records) == len(exact.records)
+        e_inc = sum(r.energy_j for r in incremental.records)
+        e_exact = sum(r.energy_j for r in exact.records)
+        assert abs(e_inc - e_exact) / e_exact < 0.05
+
+    def test_checkpoint_resume_equals_uninterrupted(self, tmp_path):
+        path = os.fspath(tmp_path / "serve.ckpt")
+        config = ServeConfig(
+            n_vms=24,
+            n_days=9,
+            n_slots=24,
+            incremental_forecasts=True,
+            checkpoint_every_slots=8,
+            checkpoint_path=path,
+        )
+        uninterrupted = serve(config)
+        # Interrupt: drain 10 windows, abandon, resume from disk.
+        sim = build_simulation(config)
+        gen = sim.windows()
+        for _ in itertools.islice(gen, 10):
+            pass
+        gen.close()
+        resumed = serve(config, resume=True)
+        assert records_equal(uninterrupted.records, resumed.records)
+
+    def test_resume_without_checkpoint_path_fails(self, serve_config):
+        with pytest.raises(ConfigurationError, match="resume"):
+            serve(serve_config, resume=True)
+
+
+# -- decision events --------------------------------------------------------
+
+
+class TestDecisionEvents:
+    def test_decision_stream_validates_and_covers_windows(
+        self, serve_config, tmp_path
+    ):
+        tracer = RunTracer.for_run_dir(os.fspath(tmp_path))
+        decisions = []
+        serve(serve_config, tracer=tracer, on_decision=decisions.append)
+        tracer.close()
+        placements = tracer.of_type("decision_placement")
+        rungs = tracer.of_type("decision_rung")
+        slas = tracer.of_type("decision_sla")
+        assert len(placements) == len(decisions) == len(slas)
+        assert len(rungs) == len(decisions)  # stream always attached
+        for event in tracer.events:
+            validate_event(event)  # already validated at emit; explicit
+        total = sum(e["energy_j"] for e in slas)
+        assert total > 0.0
+
+    def test_windows_matches_run_result(self, serve_config):
+        sim = build_simulation(serve_config)
+        decisions = list(sim.windows())
+        by_run = build_simulation(serve_config).run()
+        assert records_equal(sim.result.records, by_run.records)
+        assert sum(d.n_window for d in decisions) == len(by_run.records)
+        assert sum(d.energy_j for d in decisions) == pytest.approx(
+            sum(r.energy_j for r in by_run.records)
+        )
+
+
+# -- config API -------------------------------------------------------------
+
+
+class TestStreamingConfig:
+    def test_from_config_bit_identical(self):
+        dataset = default_dataset(n_vms=20, n_days=9, seed=5)
+        schedule = fixed_schedule(dataset.n_vms, 0, dataset.n_slots)
+        telemetry = zero_telemetry_faults(
+            dataset.n_vms, 0, dataset.n_slots
+        )
+        kwargs = dict(max_servers=16, n_slots=12)
+        loose = StreamingCloudSimulation(
+            dataset,
+            DayAheadPredictor(dataset),
+            EpactPolicy(),
+            schedule,
+            telemetry=telemetry,
+            **kwargs,
+        ).run()
+        config = StreamingConfig(telemetry=telemetry, **kwargs)
+        via_config = StreamingCloudSimulation.from_config(
+            dataset,
+            DayAheadPredictor(dataset),
+            EpactPolicy(),
+            schedule,
+            config=config,
+        ).run()
+        assert records_equal(loose.records, via_config.records)
+
+    def test_validation_mirrors_engine(self):
+        with pytest.raises(ConfigurationError, match="blind_after_slots"):
+            StreamingConfig(blind_after_slots=0)
+        with pytest.raises(ConfigurationError, match="mutually exclusive"):
+            StreamingConfig(telemetry=object(), collectors=[object()])
+        with pytest.raises(
+            ConfigurationError, match="incremental_forecasts"
+        ):
+            StreamingConfig(incremental_forecasts=True)
+        with pytest.raises(ConfigurationError, match="refit_every_days"):
+            StreamingConfig(refit_every_days=0)
+        with pytest.raises(ConfigurationError, match="staleness"):
+            StreamingConfig(staleness_budget_slots=3)
+
+    def test_serve_config_validation(self):
+        with pytest.raises(ConfigurationError, match="unknown policy"):
+            ServeConfig(policy="nope")
+        with pytest.raises(ConfigurationError, match="n_days"):
+            ServeConfig(n_days=1)
+        with pytest.raises(ConfigurationError, match="refit_every_days"):
+            ServeConfig(refit_every_days=0)
+
+
+# -- engine-level validation ------------------------------------------------
+
+
+class TestStreamingEngineValidation:
+    def test_incremental_without_stream_rejected(self):
+        dataset = default_dataset(n_vms=10, n_days=9, seed=5)
+        schedule = fixed_schedule(dataset.n_vms, 0, dataset.n_slots)
+        with pytest.raises(
+            ConfigurationError, match="incremental_forecasts"
+        ):
+            StreamingCloudSimulation(
+                dataset,
+                DayAheadPredictor(dataset),
+                EpactPolicy(),
+                schedule,
+                incremental_forecasts=True,
+                max_servers=8,
+                n_slots=4,
+            )
+
+    def test_telemetry_and_collectors_rejected(self):
+        dataset = default_dataset(n_vms=10, n_days=9, seed=5)
+        schedule = fixed_schedule(dataset.n_vms, 0, dataset.n_slots)
+        with pytest.raises(ConfigurationError, match="mutually exclusive"):
+            StreamingCloudSimulation(
+                dataset,
+                DayAheadPredictor(dataset),
+                EpactPolicy(),
+                schedule,
+                telemetry=zero_telemetry_faults(10, 0, dataset.n_slots),
+                collectors=[PushCollector(0)],
+                max_servers=8,
+                n_slots=4,
+            )
+
+
+# -- verify the forecast day shape contract ---------------------------------
+
+
+def test_forecast_day_shape(ds):
+    inc = IncrementalDayAheadForecaster(ds)
+    cpu, mem = inc.forecast_day(7)
+    assert cpu.shape == (ds.n_vms, SAMPLES_PER_DAY)
+    assert mem.shape == (ds.n_vms, SAMPLES_PER_DAY)

@@ -34,16 +34,15 @@ from repro.cloud.telemetry import (
     RUNG_PERSISTENCE,
     RUNG_STALE,
     TELEMETRY_SCENARIOS,
-    TelemetryBatch,
     TelemetryFaultConfig,
     TelemetryFaultSchedule,
     TelemetryIngest,
     TraceCollector,
     generate_telemetry_faults,
     get_telemetry_scenario,
-    poll_with_retry,
     zero_telemetry_faults,
 )
+from repro.serve.adapters import TelemetryBatch, poll_with_retry
 from repro.core import EpactPolicy
 from repro.errors import CollectorTimeoutError, ConfigurationError
 from repro.forecast import DayAheadPredictor
